@@ -1,0 +1,84 @@
+//! Figure 6: DaCapo execution time normalized to G1 under four profiling
+//! levels.
+//!
+//! For each of the 13 DaCapo-like benchmarks, five runs are performed: a
+//! plain G1 baseline and the ROLP runtime at the paper's four profiling
+//! levels —
+//!
+//! - `no-call`: only allocation sites carry profiling code,
+//! - `fast-call`: call-site code emitted but never enabled (every call
+//!   takes the `test`/`je` fast branch),
+//! - `real`: normal operation (conflict resolution enables what it needs),
+//! - `slow-call`: every non-inlined jitted call site enabled (worst case).
+//!
+//! Printed values are execution time normalized to G1 (>1 = slower). The
+//! paper's shape: most benchmarks a few percent, call-heavy ones (`fop`,
+//! `jython`) approach ~10% at the slow level, allocation-heavy `sunflow`
+//! shows allocation-profiling cost but near-zero call-profiling cost, and
+//! `real` tracks `fast-call` closely because few calls are ever enabled.
+
+use rolp::runtime::{CollectorKind, RuntimeConfig};
+use rolp::ProfilingLevel;
+use rolp_bench::{banner, scale, TextTable};
+use rolp_metrics::stats::geometric_mean;
+use rolp_vm::CostModel;
+use rolp_workloads::{all_benchmarks, execute, DacapoBench, RunBudget};
+
+fn run_once(
+    spec: &rolp_workloads::DacapoSpec,
+    collector: CollectorKind,
+    level: ProfilingLevel,
+    scale: rolp_metrics::SimScale,
+) -> f64 {
+    let heap = spec.heap_config(scale);
+    let mut bench = DacapoBench::new(spec.clone(), 0xDACA);
+    let mut config = RuntimeConfig {
+        collector,
+        heap,
+        cost: CostModel::scaled(scale),
+        ..Default::default()
+    };
+    config.rolp.level = level;
+    let budget = RunBudget::smoke(spec.ops);
+    let out = execute(&mut bench, config, &budget);
+    out.report.elapsed.as_secs_f64()
+}
+
+fn main() {
+    let scale = scale();
+    banner("Figure 6: DaCapo execution time normalized to G1 (profiling levels)", scale);
+
+    let mut table = TextTable::new(vec!["benchmark", "no-call", "fast-call", "real", "slow-call"]);
+    let levels = [
+        ProfilingLevel::NoCallProfiling,
+        ProfilingLevel::FastCallProfiling,
+        ProfilingLevel::Real,
+        ProfilingLevel::SlowCallProfiling,
+    ];
+    let mut per_level: Vec<Vec<f64>> = vec![Vec::new(); levels.len()];
+
+    for spec in all_benchmarks() {
+        let g1 = run_once(&spec, CollectorKind::G1, ProfilingLevel::Real, scale);
+        let mut row = vec![spec.name.to_string()];
+        for (i, &level) in levels.iter().enumerate() {
+            let t = run_once(&spec, CollectorKind::RolpNg2c, level, scale);
+            let norm = t / g1;
+            per_level[i].push(norm);
+            row.push(format!("{norm:.3}"));
+        }
+        table.row(row);
+        eprintln!("  {} done", spec.name);
+    }
+    let mut geo = vec!["geomean".to_string()];
+    for values in &per_level {
+        geo.push(format!("{:.3}", geometric_mean(values)));
+    }
+    table.row(geo);
+
+    println!("{}", table.render());
+    println!(
+        "shape check: values are execution time / G1 (1.000 = no overhead); expect\n\
+         no-call <= fast-call <= slow-call, `real` close to fast-call, and the\n\
+         slow-call worst case within ~15% for call-heavy benchmarks."
+    );
+}

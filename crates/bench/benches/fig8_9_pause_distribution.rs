@@ -1,0 +1,124 @@
+//! Figures 8 and 9: pause-time percentiles and pause-duration histograms.
+//!
+//! Reproduces the paper's headline result. For each of the six big-data
+//! workloads (Cassandra WI/RW/RI, Lucene, GraphChi CC/PR) and each of the
+//! four plotted collectors (CMS, G1, NG2C, ROLP — ZGC is omitted exactly
+//! as in the paper because its pauses never exceed 10 ms), one run is
+//! performed and two views are printed:
+//!
+//! - Fig. 8: pause duration at the 50th..100th percentiles (ms), after
+//!   discarding the warmup window.
+//! - Fig. 9: number of pauses per duration interval (fewer pauses to the
+//!   right = better).
+//!
+//! Expected shape (paper §8.4): ROLP ≈ NG2C ≪ G1 < CMS at the tail, with
+//! ROLP needing no programmer effort.
+
+use rolp::runtime::CollectorKind;
+use rolp_bench::{
+    banner, bigdata_budget, bigdata_heap, bigdata_workloads, fig9_labels, run_one, scale,
+    TextTable, FIG8_PERCENTILES, FIG9_INTERVALS_MS,
+};
+
+fn main() {
+    let scale = scale();
+    banner("Figures 8 & 9: application pause distribution (6 workloads x 4 collectors)", scale);
+    let heap = bigdata_heap(scale);
+    let budget = bigdata_budget(scale);
+    println!(
+        "heap: {} per run, run length: {} simulated (warmup discard {})",
+        rolp_bench::fmt_bytes(heap.max_heap_bytes),
+        budget.sim_time,
+        budget.warmup_discard,
+    );
+
+    let collectors =
+        [CollectorKind::Cms, CollectorKind::G1, CollectorKind::Ng2c, CollectorKind::RolpNg2c];
+
+    let names: Vec<String> = bigdata_workloads(scale).iter().map(|w| w.name()).collect();
+    for (wi, name) in names.iter().enumerate() {
+        let mut fig8 = TextTable::new(
+            std::iter::once("system".to_string())
+                .chain(FIG8_PERCENTILES.iter().map(|p| format!("p{p}")))
+                .collect::<Vec<_>>(),
+        );
+        let mut fig9 = TextTable::new(
+            std::iter::once("system".to_string()).chain(fig9_labels()).collect::<Vec<_>>(),
+        );
+        let mut tail_ms: Vec<(CollectorKind, f64)> = Vec::new();
+
+        for &kind in &collectors {
+            // Fresh workload instance per run (independent state).
+            let mut workloads = bigdata_workloads(scale);
+            let w = &mut workloads[wi];
+            let start = std::time::Instant::now();
+            let out = run_one(w.as_mut(), kind, heap.clone(), scale, &budget);
+            let wall = start.elapsed();
+
+            let mut row = vec![kind.label().to_string()];
+            for p in FIG8_PERCENTILES {
+                row.push(format!("{:.1}", out.pauses.percentile_ms(p)));
+            }
+            fig8.row(row);
+
+            let bounds_ns: Vec<u64> = FIG9_INTERVALS_MS.iter().map(|ms| ms * 1_000_000).collect();
+            let counts = out.pauses.histogram().interval_counts(&bounds_ns);
+            let mut row9 = vec![kind.label().to_string()];
+            row9.extend(counts.iter().map(|c| c.to_string()));
+            fig9.row(row9);
+
+            tail_ms.push((kind, out.pauses.percentile_ms(99.9)));
+            {
+                use rolp_metrics::PauseKind::*;
+                for k in [Young, Mixed, Full, ConcurrentHandshake] {
+                    let evs: Vec<_> =
+                        out.raw_pauses.events().iter().filter(|e| e.kind == k).collect();
+                    if !evs.is_empty() {
+                        let max = evs.iter().map(|e| e.duration.as_millis_f64()).fold(0.0, f64::max);
+                        eprintln!("    {}: {} pauses, max {:.1} ms", k.label(), evs.len(), max);
+                    }
+                }
+            }
+            if let Some(r) = &out.report.rolp {
+                eprintln!(
+                    "    rolp: {} inferences, {} decisions, {} profiled allocs, {} survivor recs, \
+                     conflicts {:?}, shutdowns {}/{}",
+                    r.inferences,
+                    r.decisions,
+                    r.profiled_allocations,
+                    r.survivor_records,
+                    r.conflicts,
+                    r.survivor_shutdowns,
+                    r.survivor_reactivations
+                );
+            }
+            eprintln!(
+                "  [{name} / {}] {} pauses, {} GC cycles, ops {}, wall {:.1?}",
+                kind.label(),
+                out.pauses.count(),
+                out.report.gc_cycles,
+                out.report.ops,
+                wall
+            );
+        }
+
+        println!("--- Fig. 8: {name} — pause-time percentiles (ms) ---");
+        println!("{}", fig8.render());
+        println!("--- Fig. 9: {name} — pauses per duration interval ---");
+        println!("{}", fig9.render());
+
+        let get =
+            |k: CollectorKind| tail_ms.iter().find(|(c, _)| *c == k).map(|(_, v)| *v).unwrap();
+        let (cms, g1, ng2c, rolp) = (
+            get(CollectorKind::Cms),
+            get(CollectorKind::G1),
+            get(CollectorKind::Ng2c),
+            get(CollectorKind::RolpNg2c),
+        );
+        let reduction = if g1 > 0.0 { (1.0 - rolp / g1) * 100.0 } else { 0.0 };
+        println!(
+            "shape check [{name}]: p99.9 CMS {cms:.1} ms, G1 {g1:.1} ms, NG2C {ng2c:.1} ms, \
+             ROLP {rolp:.1} ms -> ROLP reduces G1 tail by {reduction:.0}%\n"
+        );
+    }
+}

@@ -1,0 +1,71 @@
+//! Table 2: DaCapo profiling summary and conflict overhead.
+//!
+//! Left side: per benchmark, the heap size (Table 2's values, scaled), the
+//! number of profiled method-call sites (PMC: call sites with profiling
+//! code installed in jitted code), profiled allocation sites (PAS), and
+//! conflicts found.
+//!
+//! Right side: the simulated throughput overhead of having P=20% of all
+//! jitted call sites tracked (the paper reports 0.02%–1.8%), computed by
+//! actually running each benchmark with every call site enabled and
+//! scaling the measured slow-branch cost share to a 20% enablement.
+
+use rolp::runtime::{CollectorKind, RuntimeConfig};
+use rolp::ProfilingLevel;
+use rolp_bench::{banner, fmt_bytes, scale, TextTable};
+use rolp_vm::CostModel;
+use rolp_workloads::{all_benchmarks, execute, DacapoBench, RunBudget};
+
+fn run_level(
+    spec: &rolp_workloads::DacapoSpec,
+    level: ProfilingLevel,
+    scale: rolp_metrics::SimScale,
+    ops: u64,
+) -> (f64, rolp::RolpStats) {
+    let mut bench = DacapoBench::new(spec.clone(), 0xDACA);
+    let mut config = RuntimeConfig {
+        collector: CollectorKind::RolpNg2c,
+        heap: spec.heap_config(scale),
+        cost: CostModel::scaled(scale),
+        ..Default::default()
+    };
+    config.rolp.level = level;
+    let out = execute(&mut bench, config, &RunBudget::smoke(ops));
+    (out.report.elapsed.as_secs_f64(), out.report.rolp.expect("rolp stats"))
+}
+
+fn main() {
+    let scale = scale();
+    banner("Table 2: DaCapo profiling (PMC, PAS, conflicts, 20% tracking overhead)", scale);
+
+    let mut table = TextTable::new(vec![
+        "benchmark", "heap (paper)", "heap (run)", "PMC", "PAS", "CFs", "CF overhead @P=20%",
+    ]);
+    for spec in all_benchmarks() {
+        // Conflict detection needs inference rounds (16 GC cycles each),
+        // whose cadence scales with the heap: budget ops accordingly.
+        let ops = (9_600_000 / scale.divisor()).max(8_000);
+        let (t_fast, stats) = run_level(&spec, ProfilingLevel::FastCallProfiling, scale, ops);
+        let (t_slow, _) = run_level(&spec, ProfilingLevel::SlowCallProfiling, scale, ops);
+        // All call sites enabled costs (t_slow - t_fast); tracking 20% of
+        // them costs a fifth of that.
+        let overhead_20 = ((t_slow - t_fast) * 0.2 / t_fast).max(0.0);
+        let heap = spec.heap_config(scale);
+        table.row(vec![
+            spec.name.to_string(),
+            format!("{} MB", spec.paper_heap_mb),
+            fmt_bytes(heap.max_heap_bytes),
+            stats.installed_call_sites.to_string(),
+            stats.profiled_alloc_sites.to_string(),
+            stats.conflicts.detected.to_string(),
+            rolp_bench::fmt_pct(overhead_20, 2),
+        ]);
+        eprintln!("  {} done", spec.name);
+    }
+    println!("{}", table.render());
+    println!(
+        "shape check: conflicts concentrate in the factory-heavy benchmarks\n\
+         (paper: pmd 6, tomcat 4, tradesoap 3, rest 0) and the P=20% tracking\n\
+         overhead stays in the paper's 0.02%-1.8% band."
+    );
+}

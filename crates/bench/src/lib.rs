@@ -1,0 +1,171 @@
+//! Shared harness for the paper's tables and figures.
+//!
+//! Every bench target (`fig6_*`, `fig7_*`, `fig8_9_*`, `fig10_*`,
+//! `table1_*`, `table2_*`, `ablations`) builds on these helpers: workload
+//! construction at the experiment scale, runtime-configuration assembly
+//! per collector, and shared formatting.
+//!
+//! Scaling: the paper's testbed (6 GB heaps, 30-minute runs, 10 k ops/s)
+//! is divided by the experiment scale (default 16, override with
+//! `ROLP_BENCH_SCALE`). Copy bandwidth scales with the heap so pause
+//! *magnitudes* stay comparable; run *durations* are scaled less
+//! aggressively (by scale/4) so each run still contains enough GC cycles
+//! for stable percentiles.
+
+use rolp::runtime::{CollectorKind, RuntimeConfig};
+use rolp_heap::HeapConfig;
+use rolp_metrics::{SimScale, SimTime};
+use rolp_vm::CostModel;
+use rolp_workloads::{
+    CassandraMix, CassandraParams, CassandraWorkload, GraphAlgo, GraphChiParams,
+    GraphChiWorkload, LuceneParams, LuceneWorkload, RunBudget, RunOutcome, Workload,
+};
+
+pub use rolp_metrics::table::{fmt_bytes, fmt_pct, TextTable};
+
+/// The experiment scale (default 1/16; `ROLP_BENCH_SCALE` overrides).
+pub fn scale() -> SimScale {
+    SimScale::from_env(16)
+}
+
+/// The big-data heap: the paper's 6 GB divided by the scale, with
+/// region count held near G1's ~1.5–2 k regions.
+pub fn bigdata_heap(scale: SimScale) -> HeapConfig {
+    let heap = scale.bytes(6 * 1024 * 1024 * 1024);
+    let region = (heap / 1536).next_power_of_two().clamp(64 * 1024, 1024 * 1024);
+    HeapConfig { region_bytes: region as usize, max_heap_bytes: heap }
+}
+
+/// Run budget for the pause-distribution experiments: the paper's 30 min
+/// with a warmup discard, time-scaled by `scale/8` (see module docs).
+///
+/// The discard is a quarter of the run rather than the paper's sixth:
+/// ROLP's learning time is a fixed number of GC cycles (~3 inference
+/// windows), so compressing the run compresses the steady state but not
+/// the warmup — the discard must still cover it, as the paper's 300 s
+/// discard covers its ~350 s stabilization (Fig. 10).
+pub fn bigdata_budget(scale: SimScale) -> RunBudget {
+    let divisor = (scale.divisor() / 8).max(1);
+    let secs = (1_800 / divisor).max(120);
+    RunBudget {
+        sim_time: SimTime::from_secs(secs),
+        warmup_discard: SimTime::from_secs(secs / 4),
+        max_ops: u64::MAX,
+    }
+}
+
+/// A shorter budget for throughput/memory comparisons (Fig. 10 mid/right).
+pub fn throughput_budget(scale: SimScale) -> RunBudget {
+    let budget = bigdata_budget(scale);
+    RunBudget {
+        sim_time: SimTime::from_nanos(budget.sim_time.as_nanos() / 3),
+        warmup_discard: SimTime::from_nanos(budget.warmup_discard.as_nanos() / 3),
+        max_ops: u64::MAX,
+    }
+}
+
+/// Cassandra workload at experiment scale.
+pub fn cassandra(mix: CassandraMix, scale: SimScale) -> CassandraWorkload {
+    CassandraWorkload::new(CassandraParams {
+        mix,
+        op_pacing_ns: 100_000, // 10 k ops/s as in the paper
+        memtable_flush_entries: scale.count(2_400_000) as usize,
+        key_space: scale.count(8_000_000),
+        parse_buffers_per_op: 6,
+        row_cache_entries: scale.count(1_200_000) as usize,
+        seed: 0xCA55,
+    })
+}
+
+/// Lucene workload at experiment scale.
+pub fn lucene(scale: SimScale) -> LuceneWorkload {
+    LuceneWorkload::new(LuceneParams {
+        write_fraction: 0.80,
+        op_pacing_ns: 40_000, // 25 k ops/s as in the paper
+        segment_flush_docs: scale.count(4_500_000) as usize,
+        vocabulary: scale.count(1_200_000),
+        doc_words: 48,
+        postings_per_doc: 2,
+        analysis_scratch: 4,
+        seed: 0x10CE,
+    })
+}
+
+/// GraphChi workload at experiment scale (paper: 42 M vertices, 1.5 B
+/// edges, 16 shards — one shard's edge blocks are roughly a quarter of
+/// the heap and live for exactly one interval).
+pub fn graphchi(algo: GraphAlgo, scale: SimScale) -> GraphChiWorkload {
+    let vertices = scale.count(42_000_000) as u32;
+    let edges = scale.count(1_500_000_000);
+    GraphChiWorkload::new(GraphChiParams {
+        algo,
+        vertices,
+        edges,
+        shards: 16,
+        chunk: 4_096,
+        io_ns_per_edge: 800,
+        update_sample: 64,
+        seed: 0x6AF,
+    })
+}
+
+/// The six big-data rows of Table 1 / Figs. 8–10, in paper order.
+pub fn bigdata_workloads(scale: SimScale) -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(cassandra(CassandraMix::WriteIntensive, scale)),
+        Box::new(cassandra(CassandraMix::ReadWrite, scale)),
+        Box::new(cassandra(CassandraMix::ReadIntensive, scale)),
+        Box::new(lucene(scale)),
+        Box::new(graphchi(GraphAlgo::ConnectedComponents, scale)),
+        Box::new(graphchi(GraphAlgo::PageRank, scale)),
+    ]
+}
+
+/// Assembles the runtime configuration for one collector at scale.
+pub fn runtime_config(kind: CollectorKind, heap: HeapConfig, scale: SimScale) -> RuntimeConfig {
+    RuntimeConfig {
+        collector: kind,
+        heap,
+        cost: CostModel::scaled(scale),
+        threads: 4,
+        side_table_scale: scale.divisor(),
+        ..Default::default()
+    }
+}
+
+/// Runs one workload under one collector with the given budget.
+pub fn run_one(
+    workload: &mut dyn Workload,
+    kind: CollectorKind,
+    heap: HeapConfig,
+    scale: SimScale,
+    budget: &RunBudget,
+) -> RunOutcome {
+    let config = runtime_config(kind, heap, scale);
+    rolp_workloads::execute(workload, config, budget)
+}
+
+/// The Fig. 8 percentiles.
+pub const FIG8_PERCENTILES: [f64; 7] = [50.0, 75.0, 90.0, 95.0, 99.0, 99.9, 100.0];
+
+/// The Fig. 9 pause-duration interval bounds, in milliseconds.
+pub const FIG9_INTERVALS_MS: [u64; 7] = [0, 10, 25, 50, 100, 250, 500];
+
+/// Renders the Fig. 9 interval labels.
+pub fn fig9_labels() -> Vec<String> {
+    let b = FIG9_INTERVALS_MS;
+    let mut out: Vec<String> = b.windows(2).map(|w| format!("[{},{})ms", w[0], w[1])).collect();
+    out.push(format!("[{},inf)ms", b[b.len() - 1]));
+    out
+}
+
+/// Prints a standard experiment header.
+pub fn banner(title: &str, scale: SimScale) {
+    println!();
+    println!("=== {title} ===");
+    println!(
+        "scale: 1/{} of the paper's testbed (override with ROLP_BENCH_SCALE)",
+        scale.divisor()
+    );
+    println!();
+}

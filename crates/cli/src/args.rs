@@ -1,0 +1,198 @@
+//! Hand-rolled argument parsing for `rolp-sim` (no CLI dependency).
+
+use rolp::runtime::CollectorKind;
+
+/// Which workload to run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkloadChoice {
+    /// Cassandra-like KV store: `cassandra-wi` / `cassandra-rw` /
+    /// `cassandra-ri`.
+    Cassandra(rolp_workloads::CassandraMix),
+    /// Lucene-like indexer.
+    Lucene,
+    /// GraphChi-like engine: `graphchi-cc` / `graphchi-pr`.
+    GraphChi(rolp_workloads::GraphAlgo),
+    /// A DaCapo-like benchmark by name.
+    Dacapo(String),
+}
+
+/// Parsed command line.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// Workload to run.
+    pub workload: WorkloadChoice,
+    /// Collector configuration.
+    pub collector: CollectorKind,
+    /// Experiment scale divisor (paper testbed / N).
+    pub scale: u64,
+    /// Simulated run length in seconds.
+    pub secs: u64,
+    /// Warmup discard in seconds.
+    pub discard: u64,
+    /// Print the profiler report at the end.
+    pub report: bool,
+    /// Export learned decisions to this file.
+    pub export_profile: Option<String>,
+    /// Import an offline decision profile from this file.
+    pub import_profile: Option<String>,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            workload: WorkloadChoice::Cassandra(rolp_workloads::CassandraMix::WriteIntensive),
+            collector: CollectorKind::RolpNg2c,
+            scale: 64,
+            secs: 120,
+            discard: 30,
+            report: false,
+            export_profile: None,
+            import_profile: None,
+        }
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+rolp-sim — run a workload under a collector and report GC behaviour
+
+USAGE:
+    rolp-sim [OPTIONS]
+
+OPTIONS:
+    --workload <NAME>   cassandra-wi | cassandra-rw | cassandra-ri |
+                        lucene | graphchi-cc | graphchi-pr |
+                        dacapo:<benchmark>            [default: cassandra-wi]
+    --collector <NAME>  cms | g1 | zgc | ng2c | rolp  [default: rolp]
+    --scale <N>         run at 1/N of the paper's testbed [default: 64]
+    --secs <N>          simulated run length in seconds   [default: 120]
+    --discard <N>       warmup discard in seconds         [default: 30]
+    --report            print the full profiler report
+    --export-profile <FILE>   write learned decisions (POLM2-style)
+    --import-profile <FILE>   warm-start from an exported profile
+    --help              show this text
+";
+
+/// Parses arguments; `Err` carries the message to print.
+pub fn parse(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut take = |name: &str| {
+            it.next().map(|s| s.to_string()).ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--workload" => {
+                let v = take("--workload")?;
+                args.workload = parse_workload(&v)?;
+            }
+            "--collector" => {
+                let v = take("--collector")?;
+                args.collector = parse_collector(&v)?;
+            }
+            "--scale" => {
+                let v = take("--scale")?;
+                args.scale =
+                    v.parse::<u64>().ok().filter(|&n| n > 0).ok_or("--scale must be positive")?;
+            }
+            "--secs" => {
+                let v = take("--secs")?;
+                args.secs =
+                    v.parse::<u64>().ok().filter(|&n| n > 0).ok_or("--secs must be positive")?;
+            }
+            "--discard" => {
+                let v = take("--discard")?;
+                args.discard = v.parse::<u64>().map_err(|_| "--discard must be a number")?;
+            }
+            "--report" => args.report = true,
+            "--export-profile" => args.export_profile = Some(take("--export-profile")?),
+            "--import-profile" => args.import_profile = Some(take("--import-profile")?),
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown option {other}\n\n{USAGE}")),
+        }
+    }
+    if args.discard >= args.secs {
+        return Err("--discard must be smaller than --secs".to_string());
+    }
+    Ok(args)
+}
+
+fn parse_workload(v: &str) -> Result<WorkloadChoice, String> {
+    use rolp_workloads::{CassandraMix, GraphAlgo};
+    Ok(match v {
+        "cassandra-wi" => WorkloadChoice::Cassandra(CassandraMix::WriteIntensive),
+        "cassandra-rw" => WorkloadChoice::Cassandra(CassandraMix::ReadWrite),
+        "cassandra-ri" => WorkloadChoice::Cassandra(CassandraMix::ReadIntensive),
+        "lucene" => WorkloadChoice::Lucene,
+        "graphchi-cc" => WorkloadChoice::GraphChi(GraphAlgo::ConnectedComponents),
+        "graphchi-pr" => WorkloadChoice::GraphChi(GraphAlgo::PageRank),
+        other => {
+            if let Some(name) = other.strip_prefix("dacapo:") {
+                if rolp_workloads::benchmark(name).is_none() {
+                    return Err(format!("unknown DaCapo benchmark {name}"));
+                }
+                WorkloadChoice::Dacapo(name.to_string())
+            } else {
+                return Err(format!("unknown workload {other}"));
+            }
+        }
+    })
+}
+
+fn parse_collector(v: &str) -> Result<CollectorKind, String> {
+    Ok(match v {
+        "cms" => CollectorKind::Cms,
+        "g1" => CollectorKind::G1,
+        "zgc" => CollectorKind::Zgc,
+        "ng2c" => CollectorKind::Ng2c,
+        "rolp" => CollectorKind::RolpNg2c,
+        other => return Err(format!("unknown collector {other}")),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(|t| t.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_parse_from_empty() {
+        let a = parse(&[]).expect("defaults");
+        assert_eq!(a.collector, CollectorKind::RolpNg2c);
+        assert_eq!(a.scale, 64);
+    }
+
+    #[test]
+    fn full_command_line_parses() {
+        let a = parse(&argv(
+            "--workload graphchi-pr --collector g1 --scale 32 --secs 90 --discard 10 --report",
+        ))
+        .expect("parses");
+        assert!(matches!(
+            a.workload,
+            WorkloadChoice::GraphChi(rolp_workloads::GraphAlgo::PageRank)
+        ));
+        assert_eq!(a.collector, CollectorKind::G1);
+        assert_eq!(a.scale, 32);
+        assert_eq!(a.secs, 90);
+        assert_eq!(a.discard, 10);
+        assert!(a.report);
+    }
+
+    #[test]
+    fn dacapo_names_are_validated() {
+        assert!(parse(&argv("--workload dacapo:pmd")).is_ok());
+        assert!(parse(&argv("--workload dacapo:nope")).is_err());
+    }
+
+    #[test]
+    fn errors_are_helpful() {
+        assert!(parse(&argv("--collector shenandoah")).unwrap_err().contains("unknown collector"));
+        assert!(parse(&argv("--scale 0")).unwrap_err().contains("positive"));
+        assert!(parse(&argv("--secs 10 --discard 10")).unwrap_err().contains("smaller"));
+        assert!(parse(&argv("--frobnicate")).unwrap_err().contains("unknown option"));
+    }
+}

@@ -1,0 +1,213 @@
+//! `rolp-sim`: run any workload of the reproduction under any collector
+//! and report pause percentiles, throughput, memory, and (for ROLP) the
+//! profiler's learned decisions. See `--help`.
+
+mod args;
+
+use std::process::ExitCode;
+
+use rolp::runtime::{CollectorKind, RuntimeConfig};
+use rolp::DecisionProfile;
+use rolp_metrics::{SimScale, SimTime};
+use rolp_vm::CostModel;
+use rolp_workloads::{execute, DacapoBench, RunBudget, Workload};
+
+use args::{Args, WorkloadChoice};
+
+fn build_workload(args: &Args, scale: SimScale) -> Box<dyn Workload> {
+    match &args.workload {
+        WorkloadChoice::Cassandra(mix) => Box::new(cassandra(*mix, scale)),
+        WorkloadChoice::Lucene => Box::new(lucene(scale)),
+        WorkloadChoice::GraphChi(algo) => Box::new(graphchi(*algo, scale)),
+        WorkloadChoice::Dacapo(name) => {
+            let spec = rolp_workloads::benchmark(name).expect("validated at parse time");
+            Box::new(DacapoBench::new(spec, 0xDACA))
+        }
+    }
+}
+
+// Paper-parameterized workload constructors (mirrors the bench harness).
+fn cassandra(mix: rolp_workloads::CassandraMix, scale: SimScale) -> rolp_workloads::CassandraWorkload {
+    rolp_workloads::CassandraWorkload::new(rolp_workloads::CassandraParams {
+        mix,
+        op_pacing_ns: 100_000,
+        memtable_flush_entries: scale.count(2_400_000) as usize,
+        key_space: scale.count(8_000_000),
+        parse_buffers_per_op: 6,
+        row_cache_entries: scale.count(1_200_000) as usize,
+        seed: 0xCA55,
+    })
+}
+
+fn lucene(scale: SimScale) -> rolp_workloads::LuceneWorkload {
+    rolp_workloads::LuceneWorkload::new(rolp_workloads::LuceneParams {
+        write_fraction: 0.80,
+        op_pacing_ns: 40_000,
+        segment_flush_docs: scale.count(4_500_000) as usize,
+        vocabulary: scale.count(1_200_000),
+        doc_words: 48,
+        postings_per_doc: 2,
+        analysis_scratch: 4,
+        seed: 0x10CE,
+    })
+}
+
+fn graphchi(algo: rolp_workloads::GraphAlgo, scale: SimScale) -> rolp_workloads::GraphChiWorkload {
+    rolp_workloads::GraphChiWorkload::new(rolp_workloads::GraphChiParams {
+        algo,
+        vertices: scale.count(42_000_000) as u32,
+        edges: scale.count(1_500_000_000),
+        shards: 16,
+        chunk: 4_096,
+        io_ns_per_edge: 800,
+        update_sample: 64,
+        seed: 0x6AF,
+    })
+}
+
+fn heap_for(args: &Args, scale: SimScale) -> rolp_heap::HeapConfig {
+    match &args.workload {
+        WorkloadChoice::Dacapo(name) => {
+            rolp_workloads::benchmark(name).expect("validated").heap_config(scale)
+        }
+        _ => {
+            let heap = scale.bytes(6 * 1024 * 1024 * 1024);
+            let region = (heap / 1536).next_power_of_two().clamp(64 * 1024, 1024 * 1024);
+            rolp_heap::HeapConfig { region_bytes: region as usize, max_heap_bytes: heap }
+        }
+    }
+}
+
+fn run(args: Args) -> Result<(), String> {
+    let scale = SimScale::new(args.scale);
+    let mut workload = build_workload(&args, scale);
+    let heap = heap_for(&args, scale);
+
+    let mut config = RuntimeConfig {
+        collector: args.collector,
+        heap: heap.clone(),
+        cost: CostModel::scaled(scale),
+        threads: 4,
+        side_table_scale: scale.divisor(),
+        ..Default::default()
+    };
+    if let Some(path) = &args.import_profile {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {path}: {e}"))?;
+        let profile: DecisionProfile =
+            text.parse().map_err(|e| format!("bad profile {path}: {e}"))?;
+        println!("imported {} offline decision(s) from {path}", profile.len());
+        config.rolp.offline_profile = Some(profile);
+    }
+
+    let budget = RunBudget {
+        sim_time: SimTime::from_secs(args.secs),
+        warmup_discard: SimTime::from_secs(args.discard),
+        max_ops: u64::MAX,
+    };
+
+    println!(
+        "running {} under {} — heap {}, scale 1/{}, {} simulated ({}s discard)\n",
+        workload.name(),
+        args.collector.label(),
+        rolp_metrics::table::fmt_bytes(heap.max_heap_bytes),
+        scale.divisor(),
+        budget.sim_time,
+        args.discard,
+    );
+
+    // The driver consumes the config; profile export needs the runtime, so
+    // re-run through the lower-level pieces when exporting.
+    if args.export_profile.is_some() || args.report {
+        run_with_runtime(&args, &mut *workload, config, &budget)
+    } else {
+        let out = execute(&mut *workload, config, &budget);
+        print_outcome(&out);
+        Ok(())
+    }
+}
+
+/// Variant that keeps the runtime alive for report/export.
+fn run_with_runtime(
+    args: &Args,
+    workload: &mut dyn Workload,
+    mut config: RuntimeConfig,
+    budget: &RunBudget,
+) -> Result<(), String> {
+    let program = workload.build_program();
+    if config.collector == CollectorKind::RolpNg2c && config.rolp.filters.is_unfiltered() {
+        config.rolp.filters = workload.profiling_filters();
+    }
+    workload.set_annotations(config.collector == CollectorKind::Ng2c);
+    let mut rt = rolp::runtime::JvmRuntime::new(config, program);
+    workload.setup(&mut rt);
+
+    let mut tick_no = 0u64;
+    while rt.vm.env.clock.now() < budget.sim_time {
+        let thread = rolp_vm::ThreadId((tick_no % 4) as u32);
+        tick_no += 1;
+        let mut ctx = rt.ctx(thread);
+        let ops = workload.tick(&mut ctx);
+        ctx.complete_ops(ops);
+    }
+
+    let report = rt.report();
+    let mut pauses = rt.vm.env.pauses.clone();
+    pauses.discard_before(budget.warmup_discard);
+    print_report(&report, &pauses);
+
+    if let Some(profiler) = &rt.profiler {
+        let p = profiler.borrow();
+        if args.report {
+            println!("{}", rolp::render_summary(&p, &rt.vm.env.program, &rt.vm.env.jit));
+            println!("{}", rolp::render_decisions(&p, &rt.vm.env.program));
+        }
+        if let Some(path) = &args.export_profile {
+            let profile = DecisionProfile::from_profiler(&p, &rt.vm.env.program, &rt.vm.env.jit);
+            std::fs::write(path, profile.to_string())
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            println!("exported {} decision(s) to {path}", profile.len());
+        }
+    } else if args.report || args.export_profile.is_some() {
+        println!("(no profiler in this configuration — --report/--export need --collector rolp)");
+    }
+    Ok(())
+}
+
+fn print_outcome(out: &rolp_workloads::RunOutcome) {
+    print_report(&out.report, &out.pauses);
+}
+
+fn print_report(report: &rolp::runtime::RunReport, pauses: &rolp_metrics::PauseRecorder) {
+    println!("collector          {}", report.collector);
+    println!("operations         {}", report.ops);
+    println!("throughput         {:.0} ops/s ({:.0} ops/busy-s)",
+        report.ops_per_sec, report.ops_per_busy_sec);
+    println!("GC cycles          {}", report.gc_cycles);
+    println!("time paused        {} of {}", report.total_paused, report.elapsed);
+    println!("max memory         {} used, {} committed",
+        rolp_metrics::table::fmt_bytes(report.max_used_bytes),
+        rolp_metrics::table::fmt_bytes(report.max_committed_bytes));
+    println!("pauses (post-discard): {}", pauses.count());
+    for p in [50.0, 90.0, 99.0, 99.9, 100.0] {
+        println!("  p{p:<6} {:>9.2} ms", pauses.percentile_ms(p));
+    }
+    println!();
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match args::parse(&argv) {
+        Ok(args) => match run(args) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Allocation contexts.
+//!
+//! An allocation context is the paper's 32-bit tuple (§3.1): the 16-bit
+//! allocation-site identifier in the upper half and the 16-bit thread
+//! stack state in the lower half. It is installed in the upper 32 bits of
+//! the object header at allocation and read back during GC survivor
+//! processing.
+
+/// Packs a site id and thread stack state into a 32-bit context.
+#[inline]
+pub fn pack(site_id: u16, tss: u16) -> u32 {
+    ((site_id as u32) << 16) | tss as u32
+}
+
+/// The allocation-site half of a context.
+#[inline]
+pub fn site_of(context: u32) -> u16 {
+    (context >> 16) as u16
+}
+
+/// The thread-stack-state half of a context.
+#[inline]
+pub fn tss_of(context: u32) -> u16 {
+    context as u16
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let c = pack(0xBEEF, 0x1234);
+        assert_eq!(site_of(c), 0xBEEF);
+        assert_eq!(tss_of(c), 0x1234);
+    }
+
+    #[test]
+    fn zero_tss_keeps_site() {
+        let c = pack(7, 0);
+        assert_eq!(c, 7 << 16);
+        assert_eq!(site_of(c), 7);
+        assert_eq!(tss_of(c), 0);
+    }
+}

@@ -1,0 +1,89 @@
+//! Package-based profiling filters (paper §7.3).
+//!
+//! Large applications can exceed the acceptable profiling overhead even
+//! with all of ROLP's optimizations, so ROLP accepts package filters: only
+//! methods in the named packages (and their sub-packages) are profiled.
+//! The paper uses `cassandra.db`-style filters to focus on the packages
+//! that manage application data. An exclude list handles the dual case
+//! ("profile everything but this framework").
+
+/// Include/exclude package filters.
+#[derive(Debug, Clone, Default)]
+pub struct PackageFilters {
+    include: Vec<String>,
+    exclude: Vec<String>,
+}
+
+impl PackageFilters {
+    /// No filtering: every package is profiled.
+    pub fn all() -> Self {
+        PackageFilters::default()
+    }
+
+    /// Profile only the given packages (and their sub-packages).
+    pub fn include(packages: &[&str]) -> Self {
+        PackageFilters {
+            include: packages.iter().map(|s| s.to_string()).collect(),
+            exclude: Vec::new(),
+        }
+    }
+
+    /// Adds an exclusion (wins over includes).
+    pub fn and_exclude(mut self, package: &str) -> Self {
+        self.exclude.push(package.to_string());
+        self
+    }
+
+    /// Whether methods in `package` should be profiled.
+    pub fn matches(&self, package: &str) -> bool {
+        if self.exclude.iter().any(|p| Self::covers(p, package)) {
+            return false;
+        }
+        self.include.is_empty() || self.include.iter().any(|p| Self::covers(p, package))
+    }
+
+    /// `filter` covers `package` if equal or `package` is a sub-package.
+    fn covers(filter: &str, package: &str) -> bool {
+        package == filter
+            || (package.len() > filter.len()
+                && package.starts_with(filter)
+                && package.as_bytes()[filter.len()] == b'.')
+    }
+
+    /// True when no include filter is set.
+    pub fn is_unfiltered(&self) -> bool {
+        self.include.is_empty() && self.exclude.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_filter_matches_everything() {
+        let f = PackageFilters::all();
+        assert!(f.matches("anything.at.all"));
+        assert!(f.matches(""));
+        assert!(f.is_unfiltered());
+    }
+
+    #[test]
+    fn include_covers_subpackages_only() {
+        let f = PackageFilters::include(&["cassandra.db", "cassandra.utils"]);
+        assert!(f.matches("cassandra.db"));
+        assert!(f.matches("cassandra.db.memtable"));
+        assert!(f.matches("cassandra.utils"));
+        assert!(!f.matches("cassandra.net"));
+        assert!(!f.matches("cassandra.dbx"), "prefix must end at a dot");
+        assert!(!f.matches("lucene.store"));
+    }
+
+    #[test]
+    fn exclude_wins_over_include() {
+        let f = PackageFilters::include(&["app"]).and_exclude("app.vendor");
+        assert!(f.matches("app.core"));
+        assert!(!f.matches("app.vendor"));
+        assert!(!f.matches("app.vendor.json"));
+    }
+}

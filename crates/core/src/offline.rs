@@ -1,0 +1,203 @@
+//! Offline decision profiles (POLM2-style warm start).
+//!
+//! The paper's §10 notes that NG2C (annotations), POLM2 (offline
+//! profiling), and ROLP (online profiling) share the same JVM and
+//! collector and can be combined. This module is that combination point:
+//! a [`DecisionProfile`] captures ROLP's learned pretenuring decisions in
+//! a run-independent form (keyed by source location, not by the dynamic
+//! 16-bit profile ids) so a later run can start pretenuring *immediately*,
+//! skipping the warmup the paper measures in Fig. 10 — exactly what an
+//! offline profile buys.
+//!
+//! The format is one line per decision: `pkg.Class::method@bci <gen>`.
+//! Decisions keyed by a conflicted context (nonzero thread stack state)
+//! are not exported — stack-state hashes are not stable across runs (the
+//! JIT assigns call-site identifiers randomly); the online profiler
+//! re-derives them quickly since the distinguishing call sites are also
+//! re-learned.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::str::FromStr;
+
+use rolp_vm::{AllocSiteId, JitState, Program};
+
+use crate::context::{site_of, tss_of};
+use crate::profiler::RolpProfiler;
+
+/// One exported decision: a source location and its target generation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileEntry {
+    /// Method name, e.g. `"cassandra.db.Memtable::insert"`.
+    pub method: String,
+    /// Bytecode index of the allocation site within the method.
+    pub bci: u32,
+    /// Target generation (0..=15).
+    pub generation: u8,
+}
+
+/// A run-independent set of pretenuring decisions.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DecisionProfile {
+    /// Entries, sorted by (method, bci) for stable output.
+    pub entries: Vec<ProfileEntry>,
+}
+
+/// Why parsing a profile failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What was wrong.
+    pub reason: String,
+}
+
+impl fmt::Display for ProfileParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for ProfileParseError {}
+
+impl DecisionProfile {
+    /// Exports the profiler's current decisions. Only decisions with a
+    /// zero thread-stack-state key are portable (see module docs).
+    pub fn from_profiler(profiler: &RolpProfiler, program: &Program, jit: &JitState) -> Self {
+        let _ = jit;
+        let mut entries = Vec::new();
+        for (&ctx, &generation) in profiler.decisions() {
+            if tss_of(ctx) != 0 {
+                continue;
+            }
+            let Some(&site) = profiler.pid_to_site.get(&site_of(ctx)) else {
+                continue;
+            };
+            let decl = program.alloc_site(site);
+            entries.push(ProfileEntry {
+                method: program.method(decl.method).name.clone(),
+                bci: decl.bci,
+                generation,
+            });
+        }
+        entries.sort_by(|a, b| (&a.method, a.bci).cmp(&(&b.method, b.bci)));
+        DecisionProfile { entries }
+    }
+
+    /// Resolves the profile against a program: allocation-site id → target
+    /// generation, for sites whose location matches an entry. Used by the
+    /// profiler at startup.
+    pub fn resolve(&self, program: &Program) -> HashMap<AllocSiteId, u8> {
+        let by_loc: HashMap<(&str, u32), u8> = self
+            .entries
+            .iter()
+            .map(|e| ((e.method.as_str(), e.bci), e.generation))
+            .collect();
+        let mut out = HashMap::new();
+        for site in program.alloc_sites() {
+            let decl = program.alloc_site(site);
+            let name = program.method(decl.method).name.as_str();
+            if let Some(&gen) = by_loc.get(&(name, decl.bci)) {
+                out.insert(site, gen);
+            }
+        }
+        out
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the profile has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl fmt::Display for DecisionProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for e in &self.entries {
+            writeln!(f, "{}@{} {}", e.method, e.bci, e.generation)?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for DecisionProfile {
+    type Err = ProfileParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut entries = Vec::new();
+        for (i, raw) in s.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let err = |reason: &str| ProfileParseError { line: i + 1, reason: reason.into() };
+            let (loc, gen) = line.rsplit_once(' ').ok_or_else(|| err("missing generation"))?;
+            let (method, bci) = loc.rsplit_once('@').ok_or_else(|| err("missing @bci"))?;
+            let bci: u32 = bci.parse().map_err(|_| err("bci is not a number"))?;
+            let generation: u8 = gen.trim().parse().map_err(|_| err("generation is not a number"))?;
+            if generation > 15 {
+                return Err(err("generation out of range (0..=15)"));
+            }
+            entries.push(ProfileEntry { method: method.to_string(), bci, generation });
+        }
+        entries.sort_by(|a, b| (&a.method, a.bci).cmp(&(&b.method, b.bci)));
+        Ok(DecisionProfile { entries })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DecisionProfile {
+        DecisionProfile {
+            entries: vec![
+                ProfileEntry { method: "a.B::c".into(), bci: 3, generation: 7 },
+                ProfileEntry { method: "x.Y::z".into(), bci: 11, generation: 15 },
+            ],
+        }
+    }
+
+    #[test]
+    fn render_parse_roundtrip() {
+        let p = sample();
+        let text = p.to_string();
+        let back: DecisionProfile = text.parse().expect("parses");
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn parser_skips_comments_and_blanks() {
+        let text = "# comment\n\n a.B::c@3 7 \n";
+        let p: DecisionProfile = text.parse().expect("parses");
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.entries[0].generation, 7);
+    }
+
+    #[test]
+    fn parser_reports_line_numbers() {
+        let text = "a.B::c@3 7\nbroken line\n";
+        let err = text.parse::<DecisionProfile>().expect_err("must fail");
+        assert_eq!(err.line, 2);
+        let text2 = "a.B::c@3 99\n";
+        let err2 = text2.parse::<DecisionProfile>().expect_err("must fail");
+        assert!(err2.reason.contains("out of range"));
+    }
+
+    #[test]
+    fn resolve_matches_by_location() {
+        use rolp_vm::ProgramBuilder;
+        let mut b = ProgramBuilder::new();
+        let m = b.method("a.B::c", 50, false);
+        let hit = b.alloc_site(m, 3);
+        let miss = b.alloc_site(m, 4);
+        let program = b.build();
+        let resolved = sample().resolve(&program);
+        assert_eq!(resolved.get(&hit), Some(&7));
+        assert_eq!(resolved.get(&miss), None);
+    }
+}

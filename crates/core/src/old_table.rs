@@ -1,0 +1,344 @@
+//! The Object Lifetime Distribution (OLD) table.
+//!
+//! The paper's central data structure (§3.3, §7.5, §7.6): per allocation
+//! context, the number of objects currently known at each age (0..=15).
+//! Application threads bump the age-0 cell at allocation; GC workers move
+//! survivors from age `a` to `a+1` through *private per-worker tables*
+//! merged at the end of each collection.
+//!
+//! Sizing follows §7.5 exactly: the table starts with 2^16 rows — one per
+//! possible allocation-site identifier, with every thread stack state
+//! *aliasing* into its site's row (≈4 MB). When a conflict is detected on
+//! a site, the table grows by another 2^16 rows for that site so each
+//! thread stack state gets its own row (another 4 MB per conflict):
+//! `4 * (1 + N) MB` for `N` conflicts.
+//!
+//! §7.6's unsynchronized application-thread increments can lose counts;
+//! the simulation is single-threaded, so an optional loss probability
+//! reproduces that imprecision for the ablation study.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::context::{site_of, tss_of};
+
+/// Number of age columns (objects stop aging at 15; §4).
+pub const AGE_COLUMNS: usize = 16;
+/// Rows in the base table / in each expansion block.
+const BLOCK_ROWS: usize = 1 << 16;
+
+type Row = [u32; AGE_COLUMNS];
+
+/// The global Object Lifetime Distribution table.
+pub struct OldTable {
+    /// Base block: one row per allocation-site id (tss aliases in).
+    base: Vec<Row>,
+    /// Expansion blocks for conflicted sites: full per-tss rows.
+    expanded: HashMap<u16, Vec<Row>>,
+    /// Contexts with at least one recorded count since the last clear
+    /// (keyed by *row key*), kept so inference does not scan 64 K rows.
+    touched: Vec<u32>,
+    touched_set: std::collections::HashSet<u32>,
+    /// Probability of losing an application-thread increment (§7.6
+    /// ablation; 0.0 = the single-threaded ideal).
+    loss_probability: f64,
+    rng: StdRng,
+    /// Increments dropped by the loss model.
+    pub lost_increments: u64,
+}
+
+impl OldTable {
+    /// Creates the table with its initial 2^16 site rows.
+    pub fn new() -> Self {
+        OldTable {
+            base: vec![[0; AGE_COLUMNS]; BLOCK_ROWS],
+            expanded: HashMap::new(),
+            touched: Vec::new(),
+            touched_set: std::collections::HashSet::new(),
+            loss_probability: 0.0,
+            rng: StdRng::seed_from_u64(0xD15EA5E),
+            lost_increments: 0,
+        }
+    }
+
+    /// Enables the §7.6 lost-increment model with the given probability.
+    pub fn set_loss_probability(&mut self, p: f64, seed: u64) {
+        self.loss_probability = p.clamp(0.0, 1.0);
+        self.rng = StdRng::seed_from_u64(seed);
+    }
+
+    /// The *row key* a context resolves to: the full context for expanded
+    /// (conflicted) sites, the site-only key otherwise.
+    pub fn row_key(&self, context: u32) -> u32 {
+        let site = site_of(context);
+        if self.expanded.contains_key(&site) {
+            context
+        } else {
+            (site as u32) << 16
+        }
+    }
+
+    /// True if `site` has its own per-tss expansion block.
+    pub fn is_expanded(&self, site: u16) -> bool {
+        self.expanded.contains_key(&site)
+    }
+
+    /// Grows the table by 2^16 rows for a conflicted site (§7.5). Counts
+    /// already aggregated in the site's base row stay there; they are
+    /// discarded at the next periodic clear.
+    pub fn expand_site(&mut self, site: u16) {
+        self.expanded.entry(site).or_insert_with(|| vec![[0; AGE_COLUMNS]; BLOCK_ROWS]);
+    }
+
+    /// Number of expansion blocks (== resolved-or-pending conflicts).
+    pub fn expansions(&self) -> usize {
+        self.expanded.len()
+    }
+
+    /// Memory footprint per §7.5: `4 MB * (1 + N)`.
+    pub fn memory_bytes(&self) -> u64 {
+        ((1 + self.expanded.len()) * BLOCK_ROWS * std::mem::size_of::<Row>()) as u64
+    }
+
+    fn row_mut(&mut self, context: u32) -> &mut Row {
+        let site = site_of(context);
+        match self.expanded.get_mut(&site) {
+            Some(block) => &mut block[tss_of(context) as usize],
+            None => &mut self.base[site as usize],
+        }
+    }
+
+    fn row(&self, context: u32) -> &Row {
+        let site = site_of(context);
+        match self.expanded.get(&site) {
+            Some(block) => &block[tss_of(context) as usize],
+            None => &self.base[site as usize],
+        }
+    }
+
+    fn touch(&mut self, context: u32) {
+        let key = self.row_key(context);
+        if self.touched_set.insert(key) {
+            self.touched.push(key);
+        }
+    }
+
+    /// Application-thread path: one object allocated through `context`
+    /// (age-0 increment, unsynchronized — may be lost under the §7.6
+    /// model).
+    pub fn record_allocation(&mut self, context: u32) {
+        if self.loss_probability > 0.0 && self.rng.gen_bool(self.loss_probability) {
+            self.lost_increments += 1;
+            return;
+        }
+        self.touch(context);
+        let row = self.row_mut(context);
+        row[0] = row[0].saturating_add(1);
+    }
+
+    /// GC-side path (normally via a [`WorkerTable`]): one object allocated
+    /// through `context` survived at `age`, moving to `age + 1`.
+    pub fn record_survival(&mut self, context: u32, age: u8) {
+        let age = (age as usize).min(AGE_COLUMNS - 1);
+        let next = (age + 1).min(AGE_COLUMNS - 1);
+        self.touch(context);
+        let row = self.row_mut(context);
+        row[age] = row[age].saturating_sub(1);
+        row[next] = row[next].saturating_add(1);
+    }
+
+    /// The age histogram of a context's row.
+    pub fn histogram(&self, context: u32) -> [u32; AGE_COLUMNS] {
+        *self.row(context)
+    }
+
+    /// Row keys with recorded counts since the last clear.
+    pub fn touched_rows(&self) -> &[u32] {
+        &self.touched
+    }
+
+    /// Whether `context`'s site half is a plausible (assigned) profile id.
+    /// Rows are dense, so this is a bound check against the id space the
+    /// JIT has handed out.
+    pub fn context_known(&self, context: u32, max_profile_id: u16) -> bool {
+        let site = site_of(context);
+        site != 0 && site <= max_profile_id
+    }
+
+    /// Clears all counts (the §4 freshness reset after inference);
+    /// expansion blocks are kept.
+    pub fn clear_counts(&mut self) {
+        for key in &self.touched {
+            let site = site_of(*key);
+            match self.expanded.get_mut(&site) {
+                Some(block) => block[tss_of(*key) as usize] = [0; AGE_COLUMNS],
+                None => self.base[site as usize] = [0; AGE_COLUMNS],
+            }
+        }
+        self.touched.clear();
+        self.touched_set.clear();
+    }
+}
+
+impl Default for OldTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A GC worker's private table (§7.6): survival updates are buffered here
+/// and merged into the global table after the collection, avoiding racy
+/// GC-side updates.
+#[derive(Debug, Default, Clone)]
+pub struct WorkerTable {
+    entries: Vec<(u32, u8)>,
+}
+
+impl WorkerTable {
+    /// Creates an empty worker table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Buffers one survival record.
+    pub fn record_survival(&mut self, context: u32, age: u8) {
+        self.entries.push((context, age));
+    }
+
+    /// Buffered record count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Merges (and drains) the buffer into the global table.
+    pub fn merge_into(&mut self, table: &mut OldTable) {
+        for (context, age) in self.entries.drain(..) {
+            table.record_survival(context, age);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::pack;
+
+    #[test]
+    fn allocation_counts_land_in_age_zero() {
+        let mut t = OldTable::new();
+        let c = pack(10, 0);
+        t.record_allocation(c);
+        t.record_allocation(c);
+        assert_eq!(t.histogram(c)[0], 2);
+    }
+
+    #[test]
+    fn unexpanded_sites_alias_all_stack_states() {
+        let mut t = OldTable::new();
+        t.record_allocation(pack(5, 111));
+        t.record_allocation(pack(5, 222));
+        // Both land in the site row.
+        assert_eq!(t.histogram(pack(5, 0))[0], 2);
+        assert_eq!(t.row_key(pack(5, 111)), t.row_key(pack(5, 222)));
+    }
+
+    #[test]
+    fn expansion_splits_stack_states() {
+        let mut t = OldTable::new();
+        t.expand_site(5);
+        t.record_allocation(pack(5, 111));
+        t.record_allocation(pack(5, 222));
+        assert_eq!(t.histogram(pack(5, 111))[0], 1);
+        assert_eq!(t.histogram(pack(5, 222))[0], 1);
+        assert_eq!(t.histogram(pack(5, 0))[0], 0);
+        assert_ne!(t.row_key(pack(5, 111)), t.row_key(pack(5, 222)));
+    }
+
+    #[test]
+    fn survival_moves_between_age_columns() {
+        let mut t = OldTable::new();
+        let c = pack(3, 0);
+        t.record_allocation(c);
+        t.record_survival(c, 0);
+        let h = t.histogram(c);
+        assert_eq!(h[0], 0);
+        assert_eq!(h[1], 1);
+        // Ages saturate at 15.
+        for age in 1..40u8 {
+            t.record_survival(c, age.min(15));
+        }
+        assert_eq!(t.histogram(c)[15], 1);
+    }
+
+    #[test]
+    fn memory_grows_four_megabytes_per_conflict() {
+        let mut t = OldTable::new();
+        let base = t.memory_bytes();
+        assert_eq!(base, 4 * 1024 * 1024);
+        t.expand_site(9);
+        assert_eq!(t.memory_bytes(), 2 * base);
+        t.expand_site(9); // idempotent
+        assert_eq!(t.memory_bytes(), 2 * base);
+        t.expand_site(10);
+        assert_eq!(t.memory_bytes(), 3 * base);
+        assert_eq!(t.expansions(), 2);
+    }
+
+    #[test]
+    fn clear_resets_counts_but_keeps_expansions() {
+        let mut t = OldTable::new();
+        t.expand_site(4);
+        t.record_allocation(pack(4, 9));
+        t.record_allocation(pack(8, 0));
+        t.clear_counts();
+        assert_eq!(t.histogram(pack(4, 9))[0], 0);
+        assert_eq!(t.histogram(pack(8, 0))[0], 0);
+        assert!(t.is_expanded(4));
+        assert!(t.touched_rows().is_empty());
+    }
+
+    #[test]
+    fn worker_tables_merge_after_collection() {
+        let mut t = OldTable::new();
+        let c = pack(2, 0);
+        t.record_allocation(c);
+        t.record_allocation(c);
+        let mut w = WorkerTable::new();
+        w.record_survival(c, 0);
+        w.record_survival(c, 0);
+        assert_eq!(t.histogram(c)[1], 0, "not visible until merge");
+        w.merge_into(&mut t);
+        assert!(w.is_empty());
+        let h = t.histogram(c);
+        assert_eq!(h[0], 0);
+        assert_eq!(h[1], 2);
+    }
+
+    #[test]
+    fn loss_model_drops_some_increments() {
+        let mut t = OldTable::new();
+        t.set_loss_probability(0.5, 42);
+        let c = pack(1, 0);
+        for _ in 0..1_000 {
+            t.record_allocation(c);
+        }
+        let recorded = t.histogram(c)[0] as u64;
+        assert_eq!(recorded + t.lost_increments, 1_000);
+        assert!(t.lost_increments > 300 && t.lost_increments < 700);
+    }
+
+    #[test]
+    fn context_known_bounds_check() {
+        let t = OldTable::new();
+        assert!(!t.context_known(pack(0, 0), 100));
+        assert!(t.context_known(pack(100, 5), 100));
+        assert!(!t.context_known(pack(101, 0), 100));
+    }
+}

@@ -1,0 +1,590 @@
+//! The ROLP profiler.
+//!
+//! [`RolpProfiler`] is the paper's contribution assembled: it implements
+//! the VM-side hooks (`rolp_vm::VmProfiler` — what the JIT-installed
+//! profiling code does) and the GC-side hooks (`rolp_gc::GcHooks` — what
+//! the modified collector does), tying together the OLD table (§3.3,
+//! §7.5, §7.6), lifetime inference (§4), conflict resolution (§5),
+//! profiling-decision updates under workload change (§6), package filters
+//! (§7.3), survivor-tracking shutdown (§7.4), the exception-rethrow fixup
+//! (§7.2.2), and the end-of-GC thread-stack-state reconciliation that
+//! covers OSR and toggle corruption (§7.2.3).
+
+use std::collections::HashMap;
+
+use rolp_gc::{GcCycleInfo, GcHooks};
+use rolp_heap::{ObjectHeader, RegionKind};
+use rolp_vm::{AllocSiteId, JitState, MethodId, Program, ThreadId, VmEnv, VmProfiler};
+
+use crate::conflicts::{ConflictConfig, ConflictResolver, ConflictStats};
+use crate::context::pack;
+use crate::filters::PackageFilters;
+use crate::inference::infer;
+use crate::old_table::{OldTable, WorkerTable};
+use crate::survivor::SurvivorTracking;
+
+/// The profiling level, matching the paper's Fig. 6 experiment arms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProfilingLevel {
+    /// Only allocation sites are profiled; no call-profiling code is
+    /// emitted at all (pair with `JitConfig::install_call_profiling =
+    /// false`).
+    NoCallProfiling,
+    /// Call-profiling code is emitted but never enabled: every call takes
+    /// the fast branch.
+    FastCallProfiling,
+    /// Normal operation: conflict resolution enables the call sites it
+    /// needs.
+    Real,
+    /// Worst case: every non-inlined jitted call site is enabled — all
+    /// calls take the slow branch.
+    SlowCallProfiling,
+}
+
+/// ROLP configuration (all paper defaults).
+#[derive(Debug, Clone)]
+pub struct RolpConfig {
+    /// Profiling level (Fig. 6).
+    pub level: ProfilingLevel,
+    /// Package filters (§7.3).
+    pub filters: PackageFilters,
+    /// GC cycles between inference passes (§4: the max object age, 16).
+    pub inference_period: u64,
+    /// Conflict-resolution tunables (§5).
+    pub conflict: ConflictConfig,
+    /// Survivor-tracking shutdown enabled (§7.4).
+    pub survivor_shutdown: bool,
+    /// Exception-rethrow stack-state fixup installed (§7.2.2).
+    pub exception_hook: bool,
+    /// Tenured fragmentation above which estimates get demoted (§6).
+    pub demotion_threshold: f64,
+    /// Optional offline decision profile (POLM2-style warm start; see
+    /// [`crate::offline`]). Matching allocation sites start pretenuring
+    /// the moment they are JIT-compiled, skipping the learning warmup.
+    pub offline_profile: Option<crate::offline::DecisionProfile>,
+    /// Seed for the conflict resolver's random batches.
+    pub seed: u64,
+}
+
+impl Default for RolpConfig {
+    fn default() -> Self {
+        RolpConfig {
+            level: ProfilingLevel::Real,
+            filters: PackageFilters::all(),
+            inference_period: 16,
+            conflict: ConflictConfig::default(),
+            survivor_shutdown: true,
+            exception_hook: true,
+            demotion_threshold: 0.5,
+            offline_profile: None,
+            seed: 0x0517,
+        }
+    }
+}
+
+/// Snapshot of profiler counters (feeds Tables 1 and 2).
+#[derive(Debug, Clone, Default)]
+pub struct RolpStats {
+    /// Allocation sites carrying profiling code.
+    pub profiled_alloc_sites: usize,
+    /// All declared allocation sites.
+    pub total_alloc_sites: usize,
+    /// Call sites currently enabled (slow branch).
+    pub enabled_call_sites: usize,
+    /// Call sites with profiling code installed (compiled, non-inlined).
+    pub installed_call_sites: usize,
+    /// All declared call sites.
+    pub total_call_sites: usize,
+    /// Conflict-resolution counters.
+    pub conflicts: ConflictStats,
+    /// Inference passes run.
+    pub inferences: u64,
+    /// Active pretenuring decisions.
+    pub decisions: usize,
+    /// OLD table footprint (§7.5).
+    pub old_table_bytes: u64,
+    /// Profiled allocations recorded.
+    pub profiled_allocations: u64,
+    /// Allocations at unprofiled (cold/filtered) sites.
+    pub unprofiled_allocations: u64,
+    /// Survivor records fed to the OLD table.
+    pub survivor_records: u64,
+    /// Thread-stack-state corruptions repaired at GC end (§7.2.3).
+    pub reconciliations: u64,
+    /// Estimates demoted due to fragmentation (§6).
+    pub demotions: u64,
+    /// Survivor-tracking shutdowns / reactivations (§7.4).
+    pub survivor_shutdowns: u64,
+    /// Times survivor tracking was turned back on.
+    pub survivor_reactivations: u64,
+}
+
+/// The runtime object lifetime profiler.
+pub struct RolpProfiler {
+    config: RolpConfig,
+    /// The global OLD table.
+    pub old: OldTable,
+    workers: Vec<WorkerTable>,
+    resolver: ConflictResolver,
+    /// Row key → estimated lifetime (target generation).
+    decisions: HashMap<u32, u8>,
+    survivor: SurvivorTracking,
+    /// Profile id → allocation site (for leak reports and diagnostics).
+    pub(crate) pid_to_site: HashMap<u16, AllocSiteId>,
+    /// Recent per-context live-object censuses from marking passes,
+    /// oldest first (the §2.2 leak-detection signal).
+    pub(crate) liveness_history: std::collections::VecDeque<HashMap<u32, u64>>,
+    /// Offline-profile generations awaiting their site's JIT compilation.
+    pending_offline: Option<HashMap<AllocSiteId, u8>>,
+    max_profile_id: u16,
+    // counters
+    profiled_allocations: u64,
+    unprofiled_allocations: u64,
+    survivor_records: u64,
+    reconciliations: u64,
+    demotions: u64,
+    inferences: u64,
+    // pause window for the survivor controller
+    window_pause_ms: f64,
+    window_pauses: u64,
+}
+
+impl RolpProfiler {
+    /// Creates a profiler.
+    pub fn new(config: RolpConfig) -> Self {
+        let resolver = ConflictResolver::new(config.conflict.clone(), config.seed);
+        let survivor = if config.survivor_shutdown {
+            SurvivorTracking::new()
+        } else {
+            // Shutdown disabled: a controller that can never trip (its
+            // threshold is irrelevant because decisions-hash stability is
+            // still required; we simply never feed it, see on_gc_end).
+            SurvivorTracking::new()
+        };
+        RolpProfiler {
+            config,
+            old: OldTable::new(),
+            workers: (0..4).map(|_| WorkerTable::new()).collect(),
+            resolver,
+            decisions: HashMap::new(),
+            survivor,
+            pid_to_site: HashMap::new(),
+            liveness_history: std::collections::VecDeque::new(),
+            pending_offline: None,
+            max_profile_id: 0,
+            profiled_allocations: 0,
+            unprofiled_allocations: 0,
+            survivor_records: 0,
+            reconciliations: 0,
+            demotions: 0,
+            inferences: 0,
+            window_pause_ms: 0.0,
+            window_pauses: 0,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &RolpConfig {
+        &self.config
+    }
+
+    /// Current pretenuring decisions (row key → generation).
+    pub fn decisions(&self) -> &HashMap<u32, u8> {
+        &self.decisions
+    }
+
+    /// Counter snapshot; `jit`/`program` provide the site denominators.
+    pub fn stats(&self, program: &Program, jit: &JitState) -> RolpStats {
+        RolpStats {
+            profiled_alloc_sites: jit.profiled_alloc_sites(),
+            total_alloc_sites: program.num_alloc_sites(),
+            enabled_call_sites: jit.enabled_call_sites(),
+            installed_call_sites: jit.profilable_call_sites(program).len(),
+            total_call_sites: program.num_call_sites(),
+            conflicts: self.resolver.stats(),
+            inferences: self.inferences,
+            decisions: self.decisions.len(),
+            old_table_bytes: self.old.memory_bytes(),
+            profiled_allocations: self.profiled_allocations,
+            unprofiled_allocations: self.unprofiled_allocations,
+            survivor_records: self.survivor_records,
+            reconciliations: self.reconciliations,
+            demotions: self.demotions,
+            survivor_shutdowns: self.survivor.shutdowns,
+            survivor_reactivations: self.survivor.reactivations,
+        }
+    }
+
+    /// Runs the §4 inference pass: classify rows, feed conflicts to the §5
+    /// resolver, refresh decisions, apply §6 demotion, drive the §7.4
+    /// survivor switch, clear the table.
+    fn run_inference(&mut self, env: &mut VmEnv, info: &GcCycleInfo) {
+        // With survivor tracking off (§7.4), the window's table holds only
+        // age-0 allocation counts — no lifetime information. Decisions are
+        // left frozen (the workload was judged stable) and conflict
+        // machinery idles; only the pause-growth reactivation check runs.
+        let tracking_active = self.survivor.enabled() || !self.config.survivor_shutdown;
+
+        if tracking_active {
+            let outcome = infer(&self.old);
+
+            // Conflicts: grow the table (§7.5) and engage the resolver
+            // (§5).
+            for &site in &outcome.new_conflicts {
+                self.old.expand_site(site);
+            }
+            if self.config.level == ProfilingLevel::Real {
+                let program = std::rc::Rc::clone(&env.program);
+                self.resolver.on_inference(
+                    &program,
+                    &mut env.jit,
+                    &outcome.new_conflicts,
+                    &outcome.unresolved_conflicts,
+                );
+            } else {
+                // Other levels only count conflicts; no resolution.
+                self.resolver.note_detected_only(&outcome.new_conflicts);
+            }
+
+            // Merge decisions *upward*: inference raises estimates; only
+            // the §6 fragmentation path lowers them. A pretenured context
+            // produces no young survivals anymore, so its fresh window
+            // degenerates to an age-0 spike — replacing instead of merging
+            // would bounce the context back to the young generation every
+            // other inference.
+            for &(key, gen) in &outcome.decisions {
+                let slot = self.decisions.entry(key).or_insert(gen);
+                *slot = (*slot).max(gen);
+            }
+
+            // §6: under fragmentation, demote estimates feeding the most
+            // fragmented dynamic generations.
+            if info.tenured_fragmentation > self.config.demotion_threshold {
+                for (_, gen) in self.decisions.iter_mut() {
+                    let g = *gen as usize;
+                    if (1..=14).contains(&g)
+                        && info.dynamic_gen_garbage[g] > self.config.demotion_threshold
+                    {
+                        *gen -= 1;
+                        self.demotions += 1;
+                    }
+                }
+            }
+        }
+
+        // §7.4: stable (non-trivial) decisions → survivor tracking off;
+        // >10% average-pause growth while off → back on. Never shut down
+        // while a conflict is still being resolved — the resolver needs
+        // age data to judge its probing batches.
+        if self.config.survivor_shutdown
+            && !self.decisions.is_empty()
+            && self.resolver.open_conflicts() == 0
+        {
+            let mut sorted: Vec<(u32, u8)> =
+                self.decisions.iter().map(|(&k, &v)| (k, v)).collect();
+            sorted.sort_unstable();
+            let hash = SurvivorTracking::hash_decisions(&sorted);
+            let mean = if self.window_pauses == 0 {
+                0.0
+            } else {
+                self.window_pause_ms / self.window_pauses as f64
+            };
+            self.survivor.on_inference(hash, mean);
+        }
+        self.window_pause_ms = 0.0;
+        self.window_pauses = 0;
+
+        self.old.clear_counts();
+        self.inferences += 1;
+    }
+}
+
+impl VmProfiler for RolpProfiler {
+    fn on_jit_compile(&mut self, program: &Program, jit: &mut JitState, method: MethodId) {
+        // Resolve the offline profile against the program once.
+        if self.pending_offline.is_none() {
+            self.pending_offline = Some(
+                self.config
+                    .offline_profile
+                    .as_ref()
+                    .map(|p| p.resolve(program))
+                    .unwrap_or_default(),
+            );
+        }
+        let decl = program.method(method);
+        if !self.config.filters.matches(decl.package()) {
+            return;
+        }
+        for &site in program.alloc_sites_of(method) {
+            if let Some(pid) = jit.assign_profile_id(site) {
+                self.pid_to_site.insert(pid, site);
+                self.max_profile_id = self.max_profile_id.max(pid);
+                // POLM2-style warm start: a matching offline entry becomes
+                // a decision the moment the site is compiled.
+                if let Some(&gen) = self.pending_offline.as_ref().and_then(|m| m.get(&site)) {
+                    self.decisions.entry(pack(pid, 0)).or_insert(gen);
+                }
+            }
+        }
+        if self.config.level == ProfilingLevel::SlowCallProfiling {
+            for &cs in program.call_sites_of(method) {
+                jit.enable_call_profiling(cs);
+            }
+        }
+    }
+
+    fn on_alloc(&mut self, site_profile_id: u16, tss: u16, _thread: ThreadId) -> u32 {
+        let context = pack(site_profile_id, tss);
+        self.old.record_allocation(context);
+        self.profiled_allocations += 1;
+        context
+    }
+
+    fn exception_hook_installed(&self) -> bool {
+        self.config.exception_hook
+    }
+
+    fn on_unprofiled_alloc(&mut self) {
+        self.unprofiled_allocations += 1;
+    }
+}
+
+impl GcHooks for RolpProfiler {
+    fn advise(&self, context: u32) -> Option<u8> {
+        self.decisions.get(&self.old.row_key(context)).copied()
+    }
+
+    fn survivor_tracking_enabled(&self) -> bool {
+        self.survivor.enabled()
+    }
+
+    fn on_survivor(&mut self, header: ObjectHeader, from: RegionKind, worker: u32) {
+        // Only young-generation survivals carry age information (see
+        // `GcHooks::on_survivor`); tenured/dynamic copies are skipped.
+        if !from.is_young() {
+            return;
+        }
+        // Biased-locked objects and corrupted contexts are discarded
+        // (§3.2.2).
+        let Some(context) = header.allocation_context() else {
+            return;
+        };
+        if !self.old.context_known(context, self.max_profile_id) {
+            return;
+        }
+        let idx = (worker as usize) % self.workers.len();
+        self.workers[idx].record_survival(context, header.age());
+        self.survivor_records += 1;
+    }
+
+    fn on_liveness(&mut self, context_live: &HashMap<u32, u64>) {
+        self.liveness_history.push_back(context_live.clone());
+        while self.liveness_history.len() > 6 {
+            self.liveness_history.pop_front();
+        }
+    }
+
+    fn on_gc_end(&mut self, env: &mut VmEnv, info: &GcCycleInfo) {
+        // §7.6: merge the GC workers' private tables.
+        for w in 0..self.workers.len() {
+            let mut table = std::mem::take(&mut self.workers[w]);
+            table.merge_into(&mut self.old);
+            self.workers[w] = table;
+        }
+
+        // §7.2.3: verify/repair every thread's stack state against the
+        // real execution stack, while the world is still stopped.
+        for t_idx in 0..env.threads.len() {
+            let expected = {
+                let t = &env.threads[t_idx];
+                t.expected_tss(|cs| env.jit.call_site(cs).delta)
+            };
+            let t = &mut env.threads[t_idx];
+            if t.tss != expected {
+                t.reconcile_tss(expected);
+                self.reconciliations += 1;
+            }
+        }
+
+        self.window_pause_ms += info.duration.as_millis_f64();
+        self.window_pauses += 1;
+
+        // §4: inference once every 16 GC cycles.
+        if info.cycle.is_multiple_of(self.config.inference_period) {
+            self.run_inference(env, info);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rolp_metrics::{PauseKind, SimTime};
+    use rolp_vm::{CostModel, JitConfig, ProgramBuilder};
+
+    fn env_with_program() -> (VmEnv, MethodId, AllocSiteId) {
+        let mut b = ProgramBuilder::new();
+        let m = b.method("app.data.Maker::make", 100, false);
+        let site = b.alloc_site(m, 1);
+        let program = b.build();
+        let heap = rolp_heap::Heap::new(rolp_heap::HeapConfig {
+            region_bytes: 4096,
+            max_heap_bytes: 1 << 20,
+        });
+        let env = VmEnv::new(heap, CostModel::default(), program, JitConfig::default(), 1);
+        (env, m, site)
+    }
+
+    fn cycle_info(cycle: u64) -> GcCycleInfo {
+        GcCycleInfo {
+            cycle,
+            kind: PauseKind::Young,
+            bytes_copied: 0,
+            survivors: 0,
+            duration: SimTime::from_millis(5),
+            tenured_fragmentation: 0.0,
+            dynamic_gen_garbage: [0.0; 16],
+        }
+    }
+
+    #[test]
+    fn jit_compile_assigns_profile_ids_respecting_filters() {
+        let (mut env, m, site) = env_with_program();
+        let program = std::rc::Rc::clone(&env.program);
+
+        let mut p = RolpProfiler::new(RolpConfig {
+            filters: PackageFilters::include(&["app.data"]),
+            ..Default::default()
+        });
+        p.on_jit_compile(&program, &mut env.jit, m);
+        assert!(env.jit.alloc_site(site).profile_id.is_some());
+
+        let mut env2 = env_with_program().0;
+        let mut p2 = RolpProfiler::new(RolpConfig {
+            filters: PackageFilters::include(&["other.pkg"]),
+            ..Default::default()
+        });
+        p2.on_jit_compile(&program, &mut env2.jit, m);
+        assert!(env2.jit.alloc_site(site).profile_id.is_none(), "filtered out");
+    }
+
+    #[test]
+    fn allocation_and_survival_produce_decisions() {
+        let (mut env, m, _site) = env_with_program();
+        let program = std::rc::Rc::clone(&env.program);
+        let mut p = RolpProfiler::new(RolpConfig::default());
+        p.on_jit_compile(&program, &mut env.jit, m);
+
+        // Simulate 16 GC cycles where objects from this context reliably
+        // survive two collections then die.
+        let pid = 1u16;
+        for cycle in 1..=16u64 {
+            for _ in 0..20 {
+                let ctx = p.on_alloc(pid, 0, ThreadId(0));
+                // Each object survives twice.
+                let h = ObjectHeader::new(1).with_allocation_context(ctx);
+                p.on_survivor(h, RegionKind::Eden, 0);
+                p.on_survivor(h.with_age(1), RegionKind::Eden, 1);
+            }
+            p.on_gc_end(&mut env, &cycle_info(cycle));
+        }
+        assert_eq!(p.stats(&program, &env.jit).inferences, 1);
+        let advised = p.advise(pack(pid, 0));
+        assert_eq!(advised, Some(2), "objects dying at age 2 pretenure to gen 2");
+    }
+
+    #[test]
+    fn survivors_with_biased_headers_are_discarded() {
+        let (_env, _m, _site) = env_with_program();
+        let mut p = RolpProfiler::new(RolpConfig::default());
+        let ctx = p.on_alloc(1, 0, ThreadId(0));
+        let biased = ObjectHeader::new(1).with_allocation_context(ctx).with_bias(3);
+        p.on_survivor(biased, RegionKind::Eden, 0);
+        assert_eq!(p.survivor_records, 0);
+    }
+
+    #[test]
+    fn unknown_contexts_are_discarded() {
+        let mut p = RolpProfiler::new(RolpConfig::default());
+        // No profile id was ever assigned; upper bits look like garbage.
+        let h = ObjectHeader::new(1).with_allocation_context(pack(999, 4));
+        p.on_survivor(h, RegionKind::Eden, 0);
+        assert_eq!(p.survivor_records, 0);
+    }
+
+    #[test]
+    fn gc_end_reconciles_corrupted_stack_state() {
+        let (mut env, _m, _site) = env_with_program();
+        let mut p = RolpProfiler::new(RolpConfig::default());
+        // Corrupt thread 0's TSS with no frames on its stack.
+        env.threads[0].tss = 1234;
+        p.on_gc_end(&mut env, &cycle_info(1));
+        assert_eq!(env.threads[0].tss, 0);
+        assert_eq!(p.reconciliations, 1);
+    }
+
+    #[test]
+    fn fragmentation_demotes_estimates() {
+        let (mut env, m, _site) = env_with_program();
+        let program = std::rc::Rc::clone(&env.program);
+        let mut p = RolpProfiler::new(RolpConfig::default());
+        p.on_jit_compile(&program, &mut env.jit, m);
+
+        // Build a decision for generation 5 (objects die at age 5).
+        for cycle in 1..=16u64 {
+            for _ in 0..20 {
+                let ctx = p.on_alloc(1, 0, ThreadId(0));
+                let mut h = ObjectHeader::new(1).with_allocation_context(ctx);
+                for age in 0..5 {
+                    p.on_survivor(h, RegionKind::Eden, 0);
+                    h = h.with_age(age + 1);
+                }
+            }
+            let mut info = cycle_info(cycle);
+            if cycle == 16 {
+                // Fragmentation in generation 5 on the inference cycle.
+                info.tenured_fragmentation = 0.8;
+                info.dynamic_gen_garbage[5] = 0.9;
+            }
+            p.on_gc_end(&mut env, &info);
+        }
+        assert_eq!(p.advise(pack(1, 0)), Some(4), "demoted from 5 to 4");
+        assert!(p.demotions >= 1);
+    }
+
+    #[test]
+    fn survivor_tracking_shuts_down_when_stable() {
+        let (mut env, m, _site) = env_with_program();
+        let program = std::rc::Rc::clone(&env.program);
+        let mut p = RolpProfiler::new(RolpConfig::default());
+        p.on_jit_compile(&program, &mut env.jit, m);
+        assert!(p.survivor_tracking_enabled());
+
+        // Three inference rounds with identical, *non-empty* decisions:
+        // objects from one context reliably survive once.
+        for cycle in 1..=48u64 {
+            for _ in 0..10 {
+                let ctx = p.on_alloc(1, 0, ThreadId(0));
+                let h = ObjectHeader::new(1).with_allocation_context(ctx);
+                p.on_survivor(h, RegionKind::Eden, 0);
+            }
+            p.on_gc_end(&mut env, &cycle_info(cycle));
+        }
+        assert!(!p.survivor_tracking_enabled());
+        let stats = p.stats(&program, &env.jit);
+        assert_eq!(stats.survivor_shutdowns, 1);
+        assert!(stats.decisions > 0, "frozen decisions survive the shutdown");
+    }
+
+    #[test]
+    fn empty_decisions_never_shut_tracking_down() {
+        let (mut env, _m, _site) = env_with_program();
+        let mut p = RolpProfiler::new(RolpConfig::default());
+        for cycle in 1..=64u64 {
+            p.on_gc_end(&mut env, &cycle_info(cycle));
+        }
+        assert!(p.survivor_tracking_enabled(), "no decisions -> keep learning");
+        let program = std::rc::Rc::clone(&env.program);
+        assert_eq!(p.stats(&program, &env.jit).survivor_shutdowns, 0);
+    }
+}

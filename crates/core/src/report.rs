@@ -1,0 +1,155 @@
+//! Human-readable profiler reports.
+//!
+//! Renders the profiler's current state — decisions, conflict-resolution
+//! progress, OLD-table occupancy — the way `-XX:+PrintROLPStatistics`
+//! style diagnostics would. Examples and operators use this; benches use
+//! the structured [`crate::profiler::RolpStats`] instead.
+
+use std::fmt::Write as _;
+
+use rolp_vm::{JitState, Program};
+
+use crate::context::{site_of, tss_of};
+use crate::profiler::RolpProfiler;
+
+/// Renders the profiler's lifetime decisions with resolved source
+/// locations, sorted by generation (oldest first) then location.
+pub fn render_decisions(profiler: &RolpProfiler, program: &Program) -> String {
+    let mut rows: Vec<(u8, String, u16)> = profiler
+        .decisions()
+        .iter()
+        .map(|(&ctx, &gen)| {
+            let site = site_of(ctx);
+            let location = profiler
+                .pid_to_site
+                .get(&site)
+                .map(|&s| {
+                    let decl = program.alloc_site(s);
+                    format!("{} @bci {}", program.method(decl.method).name, decl.bci)
+                })
+                .unwrap_or_else(|| format!("<site {site}>"));
+            (gen, location, tss_of(ctx))
+        })
+        .collect();
+    rows.sort_by(|a, b| (std::cmp::Reverse(a.0), &a.1, a.2).cmp(&(std::cmp::Reverse(b.0), &b.1, b.2)));
+
+    if rows.is_empty() {
+        return "no lifetime decisions yet (still learning)".to_string();
+    }
+    let mut out = String::from("lifetime decisions (generation <- allocation context):\n");
+    for (gen, location, tss) in rows {
+        let target = match gen {
+            0 => "young".to_string(),
+            15 => "old".to_string(),
+            g => format!("gen {g:>2}"),
+        };
+        if tss == 0 {
+            let _ = writeln!(out, "  {target:>7} <- {location}");
+        } else {
+            let _ = writeln!(out, "  {target:>7} <- {location} [call path {tss:#06x}]");
+        }
+    }
+    out
+}
+
+/// Renders a one-screen profiler summary.
+pub fn render_summary(profiler: &RolpProfiler, program: &Program, jit: &JitState) -> String {
+    let stats = profiler.stats(program, jit);
+    let mut out = String::new();
+    let _ = writeln!(out, "ROLP profiler summary");
+    let _ = writeln!(
+        out,
+        "  allocation sites: {}/{} profiled",
+        stats.profiled_alloc_sites, stats.total_alloc_sites
+    );
+    let _ = writeln!(
+        out,
+        "  call sites:       {} installed, {} enabled (of {})",
+        stats.installed_call_sites, stats.enabled_call_sites, stats.total_call_sites
+    );
+    let _ = writeln!(
+        out,
+        "  allocations:      {} profiled, {} unprofiled (cold/filtered)",
+        stats.profiled_allocations, stats.unprofiled_allocations
+    );
+    let _ = writeln!(
+        out,
+        "  inference:        {} passes, {} active decisions, {} demotions",
+        stats.inferences, stats.decisions, stats.demotions
+    );
+    let _ = writeln!(
+        out,
+        "  conflicts:        {} detected, {} resolved, {} exhausted, {} frozen sites",
+        stats.conflicts.detected,
+        stats.conflicts.resolved,
+        stats.conflicts.exhausted,
+        stats.conflicts.frozen_sites
+    );
+    let _ = writeln!(
+        out,
+        "  survivor records: {} (tracking shutdowns {}, reactivations {})",
+        stats.survivor_records, stats.survivor_shutdowns, stats.survivor_reactivations
+    );
+    let _ = writeln!(
+        out,
+        "  OLD table:        {} ({} expansion blocks)",
+        rolp_metrics::table::fmt_bytes(stats.old_table_bytes),
+        profiler.old.expansions()
+    );
+    let _ = writeln!(out, "  stack repairs:    {}", stats.reconciliations);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiler::RolpConfig;
+    use rolp_vm::{JitConfig, ProgramBuilder, ThreadId, VmProfiler};
+
+    fn world() -> (Program, JitState, RolpProfiler) {
+        let mut b = ProgramBuilder::new();
+        let m = b.method("pkg.Maker::make", 80, false);
+        let _site = b.alloc_site(m, 4);
+        let program = b.build();
+        let mut jit = JitState::new(&program, JitConfig::default());
+        let mut p = RolpProfiler::new(RolpConfig::default());
+        p.on_jit_compile(&program, &mut jit, rolp_vm::MethodId(0));
+        (program, jit, p)
+    }
+
+    #[test]
+    fn empty_decisions_render_a_hint() {
+        let (program, _jit, p) = world();
+        assert!(render_decisions(&p, &program).contains("still learning"));
+    }
+
+    #[test]
+    fn decisions_render_with_locations_and_targets() {
+        let (program, jit, p) = world();
+        // Fabricate decisions through the public surfaces: allocate and
+        // survive until inference would set them — here we inject via the
+        // offline path instead, which is public.
+        let profile: crate::offline::DecisionProfile =
+            "pkg.Maker::make@4 7\n".parse().expect("parses");
+        let cfg = RolpConfig { offline_profile: Some(profile), ..Default::default() };
+        let mut p2 = RolpProfiler::new(cfg);
+        let mut jit2 = JitState::new(&program, JitConfig::default());
+        p2.on_jit_compile(&program, &mut jit2, rolp_vm::MethodId(0));
+        let text = render_decisions(&p2, &program);
+        assert!(text.contains("gen  7"), "got: {text}");
+        assert!(text.contains("pkg.Maker::make @bci 4"));
+        drop((p, jit));
+    }
+
+    #[test]
+    fn summary_renders_every_section() {
+        let (program, jit, mut p) = world();
+        p.on_alloc(1, 0, ThreadId(0));
+        let s = render_summary(&p, &program, &jit);
+        for needle in
+            ["allocation sites", "call sites", "inference", "conflicts", "OLD table"]
+        {
+            assert!(s.contains(needle), "missing {needle} in: {s}");
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Inference pattern library: the demographic shapes the paper's Fig. 4
+//! sketches, end to end through the OLD table + classifier.
+
+use rolp::inference::{classify_row, infer, RowVerdict};
+use rolp::OldTable;
+
+/// Simulates a cohort of `n` objects allocated through `ctx` that all die
+/// at exactly `death_age` (survive that many cycles first).
+fn cohort(table: &mut OldTable, ctx: u32, n: u32, death_age: u8) {
+    for _ in 0..n {
+        table.record_allocation(ctx);
+        for age in 0..death_age {
+            table.record_survival(ctx, age);
+        }
+    }
+}
+
+/// Simulates `n` objects with death ages uniformly spread over
+/// `0..=max_age` (the uniformly-born epochal cohort).
+fn spread_cohort(table: &mut OldTable, ctx: u32, n: u32, max_age: u8) {
+    for i in 0..n {
+        table.record_allocation(ctx);
+        let death = (i % (max_age as u32 + 1)) as u8;
+        for age in 0..death {
+            table.record_survival(ctx, age);
+        }
+    }
+}
+
+#[test]
+fn transient_cohort_stays_young() {
+    let mut t = OldTable::new();
+    cohort(&mut t, 1 << 16, 500, 0);
+    assert_eq!(classify_row(&t.histogram(1 << 16)), RowVerdict::Lifetime(0));
+}
+
+#[test]
+fn clustered_cohort_lands_on_its_death_age() {
+    for death in [2u8, 5, 9, 14] {
+        let mut t = OldTable::new();
+        cohort(&mut t, 1 << 16, 400, death);
+        match classify_row(&t.histogram(1 << 16)) {
+            RowVerdict::Lifetime(age) => {
+                assert_eq!(age, death, "cluster at {death} must be estimated exactly")
+            }
+            v => panic!("expected lifetime for death {death}, got {v:?}"),
+        }
+    }
+}
+
+#[test]
+fn immortal_cohort_saturates_to_old() {
+    let mut t = OldTable::new();
+    cohort(&mut t, 1 << 16, 300, 15);
+    // Extra survivals past 15 must keep everything at the max age.
+    for _ in 0..300 {
+        t.record_survival(1 << 16, 15);
+    }
+    assert_eq!(classify_row(&t.histogram(1 << 16)), RowVerdict::Lifetime(15));
+}
+
+#[test]
+fn epochal_spread_estimates_near_its_tail() {
+    let mut t = OldTable::new();
+    spread_cohort(&mut t, 1 << 16, 600, 6);
+    match classify_row(&t.histogram(1 << 16)) {
+        RowVerdict::Lifetime(age) => {
+            assert!((5..=6).contains(&age), "p85 of a 0..=6 spread, got {age}")
+        }
+        v => panic!("expected lifetime, got {v:?}"),
+    }
+}
+
+#[test]
+fn transient_plus_distant_cluster_is_a_conflict() {
+    // The factory pattern: 60% die young, 40% live ~10 cycles.
+    let mut t = OldTable::new();
+    cohort(&mut t, 2 << 16, 600, 0);
+    cohort(&mut t, 2 << 16, 400, 10);
+    match classify_row(&t.histogram(2 << 16)) {
+        RowVerdict::Conflict(peaks) => {
+            assert!(peaks.contains(&0));
+            assert!(peaks.iter().any(|&p| (9..=11).contains(&p)), "peaks {peaks:?}");
+        }
+        v => panic!("expected conflict, got {v:?}"),
+    }
+}
+
+#[test]
+fn trimodal_factory_reports_all_modes() {
+    let mut t = OldTable::new();
+    cohort(&mut t, 3 << 16, 500, 0);
+    cohort(&mut t, 3 << 16, 400, 6);
+    cohort(&mut t, 3 << 16, 400, 13);
+    match classify_row(&t.histogram(3 << 16)) {
+        RowVerdict::Conflict(peaks) => assert!(peaks.len() >= 3, "peaks {peaks:?}"),
+        v => panic!("expected conflict, got {v:?}"),
+    }
+}
+
+#[test]
+fn expansion_separates_the_factory_modes() {
+    // Before expansion: one conflicted row. After: per-path rows, each
+    // unimodal — the resolution endpoint of Section 5.
+    let mut t = OldTable::new();
+    let site = 4u16;
+    cohort(&mut t, (site as u32) << 16, 300, 0);
+    cohort(&mut t, (site as u32) << 16, 300, 8);
+    let out = infer(&t);
+    assert_eq!(out.new_conflicts, vec![site]);
+
+    t.expand_site(site);
+    t.clear_counts();
+    let path_a = ((site as u32) << 16) | 0x00AA;
+    let path_b = ((site as u32) << 16) | 0x00BB;
+    cohort(&mut t, path_a, 300, 0);
+    cohort(&mut t, path_b, 300, 8);
+    let out2 = infer(&t);
+    assert!(out2.new_conflicts.is_empty());
+    assert!(out2.unresolved_conflicts.is_empty(), "both sub-rows are unimodal");
+    assert!(out2.decisions.contains(&(path_a, 0)));
+    assert!(out2.decisions.iter().any(|&(k, g)| k == path_b && (7..=9).contains(&g)));
+}
+
+#[test]
+fn inference_is_idempotent_on_an_unchanged_table() {
+    let mut t = OldTable::new();
+    cohort(&mut t, 5 << 16, 200, 3);
+    cohort(&mut t, 6 << 16, 200, 0);
+    let a = infer(&t);
+    let b = infer(&t);
+    assert_eq!(a.decisions, b.decisions);
+    assert_eq!(a.new_conflicts, b.new_conflicts);
+    assert_eq!(a.rows_examined, b.rows_examined);
+}

@@ -1,0 +1,520 @@
+//! Stop-the-world evacuation and full compaction.
+//!
+//! This is the copying machinery every stop-the-world collector here
+//! shares. [`evacuate`] moves the live objects of a *collection set* of
+//! regions to destination spaces chosen by a policy closure, driving:
+//!
+//! - root processing through the handle table,
+//! - remembered-set scanning with epoch validation (stale slots in
+//!   recycled regions are discarded, never written through),
+//! - transitive copying with forwarding pointers in object headers,
+//! - age increments for survivors and per-survivor profiler callbacks,
+//! - pause-time accounting from the cost model (copying is
+//!   memory-bandwidth-bound, the paper's §2.1 premise).
+//!
+//! [`full_compact`] is the slow-path mark-compact used as G1's evacuation-
+//! failure fallback and CMS's fragmentation escape hatch. It tolerates a
+//! heap left half-evacuated by a failed [`evacuate`] (forwarding pointers
+//! are resolved up front) and compacts with a rolling region release so it
+//! can run with as little as one free region.
+
+use std::collections::HashMap;
+
+use rolp_heap::{Heap, ObjectRef, RegionId, RegionKind, SpaceKind};
+use rolp_metrics::{PauseKind, SimTime};
+use rolp_vm::{CostModel, VmEnv};
+
+use crate::mark::mark_liveness;
+use crate::observer::GcHooks;
+
+/// Statistics of one evacuation (or compaction) pause.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EvacStats {
+    /// Bytes copied.
+    pub bytes_copied: u64,
+    /// Objects copied (survivors).
+    pub survivors: u64,
+    /// Root handles examined.
+    pub roots_scanned: u64,
+    /// Remembered-set slots examined (valid or stale).
+    pub remset_slots: u64,
+    /// Regions in the collection set.
+    pub regions_in_cset: u64,
+    /// Collection-set regions released (all of them unless the evacuation
+    /// failed).
+    pub regions_released: u64,
+    /// Collection-set regions that contained no survivor at all (the
+    /// "die-together" regions NG2C aims for).
+    pub regions_fully_dead: u64,
+}
+
+/// Outcome of [`evacuate`].
+#[derive(Debug, Clone, Copy)]
+pub struct EvacOutcome {
+    /// Work performed.
+    pub stats: EvacStats,
+    /// True if the heap ran out of regions mid-copy; the caller must run
+    /// [`full_compact`] to restore consistency.
+    pub failed: bool,
+    /// Pause duration charged.
+    pub pause: SimTime,
+}
+
+/// Computes the pause duration for an evacuation from its work counts.
+pub fn evac_pause_ns(cost: &CostModel, stats: &EvacStats, survivor_tracking: bool) -> u64 {
+    let workers = cost.gc_workers.max(1);
+    let per_worker = |n: u64, each: u64| n.saturating_mul(each) / workers;
+    let survivor_each = cost.survivor_overhead_ns
+        + if survivor_tracking { cost.profile_survivor_ns } else { 0 };
+    cost.safepoint_ns
+        + per_worker(stats.roots_scanned, cost.root_scan_ns)
+        + per_worker(stats.remset_slots, cost.remset_scan_ns)
+        + per_worker(stats.regions_in_cset, cost.region_overhead_ns)
+        + cost.copy_ns(stats.bytes_copied)
+        + per_worker(stats.survivors, survivor_each)
+}
+
+struct Evacuator<'a> {
+    heap: &'a mut Heap,
+    dest: &'a mut dyn FnMut(RegionKind, u8, u32) -> SpaceKind,
+    hooks: &'a mut dyn GcHooks,
+    tracking: bool,
+    in_cset: Vec<bool>,
+    stats: EvacStats,
+    scan: Vec<ObjectRef>,
+    failed: bool,
+}
+
+impl Evacuator<'_> {
+    fn in_cset(&self, r: RegionId) -> bool {
+        self.in_cset[r.0 as usize]
+    }
+
+    /// Copies `obj` out of the collection set (idempotent via forwarding).
+    /// Returns `None` on region exhaustion.
+    fn forward(&mut self, obj: ObjectRef) -> Option<ObjectRef> {
+        let header = self.heap.header(obj);
+        if header.is_forwarded() {
+            return Some(header.forwardee());
+        }
+        let from_kind = self.heap.region(obj.region()).kind;
+        // As in HotSpot, only young-generation copies age an object.
+        let new_age = if from_kind.is_young() {
+            header.age().saturating_add(1).min(rolp_heap::header::MAX_AGE)
+        } else {
+            header.age()
+        };
+        let size_words = self.heap.size_words(obj);
+        let space = (self.dest)(from_kind, new_age, size_words);
+        let size_bytes = size_words as u64 * 8;
+        match self.heap.copy_object(obj, space) {
+            Ok(new) => {
+                let fixed = self.heap.header(new).with_age(new_age);
+                self.heap.set_header(new, fixed);
+                self.stats.survivors += 1;
+                self.stats.bytes_copied += size_bytes;
+                if self.tracking {
+                    // Simulated worker assignment mirrors the per-worker
+                    // private tables of §7.6.
+                    let worker = (self.stats.survivors % 4) as u32;
+                    self.hooks.on_survivor(header, from_kind, worker);
+                }
+                self.scan.push(new);
+                Some(new)
+            }
+            Err(_) => {
+                self.failed = true;
+                None
+            }
+        }
+    }
+
+    fn process_roots(&mut self) {
+        let roots: Vec<_> = self.heap.handles.entries().collect();
+        for (h, obj) in roots {
+            self.stats.roots_scanned += 1;
+            if self.in_cset(obj.region()) {
+                if let Some(new) = self.forward(obj) {
+                    self.heap.handles.set(h, new);
+                } else {
+                    return; // exhausted; full_compact will finish the job
+                }
+            }
+        }
+    }
+
+    fn process_remsets(&mut self, cset: &[RegionId]) {
+        for &r in cset {
+            let mut slots = self.heap.region_mut(r).rset.take();
+            // The remembered set hashes its slots; iteration order would
+            // leak the hasher's randomness into evacuation order (and via
+            // survivor-overflow promotion into the whole run). Sort for
+            // determinism.
+            slots.sort_unstable_by_key(|s| (s.region.0, s.offset, s.epoch));
+            for slot in slots {
+                self.stats.remset_slots += 1;
+                // Stale-entry filters (see module docs).
+                if self.in_cset(slot.region) {
+                    continue; // covered by transitive scanning
+                }
+                let holder = self.heap.region(slot.region);
+                if holder.assigned_epoch != slot.epoch
+                    || matches!(holder.kind, RegionKind::Free)
+                    || (slot.offset as usize) >= holder.top()
+                {
+                    continue;
+                }
+                let value = ObjectRef::from_raw(holder.word(slot.offset));
+                if value.is_null() || !self.in_cset(value.region()) {
+                    continue;
+                }
+                match self.forward(value) {
+                    Some(new) => {
+                        self.heap.region_mut(slot.region).set_word(slot.offset, new.raw());
+                        // The slot still holds a cross-region reference;
+                        // re-record it against the new target region.
+                        if new.region() != slot.region {
+                            let epoch = self.heap.region(slot.region).assigned_epoch;
+                            let addr = rolp_heap::remset::SlotAddr {
+                                region: slot.region,
+                                offset: slot.offset,
+                                epoch,
+                            };
+                            self.heap.region_mut(new.region()).rset.record(addr);
+                        }
+                    }
+                    None => return,
+                }
+            }
+        }
+    }
+
+    fn drain_scan(&mut self) {
+        while let Some(obj) = self.scan.pop() {
+            for i in 0..self.heap.ref_words(obj) {
+                let v = self.heap.get_ref(obj, i);
+                if v.is_null() {
+                    continue;
+                }
+                let target = if self.in_cset(v.region()) {
+                    match self.forward(v) {
+                        Some(new) => new,
+                        None => return,
+                    }
+                } else {
+                    v
+                };
+                // set_ref re-records the remembered-set entry for the
+                // object's *new* location.
+                self.heap.set_ref(obj, i, target);
+            }
+            if self.failed {
+                return;
+            }
+        }
+    }
+}
+
+/// Evacuates the live objects of `cset`, releasing its regions on success.
+///
+/// `dest` maps (source region kind, post-increment age, object size in
+/// words) to the destination space. The pause is computed from the cost model, charged to the clock,
+/// and recorded with `kind`.
+pub fn evacuate(
+    env: &mut VmEnv,
+    cset: &[RegionId],
+    dest: &mut dyn FnMut(RegionKind, u8, u32) -> SpaceKind,
+    hooks: &mut dyn GcHooks,
+    kind: PauseKind,
+) -> EvacOutcome {
+    evacuate_mode(env, cset, dest, hooks, kind, false)
+}
+
+/// Like [`evacuate`], but the copying work is charged to *mutator* time
+/// (the collector runs concurrently); only a short handshake pause is
+/// recorded. This is how the ZGC/C4-class collector trades throughput for
+/// latency (paper §2.2).
+pub fn evacuate_concurrent(
+    env: &mut VmEnv,
+    cset: &[RegionId],
+    dest: &mut dyn FnMut(RegionKind, u8, u32) -> SpaceKind,
+    hooks: &mut dyn GcHooks,
+) -> EvacOutcome {
+    evacuate_mode(env, cset, dest, hooks, PauseKind::ConcurrentHandshake, true)
+}
+
+fn evacuate_mode(
+    env: &mut VmEnv,
+    cset: &[RegionId],
+    dest: &mut dyn FnMut(RegionKind, u8, u32) -> SpaceKind,
+    hooks: &mut dyn GcHooks,
+    kind: PauseKind,
+    concurrent: bool,
+) -> EvacOutcome {
+    let start = env.clock.now();
+    env.heap.retire_all_current();
+
+    let mut in_cset = vec![false; env.heap.num_regions()];
+    for id in cset {
+        in_cset[id.0 as usize] = true;
+    }
+    let tracking = hooks.survivor_tracking_enabled();
+    let mut ev = Evacuator {
+        heap: &mut env.heap,
+        dest,
+        hooks,
+        tracking,
+        in_cset,
+        stats: EvacStats { regions_in_cset: cset.len() as u64, ..Default::default() },
+        scan: Vec::new(),
+        failed: false,
+    };
+
+    ev.process_roots();
+    if !ev.failed {
+        ev.process_remsets(cset);
+    }
+    if !ev.failed {
+        ev.drain_scan();
+    }
+
+    let mut stats = ev.stats;
+    let failed = ev.failed;
+
+    // The double-copy watermark: sources and copies coexist here.
+    env.sample_memory();
+
+    if !failed {
+        for &r in cset {
+            let region = env.heap.region(r);
+            // A region nobody copied out of died wholesale ("epochal"
+            // reclamation): it is released for free.
+            let had_survivor = env
+                .heap
+                .objects_in_region(r)
+                .any(|o| env.heap.header(o).is_forwarded());
+            if !had_survivor && region.used_bytes() > 0 {
+                stats.regions_fully_dead += 1;
+            }
+            env.heap.release_region(r);
+            stats.regions_released += 1;
+        }
+    }
+
+    let work = SimTime::from_nanos(evac_pause_ns(&env.cost, &stats, tracking));
+    let pause = if concurrent {
+        // Copying proceeds alongside the mutator; the application only
+        // stops for three short relocation handshakes.
+        env.clock.advance(work.as_nanos());
+        SimTime::from_nanos(3 * env.cost.safepoint_ns)
+    } else {
+        work
+    };
+    env.clock.advance_paused(pause);
+    env.pauses.record(start, pause, kind);
+    env.sample_memory();
+
+    EvacOutcome { stats, failed, pause }
+}
+
+/// Rewrites every reference (fields and roots) that points at a forwarded
+/// object to its forwardee. Restores consistency after a failed
+/// evacuation.
+fn resolve_all_forwarding(heap: &mut Heap) {
+    let regions: Vec<RegionId> = heap
+        .regions()
+        .filter(|(_, r)| !matches!(r.kind, RegionKind::Free))
+        .map(|(id, _)| id)
+        .collect();
+    for id in &regions {
+        let objects: Vec<ObjectRef> = heap.objects_in_region(*id).collect();
+        for obj in objects {
+            if heap.header(obj).is_forwarded() {
+                continue; // garbage original
+            }
+            for i in 0..heap.ref_words(obj) {
+                let v = heap.get_ref(obj, i);
+                if v.is_null() {
+                    continue;
+                }
+                let resolved = heap.resolve(v);
+                if resolved != v {
+                    heap.set_ref(obj, i, resolved);
+                }
+            }
+        }
+    }
+    let roots: Vec<_> = heap.handles.entries().collect();
+    for (h, obj) in roots {
+        let resolved = heap.resolve(obj);
+        if resolved != obj {
+            heap.handles.set(h, resolved);
+        }
+    }
+}
+
+/// Clears and rebuilds every remembered set from the actual heap graph.
+/// Needed after full compaction (every object moved).
+pub fn rebuild_remsets(heap: &mut Heap) {
+    let regions: Vec<RegionId> = heap.regions().map(|(id, _)| id).collect();
+    for id in &regions {
+        heap.region_mut(*id).rset.clear();
+    }
+    let live_regions: Vec<RegionId> = heap
+        .regions()
+        .filter(|(_, r)| !matches!(r.kind, RegionKind::Free))
+        .map(|(id, _)| id)
+        .collect();
+    for id in live_regions {
+        let objects: Vec<ObjectRef> = heap.objects_in_region(id).collect();
+        for obj in objects {
+            if heap.header(obj).is_forwarded() {
+                continue;
+            }
+            for i in 0..heap.ref_words(obj) {
+                let v = heap.get_ref(obj, i);
+                if !v.is_null() && v.region() != id {
+                    let epoch = heap.region(id).assigned_epoch;
+                    let slot = rolp_heap::remset::SlotAddr {
+                        region: id,
+                        offset: obj.offset() + rolp_heap::heap::OBJECT_HEADER_WORDS + i as u32,
+                        epoch,
+                    };
+                    heap.region_mut(v.region()).rset.record(slot);
+                }
+            }
+        }
+    }
+}
+
+/// Full stop-the-world mark-compact.
+///
+/// Young survivors are tenured (as in HotSpot full GCs); old regions
+/// compact into old; dynamic generations compact within their generation;
+/// live humongous regions stay put. Works with one free region via rolling
+/// release, using a relocation map instead of in-heap forwarding so source
+/// regions can be recycled immediately.
+///
+/// # Panics
+///
+/// Panics with an out-of-memory diagnostic if even compaction cannot make
+/// room (live data exceeds the heap).
+pub fn full_compact(env: &mut VmEnv, hooks: &mut dyn GcHooks) -> EvacStats {
+    let start = env.clock.now();
+
+    // Phase 0: a failed evacuation may have left forwarding pointers.
+    resolve_all_forwarding(&mut env.heap);
+
+    // Phase 1: mark.
+    let mark = mark_liveness(&mut env.heap);
+
+    // Phase 2: compact, most-garbage regions first (releases fastest).
+    env.heap.retire_all_current();
+    let mut sources: Vec<RegionId> = env
+        .heap
+        .regions()
+        .filter(|(_, r)| {
+            r.kind.is_allocatable() && !matches!(r.kind, RegionKind::Free | RegionKind::Humongous)
+        })
+        .map(|(id, _)| id)
+        .collect();
+    sources.sort_by_key(|&id| std::cmp::Reverse(env.heap.region(id).garbage_bytes()));
+
+    let tracking = hooks.survivor_tracking_enabled();
+    let mut stats = EvacStats { regions_in_cset: sources.len() as u64, ..Default::default() };
+    let mut relocation: HashMap<ObjectRef, ObjectRef> = HashMap::new();
+
+    for src in sources {
+        let from_kind = env.heap.region(src).kind;
+        let to_space = match from_kind {
+            RegionKind::Eden | RegionKind::Survivor | RegionKind::Old => SpaceKind::Old,
+            RegionKind::Dynamic(g) => SpaceKind::Dynamic(g),
+            _ => unreachable!("filtered above"),
+        };
+        let objects: Vec<ObjectRef> = env.heap.objects_in_region(src).collect();
+        let mut had_live = false;
+        for obj in objects {
+            if !mark.marked.contains(&obj) {
+                continue;
+            }
+            had_live = true;
+            let header = env.heap.header(obj);
+            let new_age = if from_kind.is_young() {
+                header.age().saturating_add(1).min(rolp_heap::header::MAX_AGE)
+            } else {
+                header.age()
+            };
+            let size_bytes = env.heap.size_words(obj) as u64 * 8;
+            let new = env
+                .heap
+                .copy_object(obj, to_space)
+                .unwrap_or_else(|_| panic!("OutOfMemoryError: full GC cannot compact"));
+            let fixed = env.heap.header(new).with_age(new_age);
+            env.heap.set_header(new, fixed);
+            relocation.insert(obj, new);
+            stats.survivors += 1;
+            stats.bytes_copied += size_bytes;
+            if tracking {
+                let worker = (stats.survivors % 4) as u32;
+                hooks.on_survivor(header, from_kind, worker);
+            }
+        }
+        if !had_live && env.heap.region(src).used_bytes() > 0 {
+            stats.regions_fully_dead += 1;
+        }
+        env.heap.release_region(src);
+        stats.regions_released += 1;
+    }
+
+    // Dead humongous regions are reclaimed in place.
+    for id in env.heap.regions_of_kind(RegionKind::Humongous) {
+        if env.heap.region(id).live_bytes == 0 {
+            env.heap.release_region(id);
+            stats.regions_released += 1;
+            stats.regions_fully_dead += 1;
+        }
+    }
+
+    // Phase 3: fix every reference and root through the relocation map.
+    let live_regions: Vec<RegionId> = env
+        .heap
+        .regions()
+        .filter(|(_, r)| !matches!(r.kind, RegionKind::Free))
+        .map(|(id, _)| id)
+        .collect();
+    for id in live_regions {
+        let objects: Vec<ObjectRef> = env.heap.objects_in_region(id).collect();
+        for obj in objects {
+            for i in 0..env.heap.ref_words(obj) {
+                let v = env.heap.get_ref(obj, i);
+                if let Some(&new) = relocation.get(&v) {
+                    env.heap.set_ref(obj, i, new);
+                }
+            }
+        }
+    }
+    let roots: Vec<_> = env.heap.handles.entries().collect();
+    stats.roots_scanned = roots.len() as u64;
+    for (h, obj) in roots {
+        if let Some(&new) = relocation.get(&obj) {
+            env.heap.handles.set(h, new);
+        }
+    }
+
+    // Phase 4: remembered sets are void after a whole-heap move.
+    rebuild_remsets(&mut env.heap);
+
+    // Pause: marking + copying + two full fix-up scans, bandwidth-bound.
+    let used = env.heap.used_bytes();
+    let pause_ns = env.cost.safepoint_ns
+        + env.cost.copy_ns(mark.live_bytes) / 2 // mark traversal
+        + env.cost.copy_ns(stats.bytes_copied) // compaction copy
+        + env.cost.copy_ns(used) / 2 // reference fix-up scans
+        + stats.survivors * env.cost.survivor_overhead_ns / env.cost.gc_workers.max(1);
+    let pause = SimTime::from_nanos(pause_ns);
+    env.clock.advance_paused(pause);
+    env.pauses.record(start, pause, PauseKind::Full);
+    env.sample_memory();
+
+    stats
+}

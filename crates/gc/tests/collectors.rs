@@ -1,0 +1,358 @@
+//! End-to-end collector tests over a real heap.
+//!
+//! Each test drives a collector through `CollectorApi::allocate` exactly as
+//! the VM would, then checks structural invariants with the heap verifier
+//! and behavioural invariants (promotion, pretenuring, reclamation, pause
+//! shape) directly.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use rolp_gc::{
+    full_compact, CmsCollector, ConcurrentCollector, GcHooks, NullHooks, RegionalCollector,
+    RegionalConfig,
+};
+use rolp_heap::verify::assert_heap_valid;
+use rolp_heap::{ClassId, Handle, Heap, HeapConfig, ObjectHeader, RegionKind};
+use rolp_metrics::PauseKind;
+use rolp_vm::{AllocRequest, CollectorApi, CostModel, JitConfig, ProgramBuilder, VmEnv};
+
+fn env(heap_bytes: u64) -> VmEnv {
+    let mut heap = Heap::new(HeapConfig { region_bytes: 4096, max_heap_bytes: heap_bytes });
+    heap.classes.register("t.Obj");
+    VmEnv::new(heap, CostModel::default(), ProgramBuilder::new().build(), JitConfig::default(), 1)
+}
+
+fn req(ref_words: u16, data_words: u32) -> AllocRequest {
+    AllocRequest {
+        class: ClassId(0),
+        ref_words,
+        data_words,
+        header: ObjectHeader::new(1),
+        context: None,
+        manual_gen: None,
+    }
+}
+
+fn alloc_live(c: &mut dyn CollectorApi, env: &mut VmEnv, refs: u16, data: u32) -> Handle {
+    let obj = c.allocate(env, req(refs, data));
+    env.heap.handles.create(obj)
+}
+
+fn alloc_garbage(c: &mut dyn CollectorApi, env: &mut VmEnv, data: u32) {
+    let _ = c.allocate(env, req(0, data));
+}
+
+fn hooks() -> Rc<RefCell<dyn GcHooks>> {
+    Rc::new(RefCell::new(NullHooks))
+}
+
+#[test]
+fn g1_survives_live_objects_through_young_gcs() {
+    let mut env = env(1 << 20);
+    let mut g1 = RegionalCollector::g1(hooks());
+
+    // A small linked list that must survive.
+    let head = alloc_live(&mut g1, &mut env, 1, 4);
+    let tail = alloc_live(&mut g1, &mut env, 0, 4);
+    {
+        let (h, t) = (env.heap.handles.get(head), env.heap.handles.get(tail));
+        env.heap.set_ref(h, 0, t);
+        let o = env.heap.handles.get(head);
+        env.heap.set_data(o, 0, 0xABCD);
+    }
+
+    // Churn enough garbage to force several young collections.
+    for _ in 0..8_000 {
+        alloc_garbage(&mut g1, &mut env, 10);
+    }
+    assert!(g1.stats().young_gcs >= 2, "expected young GCs, got {:?}", g1.stats());
+
+    // The list is intact at its (moved) location.
+    let h = env.heap.handles.get(head);
+    assert_eq!(env.heap.get_data(h, 0), 0xABCD);
+    let t = env.heap.get_ref(h, 0);
+    assert_eq!(t, env.heap.handles.get(tail));
+    assert_heap_valid(&env.heap, false);
+}
+
+#[test]
+fn g1_promotes_long_lived_objects_to_old() {
+    let mut env = env(1 << 20);
+    let cfg = RegionalConfig { tenuring_threshold: 3, ..Default::default() };
+    let mut g1 = RegionalCollector::with_config(cfg, hooks(), "G1");
+
+    let keep = alloc_live(&mut g1, &mut env, 0, 4);
+    for _ in 0..30_000 {
+        alloc_garbage(&mut g1, &mut env, 10);
+    }
+    let obj = env.heap.handles.get(keep);
+    assert_eq!(env.heap.region(obj.region()).kind, RegionKind::Old, "survivor should tenure");
+    assert!(env.heap.header(obj).age() >= 3);
+}
+
+#[test]
+fn young_pauses_scale_with_survivor_bytes() {
+    // Use a cost model where per-pause fixed costs are negligible, so the
+    // bandwidth-bound copy term is observable even on a tiny test heap.
+    let copy_cost = || CostModel {
+        safepoint_ns: 100,
+        region_overhead_ns: 10,
+        copy_bandwidth_bytes_per_sec: 100_000_000, // 100 MB/s per worker
+        ..Default::default()
+    };
+
+    // Run A: everything dies young.
+    let mut env_a = env(1 << 20);
+    env_a.cost = copy_cost();
+    let mut g1 = RegionalCollector::g1(hooks());
+    for _ in 0..20_000 {
+        alloc_garbage(&mut g1, &mut env_a, 10);
+    }
+    let mean_a = env_a.pauses.mean_ms();
+
+    // Run B: a large fraction survives (live handles retained).
+    let mut env_b = env(1 << 20);
+    env_b.cost = copy_cost();
+    let mut g1b = RegionalCollector::g1(hooks());
+    let mut keep = Vec::new();
+    for i in 0..20_000 {
+        if i % 4 == 0 && keep.len() < 3_000 {
+            keep.push(alloc_live(&mut g1b, &mut env_b, 0, 10));
+        } else {
+            alloc_garbage(&mut g1b, &mut env_b, 10);
+        }
+    }
+    let mean_b = env_b.pauses.mean_ms();
+    assert!(
+        mean_b > mean_a * 2.0,
+        "copying-bound pauses: all-garbage {mean_a} ms vs surviving {mean_b} ms"
+    );
+}
+
+#[test]
+fn ng2c_pretenures_into_dynamic_generations() {
+    let mut env = env(1 << 20);
+    let mut ng2c = RegionalCollector::ng2c(hooks());
+
+    let mut r = req(0, 4);
+    r.manual_gen = Some(5);
+    let obj = ng2c.allocate(&mut env, r);
+    let h = env.heap.handles.create(obj);
+    assert_eq!(env.heap.region(obj.region()).kind, RegionKind::Dynamic(5));
+    assert_eq!(ng2c.stats().pretenured, 1);
+
+    // Young GCs never copy it: it is not in any young collection set.
+    let copied_before = env.heap.stats().objects_copied;
+    for _ in 0..8_000 {
+        alloc_garbage(&mut ng2c, &mut env, 10);
+    }
+    assert!(ng2c.stats().young_gcs >= 2);
+    let obj_now = env.heap.handles.get(h);
+    assert_eq!(env.heap.region(obj_now.region()).kind, RegionKind::Dynamic(5));
+    assert_eq!(obj_now, obj, "pretenured object never moved");
+    let _ = copied_before;
+}
+
+#[test]
+fn ng2c_reclaims_died_together_regions_without_copying() {
+    let mut env = env(1 << 20);
+    let cfg = RegionalConfig {
+        mark_trigger: 0.05,
+        mixed_live_threshold: 0.95,
+        ..Default::default()
+    };
+    let mut ng2c = RegionalCollector::with_config(
+        RegionalConfig { pretenuring: true, ..cfg },
+        hooks(),
+        "NG2C",
+    );
+
+    // Fill generation 3 with objects, then drop them all: an epoch dying
+    // together.
+    let mut epoch = Vec::new();
+    for _ in 0..600 {
+        let mut r = req(0, 16);
+        r.manual_gen = Some(3);
+        let obj = ng2c.allocate(&mut env, r);
+        epoch.push(env.heap.handles.create(obj));
+    }
+    let dyn_regions = env.heap.num_of_kind(RegionKind::Dynamic(3));
+    assert!(dyn_regions >= 2);
+    for h in epoch {
+        env.heap.handles.drop_handle(h);
+    }
+
+    // Churn young garbage until marking + mixed collections run.
+    let copied_before = env.heap.stats().bytes_copied;
+    for _ in 0..40_000 {
+        alloc_garbage(&mut ng2c, &mut env, 10);
+    }
+    assert!(ng2c.stats().markings >= 1, "marking should have triggered");
+    assert_eq!(
+        env.heap.num_of_kind(RegionKind::Dynamic(3)),
+        0,
+        "dead dynamic regions reclaimed"
+    );
+    assert!(
+        ng2c.stats().regions_died_together >= dyn_regions as u64,
+        "died-together reclamation should be copy-free: {:?}",
+        ng2c.stats()
+    );
+    let _ = copied_before;
+}
+
+#[test]
+fn full_compact_preserves_object_graph_and_rebuilds_remsets() {
+    let mut env = env(1 << 20);
+    let mut g1 = RegionalCollector::g1(hooks());
+
+    // Build a graph spanning several regions with cross-links.
+    let mut handles = Vec::new();
+    for i in 0..500 {
+        let h = alloc_live(&mut g1, &mut env, 2, 6);
+        let o = env.heap.handles.get(h);
+        env.heap.set_data(o, 0, i as u64);
+        handles.push(h);
+    }
+    for i in 1..handles.len() {
+        let a = env.heap.handles.get(handles[i - 1]);
+        let b = env.heap.handles.get(handles[i]);
+        env.heap.set_ref(a, 0, b);
+    }
+    // Some garbage in between.
+    for _ in 0..2_000 {
+        alloc_garbage(&mut g1, &mut env, 12);
+    }
+
+    let mut null_hooks = NullHooks;
+    full_compact(&mut env, &mut null_hooks);
+
+    // Graph intact.
+    for (i, h) in handles.iter().enumerate() {
+        let o = env.heap.handles.get(*h);
+        assert_eq!(env.heap.get_data(o, 0), i as u64);
+        if i + 1 < handles.len() {
+            assert_eq!(env.heap.get_ref(o, 0), env.heap.handles.get(handles[i + 1]));
+        }
+    }
+    // Heap structurally valid *including* remembered-set completeness.
+    assert_heap_valid(&env.heap, true);
+    // The last pause is a Full pause.
+    assert_eq!(env.pauses.events().last().unwrap().kind, PauseKind::Full);
+}
+
+#[test]
+fn cms_sweeps_dead_old_regions_without_pauses() {
+    let mut env = env(1 << 20);
+    let cms_cfg = rolp_gc::CmsConfig { initiating_occupancy: 0.10, ..Default::default() };
+    let mut cms = CmsCollector::with_config(cms_cfg, hooks());
+
+    // Promote a batch, drop it, then let the concurrent cycle sweep.
+    let mut batch = Vec::new();
+    for _ in 0..2_000 {
+        batch.push(alloc_live(&mut cms, &mut env, 0, 10));
+    }
+    // Churn so survivors promote (tenuring threshold 6).
+    for _ in 0..30_000 {
+        alloc_garbage(&mut cms, &mut env, 10);
+    }
+    for h in batch {
+        env.heap.handles.drop_handle(h);
+    }
+    for _ in 0..60_000 {
+        alloc_garbage(&mut cms, &mut env, 10);
+    }
+    let stats = cms.stats();
+    assert!(stats.concurrent_cycles >= 1, "concurrent cycle expected: {stats:?}");
+    assert!(stats.regions_swept >= 1, "sweep should reclaim dead old regions: {stats:?}");
+    assert_heap_valid(&env.heap, false);
+}
+
+#[test]
+fn concurrent_collector_keeps_pauses_tiny() {
+    let mut env = env(1 << 20);
+    let cost = env.cost.clone();
+    let mut z = ConcurrentCollector::new(hooks(), &cost);
+
+    let mut keep = Vec::new();
+    for i in 0..30_000 {
+        if i % 10 == 0 && keep.len() < 2_000 {
+            keep.push(alloc_live(&mut z, &mut env, 0, 10));
+        } else {
+            alloc_garbage(&mut z, &mut env, 10);
+        }
+    }
+    assert!(z.stats().cycles_run >= 1);
+    // Every pause is a handshake in the low-millisecond class.
+    let max_ms = env.pauses.percentile_ms(100.0);
+    assert!(max_ms < 10.0, "concurrent pause crossed 10 ms: {max_ms} ms");
+    // But the mutator paid the relocation work: mutator time exceeds what
+    // the same allocation count costs under G1 young pauses.
+    assert!(z.stats().bytes_relocated > 0);
+    assert!(z.load_barrier_ns() > 0 && z.store_barrier_ns() > 0);
+    assert_heap_valid(&env.heap, false);
+}
+
+#[test]
+fn gc_hooks_see_survivors_and_cycle_ends() {
+    #[derive(Default)]
+    struct Recorder {
+        survivors: u64,
+        cycles: u64,
+    }
+    impl GcHooks for Recorder {
+        fn survivor_tracking_enabled(&self) -> bool {
+            true
+        }
+        fn on_survivor(&mut self, _h: ObjectHeader, _from: RegionKind, _w: u32) {
+            self.survivors += 1;
+        }
+        fn on_gc_end(&mut self, _env: &mut VmEnv, info: &rolp_gc::GcCycleInfo) {
+            self.cycles += 1;
+            assert_eq!(info.cycle, self.cycles);
+        }
+    }
+
+    let rec: Rc<RefCell<Recorder>> = Rc::new(RefCell::new(Recorder::default()));
+    let mut env = env(1 << 20);
+    let mut g1 = RegionalCollector::g1(rec.clone());
+
+    let _keep: Vec<Handle> = (0..500).map(|_| alloc_live(&mut g1, &mut env, 0, 10)).collect();
+    for _ in 0..10_000 {
+        alloc_garbage(&mut g1, &mut env, 10);
+    }
+    let r = rec.borrow();
+    assert!(r.cycles >= 1);
+    assert!(r.survivors >= 500, "every live object reported on survival");
+}
+
+#[test]
+fn evacuation_failure_falls_back_to_full_gc_not_corruption() {
+    // A tiny heap where live data nearly fills everything: young evac can
+    // run out of regions and must recover through full compaction.
+    let mut env = env(128 * 1024); // 32 regions of 4 KiB
+    let cfg = RegionalConfig { reserve_regions: 0, eden_fraction: 0.5, ..Default::default() };
+    let mut g1 = RegionalCollector::with_config(cfg, hooks(), "G1");
+
+    let mut keep = Vec::new();
+    for i in 0..3_000 {
+        // Keep ~60% alive so survivors barely fit.
+        if i % 5 != 0 {
+            keep.push(alloc_live(&mut g1, &mut env, 0, 20));
+        } else {
+            alloc_garbage(&mut g1, &mut env, 20);
+        }
+        if keep.len() > 400 {
+            // Release the oldest half to keep total live bounded.
+            for h in keep.drain(..200) {
+                env.heap.handles.drop_handle(h);
+            }
+        }
+    }
+    for h in &keep {
+        let o = env.heap.handles.get(*h);
+        assert!(!env.heap.header(o).is_forwarded());
+    }
+    assert_heap_valid(&env.heap, false);
+}

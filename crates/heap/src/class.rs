@@ -1,0 +1,100 @@
+//! Guest classes.
+//!
+//! Classes in the reproduction carry only what the experiments need: a name
+//! (used by package filters and leak reports) and allocation statistics.
+//! Per-object shape (size, number of reference fields) is stored in the
+//! object's info word instead, because guest "arrays" of differing lengths
+//! share one class.
+
+/// Index of a class in the [`ClassTable`] (max 65 536 classes — the info
+/// word stores it in 16 bits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClassId(pub u16);
+
+/// Metadata for one guest class.
+#[derive(Debug, Clone)]
+pub struct ClassInfo {
+    /// Fully qualified name, e.g. `"cassandra.db.Memtable$Entry"`.
+    pub name: String,
+    /// Objects of this class allocated so far (for leak reports).
+    pub allocated: u64,
+}
+
+/// The table of guest classes.
+#[derive(Debug, Default, Clone)]
+pub struct ClassTable {
+    classes: Vec<ClassInfo>,
+}
+
+impl ClassTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a class and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than 65 536 classes are registered.
+    pub fn register(&mut self, name: impl Into<String>) -> ClassId {
+        assert!(self.classes.len() < u16::MAX as usize + 1, "class table full");
+        let id = ClassId(self.classes.len() as u16);
+        self.classes.push(ClassInfo { name: name.into(), allocated: 0 });
+        id
+    }
+
+    /// Looks up a class by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not returned by [`ClassTable::register`].
+    pub fn get(&self, id: ClassId) -> &ClassInfo {
+        &self.classes[id.0 as usize]
+    }
+
+    /// Bumps the allocation counter of `id`.
+    pub fn note_allocation(&mut self, id: ClassId) {
+        self.classes[id.0 as usize].allocated += 1;
+    }
+
+    /// Number of registered classes.
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// True when no class is registered.
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// Iterates `(id, info)` over all classes.
+    pub fn iter(&self) -> impl Iterator<Item = (ClassId, &ClassInfo)> {
+        self.classes.iter().enumerate().map(|(i, c)| (ClassId(i as u16), c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut t = ClassTable::new();
+        let a = t.register("pkg.A");
+        let b = t.register("pkg.B");
+        assert_ne!(a, b);
+        assert_eq!(t.get(a).name, "pkg.A");
+        assert_eq!(t.get(b).name, "pkg.B");
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn allocation_counter_increments() {
+        let mut t = ClassTable::new();
+        let a = t.register("X");
+        t.note_allocation(a);
+        t.note_allocation(a);
+        assert_eq!(t.get(a).allocated, 2);
+    }
+}

@@ -1,0 +1,153 @@
+//! GC-safe root handles.
+//!
+//! Guest programs never hold raw [`ObjectRef`]s across a safepoint: objects
+//! move when collectors evacuate regions. Instead they hold [`Handle`]s —
+//! indices into a table owned by the runtime. The collector treats the
+//! table as the root set and rewrites it after moving objects, exactly like
+//! JNI global references.
+
+use crate::object::ObjectRef;
+
+/// An index into the [`HandleTable`]; stable across collections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Handle(pub u32);
+
+/// The root-set table mapping handles to current object locations.
+#[derive(Debug, Clone, Default)]
+pub struct HandleTable {
+    slots: Vec<ObjectRef>,
+    free: Vec<u32>,
+    live: usize,
+}
+
+impl HandleTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates a handle referring to `obj`.
+    pub fn create(&mut self, obj: ObjectRef) -> Handle {
+        self.live += 1;
+        if let Some(i) = self.free.pop() {
+            self.slots[i as usize] = obj;
+            Handle(i)
+        } else {
+            self.slots.push(obj);
+            Handle((self.slots.len() - 1) as u32)
+        }
+    }
+
+    /// Releases a handle; its object becomes collectable (unless reachable
+    /// elsewhere).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle was already released.
+    pub fn drop_handle(&mut self, h: Handle) {
+        let slot = &mut self.slots[h.0 as usize];
+        assert!(!slot.is_null(), "double release of handle {h:?}");
+        *slot = ObjectRef::NULL;
+        self.free.push(h.0);
+        self.live -= 1;
+    }
+
+    /// The current location of the object behind `h`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle was released.
+    pub fn get(&self, h: Handle) -> ObjectRef {
+        let r = self.slots[h.0 as usize];
+        assert!(!r.is_null(), "use of released handle {h:?}");
+        r
+    }
+
+    /// Re-points a live handle at a different object.
+    pub fn set(&mut self, h: Handle, obj: ObjectRef) {
+        assert!(!obj.is_null(), "cannot point a handle at NULL; use drop_handle");
+        self.slots[h.0 as usize] = obj;
+    }
+
+    /// Number of live handles.
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// Iterates mutable references to every live root slot (collector use).
+    pub fn roots_mut(&mut self) -> impl Iterator<Item = &mut ObjectRef> {
+        self.slots.iter_mut().filter(|r| !r.is_null())
+    }
+
+    /// Iterates every live root slot.
+    pub fn roots(&self) -> impl Iterator<Item = ObjectRef> + '_ {
+        self.slots.iter().copied().filter(|r| !r.is_null())
+    }
+
+    /// Iterates `(handle, object)` over live entries (collector root
+    /// processing).
+    pub fn entries(&self) -> impl Iterator<Item = (Handle, ObjectRef)> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| !r.is_null())
+            .map(|(i, r)| (Handle(i as u32), *r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::RegionId;
+
+    fn obj(r: u32, o: u32) -> ObjectRef {
+        ObjectRef::new(RegionId(r), o)
+    }
+
+    #[test]
+    fn create_get_drop() {
+        let mut t = HandleTable::new();
+        let h = t.create(obj(1, 2));
+        assert_eq!(t.get(h), obj(1, 2));
+        assert_eq!(t.live(), 1);
+        t.drop_handle(h);
+        assert_eq!(t.live(), 0);
+    }
+
+    #[test]
+    fn slots_are_recycled() {
+        let mut t = HandleTable::new();
+        let a = t.create(obj(1, 0));
+        t.drop_handle(a);
+        let b = t.create(obj(2, 0));
+        assert_eq!(a.0, b.0, "freed slot should be reused");
+    }
+
+    #[test]
+    #[should_panic(expected = "use of released handle")]
+    fn get_after_drop_panics() {
+        let mut t = HandleTable::new();
+        let h = t.create(obj(1, 0));
+        t.drop_handle(h);
+        t.get(h);
+    }
+
+    #[test]
+    fn roots_mut_visits_only_live() {
+        let mut t = HandleTable::new();
+        let _a = t.create(obj(1, 0));
+        let b = t.create(obj(2, 0));
+        t.drop_handle(b);
+        let c = t.create(obj(3, 0));
+        let mut seen: Vec<ObjectRef> = t.roots().collect();
+        seen.sort();
+        assert_eq!(seen, vec![obj(1, 0), obj(3, 0)]);
+        // Mutation through roots_mut is visible via get.
+        for r in t.roots_mut() {
+            if *r == obj(3, 0) {
+                *r = obj(9, 9);
+            }
+        }
+        assert_eq!(t.get(c), obj(9, 9));
+    }
+}

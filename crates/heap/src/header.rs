@@ -1,0 +1,238 @@
+//! The 64-bit object header (paper Fig. 2).
+//!
+//! Bit layout, low to high:
+//!
+//! ```text
+//! bits  0..2   lock bits (00 = unlocked; 11 = GC forwarding marker)
+//! bit   2      biased-lock bit
+//! bits  3..7   age (GC cycles survived, saturates at 15)
+//! bit   7      unused
+//! bits  8..32  identity hash (24 bits)
+//! bits 32..48  thread stack state   \  together: the 32-bit
+//! bits 48..64  allocation site id   /  ROLP allocation context
+//! ```
+//!
+//! The upper 32 bits are the bits HotSpot uses for the biased-locking
+//! thread pointer. ROLP reuses them for the allocation context; if the
+//! object later becomes biased-locked the context is overwritten and the
+//! object is simply discarded for profiling purposes (paper §3.2.2). The
+//! same 2 low lock bits double as the forwarding marker during evacuation,
+//! exactly like HotSpot's "marked" encoding.
+
+use crate::object::ObjectRef;
+
+const LOCK_MASK: u64 = 0b11;
+const FORWARDED: u64 = 0b11;
+const BIASED_BIT: u64 = 1 << 2;
+const AGE_SHIFT: u32 = 3;
+const AGE_MASK: u64 = 0xF << AGE_SHIFT;
+const HASH_SHIFT: u32 = 8;
+const HASH_MASK: u64 = 0xFF_FFFF << HASH_SHIFT;
+const CONTEXT_SHIFT: u32 = 32;
+
+/// Maximum object age representable in the header (4 bits, paper §4).
+pub const MAX_AGE: u8 = 15;
+
+/// A decoded-on-demand view over the raw 64-bit header word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObjectHeader(pub u64);
+
+impl ObjectHeader {
+    /// A fresh header: unlocked, unbiased, age 0, no context, given hash.
+    pub fn new(identity_hash: u32) -> Self {
+        ObjectHeader(((identity_hash as u64) << HASH_SHIFT) & HASH_MASK)
+    }
+
+    /// Raw header word.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    // --- Forwarding (used by collectors during evacuation) ---
+
+    /// True if the header holds a forwarding pointer.
+    pub fn is_forwarded(self) -> bool {
+        self.0 & LOCK_MASK == FORWARDED
+    }
+
+    /// Encodes a forwarding pointer to `to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the packed reference does not fit in 62 bits (cannot
+    /// happen for heaps below 2^30 regions).
+    pub fn forward_to(to: ObjectRef) -> Self {
+        let packed = to.raw();
+        assert!(packed <= (u64::MAX >> 2), "object reference too large to forward");
+        ObjectHeader((packed << 2) | FORWARDED)
+    }
+
+    /// Decodes the forwarding pointer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the header is not forwarded.
+    pub fn forwardee(self) -> ObjectRef {
+        assert!(self.is_forwarded(), "header is not forwarded");
+        ObjectRef::from_raw(self.0 >> 2)
+    }
+
+    // --- Age ---
+
+    /// GC cycles this object has survived (0..=15).
+    pub fn age(self) -> u8 {
+        ((self.0 & AGE_MASK) >> AGE_SHIFT) as u8
+    }
+
+    /// Returns a header with the age incremented, saturating at
+    /// [`MAX_AGE`] (HotSpot stops aging at 15; paper §4 keys the inference
+    /// period off this bound).
+    pub fn with_incremented_age(self) -> Self {
+        let age = self.age().saturating_add(1).min(MAX_AGE);
+        ObjectHeader((self.0 & !AGE_MASK) | ((age as u64) << AGE_SHIFT))
+    }
+
+    /// Returns a header with the age set to `age`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `age > 15`.
+    pub fn with_age(self, age: u8) -> Self {
+        assert!(age <= MAX_AGE, "age must fit in 4 bits");
+        ObjectHeader((self.0 & !AGE_MASK) | ((age as u64) << AGE_SHIFT))
+    }
+
+    // --- Identity hash ---
+
+    /// The 24-bit identity hash.
+    pub fn identity_hash(self) -> u32 {
+        ((self.0 & HASH_MASK) >> HASH_SHIFT) as u32
+    }
+
+    // --- Biased locking ---
+
+    /// True if the object is biased-locked towards some thread.
+    pub fn is_biased(self) -> bool {
+        self.0 & BIASED_BIT != 0
+    }
+
+    /// Bias-locks the object towards `thread_id`, overwriting whatever the
+    /// upper 32 bits held (including a ROLP allocation context).
+    pub fn with_bias(self, thread_id: u32) -> Self {
+        let low = self.0 & 0xFFFF_FFFF;
+        ObjectHeader(low | BIASED_BIT | ((thread_id as u64) << CONTEXT_SHIFT))
+    }
+
+    /// Revokes the bias; the upper 32 bits are cleared (the allocation
+    /// context is *not* restored — it was lost, as in the paper).
+    pub fn with_bias_revoked(self) -> Self {
+        ObjectHeader(self.0 & (0xFFFF_FFFF & !BIASED_BIT))
+    }
+
+    /// The thread the object is biased towards, if biased.
+    pub fn bias_owner(self) -> Option<u32> {
+        if self.is_biased() {
+            Some((self.0 >> CONTEXT_SHIFT) as u32)
+        } else {
+            None
+        }
+    }
+
+    // --- ROLP allocation context (upper 32 bits) ---
+
+    /// Installs a 32-bit allocation context (site id in the upper 16 bits,
+    /// thread stack state in the lower 16).
+    pub fn with_allocation_context(self, context: u32) -> Self {
+        let low = self.0 & 0xFFFF_FFFF;
+        ObjectHeader(low | ((context as u64) << CONTEXT_SHIFT))
+    }
+
+    /// Reads the allocation context, or `None` if the object is biased
+    /// locked (in which case the bits hold a thread pointer, paper §3.2.2).
+    pub fn allocation_context(self) -> Option<u32> {
+        if self.is_biased() {
+            None
+        } else {
+            Some((self.0 >> CONTEXT_SHIFT) as u32)
+        }
+    }
+
+    /// Reads the upper 32 bits without the biased-lock check. Used by the
+    /// ablation that measures how often stale bias bits would corrupt
+    /// profiling if the check were skipped.
+    pub fn allocation_context_unchecked(self) -> u32 {
+        (self.0 >> CONTEXT_SHIFT) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::RegionId;
+
+    #[test]
+    fn fresh_header_is_clean() {
+        let h = ObjectHeader::new(0xABCDEF);
+        assert_eq!(h.age(), 0);
+        assert!(!h.is_biased());
+        assert!(!h.is_forwarded());
+        assert_eq!(h.identity_hash(), 0xABCDEF);
+        assert_eq!(h.allocation_context(), Some(0));
+    }
+
+    #[test]
+    fn hash_is_truncated_to_24_bits() {
+        let h = ObjectHeader::new(0xFFFF_FFFF);
+        assert_eq!(h.identity_hash(), 0xFF_FFFF);
+    }
+
+    #[test]
+    fn age_saturates_at_15() {
+        let mut h = ObjectHeader::new(1);
+        for _ in 0..40 {
+            h = h.with_incremented_age();
+        }
+        assert_eq!(h.age(), MAX_AGE);
+    }
+
+    #[test]
+    fn context_roundtrips_and_preserves_low_bits() {
+        let h = ObjectHeader::new(0x123456).with_age(7).with_allocation_context(0xDEAD_BEEF);
+        assert_eq!(h.allocation_context(), Some(0xDEAD_BEEF));
+        assert_eq!(h.age(), 7);
+        assert_eq!(h.identity_hash(), 0x123456);
+    }
+
+    #[test]
+    fn biasing_destroys_the_context() {
+        let h = ObjectHeader::new(1).with_allocation_context(0xCAFE_F00D);
+        let b = h.with_bias(42);
+        assert!(b.is_biased());
+        assert_eq!(b.allocation_context(), None);
+        assert_eq!(b.bias_owner(), Some(42));
+        // Revoking does not bring the context back.
+        let r = b.with_bias_revoked();
+        assert!(!r.is_biased());
+        assert_eq!(r.allocation_context(), Some(0));
+    }
+
+    #[test]
+    fn forwarding_roundtrips() {
+        let target = ObjectRef::new(RegionId(7), 1234);
+        let f = ObjectHeader::forward_to(target);
+        assert!(f.is_forwarded());
+        assert_eq!(f.forwardee(), target);
+    }
+
+    #[test]
+    fn normal_headers_are_not_forwarded() {
+        let h = ObjectHeader::new(99).with_allocation_context(u32::MAX).with_age(15);
+        assert!(!h.is_forwarded());
+    }
+
+    #[test]
+    #[should_panic(expected = "not forwarded")]
+    fn forwardee_panics_on_normal_header() {
+        ObjectHeader::new(1).forwardee();
+    }
+}

@@ -1,0 +1,97 @@
+//! Packed object references.
+
+use core::fmt;
+
+use crate::region::RegionId;
+
+/// A reference to an object: region index in the high 32 bits, word offset
+/// of the header within the region in the low 32 bits.
+///
+/// `ObjectRef::NULL` plays the role of Java's `null`; it is the value
+/// `u64::MAX`, which can never denote a real location (region indices are
+/// bounded by the heap size).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjectRef(u64);
+
+impl ObjectRef {
+    /// The null reference.
+    pub const NULL: ObjectRef = ObjectRef(u64::MAX);
+
+    /// Creates a reference to the object whose header is at `offset` words
+    /// into region `region`.
+    pub fn new(region: RegionId, offset: u32) -> Self {
+        ObjectRef(((region.0 as u64) << 32) | offset as u64)
+    }
+
+    /// Reconstructs a reference from its packed form.
+    pub const fn from_raw(raw: u64) -> Self {
+        ObjectRef(raw)
+    }
+
+    /// The packed form (stored verbatim in heap ref fields).
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// True for the null reference.
+    pub const fn is_null(self) -> bool {
+        self.0 == u64::MAX
+    }
+
+    /// The region holding the object.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the null reference.
+    pub fn region(self) -> RegionId {
+        assert!(!self.is_null(), "null object reference");
+        RegionId((self.0 >> 32) as u32)
+    }
+
+    /// Word offset of the object header within its region.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the null reference.
+    pub fn offset(self) -> u32 {
+        assert!(!self.is_null(), "null object reference");
+        self.0 as u32
+    }
+}
+
+impl fmt::Debug for ObjectRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_null() {
+            write!(f, "ObjectRef(NULL)")
+        } else {
+            write!(f, "ObjectRef({}:{})", (self.0 >> 32) as u32, self.0 as u32)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let r = ObjectRef::new(RegionId(17), 4093);
+        assert_eq!(r.region(), RegionId(17));
+        assert_eq!(r.offset(), 4093);
+        assert!(!r.is_null());
+        assert_eq!(ObjectRef::from_raw(r.raw()), r);
+    }
+
+    #[test]
+    fn null_is_distinguished() {
+        assert!(ObjectRef::NULL.is_null());
+        let r = ObjectRef::new(RegionId(u32::MAX - 1), u32::MAX);
+        assert!(!r.is_null());
+    }
+
+    #[test]
+    #[should_panic(expected = "null object reference")]
+    fn region_of_null_panics() {
+        ObjectRef::NULL.region();
+    }
+}

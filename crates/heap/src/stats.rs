@@ -1,0 +1,171 @@
+//! Heap occupancy and fragmentation summaries.
+//!
+//! Collector-independent views over the region table: per-space region and
+//! byte counts, and the co-located-garbage fragmentation measure that the
+//! §6 lifetime-demotion signal is built from. Examples and diagnostics
+//! render these; collectors compute their own policy-specific variants.
+
+use crate::heap::Heap;
+use crate::region::RegionKind;
+
+/// Occupancy of one space.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpaceUsage {
+    /// Regions currently assigned to the space.
+    pub regions: usize,
+    /// Bytes allocated in those regions.
+    pub used_bytes: u64,
+    /// Live bytes per the most recent marking (0 where unknown).
+    pub live_bytes: u64,
+}
+
+/// A whole-heap occupancy snapshot.
+#[derive(Debug, Clone, Default)]
+pub struct HeapUsage {
+    /// Eden regions.
+    pub eden: SpaceUsage,
+    /// Survivor regions.
+    pub survivor: SpaceUsage,
+    /// Old regions.
+    pub old: SpaceUsage,
+    /// Dynamic generations 1..=14 (index 0 unused).
+    pub dynamic: [SpaceUsage; 15],
+    /// Humongous regions.
+    pub humongous: SpaceUsage,
+    /// Free regions.
+    pub free_regions: usize,
+}
+
+impl HeapUsage {
+    /// Takes a snapshot of `heap`.
+    pub fn snapshot(heap: &Heap) -> HeapUsage {
+        let mut usage = HeapUsage::default();
+        for (_, region) in heap.regions() {
+            let slot = match region.kind {
+                RegionKind::Free => {
+                    usage.free_regions += 1;
+                    continue;
+                }
+                RegionKind::Eden => &mut usage.eden,
+                RegionKind::Survivor => &mut usage.survivor,
+                RegionKind::Old => &mut usage.old,
+                RegionKind::Dynamic(g) => &mut usage.dynamic[g as usize],
+                RegionKind::Humongous | RegionKind::HumongousCont => &mut usage.humongous,
+            };
+            slot.regions += 1;
+            slot.used_bytes += region.used_bytes();
+            if region.liveness_valid {
+                slot.live_bytes += region.live_bytes;
+            }
+        }
+        usage
+    }
+
+    /// Total bytes used across all spaces.
+    pub fn total_used(&self) -> u64 {
+        let dynamic: u64 = self.dynamic.iter().map(|d| d.used_bytes).sum();
+        self.eden.used_bytes
+            + self.survivor.used_bytes
+            + self.old.used_bytes
+            + self.humongous.used_bytes
+            + dynamic
+    }
+
+    /// Co-located-garbage fragmentation of the tenured spaces: garbage in
+    /// *partially live* marked regions over their used bytes (fully dead
+    /// regions are free to reclaim, so they are not fragmentation; see the
+    /// collector's §6 demotion signal). 0.0 when unknown.
+    pub fn tenured_fragmentation(heap: &Heap) -> f64 {
+        let mut used = 0u64;
+        let mut garbage = 0u64;
+        for (_, r) in heap.regions() {
+            let tenured = matches!(r.kind, RegionKind::Old | RegionKind::Dynamic(_));
+            if tenured && r.liveness_valid && r.live_bytes > 0 && r.used_bytes() > 0 {
+                used += r.used_bytes();
+                garbage += r.garbage_bytes();
+            }
+        }
+        if used == 0 {
+            0.0
+        } else {
+            garbage as f64 / used as f64
+        }
+    }
+
+    /// Renders a compact per-space table.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let mut row = |name: &str, u: &SpaceUsage| {
+            if u.regions > 0 {
+                let _ = writeln!(
+                    out,
+                    "  {name:<10} {:>5} regions  {:>12} used  {:>12} live",
+                    u.regions,
+                    crate::fmt_kib(u.used_bytes),
+                    crate::fmt_kib(u.live_bytes),
+                );
+            }
+        };
+        row("eden", &self.eden);
+        row("survivor", &self.survivor);
+        row("old", &self.old);
+        for (g, d) in self.dynamic.iter().enumerate().skip(1) {
+            row(&format!("dynamic {g}"), d);
+        }
+        row("humongous", &self.humongous);
+        let _ = writeln!(out, "  {:<10} {:>5} regions", "free", self.free_regions);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::class::ClassId;
+    use crate::header::ObjectHeader;
+    use crate::heap::{HeapConfig, SpaceKind};
+
+    fn heap() -> Heap {
+        let mut h = Heap::new(HeapConfig { region_bytes: 1024, max_heap_bytes: 32 * 1024 });
+        h.classes.register("t.A");
+        h
+    }
+
+    #[test]
+    fn snapshot_counts_spaces() {
+        let mut h = heap();
+        let _e = h.alloc_in(SpaceKind::Eden, ClassId(0), 0, 8, ObjectHeader::new(1)).unwrap();
+        let _o = h.alloc_in(SpaceKind::Old, ClassId(0), 0, 8, ObjectHeader::new(2)).unwrap();
+        let _d = h
+            .alloc_in(SpaceKind::Dynamic(3), ClassId(0), 0, 8, ObjectHeader::new(3))
+            .unwrap();
+        let u = HeapUsage::snapshot(&h);
+        assert_eq!(u.eden.regions, 1);
+        assert_eq!(u.old.regions, 1);
+        assert_eq!(u.dynamic[3].regions, 1);
+        assert_eq!(u.total_used(), 3 * 10 * 8);
+        assert_eq!(u.free_regions, h.free_regions());
+        let text = u.render();
+        assert!(text.contains("dynamic 3"));
+        assert!(text.contains("eden"));
+    }
+
+    #[test]
+    fn fragmentation_ignores_unmarked_and_fully_dead_regions() {
+        let mut h = heap();
+        let o = h.alloc_in(SpaceKind::Old, ClassId(0), 0, 30, ObjectHeader::new(1)).unwrap();
+        // Unmarked: unknown liveness -> not fragmentation.
+        assert_eq!(HeapUsage::tenured_fragmentation(&h), 0.0);
+        // Mark it half-live.
+        let region = o.region();
+        let used = h.region(region).used_bytes();
+        h.region_mut(region).liveness_valid = true;
+        h.region_mut(region).live_bytes = used / 2;
+        let frag = HeapUsage::tenured_fragmentation(&h);
+        assert!((frag - 0.5).abs() < 0.01, "got {frag}");
+        // Fully dead: free to reclaim, not fragmentation.
+        h.region_mut(region).live_bytes = 0;
+        assert_eq!(HeapUsage::tenured_fragmentation(&h), 0.0);
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests for the heap substrate.
+
+use proptest::prelude::*;
+use rolp_heap::header::MAX_AGE;
+use rolp_heap::{ClassId, Heap, HeapConfig, ObjectHeader, ObjectRef, RegionId, SpaceKind};
+
+proptest! {
+    /// Header fields never bleed into each other, for arbitrary values.
+    #[test]
+    fn header_fields_are_independent(
+        hash in 0u32..(1 << 24),
+        ctx in any::<u32>(),
+        age in 0u8..=MAX_AGE,
+    ) {
+        let h = ObjectHeader::new(hash).with_allocation_context(ctx).with_age(age);
+        prop_assert_eq!(h.identity_hash(), hash);
+        prop_assert_eq!(h.allocation_context(), Some(ctx));
+        prop_assert_eq!(h.age(), age);
+        prop_assert!(!h.is_biased());
+        prop_assert!(!h.is_forwarded());
+
+        // Biasing hides the context but preserves the low bits.
+        let b = h.with_bias(7);
+        prop_assert_eq!(b.allocation_context(), None);
+        prop_assert_eq!(b.age(), age);
+        prop_assert_eq!(b.identity_hash(), hash);
+    }
+
+    /// Forwarding encodes and decodes any reference the heap can produce.
+    #[test]
+    fn forwarding_roundtrips(region in 0u32..(1 << 20), offset in any::<u32>()) {
+        let target = ObjectRef::new(RegionId(region), offset);
+        let f = ObjectHeader::forward_to(target);
+        prop_assert!(f.is_forwarded());
+        prop_assert_eq!(f.forwardee(), target);
+    }
+
+    /// Object refs pack and unpack losslessly.
+    #[test]
+    fn object_ref_roundtrips(region in 0u32..u32::MAX - 1, offset in any::<u32>()) {
+        let r = ObjectRef::new(RegionId(region), offset);
+        prop_assert!(!r.is_null());
+        prop_assert_eq!(r.region(), RegionId(region));
+        prop_assert_eq!(r.offset(), offset);
+        prop_assert_eq!(ObjectRef::from_raw(r.raw()), r);
+    }
+
+    /// Whatever is written to an object's fields reads back, across many
+    /// objects interleaved in the same regions.
+    #[test]
+    fn field_writes_read_back(
+        objects in prop::collection::vec((0u16..4, 0u32..16, any::<u64>()), 1..60),
+    ) {
+        let mut heap = Heap::new(HeapConfig { region_bytes: 4096, max_heap_bytes: 4 << 20 });
+        let class = heap.classes.register("prop.Obj");
+        let mut placed = Vec::new();
+        for &(refs, data, seed) in &objects {
+            let hash = heap.next_identity_hash();
+            let obj = heap
+                .alloc_in(SpaceKind::Eden, class, refs, data, ObjectHeader::new(hash))
+                .expect("fits");
+            for j in 0..data {
+                heap.set_data(obj, j, seed.wrapping_add(j as u64));
+            }
+            placed.push((obj, refs, data, seed));
+        }
+        // Link each object to the previous one where possible.
+        for w in placed.windows(2) {
+            let (prev, _, _, _) = w[0];
+            let (cur, refs, _, _) = w[1];
+            if refs > 0 {
+                heap.set_ref(cur, 0, prev);
+            }
+        }
+        for &(obj, refs, data, seed) in &placed {
+            prop_assert_eq!(heap.ref_words(obj), refs);
+            for j in 0..data {
+                prop_assert_eq!(heap.get_data(obj, j), seed.wrapping_add(j as u64));
+            }
+        }
+        // The object walk sees exactly the objects placed per region.
+        let mut walked = 0;
+        for (id, region) in heap.regions() {
+            if region.used_bytes() > 0 {
+                walked += heap.objects_in_region(id).count();
+            }
+        }
+        prop_assert_eq!(walked, placed.len());
+    }
+
+    /// Copying preserves the full object image and forwarding resolves.
+    #[test]
+    fn copy_preserves_image(
+        refs in 0u16..4,
+        data in 0u32..16,
+        seed in any::<u64>(),
+        ctx in any::<u32>(),
+    ) {
+        let mut heap = Heap::new(HeapConfig { region_bytes: 4096, max_heap_bytes: 1 << 20 });
+        let class = heap.classes.register("prop.Obj");
+        let header = ObjectHeader::new(1).with_allocation_context(ctx);
+        let obj = heap.alloc_in(SpaceKind::Eden, class, refs, data, header).expect("fits");
+        let peer = heap
+            .alloc_in(SpaceKind::Old, class, 0, 1, ObjectHeader::new(2))
+            .expect("fits");
+        if refs > 0 {
+            heap.set_ref(obj, 0, peer);
+        }
+        for j in 0..data {
+            heap.set_data(obj, j, seed ^ j as u64);
+        }
+
+        let copy = heap.copy_object(obj, SpaceKind::Old).expect("space available");
+        prop_assert_eq!(heap.resolve(obj), copy);
+        prop_assert_eq!(heap.header(copy).allocation_context(), Some(ctx));
+        prop_assert_eq!(heap.ref_words(copy), refs);
+        if refs > 0 {
+            prop_assert_eq!(heap.get_ref(copy, 0), peer);
+        }
+        for j in 0..data {
+            prop_assert_eq!(heap.get_data(copy, j), seed ^ j as u64);
+        }
+    }
+}
+
+#[test]
+fn class_table_rejects_nothing_reasonable() {
+    let mut heap = Heap::new(HeapConfig { region_bytes: 4096, max_heap_bytes: 1 << 20 });
+    for i in 0..100 {
+        let id = heap.classes.register(format!("prop.C{i}"));
+        assert_eq!(id, ClassId(i as u16));
+    }
+}

@@ -1,0 +1,32 @@
+//! Measurement substrate for the ROLP reproduction.
+//!
+//! Everything in the reproduction runs against a *simulated* clock: mutator
+//! operations, profiling instructions, and garbage-collection work all charge
+//! deterministic costs expressed in simulated nanoseconds. This crate owns
+//! that clock plus the recording machinery the evaluation needs:
+//!
+//! - [`SimTime`] / [`SimClock`] — the deterministic time base.
+//! - [`Histogram`] — a log-bucketed (HDR-style) histogram with percentile
+//!   queries, used for pause-time distributions (paper Figs. 8 and 9).
+//! - [`PauseRecorder`] — a timeline of stop-the-world pauses.
+//! - [`Throughput`] — operation counting and windowed rates (Fig. 10).
+//! - [`MemoryTracker`] — committed/used watermarks (Fig. 10, right).
+//! - [`stats`] — small-sample summary statistics for repeated runs.
+//! - [`table`] — plain-text table rendering shared by the bench harnesses.
+
+pub mod histogram;
+pub mod memory;
+pub mod pause;
+pub mod scale;
+pub mod simtime;
+pub mod stats;
+pub mod table;
+pub mod throughput;
+
+pub use histogram::Histogram;
+pub use memory::MemoryTracker;
+pub use pause::{PauseEvent, PauseKind, PauseRecorder};
+pub use scale::SimScale;
+pub use simtime::{SimClock, SimTime};
+pub use stats::Summary;
+pub use throughput::Throughput;

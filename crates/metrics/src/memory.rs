@@ -1,0 +1,88 @@
+//! Heap memory usage tracking.
+//!
+//! Tracks committed and used bytes over a run and remembers the high-water
+//! marks; the Fig. 10 (right) harness reports max memory usage normalized
+//! to G1. "Committed" counts regions handed to the heap (what an OS would
+//! see as RSS); "used" counts bytes actually occupied by objects.
+
+/// Tracks heap memory usage watermarks.
+#[derive(Debug, Clone, Default)]
+pub struct MemoryTracker {
+    committed: u64,
+    used: u64,
+    max_committed: u64,
+    max_used: u64,
+    /// Fixed side-table overhead (e.g. the OLD table), added to both views.
+    side_tables: u64,
+}
+
+impl MemoryTracker {
+    /// Creates a tracker with zero usage.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the current committed bytes.
+    pub fn set_committed(&mut self, bytes: u64) {
+        self.committed = bytes;
+        self.max_committed = self.max_committed.max(bytes + self.side_tables);
+    }
+
+    /// Sets the current used bytes.
+    pub fn set_used(&mut self, bytes: u64) {
+        self.used = bytes;
+        self.max_used = self.max_used.max(bytes + self.side_tables);
+    }
+
+    /// Sets the current side-table overhead (profiler tables etc.).
+    pub fn set_side_tables(&mut self, bytes: u64) {
+        self.side_tables = bytes;
+        self.max_committed = self.max_committed.max(self.committed + bytes);
+        self.max_used = self.max_used.max(self.used + bytes);
+    }
+
+    /// Current committed bytes (without side tables).
+    pub fn committed(&self) -> u64 {
+        self.committed
+    }
+
+    /// Current used bytes (without side tables).
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// High-water mark of committed bytes including side tables.
+    pub fn max_committed(&self) -> u64 {
+        self.max_committed
+    }
+
+    /// High-water mark of used bytes including side tables.
+    pub fn max_used(&self) -> u64 {
+        self.max_used
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn watermarks_only_rise() {
+        let mut m = MemoryTracker::new();
+        m.set_used(100);
+        m.set_used(50);
+        assert_eq!(m.used(), 50);
+        assert_eq!(m.max_used(), 100);
+    }
+
+    #[test]
+    fn side_tables_count_toward_watermarks() {
+        let mut m = MemoryTracker::new();
+        m.set_committed(1000);
+        m.set_side_tables(24);
+        assert_eq!(m.max_committed(), 1024);
+        // Committed updates keep including the side tables.
+        m.set_committed(1100);
+        assert_eq!(m.max_committed(), 1124);
+    }
+}

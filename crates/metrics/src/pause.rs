@@ -1,0 +1,173 @@
+//! Stop-the-world pause recording.
+//!
+//! Collectors report every safepoint pause here. The recorder keeps both the
+//! full timeline (needed for the Fig. 10 warmup plot) and a [`Histogram`]
+//! (needed for the Fig. 8 percentile and Fig. 9 interval views).
+
+use crate::histogram::Histogram;
+use crate::simtime::SimTime;
+
+/// The collector phase a pause belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PauseKind {
+    /// Young-generation evacuation pause.
+    Young,
+    /// Mixed pause (young + some old/dynamic regions), G1/NG2C style.
+    Mixed,
+    /// Full-heap stop-the-world compaction (CMS failure mode).
+    Full,
+    /// Short bookkeeping pause of a concurrent collector (initial mark,
+    /// remark, relocation handshake, ...).
+    ConcurrentHandshake,
+}
+
+impl PauseKind {
+    /// Short label used in bench output.
+    pub fn label(self) -> &'static str {
+        match self {
+            PauseKind::Young => "young",
+            PauseKind::Mixed => "mixed",
+            PauseKind::Full => "full",
+            PauseKind::ConcurrentHandshake => "handshake",
+        }
+    }
+}
+
+/// One recorded stop-the-world pause.
+#[derive(Debug, Clone, Copy)]
+pub struct PauseEvent {
+    /// Simulated time at which the pause began.
+    pub at: SimTime,
+    /// Pause duration.
+    pub duration: SimTime,
+    /// Collector phase.
+    pub kind: PauseKind,
+}
+
+/// Records the pauses of one run.
+#[derive(Debug, Clone, Default)]
+pub struct PauseRecorder {
+    events: Vec<PauseEvent>,
+    histogram: Histogram,
+    total: SimTime,
+}
+
+impl PauseRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a pause of `duration` starting at `at`.
+    pub fn record(&mut self, at: SimTime, duration: SimTime, kind: PauseKind) {
+        self.events.push(PauseEvent { at, duration, kind });
+        self.histogram.record(duration.as_nanos());
+        self.total += duration;
+    }
+
+    /// All pauses in the order they occurred.
+    pub fn events(&self) -> &[PauseEvent] {
+        &self.events
+    }
+
+    /// Number of recorded pauses.
+    pub fn count(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Sum of all pause durations.
+    pub fn total(&self) -> SimTime {
+        self.total
+    }
+
+    /// The pause-duration histogram.
+    pub fn histogram(&self) -> &Histogram {
+        &self.histogram
+    }
+
+    /// Pause duration at percentile `p` (0..=100), in milliseconds.
+    pub fn percentile_ms(&self, p: f64) -> f64 {
+        self.histogram.percentile(p) as f64 / 1e6
+    }
+
+    /// Drops events recorded before `cutoff` and rebuilds the histogram.
+    ///
+    /// The paper discards the first five minutes of every run to exclude
+    /// JVM loading and JIT warmup; harnesses use this to do the same.
+    pub fn discard_before(&mut self, cutoff: SimTime) {
+        self.events.retain(|e| e.at >= cutoff);
+        let mut h = Histogram::new();
+        let mut total = SimTime::ZERO;
+        for e in &self.events {
+            h.record(e.duration.as_nanos());
+            total += e.duration;
+        }
+        self.histogram = h;
+        self.total = total;
+    }
+
+    /// Events within `[from, to)`, for warmup timelines.
+    pub fn events_between(&self, from: SimTime, to: SimTime) -> impl Iterator<Item = &PauseEvent> {
+        self.events.iter().filter(move |e| e.at >= from && e.at < to)
+    }
+
+    /// Mean pause duration in milliseconds, or 0.0 when no pause occurred.
+    pub fn mean_ms(&self) -> f64 {
+        if self.events.is_empty() {
+            0.0
+        } else {
+            self.total.as_millis_f64() / self.events.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimTime {
+        SimTime::from_millis(v)
+    }
+
+    #[test]
+    fn records_and_totals() {
+        let mut r = PauseRecorder::new();
+        r.record(ms(1), ms(10), PauseKind::Young);
+        r.record(ms(100), ms(30), PauseKind::Mixed);
+        assert_eq!(r.count(), 2);
+        assert_eq!(r.total(), ms(40));
+        assert!(r.mean_ms() > 19.9 && r.mean_ms() < 20.1);
+    }
+
+    #[test]
+    fn discard_before_removes_warmup() {
+        let mut r = PauseRecorder::new();
+        r.record(ms(1), ms(100), PauseKind::Full);
+        r.record(SimTime::from_secs(400), ms(5), PauseKind::Young);
+        r.discard_before(SimTime::from_secs(300));
+        assert_eq!(r.count(), 1);
+        assert_eq!(r.total(), ms(5));
+        assert!(r.percentile_ms(100.0) < 6.0);
+    }
+
+    #[test]
+    fn percentiles_reflect_tail() {
+        let mut r = PauseRecorder::new();
+        for i in 0..99 {
+            r.record(ms(i), ms(5), PauseKind::Young);
+        }
+        r.record(ms(1000), ms(500), PauseKind::Full);
+        assert!(r.percentile_ms(50.0) < 6.0);
+        assert!(r.percentile_ms(100.0) > 400.0);
+    }
+
+    #[test]
+    fn events_between_filters_window() {
+        let mut r = PauseRecorder::new();
+        r.record(ms(10), ms(1), PauseKind::Young);
+        r.record(ms(20), ms(1), PauseKind::Young);
+        r.record(ms(30), ms(1), PauseKind::Young);
+        let n = r.events_between(ms(15), ms(30)).count();
+        assert_eq!(n, 1);
+    }
+}

@@ -1,0 +1,88 @@
+//! Global scale factor for scaled-down experiments.
+//!
+//! The paper runs on a 16 GB Xeon with 6 GB heaps for 30 minutes; the
+//! reproduction scales heap sizes, dataset sizes, and run lengths by a
+//! common factor so every experiment finishes in seconds of wall time while
+//! preserving heap-to-working-set ratios. The default bench scale is 1/16;
+//! the `ROLP_BENCH_SCALE` environment variable overrides the divisor.
+
+/// A `1/divisor` scale applied to paper-sized parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimScale {
+    divisor: u64,
+}
+
+impl Default for SimScale {
+    fn default() -> Self {
+        SimScale::new(16)
+    }
+}
+
+impl SimScale {
+    /// Creates a `1/divisor` scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    pub fn new(divisor: u64) -> Self {
+        assert!(divisor > 0, "scale divisor must be positive");
+        SimScale { divisor }
+    }
+
+    /// Full paper scale (divisor 1).
+    pub fn full() -> Self {
+        SimScale::new(1)
+    }
+
+    /// Reads the scale from `ROLP_BENCH_SCALE`, falling back to `default`.
+    pub fn from_env(default: u64) -> Self {
+        match std::env::var("ROLP_BENCH_SCALE") {
+            Ok(v) => match v.trim().parse::<u64>() {
+                Ok(d) if d > 0 => SimScale::new(d),
+                _ => SimScale::new(default),
+            },
+            Err(_) => SimScale::new(default),
+        }
+    }
+
+    /// The scale divisor.
+    pub fn divisor(&self) -> u64 {
+        self.divisor
+    }
+
+    /// Scales a byte count down, keeping at least one 4 KiB page.
+    pub fn bytes(&self, paper_bytes: u64) -> u64 {
+        (paper_bytes / self.divisor).max(4096)
+    }
+
+    /// Scales an item count down, keeping at least one item.
+    pub fn count(&self, paper_count: u64) -> u64 {
+        (paper_count / self.divisor).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_divide() {
+        let s = SimScale::new(16);
+        assert_eq!(s.bytes(16 << 30), 1 << 30);
+        assert_eq!(s.count(1600), 100);
+    }
+
+    #[test]
+    fn scaling_clamps_to_minimums() {
+        let s = SimScale::new(1_000_000);
+        assert_eq!(s.bytes(8192), 4096);
+        assert_eq!(s.count(3), 1);
+    }
+
+    #[test]
+    fn full_scale_is_identity() {
+        let s = SimScale::full();
+        assert_eq!(s.bytes(123_456_789), 123_456_789);
+        assert_eq!(s.count(42), 42);
+    }
+}

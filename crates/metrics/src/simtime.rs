@@ -1,0 +1,218 @@
+//! Deterministic simulated time.
+//!
+//! The reproduction never consults the wall clock while a workload runs:
+//! every mutator operation and every unit of collector work advances a
+//! [`SimClock`] by a model-derived amount. This makes runs bit-reproducible
+//! for a given seed and lets the bench harnesses attribute every nanosecond
+//! to a mechanism (copying, barriers, profiling instructions, ...).
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, in nanoseconds since the start of the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The start of the run.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates a time point from raw nanoseconds.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        SimTime(nanos)
+    }
+
+    /// Creates a time point from microseconds.
+    pub const fn from_micros(micros: u64) -> Self {
+        SimTime(micros * 1_000)
+    }
+
+    /// Creates a time point from milliseconds.
+    pub const fn from_millis(millis: u64) -> Self {
+        SimTime(millis * 1_000_000)
+    }
+
+    /// Creates a time point from seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimTime(secs * 1_000_000_000)
+    }
+
+    /// Raw nanoseconds since the start of the run.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Whole microseconds since the start of the run.
+    pub const fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Whole milliseconds since the start of the run.
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Fractional milliseconds since the start of the run.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Fractional seconds since the start of the run.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Saturating difference between two time points.
+    pub fn saturating_sub(self, other: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}us", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+/// The simulated clock a run advances as it charges costs.
+///
+/// The clock distinguishes *mutator* time from *pause* time so throughput
+/// accounting (paper Fig. 10, middle) can subtract stop-the-world intervals.
+#[derive(Debug, Clone, Default)]
+pub struct SimClock {
+    now: SimTime,
+    paused: SimTime,
+    idle: SimTime,
+}
+
+impl SimClock {
+    /// Creates a clock at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total simulated time spent inside stop-the-world pauses.
+    pub fn total_paused(&self) -> SimTime {
+        self.paused
+    }
+
+    /// Total simulated time the mutator was running.
+    pub fn mutator_time(&self) -> SimTime {
+        self.now.saturating_sub(self.paused)
+    }
+
+    /// Advances the clock by `nanos` of mutator work.
+    pub fn advance(&mut self, nanos: u64) {
+        self.now += SimTime::from_nanos(nanos);
+    }
+
+    /// Advances the clock by `nanos` of idle time (request pacing, I/O
+    /// waits) — time the machine was not busy.
+    pub fn advance_idle(&mut self, nanos: u64) {
+        self.now += SimTime::from_nanos(nanos);
+        self.idle += SimTime::from_nanos(nanos);
+    }
+
+    /// Total idle time.
+    pub fn total_idle(&self) -> SimTime {
+        self.idle
+    }
+
+    /// Busy time: everything that was not idle (mutator work + pauses +
+    /// concurrent GC work).
+    pub fn busy_time(&self) -> SimTime {
+        self.now.saturating_sub(self.idle)
+    }
+
+    /// Advances the clock by a stop-the-world pause of `duration`.
+    pub fn advance_paused(&mut self, duration: SimTime) {
+        self.now += duration;
+        self.paused += duration;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(SimTime::from_secs(3).as_nanos(), 3_000_000_000);
+        assert_eq!(SimTime::from_millis(5).as_micros(), 5_000);
+        assert_eq!(SimTime::from_micros(7).as_nanos(), 7_000);
+        assert_eq!(SimTime::from_nanos(1_500_000).as_millis(), 1);
+    }
+
+    #[test]
+    fn display_uses_adaptive_units() {
+        assert_eq!(SimTime::from_nanos(12).to_string(), "12ns");
+        assert_eq!(SimTime::from_nanos(1_200).to_string(), "1.200us");
+        assert_eq!(SimTime::from_millis(3).to_string(), "3.000ms");
+        assert_eq!(SimTime::from_secs(2).to_string(), "2.000s");
+    }
+
+    #[test]
+    fn clock_splits_mutator_and_pause_time() {
+        let mut clock = SimClock::new();
+        clock.advance(1_000);
+        clock.advance_paused(SimTime::from_nanos(500));
+        clock.advance(250);
+        assert_eq!(clock.now().as_nanos(), 1_750);
+        assert_eq!(clock.total_paused().as_nanos(), 500);
+        assert_eq!(clock.mutator_time().as_nanos(), 1_250);
+    }
+
+    #[test]
+    fn idle_time_is_excluded_from_busy() {
+        let mut clock = SimClock::new();
+        clock.advance(1_000);
+        clock.advance_idle(4_000);
+        clock.advance_paused(SimTime::from_nanos(500));
+        assert_eq!(clock.now().as_nanos(), 5_500);
+        assert_eq!(clock.total_idle().as_nanos(), 4_000);
+        assert_eq!(clock.busy_time().as_nanos(), 1_500);
+    }
+
+    #[test]
+    fn saturating_sub_clamps_at_zero() {
+        let a = SimTime::from_nanos(5);
+        let b = SimTime::from_nanos(9);
+        assert_eq!(a.saturating_sub(b), SimTime::ZERO);
+        assert_eq!(b.saturating_sub(a).as_nanos(), 4);
+    }
+}

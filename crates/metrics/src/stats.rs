@@ -1,0 +1,100 @@
+//! Small-sample summary statistics.
+//!
+//! The paper runs each experiment five times "enough to be able to detect
+//! outliers"; bench harnesses do the same and summarize with these helpers.
+
+/// Summary statistics of a small sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n-1 denominator), 0.0 for n < 2.
+    pub stddev: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Sample size.
+    pub n: usize,
+}
+
+impl Summary {
+    /// Computes summary statistics of `values`.
+    ///
+    /// Returns an all-zero summary for an empty slice.
+    pub fn of(values: &[f64]) -> Summary {
+        if values.is_empty() {
+            return Summary { mean: 0.0, stddev: 0.0, min: 0.0, max: 0.0, n: 0 };
+        }
+        let n = values.len();
+        let mean = values.iter().sum::<f64>() / n as f64;
+        let var = if n < 2 {
+            0.0
+        } else {
+            values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        };
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        Summary { mean, stddev: var.sqrt(), min, max, n }
+    }
+
+    /// Indices of observations more than `k` standard deviations from the
+    /// mean (the paper's outlier check across its five runs).
+    pub fn outliers(values: &[f64], k: f64) -> Vec<usize> {
+        let s = Summary::of(values);
+        if s.stddev == 0.0 {
+            return Vec::new();
+        }
+        values
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| ((v - s.mean) / s.stddev).abs() > k)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Geometric mean of strictly positive values, used for the DaCapo
+/// normalized-time roll-up. Returns 0.0 for an empty slice.
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.max(f64::MIN_POSITIVE).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.stddev - 2.138_089_935).abs() < 1e-6);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert_eq!(s.n, 8);
+    }
+
+    #[test]
+    fn single_observation_has_zero_stddev() {
+        let s = Summary::of(&[3.5]);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.mean, 3.5);
+    }
+
+    #[test]
+    fn outlier_detection_flags_extreme_run() {
+        let vals = [10.0, 10.1, 9.9, 10.05, 30.0];
+        let out = Summary::outliers(&vals, 1.5);
+        assert_eq!(out, vec![4]);
+    }
+
+    #[test]
+    fn geometric_mean_of_reciprocals_is_one() {
+        let g = geometric_mean(&[2.0, 0.5, 4.0, 0.25]);
+        assert!((g - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,73 @@
+//! The shared execution environment.
+//!
+//! [`VmEnv`] bundles everything a collector or profiler needs access to
+//! while the world is stopped: the heap, the simulated clock, metric
+//! recorders, the cost model, the static program, the dynamic JIT state,
+//! and the guest threads (whose stacks the end-of-GC reconciliation
+//! walks).
+
+use std::rc::Rc;
+
+use rolp_heap::Heap;
+use rolp_metrics::{MemoryTracker, PauseRecorder, SimClock, Throughput};
+
+use crate::cost::CostModel;
+use crate::jit::{JitConfig, JitState};
+use crate::program::Program;
+use crate::thread::{MutatorThread, ThreadId};
+
+/// The mutable world state shared between mutator, collector, and
+/// profiler.
+#[derive(Debug)]
+pub struct VmEnv {
+    /// The managed heap (owns classes and the root handle table).
+    pub heap: Heap,
+    /// Simulated time.
+    pub clock: SimClock,
+    /// Stop-the-world pause record.
+    pub pauses: PauseRecorder,
+    /// Memory watermarks.
+    pub memory: MemoryTracker,
+    /// Application throughput.
+    pub throughput: Throughput,
+    /// The cost model charging simulated time.
+    pub cost: CostModel,
+    /// The immutable guest program.
+    pub program: Rc<Program>,
+    /// Dynamic JIT state.
+    pub jit: JitState,
+    /// Guest threads.
+    pub threads: Vec<MutatorThread>,
+}
+
+impl VmEnv {
+    /// Creates an environment with `num_threads` idle guest threads.
+    pub fn new(heap: Heap, cost: CostModel, program: Program, jit_config: JitConfig, num_threads: u32) -> Self {
+        let program = Rc::new(program);
+        let jit = JitState::new(&program, jit_config);
+        let threads = (0..num_threads).map(|i| MutatorThread::new(ThreadId(i))).collect();
+        VmEnv {
+            heap,
+            clock: SimClock::new(),
+            pauses: PauseRecorder::new(),
+            memory: MemoryTracker::new(),
+            throughput: Throughput::new(),
+            cost,
+            program,
+            jit,
+            threads,
+        }
+    }
+
+    /// Charges `ns` of mutator time.
+    #[inline]
+    pub fn charge(&mut self, ns: u64) {
+        self.clock.advance(ns);
+    }
+
+    /// Updates the memory watermarks from current heap occupancy.
+    pub fn sample_memory(&mut self) {
+        self.memory.set_committed(self.heap.committed_bytes());
+        self.memory.set_used(self.heap.used_bytes());
+    }
+}

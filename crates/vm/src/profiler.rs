@@ -1,0 +1,55 @@
+//! Profiler hook points.
+//!
+//! The VM is profiler-agnostic: it exposes the hook points HotSpot would
+//! give a profiler implemented inside the JVM, and `rolp` (the paper's
+//! contribution) plugs into them. [`NullProfiler`] is the baseline "plain
+//! G1/CMS JVM" configuration with no profiling code installed at all.
+
+use crate::jit::JitState;
+use crate::program::{AllocSiteId, MethodId, Program};
+use crate::thread::ThreadId;
+
+/// Hooks a profiler installs into the VM.
+pub trait VmProfiler {
+    /// A method was JIT-compiled (normally or via OSR). This is where the
+    /// profiler decides which of the method's allocation sites to
+    /// instrument (package filters, §7.3) by calling
+    /// [`JitState::assign_profile_id`].
+    fn on_jit_compile(&mut self, program: &Program, jit: &mut JitState, method: MethodId);
+
+    /// A profiled allocation site is about to allocate on `thread` whose
+    /// current thread stack state is `tss`. Returns the 32-bit allocation
+    /// context to install in the object header, after recording the
+    /// allocation (age-0 increment in the OLD table, §3.3).
+    fn on_alloc(&mut self, site_profile_id: u16, tss: u16, thread: ThreadId) -> u32;
+
+    /// Whether the exception-rethrow stack-state fixup hook is installed
+    /// (§7.2.2). When false, unwinding a profiled frame skips the TSS
+    /// subtraction, leaving corruption for the reconciliation pass.
+    fn exception_hook_installed(&self) -> bool {
+        true
+    }
+
+    /// An allocation happened at an *unprofiled* site (cold code or
+    /// filtered package). Lets ablations measure coverage loss.
+    fn on_unprofiled_alloc(&mut self) {}
+}
+
+/// The no-profiler baseline: no allocation site is ever instrumented.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullProfiler;
+
+impl VmProfiler for NullProfiler {
+    fn on_jit_compile(&mut self, _program: &Program, _jit: &mut JitState, _method: MethodId) {}
+
+    fn on_alloc(&mut self, _site_profile_id: u16, _tss: u16, _thread: ThreadId) -> u32 {
+        0
+    }
+
+    fn exception_hook_installed(&self) -> bool {
+        false
+    }
+}
+
+/// Convenience: an allocation-site id that is definitely unprofiled.
+pub const UNPROFILED_SITE: Option<AllocSiteId> = None;

@@ -1,0 +1,162 @@
+//! Property-based VM tests: arbitrary nested call/throw sequences against
+//! a shadow model of the thread stack state.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use proptest::prelude::*;
+use rolp_heap::{Heap, HeapConfig, ObjectRef, SpaceKind};
+use rolp_vm::{
+    AllocRequest, CallSiteId, CollectorApi, CostModel, GuestException, JitConfig, MutatorCtx,
+    Program, ProgramBuilder, ThreadId, Vm, VmEnv, VmProfiler,
+};
+
+struct Bump;
+
+impl CollectorApi for Bump {
+    fn allocate(&mut self, env: &mut VmEnv, req: AllocRequest) -> ObjectRef {
+        env.heap
+            .alloc_in(SpaceKind::Eden, req.class, req.ref_words, req.data_words, req.header)
+            .expect("test heap big enough")
+    }
+    fn name(&self) -> &'static str {
+        "bump"
+    }
+    fn gc_cycles(&self) -> u64 {
+        0
+    }
+}
+
+/// A profiler whose only job is to control the exception hook.
+struct HookProfiler {
+    hook: bool,
+}
+
+impl VmProfiler for HookProfiler {
+    fn on_jit_compile(&mut self, _p: &Program, _j: &mut rolp_vm::JitState, _m: rolp_vm::MethodId) {}
+    fn on_alloc(&mut self, _pid: u16, _tss: u16, _t: ThreadId) -> u32 {
+        0
+    }
+    fn exception_hook_installed(&self) -> bool {
+        self.hook
+    }
+}
+
+/// One action in a generated call tree.
+#[derive(Debug, Clone)]
+enum Action {
+    /// Call site `i % N`, then recurse into `depth_budget - 1` actions.
+    Call(usize),
+    /// Call site `i % N` and throw inside it.
+    Throw(usize),
+    /// Plain work.
+    Work,
+}
+
+fn action_strategy() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        4 => any::<usize>().prop_map(Action::Call),
+        1 => any::<usize>().prop_map(Action::Throw),
+        2 => Just(Action::Work),
+    ]
+}
+
+/// Executes actions as a call tree; returns the shadow TSS the paper's
+/// rules predict (with the rethrow hook installed the TSS is always
+/// balanced; without it, every unwound profiled frame leaks its delta).
+fn run_actions(
+    ctx: &mut MutatorCtx<'_>,
+    sites: &[CallSiteId],
+    deltas: &[u16],
+    hook: bool,
+    actions: &[Action],
+    shadow: &mut u16,
+) {
+    for action in actions {
+        match action {
+            Action::Work => ctx.work(3),
+            Action::Call(i) => {
+                let k = i % sites.len();
+                ctx.call(sites[k], |ctx| ctx.work(2));
+                // Balanced: add then sub of the same delta.
+            }
+            Action::Throw(i) => {
+                let k = i % sites.len();
+                let r = ctx.call_fallible(sites[k], |ctx| {
+                    ctx.work(1);
+                    Err::<(), _>(GuestException { code: 1 })
+                });
+                assert!(r.is_err());
+                if !hook {
+                    // Exit-side subtraction skipped: the delta leaks.
+                    *shadow = shadow.wrapping_add(deltas[k]);
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn tss_matches_the_shadow_model(
+        actions in prop::collection::vec(action_strategy(), 0..120),
+        hook in any::<bool>(),
+    ) {
+        // Program: one compiled caller with 3 profiled call sites.
+        let mut b = ProgramBuilder::new();
+        let caller = b.method("p.Main::run", 200, false);
+        let mut sites = Vec::new();
+        for i in 0..3 {
+            let callee = b.method(format!("p.W{i}::go"), 100, false);
+            sites.push(b.call_site(caller, callee));
+        }
+        let program = b.build();
+
+        let mut heap = Heap::new(HeapConfig { region_bytes: 65536, max_heap_bytes: 1 << 22 });
+        heap.classes.register("p.Obj");
+        let env = VmEnv::new(
+            heap,
+            CostModel::default(),
+            program,
+            JitConfig { compile_threshold: 1, ..Default::default() },
+            1,
+        );
+        let mut vm = Vm::new(
+            env,
+            Rc::new(RefCell::new(HookProfiler { hook })),
+            Box::new(Bump),
+            11,
+        );
+
+        // Compile the caller and callees, then enable all call profiling.
+        let program_rc = Rc::clone(&vm.env.program);
+        while !vm.env.jit.is_compiled(rolp_vm::MethodId(0)) {
+            vm.env.jit.note_entry(&program_rc, rolp_vm::MethodId(0), &mut vm.rng);
+        }
+        for &cs in &sites {
+            vm.ctx(ThreadId(0)).call(cs, |ctx| ctx.work(1)); // compiles callee
+            vm.env.jit.enable_call_profiling(cs);
+        }
+        let deltas: Vec<u16> = sites.iter().map(|&cs| vm.env.jit.call_site(cs).delta).collect();
+        prop_assert!(deltas.iter().all(|&d| d != 0));
+        prop_assert_eq!(vm.env.threads[0].tss, 0, "balanced after warmup");
+
+        let mut shadow = 0u16;
+        {
+            let mut ctx = vm.ctx(ThreadId(0));
+            run_actions(&mut ctx, &sites, &deltas, hook, &actions, &mut shadow);
+        }
+        prop_assert_eq!(
+            vm.env.threads[0].tss, shadow,
+            "live TSS must equal the model (hook={})", hook
+        );
+
+        // Reconciliation (empty stack) always restores zero.
+        let expected = vm.env.threads[0].expected_tss(|cs| vm.env.jit.call_site(cs).delta);
+        prop_assert_eq!(expected, 0);
+        vm.env.threads[0].reconcile_tss(expected);
+        prop_assert_eq!(vm.env.threads[0].tss, 0);
+    }
+}

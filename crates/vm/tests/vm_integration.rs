@@ -1,0 +1,220 @@
+//! VM integration tests: polymorphic dispatch, OSR corruption and repair,
+//! inlining cost behaviour, and multi-thread stack-state isolation.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use rolp_heap::{AllocFailure, ClassId, Heap, HeapConfig, ObjectRef, SpaceKind};
+use rolp_vm::{
+    AllocRequest, CollectorApi, CostModel, JitConfig, MethodId, NullProfiler, Program,
+    ProgramBuilder, ThreadId, Vm, VmEnv, VmProfiler,
+};
+
+/// Bump-only collector for VM-level tests.
+struct Bump;
+
+impl CollectorApi for Bump {
+    fn allocate(&mut self, env: &mut VmEnv, req: AllocRequest) -> ObjectRef {
+        match env.heap.alloc_in(SpaceKind::Eden, req.class, req.ref_words, req.data_words, req.header)
+        {
+            Ok(r) => r,
+            Err(AllocFailure::NeedsGc) => panic!("test heap exhausted"),
+            Err(e) => panic!("{e:?}"),
+        }
+    }
+    fn name(&self) -> &'static str {
+        "bump"
+    }
+    fn gc_cycles(&self) -> u64 {
+        0
+    }
+}
+
+fn vm_with(program: Program, jit: JitConfig, threads: u32) -> Vm {
+    let mut heap = Heap::new(HeapConfig { region_bytes: 64 * 1024, max_heap_bytes: 64 << 20 });
+    heap.classes.register("t.Obj");
+    let env = VmEnv::new(heap, CostModel::default(), program, jit, threads);
+    Vm::new(env, Rc::new(RefCell::new(NullProfiler)), Box::new(Bump), 7)
+}
+
+#[test]
+fn polymorphic_dispatch_heats_each_target_separately() {
+    let mut b = ProgramBuilder::new();
+    let caller = b.method("t.Caller::run", 100, false);
+    let impl_a = b.method("t.ImplA::go", 80, false);
+    let impl_b = b.method("t.ImplB::go", 80, false);
+    let vs = b.virtual_call_site(caller);
+    let program = b.build();
+    let mut vm = vm_with(program, JitConfig { compile_threshold: 10, ..Default::default() }, 1);
+
+    // Dispatch mostly to A.
+    for i in 0..30 {
+        let target: MethodId = if i % 3 == 0 { impl_b } else { impl_a };
+        vm.ctx(ThreadId(0)).call_virtual(vs, target, |ctx| ctx.work(1));
+    }
+    assert!(vm.env.jit.is_compiled(impl_a));
+    assert!(vm.env.jit.is_compiled(impl_b));
+    assert_eq!(vm.env.jit.method(impl_a).invocations, 20);
+    assert_eq!(vm.env.jit.method(impl_b).invocations, 10);
+    // Polymorphic sites never inline.
+    assert!(!vm.env.jit.call_site(vs).inlined);
+}
+
+#[test]
+fn inlined_calls_are_cheaper_than_regular_calls() {
+    let build = |inlineable: bool| {
+        let mut b = ProgramBuilder::new();
+        let main = b.method("t.Main::run", 60, false);
+        let caller = b.method("t.Caller::work", 100, false);
+        let helper = b.method("t.Helper::get", 10, inlineable);
+        let cs_caller = b.call_site(main, caller);
+        let cs_helper = b.call_site(caller, helper);
+        (b.build(), cs_caller, cs_helper)
+    };
+    let time_with = |inlineable: bool| {
+        let (program, cs_caller, cs_helper) = build(inlineable);
+        let mut vm =
+            vm_with(program, JitConfig { compile_threshold: 4, ..Default::default() }, 1);
+        // Warm up so the caller compiles and the inlining decision is made.
+        for _ in 0..10 {
+            vm.ctx(ThreadId(0)).call(cs_caller, |ctx| {
+                ctx.call(cs_helper, |ctx| ctx.work(1));
+            });
+        }
+        let t0 = vm.env.clock.now();
+        for _ in 0..10_000 {
+            vm.ctx(ThreadId(0)).call(cs_caller, |ctx| {
+                ctx.call(cs_helper, |ctx| ctx.work(1));
+            });
+        }
+        (vm.env.clock.now() - t0).as_nanos()
+    };
+    let inlined = time_with(true);
+    let not_inlined = time_with(false);
+    assert!(
+        not_inlined > inlined,
+        "inlining must remove call overhead: inlined {inlined} vs not {not_inlined}"
+    );
+}
+
+#[test]
+fn osr_compile_corrupts_tss_until_reconciled() {
+    let mut b = ProgramBuilder::new();
+    let main = b.method("t.Main::run", 60, false);
+    let looper = b.method("t.Loop::spin", 400, false);
+    let cs = b.call_site(main, looper);
+    let program = b.build();
+    let jit = JitConfig {
+        compile_threshold: 2, // main->looper site caller (main) stays cold;
+        osr_threshold: 500,
+        ..Default::default()
+    };
+    let mut vm = vm_with(program, jit, 1);
+
+    // Compile main manually so the call site carries profiling code.
+    let program_rc = Rc::clone(&vm.env.program);
+    while !vm.env.jit.is_compiled(main) {
+        vm.env.jit.note_entry(&program_rc, main, &mut vm.rng);
+    }
+    // Compile looper via its entries, then enable call profiling.
+    vm.ctx(ThreadId(0)).call(cs, |ctx| ctx.work(1));
+    vm.ctx(ThreadId(0)).call(cs, |ctx| ctx.work(1));
+    assert!(vm.env.jit.is_compiled(looper));
+    vm.env.jit.enable_call_profiling(cs);
+    let delta = vm.env.jit.call_site(cs).delta;
+    assert_ne!(delta, 0);
+
+    // Balanced call: tss returns to zero.
+    vm.ctx(ThreadId(0)).call(cs, |ctx| ctx.work(10));
+    assert_eq!(vm.env.threads[0].tss, 0);
+
+    // Simulate the §7.2.3 hazard directly: disable profiling mid-call so
+    // the exit subtracts nothing while the entry added `delta`.
+    {
+        let mut ctx = vm.ctx(ThreadId(0));
+        ctx.call(cs, |ctx| {
+            ctx.work(1);
+            // Mid-call toggle (what OSR or the conflict resolver can do).
+            // We cannot reach the jit through ctx here, so do it after
+            // entry via a nested scope below instead.
+        });
+    }
+    // Direct corruption demonstration: entry with delta, exit after the
+    // cell was zeroed.
+    vm.env.threads[0].push_frame(cs, delta);
+    vm.env.jit.disable_call_profiling(cs);
+    vm.env.threads[0].pop_frame(vm.env.jit.call_site(cs).delta);
+    assert_eq!(vm.env.threads[0].tss, delta, "corruption left behind");
+
+    // Reconciliation (what ROLP runs at GC end) repairs it.
+    let expected = vm.env.threads[0].expected_tss(|s| vm.env.jit.call_site(s).delta);
+    vm.env.threads[0].reconcile_tss(expected);
+    assert_eq!(vm.env.threads[0].tss, 0);
+}
+
+#[test]
+fn threads_have_independent_stack_states() {
+    let mut b = ProgramBuilder::new();
+    let main = b.method("t.Main::run", 60, false);
+    let callee = b.method("t.Worker::go", 100, false);
+    let cs = b.call_site(main, callee);
+    let program = b.build();
+    let mut vm = vm_with(program, JitConfig { compile_threshold: 1, ..Default::default() }, 2);
+
+    let program_rc = Rc::clone(&vm.env.program);
+    while !vm.env.jit.is_compiled(main) {
+        vm.env.jit.note_entry(&program_rc, main, &mut vm.rng);
+    }
+    vm.ctx(ThreadId(0)).call(cs, |ctx| ctx.work(1));
+    vm.env.jit.enable_call_profiling(cs);
+    let delta = vm.env.jit.call_site(cs).delta;
+
+    // Thread 0 inside the call sees its own delta; thread 1 is untouched.
+    vm.ctx(ThreadId(0)).call(cs, |ctx| {
+        assert_eq!(ctx.env().threads[0].tss, delta);
+        assert_eq!(ctx.env().threads[1].tss, 0);
+    });
+    assert_eq!(vm.env.threads[0].tss, 0);
+}
+
+#[test]
+fn unprofiled_alloc_hook_fires_for_cold_and_filtered_sites() {
+    #[derive(Default)]
+    struct Counter {
+        unprofiled: u64,
+    }
+    impl VmProfiler for Counter {
+        fn on_jit_compile(
+            &mut self,
+            _p: &Program,
+            _j: &mut rolp_vm::JitState,
+            _m: MethodId,
+        ) {
+            // Never assigns profile ids: everything stays unprofiled.
+        }
+        fn on_alloc(&mut self, _pid: u16, _tss: u16, _t: ThreadId) -> u32 {
+            0
+        }
+        fn on_unprofiled_alloc(&mut self) {
+            self.unprofiled += 1;
+        }
+    }
+
+    let mut b = ProgramBuilder::new();
+    let main = b.method("t.Main::run", 60, false);
+    let hot = b.method("t.Maker::make", 100, false);
+    let cs = b.call_site(main, hot);
+    let site = b.alloc_site(hot, 1);
+    let program = b.build();
+    let mut vm = vm_with(program, JitConfig { compile_threshold: 5, ..Default::default() }, 1);
+    let counter = Rc::new(RefCell::new(Counter::default()));
+    vm.profiler = counter.clone();
+
+    for _ in 0..100 {
+        vm.ctx(ThreadId(0)).call(cs, |ctx| {
+            let h = ctx.alloc(site, ClassId(0), 0, 4);
+            ctx.release(h);
+        });
+    }
+    assert_eq!(counter.borrow().unprofiled, 100);
+}

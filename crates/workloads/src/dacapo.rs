@@ -1,0 +1,371 @@
+//! DaCapo-like synthetic benchmark suite.
+//!
+//! The paper uses 13 benchmarks of the DaCapo 9.12-bach suite to measure
+//! the *overhead sensitivity* of ROLP's profiling code (Fig. 6, Fig. 7,
+//! Table 2): each benchmark exercises the profiling instructions with a
+//! different mix of call rate, allocation rate, object sizes, survivor
+//! fraction, code-base breadth (number of hot methods), inlining
+//! opportunity, and allocation-context conflicts.
+//!
+//! Since DaCapo itself is a JVM artifact, each benchmark is replaced by a
+//! synthetic program that preserves exactly that mix — e.g. `sunflow` is
+//! allocation-heavy with few calls (its Fig. 6 bars show high allocation-
+//! profiling overhead and near-zero call-profiling overhead), `fop` and
+//! `jython` are call-heavy across a broad hot code base, and `pmd` /
+//! `tomcat` / `tradesoap` contain factory call paths that produce the
+//! conflict counts Table 2 reports (6 / 4 / 3).
+
+use std::collections::VecDeque;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use rolp::runtime::JvmRuntime;
+use rolp_heap::{ClassId, Handle, HeapConfig};
+use rolp_metrics::SimScale;
+use rolp_vm::{AllocSiteId, CallSiteId, MutatorCtx, Program, ProgramBuilder};
+
+use crate::spec::Workload;
+
+/// The static profile of one DaCapo-like benchmark.
+#[derive(Debug, Clone)]
+pub struct DacapoSpec {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Paper Table 2 heap size in MB (scaled by the harness).
+    pub paper_heap_mb: u64,
+    /// Hot worker methods (breadth of the jitted code base).
+    pub workers: usize,
+    /// Tiny inlineable helper methods.
+    pub helpers: usize,
+    /// Allocation sites per worker.
+    pub sites_per_worker: usize,
+    /// Non-inlined calls per operation.
+    pub calls_per_op: u64,
+    /// Allocations per operation.
+    pub allocs_per_op: u64,
+    /// Guest work units per call.
+    pub work_per_call: u64,
+    /// Object payload size range in words.
+    pub obj_words: (u32, u32),
+    /// Fraction of allocations that survive.
+    pub survive_fraction: f64,
+    /// Operations a surviving object lives for.
+    pub survive_ops: usize,
+    /// Conflicting factory call paths (Table 2 conflicts).
+    pub conflicts: usize,
+    /// Benchmark length in operations.
+    pub ops: u64,
+}
+
+impl DacapoSpec {
+    /// Heap configuration for this benchmark at `scale`.
+    pub fn heap_config(&self, scale: SimScale) -> HeapConfig {
+        let heap = scale.bytes(self.paper_heap_mb * 1024 * 1024).max(2 * 1024 * 1024);
+        // Keep roughly 64–256 regions regardless of heap size.
+        let region = (heap / 128).next_power_of_two().clamp(16 * 1024, 1024 * 1024);
+        HeapConfig { region_bytes: region as usize, max_heap_bytes: heap }
+    }
+}
+
+/// The 13 benchmarks with their paper heap sizes (Table 2) and synthetic
+/// behaviour mixes.
+pub fn all_benchmarks() -> Vec<DacapoSpec> {
+    // (name, heap, workers, helpers, sites/w, calls, allocs, work, words,
+    //  survive%, survive_ops, conflicts, ops)
+    #[allow(clippy::type_complexity)] // a literal parameter table reads best flat
+    let rows: [(&'static str, u64, usize, usize, usize, u64, u64, u64, (u32, u32), f64, usize, usize, u64); 13] = [
+        ("avrora",     32,   24,  8,  3,  40, 10, 30, (4, 16),  0.02, 200, 0, 30_000),
+        ("eclipse",    1024, 90,  30, 4,  60, 30, 40, (8, 48),  0.10, 400, 0, 20_000),
+        ("fop",        512,  200, 60, 4,  120, 25, 15, (8, 32), 0.05, 150, 0, 15_000),
+        ("h2",         1024, 90,  20, 2,  50, 35, 35, (16, 64), 0.15, 600, 0, 20_000),
+        ("jython",     128,  400, 120, 2, 150, 30, 12, (6, 24), 0.03, 100, 0, 12_000),
+        ("luindex",    256,  30,  10, 3,  30, 25, 40, (8, 40),  0.08, 300, 0, 20_000),
+        ("lusearch",   256,  35,  10, 4,  35, 30, 35, (8, 40),  0.04, 120, 0, 20_000),
+        ("pmd",        256,  200, 60, 2,  90, 28, 20, (6, 24),  0.06, 250, 6, 15_000),
+        ("sunflow",    128,  22,  6,  10, 15, 60, 25, (4, 20),  0.02, 80,  0, 20_000),
+        ("tomcat",     512,  180, 60, 2,  80, 25, 25, (8, 32),  0.07, 300, 4, 15_000),
+        ("tradebeans", 512,  140, 40, 2,  70, 25, 30, (8, 32),  0.08, 350, 0, 15_000),
+        ("tradesoap",  512,  350, 100, 1, 110, 30, 18, (8, 32), 0.08, 350, 3, 12_000),
+        ("xalan",      64,   130, 40, 3,  100, 35, 20, (6, 24), 0.04, 150, 0, 20_000),
+    ];
+    rows.iter()
+        .map(|&(name, heap, workers, helpers, spw, calls, allocs, work, words, sf, so, cf, ops)| {
+            DacapoSpec {
+                name,
+                paper_heap_mb: heap,
+                workers,
+                helpers,
+                sites_per_worker: spw,
+                calls_per_op: calls,
+                allocs_per_op: allocs,
+                work_per_call: work,
+                obj_words: words,
+                survive_fraction: sf,
+                survive_ops: so,
+                conflicts: cf,
+                ops,
+            }
+        })
+        .collect()
+}
+
+/// Looks up a benchmark by name.
+pub fn benchmark(name: &str) -> Option<DacapoSpec> {
+    all_benchmarks().into_iter().find(|s| s.name == name)
+}
+
+struct ConflictFactory {
+    /// Short-lived call path into the factory.
+    cs_short: CallSiteId,
+    /// Long-lived call path into the factory.
+    cs_long: CallSiteId,
+    /// The shared factory allocation site.
+    site: AllocSiteId,
+}
+
+/// A synthetic DaCapo-like benchmark instance.
+pub struct DacapoBench {
+    spec: DacapoSpec,
+    rng: StdRng,
+    class: Option<ClassId>,
+    /// Harness -> dispatcher call (makes the dispatcher hot so the worker
+    /// call sites in its body are jitted and profilable).
+    cs_iterate: Option<CallSiteId>,
+    cs_workers: Vec<CallSiteId>,
+    cs_helpers: Vec<CallSiteId>,
+    worker_sites: Vec<Vec<AllocSiteId>>,
+    factories: Vec<ConflictFactory>,
+    /// FIFO of (expiry op, handle) for surviving objects.
+    survivors: VecDeque<(u64, Handle)>,
+    /// Long-lived conflict-path objects, keyed by expiry *GC cycle* so
+    /// their death age (and thus the factory's bimodality) is independent
+    /// of heap size and scale.
+    long_lived: VecDeque<(u64, Handle)>,
+    op_no: u64,
+}
+
+impl DacapoBench {
+    /// Instantiates a benchmark from its spec.
+    pub fn new(spec: DacapoSpec, seed: u64) -> Self {
+        DacapoBench {
+            spec,
+            rng: StdRng::seed_from_u64(seed),
+            class: None,
+            cs_iterate: None,
+            cs_workers: Vec::new(),
+            cs_helpers: Vec::new(),
+            worker_sites: Vec::new(),
+            factories: Vec::new(),
+            survivors: VecDeque::new(),
+            long_lived: VecDeque::new(),
+            op_no: 0,
+        }
+    }
+
+    /// The benchmark's spec.
+    pub fn spec(&self) -> &DacapoSpec {
+        &self.spec
+    }
+
+    fn obj_words(&mut self) -> u32 {
+        let (lo, hi) = self.spec.obj_words;
+        self.rng.gen_range(lo..=hi)
+    }
+}
+
+impl Workload for DacapoBench {
+    fn name(&self) -> String {
+        self.spec.name.to_string()
+    }
+
+    fn build_program(&mut self) -> Program {
+        let mut b = ProgramBuilder::new();
+        let name = self.spec.name;
+        let harness = b.method(format!("dacapo.{name}.Harness::main"), 60, false);
+        let root = b.method(format!("dacapo.{name}.Harness::iterate"), 300, false);
+        self.cs_iterate = Some(b.call_site(harness, root));
+
+        let mut workers = Vec::new();
+        for i in 0..self.spec.workers {
+            let m = b.method(format!("dacapo.{name}.pkg{}.Worker{i}::run", i % 8), 120, false);
+            self.cs_workers.push(b.call_site(root, m));
+            let mut sites = Vec::new();
+            for s in 0..self.spec.sites_per_worker {
+                sites.push(b.alloc_site(m, s as u32 * 7 + 1));
+            }
+            self.worker_sites.push(sites);
+            workers.push(m);
+        }
+        for i in 0..self.spec.helpers {
+            let h = b.method(format!("dacapo.{name}.util.Helper{i}::get"), 10, true);
+            // Each helper is called from one worker (inlined there).
+            let caller = workers[i % workers.len()];
+            self.cs_helpers.push(b.call_site(caller, h));
+        }
+        for c in 0..self.spec.conflicts {
+            let factory = b.method(format!("dacapo.{name}.factory.Factory{c}::make"), 90, false);
+            let short_caller = workers[(2 * c) % workers.len()];
+            let long_caller = workers[(2 * c + 1) % workers.len()];
+            self.factories.push(ConflictFactory {
+                cs_short: b.call_site(short_caller, factory),
+                cs_long: b.call_site(long_caller, factory),
+                site: b.alloc_site(factory, 1),
+            });
+        }
+        b.build()
+    }
+
+    fn setup(&mut self, rt: &mut JvmRuntime) {
+        self.class = Some(rt.vm.env.heap.classes.register(format!("dacapo.{}.Obj", self.spec.name)));
+    }
+
+    fn tick(&mut self, ctx: &mut MutatorCtx<'_>) -> u64 {
+        let cs_iterate = self.cs_iterate.expect("build_program not called");
+        ctx.call(cs_iterate, |ctx| self.run_op(ctx));
+        1
+    }
+}
+
+impl DacapoBench {
+    /// One benchmark operation, executed inside the hot dispatcher.
+    fn run_op(&mut self, ctx: &mut MutatorCtx<'_>) {
+        let class = self.class.expect("setup not called");
+        self.op_no += 1;
+        let op = self.op_no;
+        let spec = self.spec.clone();
+
+        // Expire survivors.
+        while let Some(&(expiry, h)) = self.survivors.front() {
+            if expiry > op {
+                break;
+            }
+            ctx.release(h);
+            self.survivors.pop_front();
+        }
+        let cycle = ctx.gc_cycles();
+        while let Some(&(expiry_cycle, h)) = self.long_lived.front() {
+            if expiry_cycle > cycle {
+                break;
+            }
+            ctx.release(h);
+            self.long_lived.pop_front();
+        }
+
+        // Calls and allocations interleaved across the hot workers.
+        let allocs_per_call = (spec.allocs_per_op / spec.calls_per_op.max(1)).max(1);
+        let mut allocs_done = 0u64;
+        for k in 0..spec.calls_per_op {
+            let w = ((op + k) % spec.workers as u64) as usize;
+            let cs = self.cs_workers[w];
+            let helper = if self.cs_helpers.is_empty() {
+                None
+            } else {
+                Some(self.cs_helpers[w % self.cs_helpers.len()])
+            };
+            let sites = self.worker_sites[w].clone();
+            let mut new_handles: Vec<Handle> = Vec::new();
+            let mut sizes: Vec<u32> = Vec::new();
+            for _ in 0..allocs_per_call.min(spec.allocs_per_op - allocs_done) {
+                sizes.push(self.obj_words());
+            }
+            ctx.call(cs, |ctx| {
+                ctx.work(spec.work_per_call);
+                if let Some(hcs) = helper {
+                    ctx.call(hcs, |ctx| ctx.work(2));
+                }
+                for (i, &words) in sizes.iter().enumerate() {
+                    let site = sites[i % sites.len()];
+                    new_handles.push(ctx.alloc(site, class, 0, words));
+                }
+            });
+            allocs_done += sizes.len() as u64;
+            for h in new_handles {
+                if self.rng.gen_bool(spec.survive_fraction) {
+                    self.survivors.push_back((op + spec.survive_ops as u64, h));
+                } else {
+                    ctx.release(h);
+                }
+            }
+        }
+
+        // Conflict factories: the same allocation site through a
+        // short-lived and a long-lived call path, every operation.
+        for f in 0..self.factories.len() {
+            let (cs_short, cs_long, site) =
+                (self.factories[f].cs_short, self.factories[f].cs_long, self.factories[f].site);
+            let words = self.obj_words();
+            let transient = ctx.call(cs_short, |ctx| {
+                ctx.work(10);
+                ctx.alloc(site, class, 0, words)
+            });
+            ctx.release(transient);
+            let durable = ctx.call(cs_long, |ctx| {
+                ctx.work(10);
+                ctx.alloc(site, class, 0, words)
+            });
+            // Die together after ~8 GC cycles: a clear second mode for the
+            // conflict detector at any scale.
+            self.long_lived.push_back((cycle + 8, durable));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{execute, RunBudget};
+    use rolp::runtime::{CollectorKind, RuntimeConfig};
+
+    #[test]
+    fn all_thirteen_benchmarks_exist() {
+        let b = all_benchmarks();
+        assert_eq!(b.len(), 13);
+        let names: Vec<&str> = b.iter().map(|s| s.name).collect();
+        for expected in [
+            "avrora", "eclipse", "fop", "h2", "jython", "luindex", "lusearch", "pmd", "sunflow",
+            "tomcat", "tradebeans", "tradesoap", "xalan",
+        ] {
+            assert!(names.contains(&expected), "missing {expected}");
+        }
+        // Table 2 conflict counts.
+        assert_eq!(benchmark("pmd").unwrap().conflicts, 6);
+        assert_eq!(benchmark("tomcat").unwrap().conflicts, 4);
+        assert_eq!(benchmark("tradesoap").unwrap().conflicts, 3);
+        assert_eq!(benchmark("xalan").unwrap().conflicts, 0);
+    }
+
+    #[test]
+    fn heap_config_scales_with_table2_sizes() {
+        let avrora = benchmark("avrora").unwrap().heap_config(SimScale::new(16));
+        let h2 = benchmark("h2").unwrap().heap_config(SimScale::new(16));
+        assert!(h2.max_heap_bytes > avrora.max_heap_bytes);
+        assert_eq!(h2.max_heap_bytes, 64 * 1024 * 1024);
+    }
+
+    #[test]
+    fn a_small_benchmark_runs_under_g1() {
+        let spec = DacapoSpec { ops: 300, ..benchmark("avrora").unwrap() };
+        let heap = spec.heap_config(SimScale::new(16));
+        let mut bench = DacapoBench::new(spec, 1);
+        let cfg = RuntimeConfig { collector: CollectorKind::G1, heap, ..Default::default() };
+        let out = execute(&mut bench, cfg, &RunBudget::smoke(300));
+        assert_eq!(out.report.ops, 300);
+        assert!(out.report.elapsed.as_nanos() > 0);
+    }
+
+    #[test]
+    fn conflict_benchmark_produces_conflicts_under_rolp() {
+        let spec = DacapoSpec { ops: 6_000, ..benchmark("pmd").unwrap() };
+        let heap = spec.heap_config(SimScale::new(64));
+        let mut bench = DacapoBench::new(spec, 1);
+        let cfg = RuntimeConfig { collector: CollectorKind::RolpNg2c, heap, ..Default::default() };
+        let out = execute(&mut bench, cfg, &RunBudget::smoke(6_000));
+        let rolp = out.report.rolp.expect("rolp stats");
+        assert!(
+            rolp.conflicts.detected >= 1,
+            "factory paths should conflict: {:?}",
+            rolp.conflicts
+        );
+    }
+}

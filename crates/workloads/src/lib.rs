@@ -1,0 +1,31 @@
+//! Workloads for the ROLP reproduction.
+//!
+//! Synthetic equivalents of everything the paper's evaluation runs
+//! (§8.1), preserving the object demography and profiling challenges that
+//! drive the results:
+//!
+//! - [`dacapo`] — 13 DaCapo-like benchmarks with the Table 2 heap sizes
+//!   and per-benchmark call/allocation mixes (Figs. 6–7, Table 2).
+//! - [`cassandra`] — a memtable/SSTable key-value store under YCSB-style
+//!   load at three write ratios, with a built-in allocation-context
+//!   conflict (Figs. 8–10, Table 1).
+//! - [`lucene`] — a text indexer over a synthetic corpus, 80% writes.
+//! - [`graphchi`] — a sharded out-of-core graph engine running Connected
+//!   Components and PageRank over a synthetic power-law graph.
+//! - [`ycsb`] — zipfian key and operation-mix generators.
+//! - [`spec`] — the [`spec::Workload`] trait and the [`spec::execute`]
+//!   run driver shared by tests, examples, and bench harnesses.
+
+pub mod cassandra;
+pub mod dacapo;
+pub mod graphchi;
+pub mod lucene;
+pub mod spec;
+pub mod ycsb;
+
+pub use cassandra::{CassandraMix, CassandraParams, CassandraWorkload};
+pub use dacapo::{all_benchmarks, benchmark, DacapoBench, DacapoSpec};
+pub use graphchi::{GraphAlgo, GraphChiParams, GraphChiWorkload};
+pub use lucene::{LuceneParams, LuceneWorkload};
+pub use spec::{execute, RunBudget, RunOutcome, Workload};
+pub use ycsb::{Op, YcsbGenerator, Zipfian};

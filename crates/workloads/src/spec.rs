@@ -1,0 +1,143 @@
+//! The workload interface and run driver.
+//!
+//! A workload declares a guest program (methods, call sites, allocation
+//! sites), sets up its long-lived guest data structures, and then produces
+//! work in *ticks* (one request / document / graph step per tick). The
+//! [`execute`] driver assembles the requested runtime configuration,
+//! applies the paper's per-workload package filters (ROLP runs) or hand
+//! annotations (NG2C runs), rotates guest threads, paces requests, and
+//! collects the measurements every bench harness consumes.
+
+use rolp::runtime::{CollectorKind, JvmRuntime, RunReport, RuntimeConfig};
+use rolp::PackageFilters;
+use rolp_metrics::{PauseRecorder, SimTime};
+use rolp_vm::{MutatorCtx, Program, ThreadId};
+
+/// A runnable workload.
+pub trait Workload {
+    /// Display name (e.g. `"Cassandra WI"`).
+    fn name(&self) -> String;
+
+    /// The paper's Table 1 package filters for ROLP runs.
+    fn profiling_filters(&self) -> PackageFilters {
+        PackageFilters::all()
+    }
+
+    /// Number of hand-annotated code locations under NG2C (Table 1's
+    /// "NG2C" column equivalent).
+    fn annotation_count(&self) -> usize {
+        0
+    }
+
+    /// Declares the guest program. Called once, before [`Workload::setup`].
+    fn build_program(&mut self) -> Program;
+
+    /// Registers guest classes and builds initial long-lived structures.
+    fn setup(&mut self, rt: &mut JvmRuntime);
+
+    /// Produces one unit of work; returns completed application
+    /// operations. The driver calls `complete_ops` on the workload's
+    /// behalf with the returned count.
+    fn tick(&mut self, ctx: &mut MutatorCtx<'_>) -> u64;
+
+    /// Toggles NG2C hand annotations (the driver enables them exactly for
+    /// [`CollectorKind::Ng2c`] runs).
+    fn set_annotations(&mut self, _on: bool) {}
+}
+
+/// How long to run.
+#[derive(Debug, Clone)]
+pub struct RunBudget {
+    /// Stop after this much simulated time.
+    pub sim_time: SimTime,
+    /// Drop pauses recorded before this point (the paper discards the
+    /// first five minutes of each 30-minute run).
+    pub warmup_discard: SimTime,
+    /// Hard cap on application operations (safety valve).
+    pub max_ops: u64,
+}
+
+impl RunBudget {
+    /// A budget proportional to the paper's 30-minute runs with a 5-minute
+    /// discard, scaled to `secs` simulated seconds.
+    pub fn scaled_run(secs: u64) -> Self {
+        RunBudget {
+            sim_time: SimTime::from_secs(secs),
+            warmup_discard: SimTime::from_secs(secs / 6),
+            max_ops: u64::MAX,
+        }
+    }
+
+    /// A tiny budget for unit tests.
+    pub fn smoke(max_ops: u64) -> Self {
+        RunBudget { sim_time: SimTime::from_secs(3_600), warmup_discard: SimTime::ZERO, max_ops }
+    }
+}
+
+/// Everything a bench harness needs from one run.
+pub struct RunOutcome {
+    /// End-of-run summary.
+    pub report: RunReport,
+    /// Pause recorder with warmup discarded (percentile/interval views).
+    pub pauses: PauseRecorder,
+    /// Pause recorder including warmup (Fig. 10 timeline).
+    pub raw_pauses: PauseRecorder,
+    /// Throughput samples `(window end, ops)` per sampling window.
+    pub throughput_samples: Vec<(SimTime, u64)>,
+    /// Mutator (non-pause) simulated time.
+    pub mutator_time: SimTime,
+}
+
+/// Runs `workload` under `config` until the budget is exhausted.
+pub fn execute(
+    workload: &mut dyn Workload,
+    mut config: RuntimeConfig,
+    budget: &RunBudget,
+) -> RunOutcome {
+    let program = workload.build_program();
+    // Apply the workload's paper filters unless the caller configured
+    // explicit filters already.
+    if config.collector == CollectorKind::RolpNg2c && config.rolp.filters.is_unfiltered() {
+        config.rolp.filters = workload.profiling_filters();
+    }
+    workload.set_annotations(config.collector == CollectorKind::Ng2c);
+    let threads = config.threads.max(1);
+
+    let mut rt = JvmRuntime::new(config, program);
+    workload.setup(&mut rt);
+
+    let mut ops: u64 = 0;
+    let mut tick_no: u64 = 0;
+    let window = SimTime::from_secs(1);
+    let mut next_window = window;
+    loop {
+        let thread = ThreadId((tick_no % threads as u64) as u32);
+        tick_no += 1;
+        let mut ctx = rt.ctx(thread);
+        let done = workload.tick(&mut ctx);
+        ctx.complete_ops(done);
+        ops += done;
+
+        let now = rt.vm.env.clock.now();
+        if now >= next_window {
+            rt.vm.env.throughput.sample_window(now);
+            rt.sample_side_tables();
+            next_window = now + window;
+        }
+        if now >= budget.sim_time || ops >= budget.max_ops {
+            break;
+        }
+    }
+
+    let report = rt.report();
+    let raw_pauses = rt.vm.env.pauses.clone();
+    let mut pauses = raw_pauses.clone();
+    pauses.discard_before(budget.warmup_discard);
+    RunOutcome {
+        report,
+        pauses,
+        raw_pauses,
+        throughput_samples: rt.vm.env.throughput.samples().to_vec(),
+        mutator_time: rt.vm.env.clock.mutator_time(),
+    }
+}

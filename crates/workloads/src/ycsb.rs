@@ -1,0 +1,168 @@
+//! YCSB-style request generation.
+//!
+//! The paper drives Cassandra with YCSB at fixed op rates and three
+//! read/write mixes (WI 75% writes, RW 50%, RI 25%). This module provides
+//! the standard YCSB generators: a zipfian key distribution (Gray et al.'s
+//! rejection-free method, as used by YCSB itself) and the operation mixer.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Zipfian generator over `0..n` with exponent `theta` (YCSB default
+/// 0.99).
+#[derive(Debug, Clone)]
+pub struct Zipfian {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    zeta2theta: f64,
+}
+
+impl Zipfian {
+    /// Creates a generator over `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "zipfian over empty domain");
+        let zetan = Self::zeta(n, theta);
+        let zeta2theta = Self::zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2theta / zetan);
+        Zipfian { n, theta, alpha, zetan, eta, zeta2theta }
+    }
+
+    /// YCSB's default skew.
+    pub fn ycsb(n: u64) -> Self {
+        Zipfian::new(n, 0.99)
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        // Direct sum; domains here are ≤ a few million and the value is
+        // precomputed once.
+        (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+    }
+
+    /// Next key.
+    pub fn sample(&self, rng: &mut StdRng) -> u64 {
+        let u: f64 = rng.gen();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let v = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        v.min(self.n - 1)
+    }
+
+    /// Domain size.
+    pub fn domain(&self) -> u64 {
+        self.n
+    }
+
+    /// Internal zeta(2, theta), exposed for tests.
+    pub fn zeta2(&self) -> f64 {
+        self.zeta2theta
+    }
+}
+
+/// An operation in the YCSB mix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Insert/update a key.
+    Write(u64),
+    /// Read a key.
+    Read(u64),
+}
+
+/// The request mixer: zipfian keys, configurable write fraction.
+#[derive(Debug, Clone)]
+pub struct YcsbGenerator {
+    keys: Zipfian,
+    write_fraction: f64,
+    rng: StdRng,
+}
+
+impl YcsbGenerator {
+    /// Creates a generator over `key_space` keys with the given write
+    /// fraction.
+    pub fn new(key_space: u64, write_fraction: f64, seed: u64) -> Self {
+        YcsbGenerator {
+            keys: Zipfian::ycsb(key_space),
+            write_fraction,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Next operation.
+    pub fn next_op(&mut self) -> Op {
+        let key = self.keys.sample(&mut self.rng);
+        if self.rng.gen_bool(self.write_fraction) {
+            Op::Write(key)
+        } else {
+            Op::Read(key)
+        }
+    }
+
+    /// A value payload size in words (log-normal-ish spread around 48
+    /// words ≈ 384 bytes, Cassandra-row sized).
+    pub fn value_words(&mut self) -> u32 {
+        16 + self.rng.gen_range(0..64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipfian_is_skewed_towards_small_keys() {
+        let z = Zipfian::ycsb(10_000);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut head = 0u64;
+        let total = 50_000;
+        for _ in 0..total {
+            if z.sample(&mut rng) < 100 {
+                head += 1;
+            }
+        }
+        // With theta=0.99 the hottest 1% of keys draw the majority.
+        assert!(head as f64 > total as f64 * 0.4, "head hits {head}/{total}");
+    }
+
+    #[test]
+    fn zipfian_stays_in_domain() {
+        let z = Zipfian::ycsb(100);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 100);
+        }
+    }
+
+    #[test]
+    fn mixer_respects_write_fraction() {
+        let mut g = YcsbGenerator::new(1_000, 0.75, 3);
+        let mut writes = 0;
+        for _ in 0..10_000 {
+            if matches!(g.next_op(), Op::Write(_)) {
+                writes += 1;
+            }
+        }
+        let frac = writes as f64 / 10_000.0;
+        assert!((frac - 0.75).abs() < 0.02, "write fraction {frac}");
+    }
+
+    #[test]
+    fn value_sizes_are_bounded() {
+        let mut g = YcsbGenerator::new(10, 0.5, 3);
+        for _ in 0..1_000 {
+            let w = g.value_words();
+            assert!((16..80).contains(&w));
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Property-based tests for the workload generators.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rolp_workloads::{Op, YcsbGenerator, Zipfian};
+
+proptest! {
+    /// Samples always stay in the domain, for arbitrary domains and skews.
+    #[test]
+    fn zipfian_samples_stay_in_domain(
+        n in 1u64..200_000,
+        theta in 0.2f64..1.2,
+        seed in any::<u64>(),
+    ) {
+        let z = Zipfian::new(n, theta);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..200 {
+            prop_assert!(z.sample(&mut rng) < n);
+        }
+    }
+
+    /// Higher skew concentrates more mass on the head keys.
+    #[test]
+    fn zipfian_skew_orders_head_mass(n in 1_000u64..50_000, seed in any::<u64>()) {
+        let head = n / 100 + 1;
+        let mass = |theta: f64| {
+            let z = Zipfian::new(n, theta);
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..3_000).filter(|_| z.sample(&mut rng) < head).count()
+        };
+        let light = mass(0.3);
+        let heavy = mass(0.99);
+        prop_assert!(heavy > light, "theta=0.99 head {heavy} <= theta=0.3 head {light}");
+    }
+
+    /// The op mixer matches its write fraction within sampling noise and
+    /// is deterministic per seed.
+    #[test]
+    fn ycsb_mix_is_calibrated_and_deterministic(
+        frac in 0.05f64..0.95,
+        seed in any::<u64>(),
+    ) {
+        let sample = |seed| {
+            let mut g = YcsbGenerator::new(10_000, frac, seed);
+            (0..4_000).map(|_| g.next_op()).collect::<Vec<_>>()
+        };
+        let a = sample(seed);
+        let b = sample(seed);
+        prop_assert_eq!(&a, &b, "same seed, same stream");
+        let writes = a.iter().filter(|o| matches!(o, Op::Write(_))).count();
+        let measured = writes as f64 / a.len() as f64;
+        prop_assert!((measured - frac).abs() < 0.05, "target {frac}, measured {measured}");
+    }
+
+    /// DaCapo heap configs scale monotonically and stay well-formed.
+    #[test]
+    fn dacapo_heaps_scale_monotonically(divisor in 1u64..256) {
+        use rolp_metrics::SimScale;
+        for spec in rolp_workloads::all_benchmarks() {
+            let big = spec.heap_config(SimScale::new(divisor));
+            let small = spec.heap_config(SimScale::new(divisor * 2));
+            prop_assert!(big.max_heap_bytes >= small.max_heap_bytes);
+            prop_assert!(big.region_bytes.is_power_of_two());
+            prop_assert!(big.max_heap_bytes >= big.region_bytes as u64 * 16,
+                "{}: at least 16 regions", spec.name);
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Cross-workload integration tests: determinism, annotation plumbing,
+//! filter plumbing, and demography sanity for all three platforms and the
+//! DaCapo suite.
+
+use rolp::runtime::{CollectorKind, RuntimeConfig};
+use rolp_heap::{HeapConfig, RegionKind};
+use rolp_workloads::{
+    all_benchmarks, execute, CassandraMix, CassandraParams, CassandraWorkload, DacapoBench,
+    GraphAlgo, GraphChiParams, GraphChiWorkload, LuceneParams, LuceneWorkload, RunBudget,
+    Workload,
+};
+
+fn heap() -> HeapConfig {
+    HeapConfig { region_bytes: 64 * 1024, max_heap_bytes: 24 << 20 }
+}
+
+fn config(kind: CollectorKind) -> RuntimeConfig {
+    RuntimeConfig { collector: kind, heap: heap(), ..Default::default() }
+}
+
+fn cassandra() -> CassandraWorkload {
+    CassandraWorkload::new(CassandraParams {
+        mix: CassandraMix::ReadWrite,
+        memtable_flush_entries: 1_500,
+        key_space: 10_000,
+        row_cache_entries: 800,
+        op_pacing_ns: 1_000,
+        ..Default::default()
+    })
+}
+
+fn lucene() -> LuceneWorkload {
+    LuceneWorkload::new(LuceneParams {
+        segment_flush_docs: 400,
+        vocabulary: 3_000,
+        op_pacing_ns: 1_000,
+        ..Default::default()
+    })
+}
+
+fn graphchi(algo: GraphAlgo) -> GraphChiWorkload {
+    GraphChiWorkload::new(GraphChiParams {
+        algo,
+        vertices: 8_000,
+        edges: 100_000,
+        shards: 8,
+        chunk: 1_024,
+        io_ns_per_edge: 50,
+        ..Default::default()
+    })
+}
+
+#[test]
+fn all_workloads_are_deterministic() {
+    let fingerprint = |mk: &dyn Fn() -> Box<dyn Workload>, ops: u64| {
+        let mut w = mk();
+        let out = execute(w.as_mut(), config(CollectorKind::RolpNg2c), &RunBudget::smoke(ops));
+        (out.report.elapsed.as_nanos(), out.report.gc_cycles, out.report.max_used_bytes)
+    };
+    #[allow(clippy::type_complexity)] // a literal case table reads best flat
+    let cases: Vec<(Box<dyn Fn() -> Box<dyn Workload>>, u64)> = vec![
+        (Box::new(|| Box::new(cassandra()) as Box<dyn Workload>), 10_000),
+        (Box::new(|| Box::new(lucene()) as Box<dyn Workload>), 10_000),
+        (Box::new(|| Box::new(graphchi(GraphAlgo::ConnectedComponents)) as Box<dyn Workload>), 60),
+    ];
+    for (mk, ops) in &cases {
+        assert_eq!(fingerprint(mk, *ops), fingerprint(mk, *ops), "nondeterministic workload");
+    }
+}
+
+#[test]
+fn ng2c_runs_populate_dynamic_generations_from_annotations() {
+    for mk in [
+        || Box::new(cassandra()) as Box<dyn Workload>,
+        || Box::new(lucene()) as Box<dyn Workload>,
+        || Box::new(graphchi(GraphAlgo::PageRank)) as Box<dyn Workload>,
+    ] {
+        let mut w = mk();
+        let name = w.name();
+        assert!(w.annotation_count() > 0, "{name}: annotations declared");
+        // Drive through the runtime and check dynamic generations fill.
+        let program = w.build_program();
+        let mut rt = rolp::runtime::JvmRuntime::new(config(CollectorKind::Ng2c), program);
+        w.set_annotations(true);
+        w.setup(&mut rt);
+        for _ in 0..2_000 {
+            let mut ctx = rt.ctx(rolp_vm::ThreadId(0));
+            w.tick(&mut ctx);
+        }
+        let dynamic: usize =
+            (1u8..=14).map(|g| rt.vm.env.heap.num_of_kind(RegionKind::Dynamic(g))).sum();
+        assert!(dynamic > 0, "{name}: annotations must route objects to dynamic generations");
+    }
+}
+
+#[test]
+fn paper_filters_restrict_profiling_to_data_packages() {
+    let mut w = cassandra();
+    let filters = w.profiling_filters();
+    assert!(filters.matches("cassandra.db"));
+    assert!(filters.matches("cassandra.utils"));
+    assert!(!filters.matches("cassandra.net"), "transport code is outside the filter");
+
+    let out = execute(&mut w, config(CollectorKind::RolpNg2c), &RunBudget::smoke(20_000));
+    let rolp = out.report.rolp.expect("rolp stats");
+    assert!(
+        rolp.unprofiled_allocations > 0,
+        "request/parse allocations must be filtered out: {rolp:?}"
+    );
+    assert!(rolp.profiled_allocations > 0);
+}
+
+#[test]
+fn cassandra_mixes_shift_the_flush_rate() {
+    let flushes = |mix| {
+        let mut w = CassandraWorkload::new(CassandraParams {
+            mix,
+            memtable_flush_entries: 1_500,
+            key_space: 10_000,
+            row_cache_entries: 800,
+            op_pacing_ns: 1_000,
+            ..Default::default()
+        });
+        let _ = execute(&mut w, config(CollectorKind::G1), &RunBudget::smoke(20_000));
+        w.flushes
+    };
+    let wi = flushes(CassandraMix::WriteIntensive);
+    let ri = flushes(CassandraMix::ReadIntensive);
+    assert!(wi > ri, "more writes -> more memtable epochs ({wi} vs {ri})");
+}
+
+#[test]
+fn lucene_merges_segments_and_grows_a_dictionary() {
+    let mut w = lucene();
+    let _ = execute(&mut w, config(CollectorKind::G1), &RunBudget::smoke(30_000));
+    assert!(w.flushes >= 10);
+    assert!(w.merges >= 1, "segment merges expected after many flushes");
+}
+
+#[test]
+fn graphchi_passes_cover_every_shard() {
+    let mut w = graphchi(GraphAlgo::ConnectedComponents);
+    let _ = execute(&mut w, config(CollectorKind::G1), &RunBudget::smoke(24));
+    assert_eq!(w.intervals, 24);
+    assert_eq!(w.iterations, 3, "24 intervals over 8 shards = 3 full passes");
+}
+
+#[test]
+fn dacapo_suite_runs_under_every_collector() {
+    // One representative benchmark per behaviour class, each under all
+    // five collectors (smoke level).
+    for name in ["avrora", "sunflow", "pmd"] {
+        let spec = rolp_workloads::benchmark(name).expect("exists");
+        for kind in CollectorKind::all() {
+            let mut bench = DacapoBench::new(
+                rolp_workloads::DacapoSpec { ops: 400, ..spec.clone() },
+                9,
+            );
+            let cfg = RuntimeConfig {
+                collector: kind,
+                heap: spec.heap_config(rolp_metrics::SimScale::new(64)),
+                ..Default::default()
+            };
+            let out = execute(&mut bench, cfg, &RunBudget::smoke(400));
+            assert_eq!(out.report.ops, 400, "{name} under {kind:?}");
+        }
+    }
+}
+
+#[test]
+fn dacapo_specs_are_distinct_profiles() {
+    let specs = all_benchmarks();
+    // The suite must not be 13 copies of one profile: the call/alloc mixes
+    // that drive Fig. 6 differ.
+    let mut mixes: Vec<(u64, u64)> =
+        specs.iter().map(|s| (s.calls_per_op, s.allocs_per_op)).collect();
+    mixes.sort_unstable();
+    mixes.dedup();
+    assert!(mixes.len() >= 8, "benchmarks should differ in their mixes");
+    // sunflow is the allocation-heavy outlier; fop/jython the call-heavy.
+    let sunflow = specs.iter().find(|s| s.name == "sunflow").expect("sunflow");
+    assert!(sunflow.allocs_per_op > sunflow.calls_per_op);
+    let fop = specs.iter().find(|s| s.name == "fop").expect("fop");
+    assert!(fop.calls_per_op > 2 * fop.allocs_per_op);
+}

@@ -1,0 +1,69 @@
+//! Graph analytics: epochal memory behaviour on an out-of-core engine.
+//!
+//! ```sh
+//! cargo run --release --example graph_analytics
+//! ```
+//!
+//! Runs Connected Components and PageRank on the GraphChi-like engine over
+//! a synthetic power-law graph, comparing G1 with ROLP. Each processing
+//! interval loads a shard's edge blocks (tens of MB), works on them, and
+//! drops them — the textbook middle-lived/epochal pattern that generational
+//! collectors copy to death and ROLP learns to pretenure.
+
+use rolp::runtime::{CollectorKind, RuntimeConfig};
+use rolp_heap::HeapConfig;
+use rolp_metrics::table::TextTable;
+use rolp_metrics::SimTime;
+use rolp_workloads::{execute, GraphAlgo, GraphChiParams, GraphChiWorkload, RunBudget};
+
+fn main() {
+    let heap = HeapConfig { region_bytes: 64 * 1024, max_heap_bytes: 96 << 20 };
+    let budget = RunBudget {
+        sim_time: SimTime::from_secs(200),
+        warmup_discard: SimTime::from_secs(50),
+        max_ops: u64::MAX,
+    };
+
+    println!("GraphChi-like engine, synthetic power-law graph (650k vertices, 23M edges)\n");
+    let mut table = TextTable::new(vec![
+        "algo", "system", "intervals", "p50 ms", "p99 ms", "max ms",
+    ]);
+
+    for algo in [GraphAlgo::ConnectedComponents, GraphAlgo::PageRank] {
+        for kind in [CollectorKind::G1, CollectorKind::RolpNg2c] {
+            let mut w = GraphChiWorkload::new(GraphChiParams {
+                algo,
+                vertices: 650_000,
+                edges: 23_000_000,
+                shards: 16,
+                chunk: 4_096,
+                io_ns_per_edge: 800,
+                update_sample: 64,
+                seed: 0x6AF,
+            });
+            let config = RuntimeConfig {
+                collector: kind,
+                heap: heap.clone(),
+                cost: rolp_vm::CostModel::scaled(rolp_metrics::SimScale::new(64)),
+                side_table_scale: 64,
+                ..Default::default()
+            };
+            let out = execute(&mut w, config, &budget);
+            table.row(vec![
+                algo.label().to_string(),
+                kind.label().to_string(),
+                w.intervals.to_string(),
+                format!("{:.1}", out.pauses.percentile_ms(50.0)),
+                format!("{:.1}", out.pauses.percentile_ms(99.0)),
+                format!("{:.1}", out.pauses.percentile_ms(100.0)),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    println!(
+        "note: under G1 every interval's edge blocks are copied out of eden\n\
+         before they die; under ROLP they are pretenured into a dynamic\n\
+         generation and the whole region is reclaimed for free at interval\n\
+         end (paper Section 8.4 — GraphChi shows the largest reductions)."
+    );
+}

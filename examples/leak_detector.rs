@@ -1,0 +1,70 @@
+//! Memory-leak detection from lifetime statistics (paper §2.2).
+//!
+//! ```sh
+//! cargo run --release --example leak_detector
+//! ```
+//!
+//! The paper notes that ROLP's per-allocation-context statistics enable
+//! leak detection "by reporting object lifetime statistics per allocation
+//! context". This example plants a classic leak — a registry that is only
+//! ever appended to — next to healthy allocation sites, runs the profiler,
+//! and prints the leak report: the leaking context is the one whose
+//! objects pile up at the maximum age while fresh allocations keep coming.
+
+use rolp::runtime::{CollectorKind, JvmRuntime, RuntimeConfig};
+use rolp::LeakReport;
+use rolp_heap::HeapConfig;
+use rolp_vm::{ProgramBuilder, ThreadId};
+
+fn main() {
+    let mut b = ProgramBuilder::new();
+    let main = b.method("app.Main::run", 60, false);
+    let serve = b.method("app.Api::serve", 220, false);
+    let audit = b.method("app.audit.Log::append", 90, false);
+    let cs_serve = b.call_site(main, serve);
+    let cs_audit = b.call_site(serve, audit);
+    let site_tmp = b.alloc_site(serve, 4); // healthy: dies young
+    let site_leak = b.alloc_site(audit, 8); // the leak: never released
+    let program = b.build();
+
+    let mut config = RuntimeConfig {
+        collector: CollectorKind::RolpNg2c,
+        heap: HeapConfig { region_bytes: 64 * 1024, max_heap_bytes: 48 << 20 },
+        ..Default::default()
+    };
+    // Mark early and often so the liveness census (the leak signal) has
+    // several data points within this short run.
+    config.regional.mark_trigger = 0.15;
+    let mut rt = JvmRuntime::new(config, program);
+    let tmp_class = rt.vm.env.heap.classes.register("app.Scratch");
+    let leak_class = rt.vm.env.heap.classes.register("app.audit.Entry");
+
+    let mut leaked = Vec::new();
+    for i in 0u64..600_000 {
+        let mut ctx = rt.ctx(ThreadId(0));
+        ctx.call(cs_serve, |ctx| {
+            ctx.work(80);
+            let tmp = ctx.alloc(site_tmp, tmp_class, 0, 48);
+            ctx.release(tmp);
+            // The bug: every 4th request appends an audit entry that is
+            // never trimmed.
+            if i % 4 == 0 {
+                let entry = ctx.call(cs_audit, |ctx| {
+                    ctx.work(20);
+                    ctx.alloc(site_leak, leak_class, 0, 10)
+                });
+                leaked.push(entry);
+            }
+        });
+    }
+
+    let profiler = rt.profiler.as_ref().expect("ROLP present").borrow();
+    let report = LeakReport::gather(&profiler, &rt.vm.env.program, &rt.vm.env.jit, 1_000);
+    println!("{}", report.render());
+    println!("live leaked objects actually held: {}", leaked.len());
+    assert!(
+        report.suspects.iter().any(|s| s.location.contains("app.audit.Log::append")),
+        "the planted leak must be flagged"
+    );
+    println!("the planted leak (app.audit.Log::append @bci 8) was flagged correctly.");
+}

@@ -1,0 +1,70 @@
+//! Text indexing: package filters focusing the profiler.
+//!
+//! ```sh
+//! cargo run --release --example text_index
+//! ```
+//!
+//! Runs the Lucene-like indexing workload under ROLP twice: once profiling
+//! every package and once with the paper's `lucene.store` filter (§7.3).
+//! The filter bounds the profiling overhead on a large code base while
+//! keeping the sites that matter — the segment posting buffers whose
+//! middle lifetimes cause the copying problem.
+
+use rolp::runtime::{CollectorKind, RuntimeConfig};
+use rolp::PackageFilters;
+use rolp_heap::HeapConfig;
+use rolp_metrics::table::TextTable;
+use rolp_metrics::SimTime;
+use rolp_workloads::{execute, LuceneParams, LuceneWorkload, RunBudget};
+
+fn main() {
+    let heap = HeapConfig { region_bytes: 64 * 1024, max_heap_bytes: 96 << 20 };
+    let budget = RunBudget {
+        sim_time: SimTime::from_secs(360),
+        warmup_discard: SimTime::from_secs(150),
+        max_ops: u64::MAX,
+    };
+    let params = LuceneParams {
+        segment_flush_docs: 70_000,
+        vocabulary: 20_000,
+        ..Default::default()
+    };
+
+    println!("Lucene-like indexer, 80% writes over a synthetic corpus\n");
+    let mut table = TextTable::new(vec![
+        "filter", "p99 ms", "profiled allocs", "unprofiled allocs", "decisions", "OLD table",
+    ]);
+    for (label, filters) in [
+        // `include("lucene")` covers every package of the program — the
+        // unfiltered case (an explicitly empty filter would be replaced by
+        // the workload's paper default).
+        ("(profile everything)", PackageFilters::include(&["lucene"])),
+        ("lucene.store only", PackageFilters::include(&["lucene.store"])),
+    ] {
+        let mut w = LuceneWorkload::new(params.clone());
+        let mut config = RuntimeConfig {
+            collector: CollectorKind::RolpNg2c,
+            heap: heap.clone(),
+            cost: rolp_vm::CostModel::scaled(rolp_metrics::SimScale::new(64)),
+            side_table_scale: 64,
+            ..Default::default()
+        };
+        config.rolp.filters = filters;
+        let out = execute(&mut w, config, &budget);
+        let r = out.report.rolp.expect("rolp stats");
+        table.row(vec![
+            label.to_string(),
+            format!("{:.1}", out.pauses.percentile_ms(99.0)),
+            r.profiled_allocations.to_string(),
+            r.unprofiled_allocations.to_string(),
+            r.decisions.to_string(),
+            rolp_metrics::table::fmt_bytes(r.old_table_bytes),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "reading guide: the filter removes the analysis/search churn from the\n\
+         profiler's view (fewer profiled allocations, less overhead) while the\n\
+         posting-buffer decisions that fix the pause times remain."
+    );
+}

@@ -1,0 +1,12 @@
+//! Umbrella crate for the ROLP reproduction.
+//!
+//! Re-exports the public API of every workspace crate so examples and
+//! integration tests can depend on a single package. See the `rolp` crate
+//! for the paper's contribution and `README.md` for an overview.
+
+pub use rolp as core;
+pub use rolp_gc as gc;
+pub use rolp_heap as heap;
+pub use rolp_metrics as metrics;
+pub use rolp_vm as vm;
+pub use rolp_workloads as workloads;

@@ -1,0 +1,229 @@
+//! Cross-crate end-to-end tests: the full stack (heap + VM + GC + ROLP +
+//! workloads) exercised through the public API.
+
+use rolp::runtime::{CollectorKind, JvmRuntime, RuntimeConfig};
+use rolp_heap::{HeapConfig, RegionKind};
+use rolp_vm::{GuestException, ProgramBuilder, ThreadId};
+use rolp_workloads::{
+    execute, CassandraMix, CassandraParams, CassandraWorkload, RunBudget,
+};
+
+fn small_heap() -> HeapConfig {
+    HeapConfig { region_bytes: 64 * 1024, max_heap_bytes: 24 << 20 }
+}
+
+fn cassandra_small() -> CassandraWorkload {
+    CassandraWorkload::new(CassandraParams {
+        mix: CassandraMix::WriteIntensive,
+        memtable_flush_entries: 2_000,
+        key_space: 20_000,
+        row_cache_entries: 1_000,
+        op_pacing_ns: 2_000,
+        ..Default::default()
+    })
+}
+
+#[test]
+fn identical_seeds_produce_identical_runs() {
+    let run = || {
+        let mut w = cassandra_small();
+        let config = RuntimeConfig {
+            collector: CollectorKind::RolpNg2c,
+            heap: small_heap(),
+            ..Default::default()
+        };
+        let out = execute(&mut w, config, &RunBudget::smoke(30_000));
+        (
+            out.report.elapsed.as_nanos(),
+            out.report.gc_cycles,
+            out.report.pauses,
+            out.report.max_used_bytes,
+            out.pauses.histogram().percentile(99.0),
+        )
+    };
+    assert_eq!(run(), run(), "the whole stack must be deterministic per seed");
+}
+
+#[test]
+fn rolp_learns_and_pretenures_on_the_kv_store() {
+    let mut w = cassandra_small();
+    let config = RuntimeConfig {
+        collector: CollectorKind::RolpNg2c,
+        heap: small_heap(),
+        ..Default::default()
+    };
+    let out = execute(&mut w, config, &RunBudget::smoke(120_000));
+    let rolp = out.report.rolp.expect("rolp stats");
+    assert!(rolp.inferences >= 2, "inference must run: {rolp:?}");
+    assert!(rolp.decisions >= 2, "lifetime decisions expected: {rolp:?}");
+    assert!(rolp.profiled_allocations > 10_000);
+    assert!(rolp.survivor_records > 0);
+}
+
+#[test]
+fn rolp_tail_approaches_ng2c_and_beats_g1() {
+    // A GC-heavy run with the copy bandwidth scaled to the tiny heap so
+    // copying dominates pauses; the discard covers the learning phase.
+    let budget = RunBudget {
+        sim_time: rolp_metrics::SimTime::from_secs(3),
+        warmup_discard: rolp_metrics::SimTime::from_secs(2),
+        max_ops: u64::MAX,
+    };
+    let tail = |kind| {
+        let mut w = cassandra_small();
+        let config = RuntimeConfig {
+            collector: kind,
+            heap: small_heap(),
+            cost: rolp_vm::CostModel::scaled(rolp_metrics::SimScale::new(256)),
+            ..Default::default()
+        };
+        let out = execute(&mut w, config, &budget);
+        out.pauses.percentile_ms(99.0)
+    };
+    let g1 = tail(CollectorKind::G1);
+    let rolp = tail(CollectorKind::RolpNg2c);
+    assert!(
+        rolp < g1 * 0.8,
+        "ROLP p99 ({rolp:.2} ms) should be well below G1 ({g1:.2} ms)"
+    );
+}
+
+#[test]
+fn every_collector_survives_the_kv_store_with_a_valid_heap() {
+    for kind in CollectorKind::all() {
+        let mut w = cassandra_small();
+        let config =
+            RuntimeConfig { collector: kind, heap: small_heap(), ..Default::default() };
+        let out = execute(&mut w, config, &RunBudget::smoke(25_000));
+        assert_eq!(out.report.ops, 25_000, "{kind:?} lost operations");
+        assert!(out.report.gc_cycles > 0, "{kind:?} never collected");
+    }
+}
+
+#[test]
+fn exception_unwinding_with_rolp_keeps_stack_state_consistent() {
+    let mut b = ProgramBuilder::new();
+    let main = b.method("app.Main::run", 60, false);
+    let risky = b.method("app.Parser::parse", 150, false);
+    let cs = b.call_site(main, risky);
+    let site = b.alloc_site(risky, 2);
+    let program = b.build();
+
+    let config = RuntimeConfig {
+        collector: CollectorKind::RolpNg2c,
+        heap: small_heap(),
+        ..Default::default()
+    };
+    let mut rt = JvmRuntime::new(config, program);
+    let class = rt.vm.env.heap.classes.register("app.Obj");
+
+    for i in 0u64..50_000 {
+        let mut ctx = rt.ctx(ThreadId(0));
+        let r = ctx.call_fallible(cs, |ctx| {
+            ctx.work(10);
+            let h = ctx.alloc(site, class, 0, 8);
+            ctx.release(h);
+            if i % 7 == 0 {
+                Err(GuestException { code: 1 })
+            } else {
+                Ok(())
+            }
+        });
+        assert_eq!(r.is_err(), i % 7 == 0);
+    }
+    // The exception-rethrow hook (§7.2.2) keeps the TSS consistent; on an
+    // empty stack it must be zero.
+    assert_eq!(rt.vm.env.threads[0].tss, 0, "TSS leaked through exception unwinding");
+}
+
+#[test]
+fn biased_locking_objects_are_skipped_not_fatal() {
+    let mut b = ProgramBuilder::new();
+    let main = b.method("app.Main::run", 60, false);
+    let hot = b.method("app.Maker::make", 100, false);
+    let cs = b.call_site(main, hot);
+    let site = b.alloc_site(hot, 1);
+    let program = b.build();
+
+    let config = RuntimeConfig {
+        collector: CollectorKind::RolpNg2c,
+        heap: small_heap(),
+        ..Default::default()
+    };
+    let mut rt = JvmRuntime::new(config, program);
+    let class = rt.vm.env.heap.classes.register("app.Lockable");
+
+    let mut held = Vec::new();
+    for i in 0..60_000 {
+        let mut ctx = rt.ctx(ThreadId(0));
+        let h = ctx.call(cs, |ctx| ctx.alloc(site, class, 0, 64));
+        if i % 3 == 0 {
+            ctx.bias_lock(h); // destroys the allocation context
+        }
+        held.push(h);
+        if held.len() > 2_000 {
+            let old = held.remove(0);
+            rt.ctx(ThreadId(0)).release(old);
+        }
+    }
+    let report = rt.report();
+    let rolp = report.rolp.expect("rolp stats");
+    // Profiling continued for the unbiased objects.
+    assert!(rolp.profiled_allocations > 10_000);
+    assert!(report.gc_cycles > 0);
+}
+
+#[test]
+fn ng2c_annotations_route_objects_to_their_generations() {
+    let mut b = ProgramBuilder::new();
+    let main = b.method("app.Main::run", 60, false);
+    let hot = b.method("app.Maker::make", 100, false);
+    let cs = b.call_site(main, hot);
+    let site = b.alloc_site(hot, 1);
+    let program = b.build();
+
+    let config = RuntimeConfig {
+        collector: CollectorKind::Ng2c,
+        heap: small_heap(),
+        ..Default::default()
+    };
+    let mut rt = JvmRuntime::new(config, program);
+    let class = rt.vm.env.heap.classes.register("app.Annotated");
+
+    let mut ctx = rt.ctx(ThreadId(0));
+    let h = ctx.call(cs, |ctx| ctx.alloc_annotated(site, class, 0, 6, 9));
+    let obj = rt.vm.env.heap.handles.get(h);
+    assert_eq!(rt.vm.env.heap.region(obj.region()).kind, RegionKind::Dynamic(9));
+}
+
+#[test]
+fn out_of_memory_panics_with_a_diagnostic() {
+    let result = std::panic::catch_unwind(|| {
+        let mut b = ProgramBuilder::new();
+        let main = b.method("app.Main::run", 60, false);
+        let hot = b.method("app.Maker::make", 100, false);
+        let cs = b.call_site(main, hot);
+        let site = b.alloc_site(hot, 1);
+        let program = b.build();
+
+        let config = RuntimeConfig {
+            collector: CollectorKind::G1,
+            heap: HeapConfig { region_bytes: 16 * 1024, max_heap_bytes: 256 * 1024 },
+            ..Default::default()
+        };
+        let mut rt = JvmRuntime::new(config, program);
+        let class = rt.vm.env.heap.classes.register("app.Retained");
+        let mut held = Vec::new();
+        for _ in 0..100_000 {
+            let mut ctx = rt.ctx(ThreadId(0));
+            held.push(ctx.call(cs, |ctx| ctx.alloc(site, class, 0, 32)));
+        }
+    });
+    let err = result.expect_err("retaining everything must exhaust the heap");
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_default();
+    assert!(msg.contains("OutOfMemoryError"), "got panic: {msg}");
+}

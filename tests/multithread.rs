@@ -1,0 +1,90 @@
+//! Multi-thread (guest) execution: the driver rotates guest threads and
+//! each carries its own thread stack state; profiling and collection must
+//! behave with several mutators in flight.
+
+use rolp::runtime::{CollectorKind, RuntimeConfig};
+use rolp_heap::HeapConfig;
+use rolp_workloads::{execute, CassandraMix, CassandraParams, CassandraWorkload, RunBudget};
+
+fn config(threads: u32) -> RuntimeConfig {
+    RuntimeConfig {
+        collector: CollectorKind::RolpNg2c,
+        heap: HeapConfig { region_bytes: 64 * 1024, max_heap_bytes: 24 << 20 },
+        threads,
+        ..Default::default()
+    }
+}
+
+fn workload() -> CassandraWorkload {
+    CassandraWorkload::new(CassandraParams {
+        mix: CassandraMix::WriteIntensive,
+        memtable_flush_entries: 1_500,
+        key_space: 10_000,
+        row_cache_entries: 800,
+        op_pacing_ns: 1_000,
+        ..Default::default()
+    })
+}
+
+#[test]
+fn four_guest_threads_profile_and_pretenure() {
+    let mut w = workload();
+    let out = execute(&mut w, config(4), &RunBudget::smoke(60_000));
+    assert_eq!(out.report.ops, 60_000);
+    let rolp = out.report.rolp.expect("rolp stats");
+    assert!(rolp.inferences >= 1);
+    assert!(rolp.decisions >= 1, "{rolp:?}");
+}
+
+#[test]
+fn thread_count_does_not_change_profiling_decisions() {
+    // The OLD table aggregates across threads; the same workload on 1 and
+    // 4 threads must converge to the same decision *set* (contexts and
+    // generations may differ by at most the per-thread interleaving of
+    // flush boundaries, so compare counts loosely).
+    let decisions = |threads| {
+        let mut w = workload();
+        let out = execute(&mut w, config(threads), &RunBudget::smoke(80_000));
+        out.report.rolp.expect("rolp").decisions
+    };
+    let d1 = decisions(1);
+    let d4 = decisions(4);
+    assert!(d1 > 0 && d4 > 0);
+    assert!(
+        d1.abs_diff(d4) <= 2,
+        "decision counts should be similar across thread counts: {d1} vs {d4}"
+    );
+}
+
+#[test]
+fn tss_reconciliation_covers_all_threads() {
+    // Force a corruption on every thread, then run until a GC happens:
+    // the end-of-cycle reconciliation must repair all of them.
+    let mut w = workload();
+    let program = {
+        use rolp_workloads::Workload;
+        w.build_program()
+    };
+    let mut rt = rolp::runtime::JvmRuntime::new(config(4), program);
+    {
+        use rolp_workloads::Workload;
+        w.setup(&mut rt);
+    }
+    for t in &mut rt.vm.env.threads {
+        t.tss = 0xBEEF;
+    }
+    {
+        use rolp_workloads::Workload;
+        for i in 0..30_000u64 {
+            let mut ctx = rt.ctx(rolp_vm::ThreadId((i % 4) as u32));
+            w.tick(&mut ctx);
+        }
+    }
+    let report = rt.report();
+    assert!(report.gc_cycles > 0);
+    let rolp = report.rolp.expect("rolp");
+    assert!(rolp.reconciliations >= 4, "all four corrupted threads repaired: {rolp:?}");
+    for t in &rt.vm.env.threads {
+        assert_eq!(t.tss, 0, "thread stack state repaired at GC end");
+    }
+}

@@ -1,0 +1,98 @@
+//! End-to-end test of the POLM2-style offline warm start: export decisions
+//! from one run, import them into a fresh run, and verify the warmup
+//! disappears (the Fig. 10 learning phase is skipped).
+
+use rolp::runtime::{CollectorKind, JvmRuntime, RuntimeConfig};
+use rolp::DecisionProfile;
+use rolp_heap::{HeapConfig, RegionKind};
+use rolp_vm::{ProgramBuilder, ThreadId};
+
+/// A program with one hot method allocating middle-lived objects.
+fn program() -> (rolp_vm::Program, rolp_vm::CallSiteId, rolp_vm::AllocSiteId) {
+    let mut b = ProgramBuilder::new();
+    let main = b.method("app.Main::run", 60, false);
+    let hot = b.method("app.store.Buffer::fill", 120, false);
+    let cs = b.call_site(main, hot);
+    let site = b.alloc_site(hot, 5);
+    (b.build(), cs, site)
+}
+
+fn run(
+    profile: Option<DecisionProfile>,
+    ops: u64,
+) -> (JvmRuntime, rolp_vm::CallSiteId, rolp_vm::AllocSiteId) {
+    let (program, cs, site) = program();
+    let mut config = RuntimeConfig {
+        collector: CollectorKind::RolpNg2c,
+        heap: HeapConfig { region_bytes: 64 * 1024, max_heap_bytes: 12 << 20 },
+        ..Default::default()
+    };
+    config.rolp.offline_profile = profile;
+    let mut rt = JvmRuntime::new(config, program);
+    let class = rt.vm.env.heap.classes.register("app.store.Chunk");
+
+    // Middle-lived ring: objects live ~20k ops.
+    let mut ring = std::collections::VecDeque::new();
+    for _ in 0..ops {
+        let mut ctx = rt.ctx(ThreadId(0));
+        let h = ctx.call(cs, |ctx| {
+            ctx.work(20);
+            ctx.alloc(site, class, 0, 24)
+        });
+        ring.push_back(h);
+        if ring.len() > 10_000 {
+            let old = ring.pop_front().expect("non-empty");
+            rt.ctx(ThreadId(0)).release(old);
+        }
+    }
+    (rt, cs, site)
+}
+
+#[test]
+fn exported_profile_warm_starts_a_fresh_run() {
+    // Run 1: learn online, then export.
+    let (mut rt1, _, _) = run(None, 600_000);
+    let report1 = rt1.report();
+    let rolp1 = report1.rolp.expect("rolp stats");
+    assert!(rolp1.decisions > 0, "first run must learn something");
+    let profile = {
+        let p = rt1.profiler.as_ref().expect("rolp").borrow();
+        DecisionProfile::from_profiler(&p, &rt1.vm.env.program, &rt1.vm.env.jit)
+    };
+    assert!(!profile.is_empty(), "exported profile has entries");
+    assert!(profile.to_string().contains("app.store.Buffer::fill@5"));
+
+    // The profile round-trips through its text form (what a file would
+    // hold).
+    let text = profile.to_string();
+    let parsed: DecisionProfile = text.parse().expect("parses");
+    assert_eq!(parsed, profile);
+
+    // Run 2: import; pretenuring must begin as soon as the hot method
+    // compiles — long before any inference pass could have run.
+    let (rt2, _, _) = run(Some(parsed), 3_000);
+    let used_dynamic: usize = (1u8..=14)
+        .map(|g| rt2.vm.env.heap.num_of_kind(RegionKind::Dynamic(g)))
+        .sum();
+    assert!(
+        used_dynamic > 0,
+        "offline-seeded decisions must pretenure before the first inference"
+    );
+    let rolp2 = {
+        let p = rt2.profiler.as_ref().expect("rolp").borrow();
+        p.stats(&rt2.vm.env.program, &rt2.vm.env.jit)
+    };
+    assert_eq!(rolp2.inferences, 0, "3k ops is before the first inference window");
+}
+
+#[test]
+fn stale_profile_entries_are_ignored() {
+    let profile: DecisionProfile =
+        "zzz.Gone::method@9 7\napp.store.Buffer::fill@5 6\n".parse().expect("parses");
+    let (rt, _, _) = run(Some(profile), 3_000);
+    // The matching entry applied; the stale one was dropped silently.
+    let used_dynamic: usize = (1u8..=14)
+        .map(|g| rt.vm.env.heap.num_of_kind(RegionKind::Dynamic(g)))
+        .sum();
+    assert!(used_dynamic > 0);
+}

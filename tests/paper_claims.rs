@@ -1,0 +1,135 @@
+//! Executable summary of the paper's headline claims, at test scale.
+//!
+//! Each test states one claim from the abstract/conclusions and asserts
+//! the mechanism behind it end to end. The full-scale numbers live in
+//! `EXPERIMENTS.md`; these are the fast, always-on guards.
+
+use rolp::runtime::{CollectorKind, RuntimeConfig};
+use rolp_heap::HeapConfig;
+use rolp_metrics::{SimScale, SimTime};
+use rolp_vm::CostModel;
+use rolp_workloads::{
+    execute, CassandraMix, CassandraParams, CassandraWorkload, RunBudget, Workload,
+};
+
+fn workload() -> CassandraWorkload {
+    CassandraWorkload::new(CassandraParams {
+        mix: CassandraMix::WriteIntensive,
+        memtable_flush_entries: 2_000,
+        key_space: 20_000,
+        row_cache_entries: 1_000,
+        op_pacing_ns: 2_000,
+        ..Default::default()
+    })
+}
+
+fn config(kind: CollectorKind) -> RuntimeConfig {
+    RuntimeConfig {
+        collector: kind,
+        heap: HeapConfig { region_bytes: 64 * 1024, max_heap_bytes: 24 << 20 },
+        cost: CostModel::scaled(SimScale::new(256)),
+        side_table_scale: 256,
+        threads: 2,
+        ..Default::default()
+    }
+}
+
+fn steady_budget() -> RunBudget {
+    RunBudget {
+        sim_time: SimTime::from_secs(4),
+        warmup_discard: SimTime::from_secs(2),
+        max_ops: u64::MAX,
+    }
+}
+
+/// "Results show long tail latencies reductions ... with no programmer
+/// effort": ROLP's tail must sit well below G1's and near NG2C's, and the
+/// ROLP run uses zero annotations while the NG2C run needs them.
+#[test]
+fn claim_tail_reduction_without_programmer_effort() {
+    let run = |kind| {
+        let mut w = workload();
+        let out = execute(&mut w, config(kind), &steady_budget());
+        (out.pauses.percentile_ms(99.0), w.annotation_count())
+    };
+    let (g1, _) = run(CollectorKind::G1);
+    let (ng2c, annotations) = run(CollectorKind::Ng2c);
+    let (rolp, _) = run(CollectorKind::RolpNg2c);
+
+    assert!(rolp < g1 * 0.7, "ROLP p99 {rolp:.1} ms vs G1 {g1:.1} ms");
+    assert!(
+        rolp < ng2c * 1.5,
+        "ROLP p99 {rolp:.1} ms must be in NG2C's league ({ng2c:.1} ms)"
+    );
+    assert!(annotations > 0, "the NG2C baseline needs hand annotations; ROLP needs none");
+}
+
+/// "...negligible throughput (< 6%) overhead": the profiling instructions
+/// must not cost more than a few percent of saturated capacity vs the
+/// same collector without any profiling (NG2C with annotations).
+#[test]
+fn claim_negligible_throughput_overhead() {
+    let capacity = |kind| {
+        let mut w = workload();
+        execute(&mut w, config(kind), &steady_budget()).report.ops_per_busy_sec
+    };
+    let ng2c = capacity(CollectorKind::Ng2c);
+    let rolp = capacity(CollectorKind::RolpNg2c);
+    let overhead = 1.0 - rolp / ng2c;
+    assert!(
+        overhead < 0.10,
+        "profiling overhead vs annotation-driven NG2C: {:.1}% (paper: <6%)",
+        overhead * 100.0
+    );
+}
+
+/// "...and memory overhead": the OLD table is bounded by
+/// 4 MB x (1 + conflicts) and peak heap stays close to NG2C's.
+#[test]
+fn claim_negligible_memory_overhead() {
+    let mut w = workload();
+    let out = execute(&mut w, config(CollectorKind::RolpNg2c), &steady_budget());
+    let rolp = out.report.rolp.expect("rolp stats");
+    let bound = 4 * 1024 * 1024 * (1 + rolp.conflicts.detected);
+    assert!(
+        rolp.old_table_bytes <= bound,
+        "OLD table {} exceeds the Section 7.5 bound {}",
+        rolp.old_table_bytes,
+        bound
+    );
+}
+
+/// "ROLP is the first ... that can categorize objects in multiple classes
+/// of estimated lifetime": the decisions must span at least three distinct
+/// generations (young, a middle dynamic generation, old-ish), not a binary
+/// tenured/untenured split.
+#[test]
+fn claim_multiple_lifetime_classes() {
+    // Separate the middle-lived cohorts clearly: the memtable epoch lives
+    // ~4-5 GC cycles, the FIFO row cache ~3-4x longer.
+    let mut w = CassandraWorkload::new(CassandraParams {
+        mix: CassandraMix::WriteIntensive,
+        memtable_flush_entries: 3_000,
+        key_space: 20_000,
+        row_cache_entries: 12_000,
+        op_pacing_ns: 2_000,
+        ..Default::default()
+    });
+    let program = w.build_program();
+    let mut rt = rolp::runtime::JvmRuntime::new(config(CollectorKind::RolpNg2c), program);
+    w.setup(&mut rt);
+    for i in 0..400_000u64 {
+        let mut ctx = rt.ctx(rolp_vm::ThreadId((i % 2) as u32));
+        w.tick(&mut ctx);
+    }
+    let profiler = rt.profiler.as_ref().expect("rolp").borrow();
+    let mut gens: Vec<u8> = profiler.decisions().values().copied().collect();
+    gens.sort_unstable();
+    gens.dedup();
+    assert!(
+        gens.len() >= 3,
+        "expected >= 3 distinct lifetime classes, got {gens:?}; decisions {:?}; stats {:?}",
+        profiler.decisions(),
+        profiler.stats(&rt.vm.env.program, &rt.vm.env.jit).conflicts,
+    );
+}

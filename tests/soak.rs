@@ -1,0 +1,63 @@
+//! Soak test: sustained mixed workload under ROLP with periodic
+//! whole-heap verification (structure + remembered-set completeness after
+//! full compactions).
+
+use rolp::runtime::{CollectorKind, JvmRuntime, RuntimeConfig};
+use rolp_heap::verify::verify_heap;
+use rolp_heap::HeapConfig;
+use rolp_vm::ThreadId;
+use rolp_workloads::{CassandraMix, CassandraParams, CassandraWorkload, Workload};
+
+#[test]
+fn sustained_kv_load_keeps_the_heap_valid() {
+    let mut w = CassandraWorkload::new(CassandraParams {
+        mix: CassandraMix::WriteIntensive,
+        memtable_flush_entries: 2_500,
+        key_space: 25_000,
+        row_cache_entries: 1_200,
+        op_pacing_ns: 1_000,
+        ..Default::default()
+    });
+    let config = RuntimeConfig {
+        collector: CollectorKind::RolpNg2c,
+        heap: HeapConfig { region_bytes: 64 * 1024, max_heap_bytes: 24 << 20 },
+        threads: 2,
+        ..Default::default()
+    };
+    let program = w.build_program();
+    let mut rt = JvmRuntime::new(config, program);
+    w.setup(&mut rt);
+
+    let mut last_cycles = 0;
+    for i in 0..200_000u64 {
+        let mut ctx = rt.ctx(ThreadId((i % 2) as u32));
+        w.tick(&mut ctx);
+
+        // Verify at (roughly) every 25th GC cycle — expensive, so sparse.
+        let cycles = rt.vm.collector.gc_cycles();
+        if cycles >= last_cycles + 25 {
+            last_cycles = cycles;
+            let errors = verify_heap(&rt.vm.env.heap, false);
+            assert!(
+                errors.is_empty(),
+                "heap invariants violated after {cycles} cycles: {:?}",
+                errors.first()
+            );
+        }
+    }
+    assert!(last_cycles >= 50, "the soak must actually exercise many collections");
+
+    // Final deep check including remembered-set completeness right after a
+    // marking-grade event: run a full compaction and verify everything.
+    let mut hooks = rolp_gc::NullHooks;
+    rolp_gc::full_compact(&mut rt.vm.env, &mut hooks);
+    let errors = verify_heap(&rt.vm.env.heap, true);
+    assert!(errors.is_empty(), "post-compaction heap invalid: {:?}", errors.first());
+
+    // The workload's own data structures survived it all.
+    assert!(w.flushes >= 10);
+    let report = rt.report();
+    let rolp = report.rolp.expect("rolp stats");
+    assert!(rolp.inferences >= 3);
+    assert!(rolp.decisions >= 2);
+}
