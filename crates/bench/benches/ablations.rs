@@ -17,7 +17,9 @@ use rolp::ProfilingLevel;
 use rolp_bench::{banner, scale, TextTable};
 use rolp_metrics::SimScale;
 use rolp_vm::{CostModel, JitConfig, ThreadId};
-use rolp_workloads::{benchmark, execute, CassandraMix, DacapoBench, DacapoSpec, RunBudget, Workload};
+use rolp_workloads::{
+    benchmark, execute, CassandraMix, DacapoBench, DacapoSpec, RunBudget, Workload,
+};
 
 fn dacapo_config(spec: &DacapoSpec, scale: SimScale) -> RuntimeConfig {
     RuntimeConfig {
@@ -35,12 +37,9 @@ fn dacapo_config(spec: &DacapoSpec, scale: SimScale) -> RuntimeConfig {
 fn hot_code_only(scale: SimScale) {
     println!("--- Ablation 1: hot-code-only vs interpret-time profiling (Sections 3.2, 9.1) ---");
     let spec = DacapoSpec { ops: 6_000, ..benchmark("fop").expect("fop") };
-    let mut table = TextTable::new(vec![
-        "mode", "exec time", "profiled allocs", "unprofiled allocs",
-    ]);
-    for (label, interp) in
-        [("hot-only (ROLP)", false), ("interpreted too (Memento-style)", true)]
-    {
+    let mut table =
+        TextTable::new(vec!["mode", "exec time", "profiled allocs", "unprofiled allocs"]);
+    for (label, interp) in [("hot-only (ROLP)", false), ("interpreted too (Memento-style)", true)] {
         let mut bench = DacapoBench::new(spec.clone(), 3);
         let mut config = dacapo_config(&spec, scale);
         config.jit = JitConfig {
@@ -58,8 +57,10 @@ fn hot_code_only(scale: SimScale) {
         ]);
     }
     println!("{}", table.render());
-    println!("expect: interpret-time profiling covers every allocation but pays a much\n\
-         higher per-allocation cost; ROLP trades a little coverage for speed\n");
+    println!(
+        "expect: interpret-time profiling covers every allocation but pays a much\n\
+         higher per-allocation cost; ROLP trades a little coverage for speed\n"
+    );
 }
 
 /// Ablation 2: inlined call sites never carry profiling code.
@@ -90,12 +91,15 @@ fn survivor_shutdown(scale: SimScale) {
     let heap = rolp_bench::bigdata_heap(scale);
     let budget = rolp_bench::bigdata_budget(scale);
     let mut table = TextTable::new(vec![
-        "mode", "stable mean ms", "p99 ms", "off/on switches", "survivor records",
+        "mode",
+        "stable mean ms",
+        "p99 ms",
+        "off/on switches",
+        "survivor records",
     ]);
     for (label, shutdown) in [("shutdown enabled", true), ("always tracking", false)] {
         let mut w = rolp_bench::cassandra(CassandraMix::WriteIntensive, scale);
-        let mut config =
-            rolp_bench::runtime_config(CollectorKind::RolpNg2c, heap.clone(), scale);
+        let mut config = rolp_bench::runtime_config(CollectorKind::RolpNg2c, heap.clone(), scale);
         config.rolp.survivor_shutdown = shutdown;
         config.rolp.filters = w.profiling_filters();
         let out = execute(&mut w, config, &budget);
@@ -128,9 +132,8 @@ fn site_only_contexts(scale: SimScale) {
     // rounds, whose cadence scales with the heap.
     let ops = 9_600_000 / scale.divisor();
     let spec = DacapoSpec { ops, ..benchmark("pmd").expect("pmd") };
-    let mut table = TextTable::new(vec![
-        "mode", "conflicts detected", "resolved", "distinguishing sites kept",
-    ]);
+    let mut table =
+        TextTable::new(vec!["mode", "conflicts detected", "resolved", "distinguishing sites kept"]);
     for (label, level) in [
         ("site-only (no call tracking)", ProfilingLevel::FastCallProfiling),
         ("site + stack state (real)", ProfilingLevel::Real),
@@ -148,10 +151,12 @@ fn site_only_contexts(scale: SimScale) {
         ]);
     }
     println!("{}", table.render());
-    println!("expect: conflicts are detected either way (the multimodal curves are visible\n\
+    println!(
+        "expect: conflicts are detected either way (the multimodal curves are visible\n\
          in the site rows), but only thread-stack-state tracking can separate the\n\
          call paths and resolve them — the paper's Section 1 argument against\n\
-         site-only indicators\n");
+         site-only indicators\n"
+    );
 }
 
 /// Ablation 5: §7.6 unsynchronized-counter loss.
@@ -164,11 +169,11 @@ fn old_table_loss(scale: SimScale) {
         warmup_discard: rolp_metrics::SimTime::ZERO,
         max_ops: u64::MAX,
     };
-    let mut table = TextTable::new(vec!["increment loss", "decisions", "lost increments", "p99 ms"]);
+    let mut table =
+        TextTable::new(vec!["increment loss", "decisions", "lost increments", "p99 ms"]);
     for loss in [0.0, 0.05, 0.30] {
         let mut w = rolp_bench::cassandra(CassandraMix::WriteIntensive, scale);
-        let mut config =
-            rolp_bench::runtime_config(CollectorKind::RolpNg2c, heap.clone(), scale);
+        let mut config = rolp_bench::runtime_config(CollectorKind::RolpNg2c, heap.clone(), scale);
         config.rolp.filters = w.profiling_filters();
         let program = w.build_program();
         let mut rt = JvmRuntime::new(config, program);

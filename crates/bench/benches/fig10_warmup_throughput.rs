@@ -29,11 +29,8 @@ fn main() {
     let heap = bigdata_heap(scale);
     let full = bigdata_budget(scale);
     let warmup_window = SimTime::from_nanos(full.sim_time.as_nanos() / 2);
-    let budget = RunBudget {
-        sim_time: warmup_window,
-        warmup_discard: SimTime::ZERO,
-        max_ops: u64::MAX,
-    };
+    let budget =
+        RunBudget { sim_time: warmup_window, warmup_discard: SimTime::ZERO, max_ops: u64::MAX };
     let mut w = rolp_bench::cassandra(CassandraMix::WriteIntensive, scale);
     let out = run_one(&mut w, CollectorKind::RolpNg2c, heap.clone(), scale, &budget);
 
@@ -68,12 +65,8 @@ fn main() {
 
     // --- Middle/right: throughput and max memory normalized to G1 ---
     let budget = throughput_budget(scale);
-    let systems = [
-        CollectorKind::Cms,
-        CollectorKind::Zgc,
-        CollectorKind::Ng2c,
-        CollectorKind::RolpNg2c,
-    ];
+    let systems =
+        [CollectorKind::Cms, CollectorKind::Zgc, CollectorKind::Ng2c, CollectorKind::RolpNg2c];
     let mut thr = TextTable::new(vec!["workload", "CMS", "ZGC", "NG2C", "ROLP"]);
     let mut mem = TextTable::new(vec!["workload", "CMS", "ZGC", "NG2C", "ROLP"]);
 

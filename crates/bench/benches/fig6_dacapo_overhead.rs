@@ -32,12 +32,8 @@ fn run_once(
 ) -> f64 {
     let heap = spec.heap_config(scale);
     let mut bench = DacapoBench::new(spec.clone(), 0xDACA);
-    let mut config = RuntimeConfig {
-        collector,
-        heap,
-        cost: CostModel::scaled(scale),
-        ..Default::default()
-    };
+    let mut config =
+        RuntimeConfig { collector, heap, cost: CostModel::scaled(scale), ..Default::default() };
     config.rolp.level = level;
     let budget = RunBudget::smoke(spec.ops);
     let out = execute(&mut bench, config, &budget);

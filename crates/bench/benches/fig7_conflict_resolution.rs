@@ -37,8 +37,15 @@ fn main() {
     let scale = scale();
     banner("Figure 7: worst-case conflict resolution time (ms) vs P", scale);
 
-    let mut table = TextTable::new(vec!["benchmark", "jitted calls", "GC interval",
-        "P=5%", "P=10%", "P=20%", "P=50%"]);
+    let mut table = TextTable::new(vec![
+        "benchmark",
+        "jitted calls",
+        "GC interval",
+        "P=5%",
+        "P=10%",
+        "P=20%",
+        "P=50%",
+    ]);
     for spec in all_benchmarks() {
         let (call_sites, interval_ms) = measure(&spec, scale);
         let mut row =

@@ -74,7 +74,8 @@ fn main() {
                     let evs: Vec<_> =
                         out.raw_pauses.events().iter().filter(|e| e.kind == k).collect();
                     if !evs.is_empty() {
-                        let max = evs.iter().map(|e| e.duration.as_millis_f64()).fold(0.0, f64::max);
+                        let max =
+                            evs.iter().map(|e| e.duration.as_millis_f64()).fold(0.0, f64::max);
                         eprintln!("    {}: {} pauses, max {:.1} ms", k.label(), evs.len(), max);
                     }
                 }

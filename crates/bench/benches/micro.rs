@@ -66,8 +66,7 @@ fn bench_stack_state(c: &mut Criterion) {
 
 fn bench_alloc_path(c: &mut Criterion) {
     c.bench_function("heap_alloc_small_object", |b| {
-        let mut heap =
-            Heap::new(HeapConfig { region_bytes: 1 << 20, max_heap_bytes: 1 << 30 });
+        let mut heap = Heap::new(HeapConfig { region_bytes: 1 << 20, max_heap_bytes: 1 << 30 });
         let class = heap.classes.register("bench.Obj");
         let header = ObjectHeader::new(1);
         b.iter(|| {

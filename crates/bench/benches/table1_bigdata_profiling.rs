@@ -24,15 +24,11 @@ fn main() {
     // Use the full Fig. 8 run length: conflict detection and resolution
     // need the same number of inference windows here as there.
     let full = rolp_bench::bigdata_budget(scale);
-    let budget = RunBudget {
-        sim_time: full.sim_time,
-        warmup_discard: SimTime::ZERO,
-        max_ops: u64::MAX,
-    };
+    let budget =
+        RunBudget { sim_time: full.sim_time, warmup_discard: SimTime::ZERO, max_ops: u64::MAX };
 
-    let mut table = TextTable::new(vec![
-        "workload", "filters", "PAS", "PMC", "#CFs", "NG2C", "OLD",
-    ]);
+    let mut table =
+        TextTable::new(vec!["workload", "filters", "PAS", "PMC", "#CFs", "NG2C", "OLD"]);
 
     let names: Vec<String> = bigdata_workloads(scale).iter().map(|w| w.name()).collect();
     for (wi, name) in names.iter().enumerate() {
@@ -45,10 +41,24 @@ fn main() {
         table.row(vec![
             name.clone(),
             filters.to_string(),
-            format!("{}/{} ({})", r.profiled_alloc_sites, r.total_alloc_sites,
-                rolp_bench::fmt_pct(r.profiled_alloc_sites as f64 / r.total_alloc_sites.max(1) as f64, 0)),
-            format!("{}/{} ({})", r.enabled_call_sites, r.total_call_sites,
-                rolp_bench::fmt_pct(r.enabled_call_sites as f64 / r.total_call_sites.max(1) as f64, 0)),
+            format!(
+                "{}/{} ({})",
+                r.profiled_alloc_sites,
+                r.total_alloc_sites,
+                rolp_bench::fmt_pct(
+                    r.profiled_alloc_sites as f64 / r.total_alloc_sites.max(1) as f64,
+                    0
+                )
+            ),
+            format!(
+                "{}/{} ({})",
+                r.enabled_call_sites,
+                r.total_call_sites,
+                rolp_bench::fmt_pct(
+                    r.enabled_call_sites as f64 / r.total_call_sites.max(1) as f64,
+                    0
+                )
+            ),
             r.conflicts.detected.to_string(),
             annotations.to_string(),
             rolp_bench::fmt_bytes(r.old_table_bytes),

@@ -39,7 +39,13 @@ fn main() {
     banner("Table 2: DaCapo profiling (PMC, PAS, conflicts, 20% tracking overhead)", scale);
 
     let mut table = TextTable::new(vec![
-        "benchmark", "heap (paper)", "heap (run)", "PMC", "PAS", "CFs", "CF overhead @P=20%",
+        "benchmark",
+        "heap (paper)",
+        "heap (run)",
+        "PMC",
+        "PAS",
+        "CFs",
+        "CF overhead @P=20%",
     ]);
     for spec in all_benchmarks() {
         // Conflict detection needs inference rounds (16 GC cycles each),

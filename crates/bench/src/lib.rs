@@ -16,24 +16,14 @@ use rolp::runtime::{CollectorKind, RuntimeConfig};
 use rolp_heap::HeapConfig;
 use rolp_metrics::{SimScale, SimTime};
 use rolp_vm::CostModel;
-use rolp_workloads::{
-    CassandraMix, CassandraParams, CassandraWorkload, GraphAlgo, GraphChiParams,
-    GraphChiWorkload, LuceneParams, LuceneWorkload, RunBudget, RunOutcome, Workload,
-};
+use rolp_workloads::{RunBudget, RunOutcome, Workload};
 
 pub use rolp_metrics::table::{fmt_bytes, fmt_pct, TextTable};
+pub use rolp_workloads::presets::{bigdata_heap, bigdata_workloads, cassandra, graphchi, lucene};
 
 /// The experiment scale (default 1/16; `ROLP_BENCH_SCALE` overrides).
 pub fn scale() -> SimScale {
     SimScale::from_env(16)
-}
-
-/// The big-data heap: the paper's 6 GB divided by the scale, with
-/// region count held near G1's ~1.5–2 k regions.
-pub fn bigdata_heap(scale: SimScale) -> HeapConfig {
-    let heap = scale.bytes(6 * 1024 * 1024 * 1024);
-    let region = (heap / 1536).next_power_of_two().clamp(64 * 1024, 1024 * 1024);
-    HeapConfig { region_bytes: region as usize, max_heap_bytes: heap }
 }
 
 /// Run budget for the pause-distribution experiments: the paper's 30 min
@@ -64,63 +54,6 @@ pub fn throughput_budget(scale: SimScale) -> RunBudget {
     }
 }
 
-/// Cassandra workload at experiment scale.
-pub fn cassandra(mix: CassandraMix, scale: SimScale) -> CassandraWorkload {
-    CassandraWorkload::new(CassandraParams {
-        mix,
-        op_pacing_ns: 100_000, // 10 k ops/s as in the paper
-        memtable_flush_entries: scale.count(2_400_000) as usize,
-        key_space: scale.count(8_000_000),
-        parse_buffers_per_op: 6,
-        row_cache_entries: scale.count(1_200_000) as usize,
-        seed: 0xCA55,
-    })
-}
-
-/// Lucene workload at experiment scale.
-pub fn lucene(scale: SimScale) -> LuceneWorkload {
-    LuceneWorkload::new(LuceneParams {
-        write_fraction: 0.80,
-        op_pacing_ns: 40_000, // 25 k ops/s as in the paper
-        segment_flush_docs: scale.count(4_500_000) as usize,
-        vocabulary: scale.count(1_200_000),
-        doc_words: 48,
-        postings_per_doc: 2,
-        analysis_scratch: 4,
-        seed: 0x10CE,
-    })
-}
-
-/// GraphChi workload at experiment scale (paper: 42 M vertices, 1.5 B
-/// edges, 16 shards — one shard's edge blocks are roughly a quarter of
-/// the heap and live for exactly one interval).
-pub fn graphchi(algo: GraphAlgo, scale: SimScale) -> GraphChiWorkload {
-    let vertices = scale.count(42_000_000) as u32;
-    let edges = scale.count(1_500_000_000);
-    GraphChiWorkload::new(GraphChiParams {
-        algo,
-        vertices,
-        edges,
-        shards: 16,
-        chunk: 4_096,
-        io_ns_per_edge: 800,
-        update_sample: 64,
-        seed: 0x6AF,
-    })
-}
-
-/// The six big-data rows of Table 1 / Figs. 8–10, in paper order.
-pub fn bigdata_workloads(scale: SimScale) -> Vec<Box<dyn Workload>> {
-    vec![
-        Box::new(cassandra(CassandraMix::WriteIntensive, scale)),
-        Box::new(cassandra(CassandraMix::ReadWrite, scale)),
-        Box::new(cassandra(CassandraMix::ReadIntensive, scale)),
-        Box::new(lucene(scale)),
-        Box::new(graphchi(GraphAlgo::ConnectedComponents, scale)),
-        Box::new(graphchi(GraphAlgo::PageRank, scale)),
-    ]
-}
-
 /// Assembles the runtime configuration for one collector at scale.
 pub fn runtime_config(kind: CollectorKind, heap: HeapConfig, scale: SimScale) -> RuntimeConfig {
     RuntimeConfig {
@@ -134,6 +67,11 @@ pub fn runtime_config(kind: CollectorKind, heap: HeapConfig, scale: SimScale) ->
 }
 
 /// Runs one workload under one collector with the given budget.
+///
+/// When `ROLP_TRACE_DIR` is set, the run records a flight-recorder trace
+/// and writes `<dir>/<workload>-<collector>.trace.json` (Chrome
+/// `trace_event` format) so any bench run can be inspected in Perfetto
+/// without code changes.
 pub fn run_one(
     workload: &mut dyn Workload,
     kind: CollectorKind,
@@ -141,8 +79,22 @@ pub fn run_one(
     scale: SimScale,
     budget: &RunBudget,
 ) -> RunOutcome {
-    let config = runtime_config(kind, heap, scale);
-    rolp_workloads::execute(workload, config, budget)
+    let trace_dir = std::env::var("ROLP_TRACE_DIR").ok();
+    let mut config = runtime_config(kind, heap, scale);
+    config.trace_enabled = trace_dir.is_some();
+    let name = workload.name();
+    let out = rolp_workloads::execute(workload, config, budget);
+    if let Some(dir) = trace_dir {
+        let slug: String = format!("{}-{}", name, kind.label())
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '-' })
+            .collect();
+        let path = std::path::Path::new(&dir).join(format!("{slug}.trace.json"));
+        if let Err(e) = std::fs::write(&path, rolp_trace::export::to_chrome_trace(&out.trace)) {
+            eprintln!("warning: cannot write trace {}: {e}", path.display());
+        }
+    }
+    out
 }
 
 /// The Fig. 8 percentiles.

@@ -64,15 +64,24 @@ fn probe(mut w: Box<dyn Workload>, scale: SimScale, secs: u64) {
     // Pause-kind summary.
     use rolp_metrics::PauseKind::*;
     for k in [Young, Mixed, Full, ConcurrentHandshake] {
-        let evs: Vec<_> = rt.vm.env.pauses.events().iter().filter(|e| e.kind == k).cloned().collect();
+        let evs: Vec<_> =
+            rt.vm.env.pauses.events().iter().filter(|e| e.kind == k).cloned().collect();
         if !evs.is_empty() {
             let max = evs.iter().map(|e| e.duration.as_millis_f64()).fold(0.0, f64::max);
             println!("{}: {} pauses, max {:.1} ms", k.label(), evs.len(), max);
             // last few big ones with timestamps
-            let mut big: Vec<_> = evs.iter().filter(|e| e.duration.as_millis_f64() > 20.0).collect();
-            if big.len() > 6 { let n = big.len(); big = big.split_off(n - 6); }
+            let mut big: Vec<_> =
+                evs.iter().filter(|e| e.duration.as_millis_f64() > 20.0).collect();
+            if big.len() > 6 {
+                let n = big.len();
+                big = big.split_off(n - 6);
+            }
             for e in big {
-                println!("    at {:>8.1}s: {:.1} ms", e.at.as_secs_f64(), e.duration.as_millis_f64());
+                println!(
+                    "    at {:>8.1}s: {:.1} ms",
+                    e.at.as_secs_f64(),
+                    e.duration.as_millis_f64()
+                );
             }
         }
     }

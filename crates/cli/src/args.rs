@@ -35,6 +35,10 @@ pub struct Args {
     pub export_profile: Option<String>,
     /// Import an offline decision profile from this file.
     pub import_profile: Option<String>,
+    /// Write a Chrome `trace_event` flight-recorder trace to this file.
+    pub trace_out: Option<String>,
+    /// Write the machine-readable run summary (JSON) to this file.
+    pub stats_json: Option<String>,
 }
 
 impl Default for Args {
@@ -48,6 +52,8 @@ impl Default for Args {
             report: false,
             export_profile: None,
             import_profile: None,
+            trace_out: None,
+            stats_json: None,
         }
     }
 }
@@ -70,6 +76,14 @@ OPTIONS:
     --report            print the full profiler report
     --export-profile <FILE>   write learned decisions (POLM2-style)
     --import-profile <FILE>   warm-start from an exported profile
+    --trace-out <FILE>  record a flight-recorder trace of GC pauses,
+                        profiler inferences, pretenuring decisions, and
+                        JIT activity; written in Chrome trace_event format
+                        (load in chrome://tracing or ui.perfetto.dev).
+                        Use a .jsonl extension for line-oriented JSON
+                        events instead.
+    --stats-json <FILE> write the end-of-run summary as JSON (pause
+                        percentiles, throughput, profiler counters)
     --help              show this text
 ";
 
@@ -107,6 +121,8 @@ pub fn parse(argv: &[String]) -> Result<Args, String> {
             "--report" => args.report = true,
             "--export-profile" => args.export_profile = Some(take("--export-profile")?),
             "--import-profile" => args.import_profile = Some(take("--import-profile")?),
+            "--trace-out" => args.trace_out = Some(take("--trace-out")?),
+            "--stats-json" => args.stats_json = Some(take("--stats-json")?),
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown option {other}\n\n{USAGE}")),
         }
@@ -180,6 +196,14 @@ mod tests {
         assert_eq!(a.secs, 90);
         assert_eq!(a.discard, 10);
         assert!(a.report);
+    }
+
+    #[test]
+    fn observability_flags_parse() {
+        let a = parse(&argv("--trace-out t.json --stats-json s.json")).expect("parses");
+        assert_eq!(a.trace_out.as_deref(), Some("t.json"));
+        assert_eq!(a.stats_json.as_deref(), Some("s.json"));
+        assert!(parse(&argv("--trace-out")).unwrap_err().contains("needs a value"));
     }
 
     #[test]

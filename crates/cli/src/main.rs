@@ -15,10 +15,11 @@ use rolp_workloads::{execute, DacapoBench, RunBudget, Workload};
 use args::{Args, WorkloadChoice};
 
 fn build_workload(args: &Args, scale: SimScale) -> Box<dyn Workload> {
+    use rolp_workloads::presets;
     match &args.workload {
-        WorkloadChoice::Cassandra(mix) => Box::new(cassandra(*mix, scale)),
-        WorkloadChoice::Lucene => Box::new(lucene(scale)),
-        WorkloadChoice::GraphChi(algo) => Box::new(graphchi(*algo, scale)),
+        WorkloadChoice::Cassandra(mix) => Box::new(presets::cassandra(*mix, scale)),
+        WorkloadChoice::Lucene => Box::new(presets::lucene(scale)),
+        WorkloadChoice::GraphChi(algo) => Box::new(presets::graphchi(*algo, scale)),
         WorkloadChoice::Dacapo(name) => {
             let spec = rolp_workloads::benchmark(name).expect("validated at parse time");
             Box::new(DacapoBench::new(spec, 0xDACA))
@@ -26,55 +27,12 @@ fn build_workload(args: &Args, scale: SimScale) -> Box<dyn Workload> {
     }
 }
 
-// Paper-parameterized workload constructors (mirrors the bench harness).
-fn cassandra(mix: rolp_workloads::CassandraMix, scale: SimScale) -> rolp_workloads::CassandraWorkload {
-    rolp_workloads::CassandraWorkload::new(rolp_workloads::CassandraParams {
-        mix,
-        op_pacing_ns: 100_000,
-        memtable_flush_entries: scale.count(2_400_000) as usize,
-        key_space: scale.count(8_000_000),
-        parse_buffers_per_op: 6,
-        row_cache_entries: scale.count(1_200_000) as usize,
-        seed: 0xCA55,
-    })
-}
-
-fn lucene(scale: SimScale) -> rolp_workloads::LuceneWorkload {
-    rolp_workloads::LuceneWorkload::new(rolp_workloads::LuceneParams {
-        write_fraction: 0.80,
-        op_pacing_ns: 40_000,
-        segment_flush_docs: scale.count(4_500_000) as usize,
-        vocabulary: scale.count(1_200_000),
-        doc_words: 48,
-        postings_per_doc: 2,
-        analysis_scratch: 4,
-        seed: 0x10CE,
-    })
-}
-
-fn graphchi(algo: rolp_workloads::GraphAlgo, scale: SimScale) -> rolp_workloads::GraphChiWorkload {
-    rolp_workloads::GraphChiWorkload::new(rolp_workloads::GraphChiParams {
-        algo,
-        vertices: scale.count(42_000_000) as u32,
-        edges: scale.count(1_500_000_000),
-        shards: 16,
-        chunk: 4_096,
-        io_ns_per_edge: 800,
-        update_sample: 64,
-        seed: 0x6AF,
-    })
-}
-
 fn heap_for(args: &Args, scale: SimScale) -> rolp_heap::HeapConfig {
     match &args.workload {
         WorkloadChoice::Dacapo(name) => {
             rolp_workloads::benchmark(name).expect("validated").heap_config(scale)
         }
-        _ => {
-            let heap = scale.bytes(6 * 1024 * 1024 * 1024);
-            let region = (heap / 1536).next_power_of_two().clamp(64 * 1024, 1024 * 1024);
-            rolp_heap::HeapConfig { region_bytes: region as usize, max_heap_bytes: heap }
-        }
+        _ => rolp_workloads::presets::bigdata_heap(scale),
     }
 }
 
@@ -92,13 +50,15 @@ fn run(args: Args) -> Result<(), String> {
         ..Default::default()
     };
     if let Some(path) = &args.import_profile {
-        let text = std::fs::read_to_string(path)
-            .map_err(|e| format!("cannot read {path}: {e}"))?;
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
         let profile: DecisionProfile =
             text.parse().map_err(|e| format!("bad profile {path}: {e}"))?;
         println!("imported {} offline decision(s) from {path}", profile.len());
         config.rolp.offline_profile = Some(profile);
     }
+    // The flight recorder stays off (and costs nothing) unless a trace
+    // sink was requested.
+    config.trace_enabled = args.trace_out.is_some();
 
     let budget = RunBudget {
         sim_time: SimTime::from_secs(args.secs),
@@ -123,8 +83,35 @@ fn run(args: Args) -> Result<(), String> {
     } else {
         let out = execute(&mut *workload, config, &budget);
         print_outcome(&out);
-        Ok(())
+        write_outputs(&args, &out.report, &out.pauses, &out.trace, out.trace_dropped)
     }
+}
+
+/// Writes the `--trace-out` / `--stats-json` sinks, if requested.
+fn write_outputs(
+    args: &Args,
+    report: &rolp::runtime::RunReport,
+    pauses: &rolp_metrics::PauseRecorder,
+    trace: &[rolp_trace::TraceEvent],
+    dropped: u64,
+) -> Result<(), String> {
+    if let Some(path) = &args.trace_out {
+        let rendered = if path.ends_with(".jsonl") {
+            rolp_trace::export::to_jsonl(trace)
+        } else {
+            rolp_trace::export::to_chrome_trace(trace)
+        };
+        std::fs::write(path, rendered).map_err(|e| format!("cannot write {path}: {e}"))?;
+        let dropped_note =
+            if dropped > 0 { format!(" ({dropped} dropped in-ring)") } else { String::new() };
+        println!("trace: {} event(s) written to {path}{dropped_note}", trace.len());
+    }
+    if let Some(path) = &args.stats_json {
+        std::fs::write(path, rolp::stats_json(report, pauses, dropped))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("stats: run summary written to {path}");
+    }
+    Ok(())
 }
 
 /// Variant that keeps the runtime alive for report/export.
@@ -155,6 +142,9 @@ fn run_with_runtime(
     let mut pauses = rt.vm.env.pauses.clone();
     pauses.discard_before(budget.warmup_discard);
     print_report(&report, &pauses);
+    let dropped = rt.vm.env.trace.dropped();
+    let trace = rt.take_trace();
+    write_outputs(args, &report, &pauses, &trace, dropped)?;
 
     if let Some(profiler) = &rt.profiler {
         let p = profiler.borrow();
@@ -181,13 +171,17 @@ fn print_outcome(out: &rolp_workloads::RunOutcome) {
 fn print_report(report: &rolp::runtime::RunReport, pauses: &rolp_metrics::PauseRecorder) {
     println!("collector          {}", report.collector);
     println!("operations         {}", report.ops);
-    println!("throughput         {:.0} ops/s ({:.0} ops/busy-s)",
-        report.ops_per_sec, report.ops_per_busy_sec);
+    println!(
+        "throughput         {:.0} ops/s ({:.0} ops/busy-s)",
+        report.ops_per_sec, report.ops_per_busy_sec
+    );
     println!("GC cycles          {}", report.gc_cycles);
     println!("time paused        {} of {}", report.total_paused, report.elapsed);
-    println!("max memory         {} used, {} committed",
+    println!(
+        "max memory         {} used, {} committed",
         rolp_metrics::table::fmt_bytes(report.max_used_bytes),
-        rolp_metrics::table::fmt_bytes(report.max_committed_bytes));
+        rolp_metrics::table::fmt_bytes(report.max_committed_bytes)
+    );
     println!("pauses (post-discard): {}", pauses.count());
     for p in [50.0, 90.0, 99.0, 99.9, 100.0] {
         println!("  p{p:<6} {:>9.2} ms", pauses.percentile_ms(p));

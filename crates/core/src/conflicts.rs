@@ -89,6 +89,10 @@ pub struct ConflictResolver {
     seen: HashSet<u16>,
     phase: Phase,
     stats: ConflictStats,
+    /// When set, batch transitions are appended to `batch_log` for the
+    /// flight recorder (drained by the profiler after each inference).
+    log_batches: bool,
+    batch_log: Vec<(&'static str, u64)>,
 }
 
 impl ConflictResolver {
@@ -105,6 +109,26 @@ impl ConflictResolver {
             seen: HashSet::new(),
             phase: Phase::Idle,
             stats: ConflictStats::default(),
+            log_batches: false,
+            batch_log: Vec::new(),
+        }
+    }
+
+    /// Turns batch-transition logging on or off (kept off unless a trace
+    /// recorder will drain [`ConflictResolver::take_batch_log`]).
+    pub fn set_batch_logging(&mut self, enabled: bool) {
+        self.log_batches = enabled;
+    }
+
+    /// Drains the logged batch transitions: `(action, sites affected)`
+    /// with action one of `enable`, `shrink`, `disable`, `freeze`.
+    pub fn take_batch_log(&mut self) -> Vec<(&'static str, u64)> {
+        std::mem::take(&mut self.batch_log)
+    }
+
+    fn log_batch(&mut self, action: &'static str, size: usize) {
+        if self.log_batches && size > 0 {
+            self.batch_log.push((action, size as u64));
         }
     }
 
@@ -229,8 +253,8 @@ impl ConflictResolver {
             return;
         }
         let total = jit.profilable_call_sites(program).len();
-        let batch_size = ((total as f64 * self.config.p_fraction).ceil() as usize)
-            .clamp(1, candidates.len());
+        let batch_size =
+            ((total as f64 * self.config.p_fraction).ceil() as usize).clamp(1, candidates.len());
         let mut pool = candidates;
         pool.shuffle(&mut self.rng);
         pool.truncate(batch_size);
@@ -238,12 +262,14 @@ impl ConflictResolver {
             jit.enable_call_profiling(cs);
             self.tried.insert(cs);
         }
+        self.log_batch("enable", pool.len());
         self.active_batch = pool;
         self.stats.probe_rounds += 1;
         self.phase = Phase::Probing;
     }
 
     fn disable_batch(&mut self, jit: &mut JitState) {
+        self.log_batch("disable", self.active_batch.len());
         for &cs in &self.active_batch {
             jit.disable_call_profiling(cs);
         }
@@ -259,6 +285,7 @@ impl ConflictResolver {
             return;
         }
         let half = self.active_batch.split_off(self.active_batch.len() / 2);
+        self.log_batch("shrink", half.len());
         for &cs in &half {
             jit.disable_call_profiling(cs);
         }
@@ -266,6 +293,7 @@ impl ConflictResolver {
     }
 
     fn freeze_batch(&mut self) {
+        self.log_batch("freeze", self.active_batch.len());
         self.frozen.append(&mut self.active_batch);
     }
 }
@@ -303,7 +331,8 @@ mod tests {
             callees.push(b.call_site(caller, callee));
         }
         let program = b.build();
-        let mut jit = JitState::new(&program, JitConfig { compile_threshold: 1, ..Default::default() });
+        let mut jit =
+            JitState::new(&program, JitConfig { compile_threshold: 1, ..Default::default() });
         let mut rng = StdRng::seed_from_u64(1);
         jit.note_entry(&program, caller, &mut rng);
         (program, jit)
@@ -387,6 +416,33 @@ mod tests {
         r.on_inference(&program, &mut jit, &[], &[]);
         assert_eq!(r.stats().frozen_sites as usize, batch);
         assert_eq!(jit.enabled_call_sites(), batch);
+    }
+
+    #[test]
+    fn batch_log_records_probe_shrink_and_freeze_transitions() {
+        let (program, mut jit) = world(16);
+        let mut r = ConflictResolver::new(ConflictConfig::default(), 7);
+        r.set_batch_logging(true);
+        r.on_inference(&program, &mut jit, &[3], &[]);
+        // Failed probe -> disable + fresh enable; then resolution ->
+        // shrink rounds down to a frozen singleton.
+        r.on_inference(&program, &mut jit, &[], &[3]);
+        for _ in 0..10 {
+            r.on_inference(&program, &mut jit, &[], &[]);
+        }
+        let log = r.take_batch_log();
+        let actions: Vec<&str> = log.iter().map(|&(a, _)| a).collect();
+        assert_eq!(&actions[..3], &["enable", "disable", "enable"]);
+        assert!(actions.contains(&"shrink"));
+        assert_eq!(*actions.last().unwrap(), "freeze");
+        assert!(log.iter().all(|&(_, n)| n > 0));
+        assert!(r.take_batch_log().is_empty(), "drained");
+
+        // Off by default: nothing accumulates.
+        let (program2, mut jit2) = world(8);
+        let mut quiet = ConflictResolver::new(ConflictConfig::default(), 7);
+        quiet.on_inference(&program2, &mut jit2, &[1], &[]);
+        assert!(quiet.take_batch_log().is_empty());
     }
 
     #[test]

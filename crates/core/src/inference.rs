@@ -66,7 +66,9 @@ pub fn find_peaks(hist: &[u32; AGE_COLUMNS]) -> Vec<u8> {
         }
         let left = if i == 0 { 0 } else { hist[i - 1] };
         let right = if i == AGE_COLUMNS - 1 { 0 } else { hist[i + 1] };
-        if hist[i] >= left && hist[i] >= right && (hist[i] > left || hist[i] > right || (i == 0 && right == 0) || hist[i] == max)
+        if hist[i] >= left
+            && hist[i] >= right
+            && (hist[i] > left || hist[i] > right || (i == 0 && right == 0) || hist[i] == max)
         {
             // Plateau handling: take only the first column of a plateau.
             if i > 0 && hist[i] == left && candidates.last() == Some(&(i - 1)) {

@@ -64,11 +64,8 @@ impl LeakReport {
 
         if history.len() >= 3 {
             let latest = history.back().expect("non-empty");
-            let candidates: HashSet<u32> = latest
-                .iter()
-                .filter(|(_, &n)| n >= min_live)
-                .map(|(&c, _)| c)
-                .collect();
+            let candidates: HashSet<u32> =
+                latest.iter().filter(|(_, &n)| n >= min_live).map(|(&c, _)| c).collect();
             for ctx in candidates {
                 let series: Vec<u64> =
                     history.iter().map(|h| h.get(&ctx).copied().unwrap_or(0)).collect();

@@ -72,13 +72,15 @@ pub mod report;
 pub mod runtime;
 pub mod survivor;
 
-pub use conflicts::{worst_case_resolution_time_ms, ConflictConfig, ConflictResolver, ConflictStats};
+pub use conflicts::{
+    worst_case_resolution_time_ms, ConflictConfig, ConflictResolver, ConflictStats,
+};
 pub use filters::PackageFilters;
 pub use inference::{classify_row, find_peaks, infer, InferenceOutcome, RowVerdict};
 pub use leak::{LeakReport, LeakSuspect};
 pub use offline::{DecisionProfile, ProfileEntry, ProfileParseError};
 pub use old_table::{OldTable, WorkerTable, AGE_COLUMNS};
 pub use profiler::{ProfilingLevel, RolpConfig, RolpProfiler, RolpStats};
-pub use report::{render_decisions, render_summary};
+pub use report::{render_decisions, render_summary, stats_json};
 pub use runtime::{CollectorKind, JvmRuntime, RunReport, RuntimeConfig};
 pub use survivor::SurvivorTracking;

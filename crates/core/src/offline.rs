@@ -88,11 +88,8 @@ impl DecisionProfile {
     /// generation, for sites whose location matches an entry. Used by the
     /// profiler at startup.
     pub fn resolve(&self, program: &Program) -> HashMap<AllocSiteId, u8> {
-        let by_loc: HashMap<(&str, u32), u8> = self
-            .entries
-            .iter()
-            .map(|e| ((e.method.as_str(), e.bci), e.generation))
-            .collect();
+        let by_loc: HashMap<(&str, u32), u8> =
+            self.entries.iter().map(|e| ((e.method.as_str(), e.bci), e.generation)).collect();
         let mut out = HashMap::new();
         for site in program.alloc_sites() {
             let decl = program.alloc_site(site);
@@ -138,7 +135,8 @@ impl FromStr for DecisionProfile {
             let (loc, gen) = line.rsplit_once(' ').ok_or_else(|| err("missing generation"))?;
             let (method, bci) = loc.rsplit_once('@').ok_or_else(|| err("missing @bci"))?;
             let bci: u32 = bci.parse().map_err(|_| err("bci is not a number"))?;
-            let generation: u8 = gen.trim().parse().map_err(|_| err("generation is not a number"))?;
+            let generation: u8 =
+                gen.trim().parse().map_err(|_| err("generation is not a number"))?;
             if generation > 15 {
                 return Err(err("generation out of range (0..=15)"));
             }

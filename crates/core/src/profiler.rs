@@ -188,6 +188,12 @@ impl RolpProfiler {
         &self.config
     }
 
+    /// Turns flight-recorder logging of conflict-batch transitions on or
+    /// off (the events are drained into the trace after each inference).
+    pub fn set_trace_logging(&mut self, enabled: bool) {
+        self.resolver.set_batch_logging(enabled);
+    }
+
     /// Current pretenuring decisions (row key → generation).
     pub fn decisions(&self) -> &HashMap<u32, u8> {
         &self.decisions
@@ -219,6 +225,12 @@ impl RolpProfiler {
     /// resolver, refresh decisions, apply §6 demotion, drive the §7.4
     /// survivor switch, clear the table.
     fn run_inference(&mut self, env: &mut VmEnv, info: &GcCycleInfo) {
+        let tracing = env.trace.is_enabled();
+        let decisions_before = if tracing { self.decisions.clone() } else { HashMap::new() };
+        let survivor_before = self.survivor.enabled();
+        let mut new_conflicts = 0u64;
+        let mut unresolved_conflicts = 0u64;
+
         // With survivor tracking off (§7.4), the window's table holds only
         // age-0 allocation counts — no lifetime information. Decisions are
         // left frozen (the workload was judged stable) and conflict
@@ -227,6 +239,8 @@ impl RolpProfiler {
 
         if tracking_active {
             let outcome = infer(&self.old);
+            new_conflicts = outcome.new_conflicts.len() as u64;
+            unresolved_conflicts = outcome.unresolved_conflicts.len() as u64;
 
             // Conflicts: grow the table (§7.5) and engage the resolver
             // (§5).
@@ -280,8 +294,7 @@ impl RolpProfiler {
             && !self.decisions.is_empty()
             && self.resolver.open_conflicts() == 0
         {
-            let mut sorted: Vec<(u32, u8)> =
-                self.decisions.iter().map(|(&k, &v)| (k, v)).collect();
+            let mut sorted: Vec<(u32, u8)> = self.decisions.iter().map(|(&k, &v)| (k, v)).collect();
             sorted.sort_unstable();
             let hash = SurvivorTracking::hash_decisions(&sorted);
             let mean = if self.window_pauses == 0 {
@@ -293,6 +306,48 @@ impl RolpProfiler {
         }
         self.window_pause_ms = 0.0;
         self.window_pauses = 0;
+
+        if tracing {
+            use rolp_trace::EventKind;
+            let now = env.clock.now();
+            for (action, size) in self.resolver.take_batch_log() {
+                env.trace.emit_global(now, EventKind::ConflictBatch { action, size });
+            }
+            // Sorted so the event stream is independent of hash order.
+            let mut changed: Vec<(u32, u8)> = self
+                .decisions
+                .iter()
+                .map(|(&k, &v)| (k, v))
+                .filter(|&(k, v)| decisions_before.get(&k) != Some(&v))
+                .collect();
+            changed.sort_unstable();
+            for (key, gen) in changed {
+                let from_gen = decisions_before.get(&key).copied().unwrap_or(0);
+                let reason = if gen >= from_gen { "inferred" } else { "demoted" };
+                env.trace.emit_global(
+                    now,
+                    EventKind::DecisionChange { context: key, from_gen, to_gen: gen, reason },
+                );
+            }
+            if self.survivor.enabled() != survivor_before {
+                env.trace.emit_global(
+                    now,
+                    EventKind::SurvivorTracking { enabled: self.survivor.enabled() },
+                );
+            }
+            env.trace.emit_global(
+                now,
+                EventKind::ProfilerInference {
+                    epoch: self.inferences + 1,
+                    old_rows: self.old.touched_rows().len() as u64,
+                    old_bytes: self.old.memory_bytes(),
+                    new_conflicts,
+                    unresolved_conflicts,
+                    decisions: self.decisions.len() as u64,
+                    demotions: self.demotions,
+                },
+            );
+        }
 
         self.old.clear_counts();
         self.inferences += 1;
@@ -412,6 +467,19 @@ impl GcHooks for RolpProfiler {
         // §4: inference once every 16 GC cycles.
         if info.cycle.is_multiple_of(self.config.inference_period) {
             self.run_inference(env, info);
+        }
+
+        // Flight recorder: publish the call-profiling toggles this cycle's
+        // resolution (or a SlowCallProfiling compile) performed. Drained
+        // after inference so the batch just enabled appears in-stream.
+        if env.trace.is_enabled() {
+            let now = env.clock.now();
+            for (cs, enabled) in env.jit.take_toggle_log() {
+                env.trace.emit_global(
+                    now,
+                    rolp_trace::EventKind::CallProfiling { call_site: cs.0, enabled },
+                );
+            }
         }
     }
 }

@@ -1,16 +1,19 @@
-//! Human-readable profiler reports.
+//! Human-readable profiler reports and the machine-readable run summary.
 //!
 //! Renders the profiler's current state — decisions, conflict-resolution
 //! progress, OLD-table occupancy — the way `-XX:+PrintROLPStatistics`
-//! style diagnostics would. Examples and operators use this; benches use
-//! the structured [`crate::profiler::RolpStats`] instead.
+//! style diagnostics would, plus [`stats_json`], the `--stats-json`
+//! end-of-run summary (pause percentiles, throughput, profiler counters).
 
 use std::fmt::Write as _;
 
+use rolp_metrics::PauseRecorder;
+use rolp_trace::json::JsonObject;
 use rolp_vm::{JitState, Program};
 
 use crate::context::{site_of, tss_of};
 use crate::profiler::RolpProfiler;
+use crate::runtime::RunReport;
 
 /// Renders the profiler's lifetime decisions with resolved source
 /// locations, sorted by generation (oldest first) then location.
@@ -31,7 +34,9 @@ pub fn render_decisions(profiler: &RolpProfiler, program: &Program) -> String {
             (gen, location, tss_of(ctx))
         })
         .collect();
-    rows.sort_by(|a, b| (std::cmp::Reverse(a.0), &a.1, a.2).cmp(&(std::cmp::Reverse(b.0), &b.1, b.2)));
+    rows.sort_by(|a, b| {
+        (std::cmp::Reverse(a.0), &a.1, a.2).cmp(&(std::cmp::Reverse(b.0), &b.1, b.2))
+    });
 
     if rows.is_empty() {
         return "no lifetime decisions yet (still learning)".to_string();
@@ -100,6 +105,64 @@ pub fn render_summary(profiler: &RolpProfiler, program: &Program, jit: &JitState
     out
 }
 
+/// Renders the end-of-run summary as a JSON object (the `--stats-json`
+/// payload): run totals, throughput, pause percentiles, and — when the
+/// profiler was active — the ROLP counters behind Tables 1 and 2.
+/// `trace_dropped` is the flight recorder's ring-overflow count (0 when
+/// tracing was off).
+pub fn stats_json(report: &RunReport, pauses: &PauseRecorder, trace_dropped: u64) -> String {
+    let mut pause_obj = JsonObject::new();
+    pause_obj
+        .u64("count", pauses.count() as u64)
+        .f64("total_ms", report.total_paused.as_millis_f64())
+        .f64("mean_ms", pauses.mean_ms())
+        .f64("p50_ms", pauses.percentile_ms(50.0))
+        .f64("p90_ms", pauses.percentile_ms(90.0))
+        .f64("p99_ms", pauses.percentile_ms(99.0))
+        .f64("p999_ms", pauses.percentile_ms(99.9))
+        .f64("max_ms", pauses.percentile_ms(100.0));
+
+    let mut obj = JsonObject::new();
+    obj.str("collector", report.collector)
+        .f64("elapsed_ms", report.elapsed.as_millis_f64())
+        .u64("ops", report.ops)
+        .f64("ops_per_sec", report.ops_per_sec)
+        .f64("ops_per_busy_sec", report.ops_per_busy_sec)
+        .u64("max_used_bytes", report.max_used_bytes)
+        .u64("max_committed_bytes", report.max_committed_bytes)
+        .u64("gc_cycles", report.gc_cycles)
+        .u64("trace_dropped_events", trace_dropped)
+        .raw("pauses", &pause_obj.finish());
+
+    if let Some(s) = &report.rolp {
+        let mut rolp = JsonObject::new();
+        rolp.u64("profiled_alloc_sites", s.profiled_alloc_sites as u64)
+            .u64("total_alloc_sites", s.total_alloc_sites as u64)
+            .u64("enabled_call_sites", s.enabled_call_sites as u64)
+            .u64("installed_call_sites", s.installed_call_sites as u64)
+            .u64("total_call_sites", s.total_call_sites as u64)
+            .u64("conflicts_detected", s.conflicts.detected)
+            .u64("conflicts_resolved", s.conflicts.resolved)
+            .u64("conflicts_exhausted", s.conflicts.exhausted)
+            .u64("probe_rounds", s.conflicts.probe_rounds)
+            .u64("frozen_sites", s.conflicts.frozen_sites)
+            .u64("inferences", s.inferences)
+            .u64("decisions", s.decisions as u64)
+            .u64("old_table_bytes", s.old_table_bytes)
+            .u64("profiled_allocations", s.profiled_allocations)
+            .u64("unprofiled_allocations", s.unprofiled_allocations)
+            .u64("survivor_records", s.survivor_records)
+            .u64("reconciliations", s.reconciliations)
+            .u64("demotions", s.demotions)
+            .u64("survivor_shutdowns", s.survivor_shutdowns)
+            .u64("survivor_reactivations", s.survivor_reactivations);
+        obj.raw("rolp", &rolp.finish());
+    }
+    let mut out = obj.finish();
+    out.push('\n');
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -142,13 +205,40 @@ mod tests {
     }
 
     #[test]
+    fn stats_json_includes_percentiles_throughput_and_rolp_block() {
+        use crate::runtime::{CollectorKind, JvmRuntime, RuntimeConfig};
+        let mut b = ProgramBuilder::new();
+        let main = b.method("t.Main::run", 100, false);
+        let _ = b.alloc_site(main, 0);
+        let cfg = RuntimeConfig {
+            collector: CollectorKind::RolpNg2c,
+            heap: rolp_heap::HeapConfig { region_bytes: 4096, max_heap_bytes: 1 << 20 },
+            ..Default::default()
+        };
+        let mut rt = JvmRuntime::new(cfg, b.build());
+        let report = rt.report();
+        let json = stats_json(&report, &rt.vm.env.pauses, 0);
+        for needle in [
+            "\"collector\":\"ROLP\"",
+            "\"p50_ms\":",
+            "\"p99_ms\":",
+            "\"p999_ms\":",
+            "\"ops_per_sec\":",
+            "\"pauses\":{",
+            "\"rolp\":{",
+            "\"decisions\":",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+        assert!(json.ends_with("}\n"));
+    }
+
+    #[test]
     fn summary_renders_every_section() {
         let (program, jit, mut p) = world();
         p.on_alloc(1, 0, ThreadId(0));
         let s = render_summary(&p, &program, &jit);
-        for needle in
-            ["allocation sites", "call sites", "inference", "conflicts", "OLD table"]
-        {
+        for needle in ["allocation sites", "call sites", "inference", "conflicts", "OLD table"] {
             assert!(s.contains(needle), "missing {needle} in: {s}");
         }
     }

@@ -84,6 +84,12 @@ pub struct RuntimeConfig {
     /// so in scaled-down experiments it must be scaled too or it dwarfs
     /// the scaled heap (at full scale it is 0.07-0.26% of a 6 GB heap).
     pub side_table_scale: u64,
+    /// Flight recorder: when set, every layer emits structured events
+    /// into the [`rolp_trace::TraceRecorder`] (default off — the disabled
+    /// recorder costs one branch per emit site and never allocates).
+    pub trace_enabled: bool,
+    /// Per-thread event ring capacity when tracing is on.
+    pub trace_ring_capacity: usize,
 }
 
 impl Default for RuntimeConfig {
@@ -98,6 +104,8 @@ impl Default for RuntimeConfig {
             threads: 1,
             seed: 42,
             side_table_scale: 1,
+            trace_enabled: false,
+            trace_ring_capacity: rolp_trace::DEFAULT_RING_CAPACITY,
         }
     }
 }
@@ -151,11 +159,19 @@ impl JvmRuntime {
         config.jit.install_call_profiling = config.collector == CollectorKind::RolpNg2c
             && config.rolp.level != ProfilingLevel::NoCallProfiling;
 
-        let env = VmEnv::new(heap, config.cost.clone(), program, config.jit.clone(), config.threads);
+        let mut env =
+            VmEnv::new(heap, config.cost.clone(), program, config.jit.clone(), config.threads);
+        if config.trace_enabled {
+            env.trace =
+                rolp_trace::TraceRecorder::enabled(config.threads, config.trace_ring_capacity);
+            env.jit.set_toggle_logging(true);
+        }
 
         let (profiler_rc, vm) = match config.collector {
             CollectorKind::RolpNg2c => {
-                let rolp = Rc::new(RefCell::new(RolpProfiler::new(config.rolp.clone())));
+                let mut prof = RolpProfiler::new(config.rolp.clone());
+                prof.set_trace_logging(config.trace_enabled);
+                let rolp = Rc::new(RefCell::new(prof));
                 let hooks: Rc<RefCell<dyn rolp_gc::GcHooks>> = rolp.clone();
                 let collector: Box<dyn CollectorApi> = Box::new(RegionalCollector::with_config(
                     rolp_gc::RegionalConfig { pretenuring: true, ..config.regional.clone() },
@@ -214,6 +230,12 @@ impl JvmRuntime {
         self.vm.ctx(thread)
     }
 
+    /// Takes the flight-recorder event stream (merging any events still
+    /// sitting in per-thread rings). Empty when tracing was off.
+    pub fn take_trace(&mut self) -> Vec<rolp_trace::TraceEvent> {
+        std::mem::take(&mut self.vm.env.trace).finish()
+    }
+
     /// Keeps the OLD table's memory accounted in the memory watermarks.
     pub fn sample_side_tables(&mut self) {
         if let Some(p) = &self.profiler {
@@ -228,10 +250,7 @@ impl JvmRuntime {
         self.vm.env.sample_memory();
         let env = &self.vm.env;
         let elapsed = env.clock.now();
-        let rolp = self
-            .profiler
-            .as_ref()
-            .map(|p| p.borrow().stats(&env.program, &env.jit));
+        let rolp = self.profiler.as_ref().map(|p| p.borrow().stats(&env.program, &env.jit));
         let busy = env.clock.busy_time();
         RunReport {
             collector: self.vm.collector.name(),

@@ -16,7 +16,7 @@ use rolp_heap::{AllocFailure, ObjectRef, RegionId, RegionKind, SpaceKind};
 use rolp_metrics::{PauseKind, SimTime};
 use rolp_vm::{AllocRequest, CollectorApi, VmEnv};
 
-use crate::evac::{evacuate, full_compact};
+use crate::evac::{evacuate, full_compact, trace_pause, EvacStats};
 use crate::mark::mark_liveness;
 use crate::observer::{GcCycleInfo, GcHooks};
 
@@ -104,8 +104,8 @@ impl CmsCollector {
         let mut cset: Vec<RegionId> = env.heap.regions_of_kind(RegionKind::Eden);
         cset.extend(env.heap.regions_of_kind(RegionKind::Survivor));
 
-        let survivor_budget = (env.heap.num_regions() as f64
-            * self.config.survivor_fraction) as u64
+        let survivor_budget = (env.heap.num_regions() as f64 * self.config.survivor_fraction)
+            as u64
             * env.heap.region_bytes() as u64;
         let tenuring = self.config.tenuring_threshold;
         let mut survivor_bytes = 0u64;
@@ -132,11 +132,17 @@ impl CmsCollector {
         self.stats.young_gcs += 1;
 
         if outcome.failed {
+            env.trace.set_gc_cause("evac-failure");
             self.full_collect(env);
             return false;
         }
-        self.notify_end(env, PauseKind::Young, outcome.stats.bytes_copied,
-            outcome.stats.survivors, outcome.pause);
+        self.notify_end(
+            env,
+            PauseKind::Young,
+            outcome.stats.bytes_copied,
+            outcome.stats.survivors,
+            outcome.pause,
+        );
 
         // Concurrent old-generation cycle when occupancy crosses the
         // initiating threshold.
@@ -155,6 +161,8 @@ impl CmsCollector {
         let initial = SimTime::from_nanos(env.cost.safepoint_ns);
         env.clock.advance_paused(initial);
         env.pauses.record(t0, initial, PauseKind::ConcurrentHandshake);
+        env.trace.set_gc_cause("initial-mark");
+        trace_pause(env, t0, initial, PauseKind::ConcurrentHandshake, &EvacStats::default());
 
         let mark = mark_liveness(&mut env.heap);
         self.hooks.borrow_mut().on_liveness(&mark.context_live);
@@ -169,6 +177,8 @@ impl CmsCollector {
         );
         env.clock.advance_paused(remark);
         env.pauses.record(t1, remark, PauseKind::ConcurrentHandshake);
+        env.trace.set_gc_cause("remark");
+        trace_pause(env, t1, remark, PauseKind::ConcurrentHandshake, &EvacStats::default());
 
         // Concurrent sweep: free wholly dead old and humongous regions.
         let mut swept = 0u64;
@@ -201,12 +211,7 @@ impl CmsCollector {
         drop(hooks_ref);
         self.cycles += 1;
         self.stats.full_gcs += 1;
-        let pause = env
-            .pauses
-            .events()
-            .get(before)
-            .map(|e| e.duration)
-            .unwrap_or(SimTime::ZERO);
+        let pause = env.pauses.events().get(before).map(|e| e.duration).unwrap_or(SimTime::ZERO);
         self.notify_end(env, PauseKind::Full, stats.bytes_copied, stats.survivors, pause);
     }
 
@@ -243,6 +248,7 @@ impl CmsCollector {
 impl CollectorApi for CmsCollector {
     fn allocate(&mut self, env: &mut VmEnv, req: AllocRequest) -> ObjectRef {
         if self.should_collect_young(env) {
+            env.trace.set_gc_cause("eden-full");
             self.collect_young(env);
         }
         for attempt in 0..3 {
@@ -259,9 +265,13 @@ impl CollectorApi for CmsCollector {
                 }
                 Err(AllocFailure::NeedsGc) => match attempt {
                     0 => {
+                        env.trace.set_gc_cause("alloc-failure");
                         self.collect_young(env);
                     }
-                    1 => self.full_collect(env),
+                    1 => {
+                        env.trace.set_gc_cause("heap-full");
+                        self.full_collect(env);
+                    }
                     _ => break,
                 },
             }

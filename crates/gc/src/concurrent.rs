@@ -125,6 +125,7 @@ impl ConcurrentCollector {
             .collect();
 
         let mut dest = |_from: RegionKind, _age: u8, _size: u32| SpaceKind::Eden;
+        env.trace.set_gc_cause("relocate");
         let hooks = Rc::clone(&self.hooks);
         let mut hooks_ref = hooks.borrow_mut();
         let outcome = evacuate_concurrent(env, &cset, &mut dest, &mut *hooks_ref);
@@ -138,6 +139,7 @@ impl ConcurrentCollector {
         if outcome.failed {
             // Even the concurrent collector must fall back when headroom
             // runs out mid-relocation.
+            env.trace.set_gc_cause("evac-failure");
             let hooks = Rc::clone(&self.hooks);
             let mut hooks_ref = hooks.borrow_mut();
             crate::evac::full_compact(env, &mut *hooks_ref);
@@ -167,6 +169,7 @@ impl CollectorApi for ConcurrentCollector {
         if self.occupancy(env) > self.config.trigger_occupancy
             || env.heap.free_regions() <= self.config.reserve_regions
         {
+            env.trace.set_gc_cause("occupancy");
             self.cycle(env);
         }
         for attempt in 0..3 {
@@ -182,8 +185,12 @@ impl CollectorApi for ConcurrentCollector {
                     panic!("OutOfMemoryError: object larger than the heap")
                 }
                 Err(AllocFailure::NeedsGc) => match attempt {
-                    0 => self.cycle(env),
+                    0 => {
+                        env.trace.set_gc_cause("alloc-failure");
+                        self.cycle(env);
+                    }
                     1 => {
+                        env.trace.set_gc_cause("heap-full");
                         let hooks = Rc::clone(&self.hooks);
                         let mut hooks_ref = hooks.borrow_mut();
                         crate::evac::full_compact(env, &mut *hooks_ref);

@@ -46,6 +46,19 @@ pub struct EvacStats {
     /// Collection-set regions that contained no survivor at all (the
     /// "die-together" regions NG2C aims for).
     pub regions_fully_dead: u64,
+    /// Bytes copied per destination generation: index 0 for the young
+    /// spaces (eden/survivor), `g` for dynamic generation `g`, and 15 for
+    /// the old generation (paper Fig. 9's per-generation copy volumes).
+    pub gen_bytes: [u64; 16],
+}
+
+/// The `gen_bytes` slot a destination space tallies into.
+pub fn gen_index(space: SpaceKind) -> usize {
+    match space {
+        SpaceKind::Eden | SpaceKind::Survivor => 0,
+        SpaceKind::Dynamic(g) => (g as usize).clamp(1, 14),
+        SpaceKind::Old => 15,
+    }
 }
 
 /// Outcome of [`evacuate`].
@@ -60,12 +73,43 @@ pub struct EvacOutcome {
     pub pause: SimTime,
 }
 
+/// Flight-recorder bookkeeping for one stop-the-world pause: merges the
+/// per-thread event buffers (the world is stopped — this is the natural
+/// safepoint) and emits the pause event with the collector-supplied cause.
+pub(crate) fn trace_pause(
+    env: &mut VmEnv,
+    start: SimTime,
+    pause: SimTime,
+    kind: PauseKind,
+    stats: &EvacStats,
+) {
+    if !env.trace.is_enabled() {
+        return;
+    }
+    env.trace.merge_safepoint();
+    let cause = env.trace.take_gc_cause();
+    env.trace.emit_global(
+        start,
+        rolp_trace::EventKind::GcPause {
+            kind: kind.label(),
+            cause,
+            duration_ns: pause.as_nanos(),
+            bytes_copied: stats.bytes_copied,
+            survivors: stats.survivors,
+            regions_in_cset: stats.regions_in_cset,
+            regions_released: stats.regions_released,
+            regions_fully_dead: stats.regions_fully_dead,
+            gen_bytes: stats.gen_bytes,
+        },
+    );
+}
+
 /// Computes the pause duration for an evacuation from its work counts.
 pub fn evac_pause_ns(cost: &CostModel, stats: &EvacStats, survivor_tracking: bool) -> u64 {
     let workers = cost.gc_workers.max(1);
     let per_worker = |n: u64, each: u64| n.saturating_mul(each) / workers;
-    let survivor_each = cost.survivor_overhead_ns
-        + if survivor_tracking { cost.profile_survivor_ns } else { 0 };
+    let survivor_each =
+        cost.survivor_overhead_ns + if survivor_tracking { cost.profile_survivor_ns } else { 0 };
     cost.safepoint_ns
         + per_worker(stats.roots_scanned, cost.root_scan_ns)
         + per_worker(stats.remset_slots, cost.remset_scan_ns)
@@ -113,6 +157,7 @@ impl Evacuator<'_> {
                 self.heap.set_header(new, fixed);
                 self.stats.survivors += 1;
                 self.stats.bytes_copied += size_bytes;
+                self.stats.gen_bytes[gen_index(space)] += size_bytes;
                 if self.tracking {
                     // Simulated worker assignment mirrors the per-worker
                     // private tables of §7.6.
@@ -289,10 +334,8 @@ fn evacuate_mode(
             let region = env.heap.region(r);
             // A region nobody copied out of died wholesale ("epochal"
             // reclamation): it is released for free.
-            let had_survivor = env
-                .heap
-                .objects_in_region(r)
-                .any(|o| env.heap.header(o).is_forwarded());
+            let had_survivor =
+                env.heap.objects_in_region(r).any(|o| env.heap.header(o).is_forwarded());
             if !had_survivor && region.used_bytes() > 0 {
                 stats.regions_fully_dead += 1;
             }
@@ -312,6 +355,7 @@ fn evacuate_mode(
     };
     env.clock.advance_paused(pause);
     env.pauses.record(start, pause, kind);
+    trace_pause(env, start, pause, kind, &stats);
     env.sample_memory();
 
     EvacOutcome { stats, failed, pause }
@@ -454,6 +498,7 @@ pub fn full_compact(env: &mut VmEnv, hooks: &mut dyn GcHooks) -> EvacStats {
             relocation.insert(obj, new);
             stats.survivors += 1;
             stats.bytes_copied += size_bytes;
+            stats.gen_bytes[gen_index(to_space)] += size_bytes;
             if tracking {
                 let worker = (stats.survivors % 4) as u32;
                 hooks.on_survivor(header, from_kind, worker);
@@ -514,6 +559,7 @@ pub fn full_compact(env: &mut VmEnv, hooks: &mut dyn GcHooks) -> EvacStats {
     let pause = SimTime::from_nanos(pause_ns);
     env.clock.advance_paused(pause);
     env.pauses.record(start, pause, PauseKind::Full);
+    trace_pause(env, start, pause, PauseKind::Full, &stats);
     env.sample_memory();
 
     stats

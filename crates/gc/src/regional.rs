@@ -139,9 +139,8 @@ impl RegionalCollector {
         if !self.config.pretenuring {
             return SpaceKind::Eden;
         }
-        let gen = req.manual_gen.or_else(|| {
-            req.context.and_then(|c| self.hooks.borrow().advise(c))
-        });
+        let gen =
+            req.manual_gen.or_else(|| req.context.and_then(|c| self.hooks.borrow().advise(c)));
         match gen {
             None | Some(0) => SpaceKind::Eden,
             Some(15) => {
@@ -190,6 +189,14 @@ impl RegionalCollector {
         );
         env.clock.advance_paused(remark);
         env.pauses.record(remark_start, remark, PauseKind::ConcurrentHandshake);
+        env.trace.set_gc_cause("remark");
+        crate::evac::trace_pause(
+            env,
+            remark_start,
+            remark,
+            PauseKind::ConcurrentHandshake,
+            &EvacStats::default(),
+        );
 
         // Eagerly reclaim dead humongous regions (G1 does this at cleanup).
         for id in env.heap.regions_of_kind(RegionKind::Humongous) {
@@ -244,8 +251,8 @@ impl RegionalCollector {
             }
         }
 
-        let survivor_budget = (env.heap.num_regions() as f64
-            * self.config.survivor_fraction) as u64
+        let survivor_budget = (env.heap.num_regions() as f64 * self.config.survivor_fraction)
+            as u64
             * env.heap.region_bytes() as u64;
         let tenuring = self.config.tenuring_threshold;
         let mut survivor_bytes = 0u64;
@@ -277,6 +284,7 @@ impl RegionalCollector {
         self.stats.regions_died_together += outcome.stats.regions_fully_dead;
 
         if outcome.failed {
+            env.trace.set_gc_cause("evac-failure");
             self.full_collect(env);
             return false;
         }
@@ -301,16 +309,18 @@ impl RegionalCollector {
         self.stats.full_gcs += 1;
         self.liveness_fresh = true; // full GC recomputed liveness
         self.mixed_remaining = 0;
-        let pause = env
-            .pauses
-            .events()
-            .get(start_pauses)
-            .map(|e| e.duration)
-            .unwrap_or(SimTime::ZERO);
+        let pause =
+            env.pauses.events().get(start_pauses).map(|e| e.duration).unwrap_or(SimTime::ZERO);
         self.finish_cycle(env, PauseKind::Full, &stats, pause);
     }
 
-    fn finish_cycle(&mut self, env: &mut VmEnv, kind: PauseKind, stats: &EvacStats, pause: SimTime) {
+    fn finish_cycle(
+        &mut self,
+        env: &mut VmEnv,
+        kind: PauseKind,
+        stats: &EvacStats,
+        pause: SimTime,
+    ) {
         let info = GcCycleInfo {
             cycle: self.cycles,
             kind,
@@ -378,6 +388,7 @@ impl CollectorApi for RegionalCollector {
         let space = self.choose_space(&req);
 
         if matches!(space, SpaceKind::Eden) && self.should_collect(env) {
+            env.trace.set_gc_cause("eden-full");
             self.collect(env);
         }
 
@@ -389,9 +400,13 @@ impl CollectorApi for RegionalCollector {
                 }
                 Err(AllocFailure::NeedsGc) => match attempt {
                     0 => {
+                        env.trace.set_gc_cause("alloc-failure");
                         self.collect(env);
                     }
-                    1 => self.full_collect(env),
+                    1 => {
+                        env.trace.set_gc_cause("heap-full");
+                        self.full_collect(env);
+                    }
                     _ => break,
                 },
             }

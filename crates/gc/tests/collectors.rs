@@ -157,11 +157,8 @@ fn ng2c_pretenures_into_dynamic_generations() {
 #[test]
 fn ng2c_reclaims_died_together_regions_without_copying() {
     let mut env = env(1 << 20);
-    let cfg = RegionalConfig {
-        mark_trigger: 0.05,
-        mixed_live_threshold: 0.95,
-        ..Default::default()
-    };
+    let cfg =
+        RegionalConfig { mark_trigger: 0.05, mixed_live_threshold: 0.95, ..Default::default() };
     let mut ng2c = RegionalCollector::with_config(
         RegionalConfig { pretenuring: true, ..cfg },
         hooks(),
@@ -189,11 +186,7 @@ fn ng2c_reclaims_died_together_regions_without_copying() {
         alloc_garbage(&mut ng2c, &mut env, 10);
     }
     assert!(ng2c.stats().markings >= 1, "marking should have triggered");
-    assert_eq!(
-        env.heap.num_of_kind(RegionKind::Dynamic(3)),
-        0,
-        "dead dynamic regions reclaimed"
-    );
+    assert_eq!(env.heap.num_of_kind(RegionKind::Dynamic(3)), 0, "dead dynamic regions reclaimed");
     assert!(
         ng2c.stats().regions_died_together >= dyn_regions as u64,
         "died-together reclamation should be copy-free: {:?}",

@@ -114,11 +114,7 @@ fn concurrent_collector_commits_allocation_headroom() {
 #[test]
 fn cms_fragmentation_eventually_forces_a_full_gc() {
     let mut env = env(1 << 20); // small heap: fragmentation bites fast
-    let cfg = CmsConfig {
-        initiating_occupancy: 0.30,
-        tenuring_threshold: 1,
-        ..Default::default()
-    };
+    let cfg = CmsConfig { initiating_occupancy: 0.30, tenuring_threshold: 1, ..Default::default() };
     let mut cms = CmsCollector::with_config(cfg, hooks());
 
     // Interleave long-lived and middle-lived objects so promoted regions
@@ -146,10 +142,7 @@ fn cms_fragmentation_eventually_forces_a_full_gc() {
         }
     }
     let stats = cms.stats();
-    assert!(
-        stats.full_gcs >= 1,
-        "mixed-liveness old regions must force a compaction: {stats:?}"
-    );
+    assert!(stats.full_gcs >= 1, "mixed-liveness old regions must force a compaction: {stats:?}");
     assert_heap_valid(&env.heap, false);
 }
 
@@ -161,10 +154,7 @@ fn marking_census_counts_contexts() {
     for _ in 0..3 {
         let obj = g1.allocate(
             &mut env,
-            AllocRequest {
-                header: ObjectHeader::new(1).with_allocation_context(7),
-                ..req(0, 4)
-            },
+            AllocRequest { header: ObjectHeader::new(1).with_allocation_context(7), ..req(0, 4) },
         );
         env.heap.handles.create(obj);
     }

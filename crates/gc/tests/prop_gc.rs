@@ -130,11 +130,7 @@ fn run_model(ops: &[Op], collector: &mut dyn CollectorApi, env: &mut VmEnv) {
         }
         match s.link {
             Some(peer) => {
-                assert_eq!(
-                    env.heap.get_ref(o, 0),
-                    env.heap.handles.get(peer),
-                    "link corrupted"
-                );
+                assert_eq!(env.heap.get_ref(o, 0), env.heap.handles.get(peer), "link corrupted");
             }
             None => assert!(env.heap.get_ref(o, 0).is_null(), "stale link"),
         }

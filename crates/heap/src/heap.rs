@@ -226,10 +226,7 @@ impl Heap {
 
     /// Ids of regions currently of the given kind.
     pub fn regions_of_kind(&self, kind: RegionKind) -> Vec<RegionId> {
-        self.regions()
-            .filter(|(_, r)| r.kind == kind)
-            .map(|(id, _)| id)
-            .collect()
+        self.regions().filter(|(_, r)| r.kind == kind).map(|(id, _)| id).collect()
     }
 
     fn take_free_region(&mut self, kind: RegionKind, words: usize) -> Option<RegionId> {
@@ -356,8 +353,7 @@ impl Heap {
         header: ObjectHeader,
     ) -> ObjectRef {
         let size_words = OBJECT_HEADER_WORDS + ref_words as u32 + data_words;
-        let info =
-            size_words as u64 | ((ref_words as u64) << 32) | ((class.0 as u64) << 48);
+        let info = size_words as u64 | ((ref_words as u64) << 32) | ((class.0 as u64) << 48);
         let r = &mut self.regions[region.0 as usize];
         r.set_word(offset, header.raw());
         r.set_word(offset + 1, info);
@@ -495,15 +491,13 @@ impl Heap {
 
         // Reserve space in the target.
         let (dst_region, dst_offset) = if size > region_words / 2 {
-            let id = self
-                .take_free_region(RegionKind::Humongous, size)
-                .ok_or(AllocFailure::NeedsGc)?;
+            let id =
+                self.take_free_region(RegionKind::Humongous, size).ok_or(AllocFailure::NeedsGc)?;
             (id, self.regions[id.0 as usize].bump(size).expect("sized region"))
         } else {
             let slot = to_space.slot();
-            let existing = self.current[slot].and_then(|id| {
-                self.regions[id.0 as usize].bump(size).map(|off| (id, off))
-            });
+            let existing = self.current[slot]
+                .and_then(|id| self.regions[id.0 as usize].bump(size).map(|off| (id, off)));
             match existing {
                 Some(pair) => pair,
                 None => {
@@ -532,7 +526,8 @@ impl Heap {
             let (a, b) = (src_region.0 as usize, dst_region.0 as usize);
             let (lo, hi) = if a < b { (a, b) } else { (b, a) };
             let (left, right) = self.regions.split_at_mut(hi);
-            let (src, dst) = if a < b { (&left[lo], &mut right[0]) } else { (&right[0], &mut left[lo]) };
+            let (src, dst) =
+                if a < b { (&left[lo], &mut right[0]) } else { (&right[0], &mut left[lo]) };
             dst.copy_from(src, obj.offset(), dst_offset, size);
         }
 

@@ -137,9 +137,7 @@ mod tests {
         let mut h = heap();
         let _e = h.alloc_in(SpaceKind::Eden, ClassId(0), 0, 8, ObjectHeader::new(1)).unwrap();
         let _o = h.alloc_in(SpaceKind::Old, ClassId(0), 0, 8, ObjectHeader::new(2)).unwrap();
-        let _d = h
-            .alloc_in(SpaceKind::Dynamic(3), ClassId(0), 0, 8, ObjectHeader::new(3))
-            .unwrap();
+        let _d = h.alloc_in(SpaceKind::Dynamic(3), ClassId(0), 0, 8, ObjectHeader::new(3)).unwrap();
         let u = HeapUsage::snapshot(&h);
         assert_eq!(u.eden.regions, 1);
         assert_eq!(u.old.regions, 1);

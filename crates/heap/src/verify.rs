@@ -76,9 +76,11 @@ pub fn verify_heap(heap: &Heap, check_remsets: bool) -> Vec<VerifyError> {
             }
             if check_remsets && to.region() != obj.region() {
                 let slot_off = obj.offset() + OBJECT_HEADER_WORDS + i as u32;
-                let covered = heap.region(to.region()).rset.iter().any(|s| {
-                    s.region == obj.region() && s.offset == slot_off
-                });
+                let covered = heap
+                    .region(to.region())
+                    .rset
+                    .iter()
+                    .any(|s| s.region == obj.region() && s.offset == slot_off);
                 if !covered {
                     errors.push(VerifyError::MissingRemsetEntry { from: obj, field: i, to });
                 }

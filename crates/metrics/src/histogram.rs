@@ -31,13 +31,7 @@ impl Histogram {
     /// Creates an empty histogram covering the full `u64` range.
     pub fn new() -> Self {
         // 64 power-of-two buckets cover all u64 values.
-        Histogram {
-            counts: vec![0; 64 * SUB_BUCKETS],
-            total: 0,
-            min: u64::MAX,
-            max: 0,
-            sum: 0,
-        }
+        Histogram { counts: vec![0; 64 * SUB_BUCKETS], total: 0, min: u64::MAX, max: 0, sum: 0 }
     }
 
     fn index_of(value: u64) -> usize {
@@ -177,11 +171,7 @@ impl Histogram {
 
     /// Iterates `(representative_value, count)` over non-empty buckets.
     pub fn iter_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
-        self.counts
-            .iter()
-            .enumerate()
-            .filter(|(_, &c)| c > 0)
-            .map(|(i, &c)| (Self::value_of(i), c))
+        self.counts.iter().enumerate().filter(|(_, &c)| c > 0).map(|(i, &c)| (Self::value_of(i), c))
     }
 }
 
@@ -236,6 +226,48 @@ mod tests {
         assert_eq!(h.max(), 0);
         assert_eq!(h.mean(), 0.0);
         assert_eq!(h.value_at_quantile(0.99), 0);
+    }
+
+    #[test]
+    fn empty_histogram_percentiles_are_zero_at_every_point() {
+        let h = Histogram::new();
+        for p in [0.0, 50.0, 99.9, 100.0] {
+            assert_eq!(h.percentile(p), 0);
+        }
+        assert_eq!(h.value_at_quantile(0.0), 0);
+        assert_eq!(h.value_at_quantile(1.0), 0);
+    }
+
+    #[test]
+    fn single_sample_dominates_every_percentile() {
+        let mut h = Histogram::new();
+        h.record(123_456_789);
+        for p in [0.0, 1.0, 50.0, 99.0, 99.9] {
+            // The representative is clamped up to the recorded min, so a
+            // lone observation is reported exactly at every percentile.
+            assert_eq!(h.percentile(p), 123_456_789, "p{p}");
+        }
+        assert_eq!(h.percentile(100.0), 123_456_789);
+        assert_eq!(h.min(), h.max());
+    }
+
+    #[test]
+    fn saturating_bucket_holds_u64_max() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX - 1);
+        h.record(0);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.percentile(100.0), u64::MAX);
+        // Both extreme values land in the last power-of-two bucket; the
+        // representative keeps the bounded relative error.
+        let p99 = h.percentile(99.0) as f64;
+        assert!(p99 >= u64::MAX as f64 * (1.0 - 1.0 / SUB_BUCKETS as f64));
+        // Repeated saturating counts do not overflow the bucket tally.
+        h.record_n(u64::MAX, 1 << 40);
+        assert_eq!(h.count(), 3 + (1 << 40));
+        assert_eq!(h.percentile(50.0), h.percentile(90.0));
     }
 
     #[test]

@@ -162,6 +162,29 @@ mod tests {
     }
 
     #[test]
+    fn timeline_preserves_recording_order() {
+        let mut r = PauseRecorder::new();
+        let kinds =
+            [PauseKind::Young, PauseKind::ConcurrentHandshake, PauseKind::Mixed, PauseKind::Full];
+        for (i, &kind) in kinds.iter().enumerate() {
+            r.record(ms(10 * (i as u64 + 1)), ms(1 + i as u64), kind);
+        }
+        let at: Vec<u64> = r.events().iter().map(|e| e.at.as_millis()).collect();
+        assert_eq!(at, vec![10, 20, 30, 40], "events stay in arrival order");
+        assert!(r.events().windows(2).all(|w| w[0].at <= w[1].at));
+        assert_eq!(r.events()[1].kind, PauseKind::ConcurrentHandshake);
+
+        // Windowed views and warmup discard keep the same ordering.
+        let windowed: Vec<u64> =
+            r.events_between(ms(15), ms(45)).map(|e| e.at.as_millis()).collect();
+        assert_eq!(windowed, vec![20, 30, 40]);
+        r.discard_before(ms(25));
+        let kept: Vec<u64> = r.events().iter().map(|e| e.at.as_millis()).collect();
+        assert_eq!(kept, vec![30, 40]);
+        assert_eq!(r.total(), ms(3 + 4));
+    }
+
+    #[test]
     fn events_between_filters_window() {
         let mut r = PauseRecorder::new();
         r.record(ms(10), ms(1), PauseKind::Young);

@@ -126,8 +126,7 @@ impl CostModel {
     /// scaled by `scale`, keeping pause magnitudes comparable to the paper.
     pub fn scaled(scale: SimScale) -> Self {
         let mut m = CostModel::default();
-        m.copy_bandwidth_bytes_per_sec =
-            (m.copy_bandwidth_bytes_per_sec / scale.divisor()).max(1);
+        m.copy_bandwidth_bytes_per_sec = (m.copy_bandwidth_bytes_per_sec / scale.divisor()).max(1);
         m
     }
 
@@ -156,10 +155,7 @@ mod tests {
     fn scaling_divides_bandwidth() {
         let full = CostModel::default();
         let scaled = CostModel::scaled(SimScale::new(16));
-        assert_eq!(
-            scaled.copy_bandwidth_bytes_per_sec * 16,
-            full.copy_bandwidth_bytes_per_sec
-        );
+        assert_eq!(scaled.copy_bandwidth_bytes_per_sec * 16, full.copy_bandwidth_bytes_per_sec);
         // Copying a 16x smaller survivor set therefore takes the same time.
         assert_eq!(full.copy_ns(16 << 20), scaled.copy_ns(1 << 20));
     }

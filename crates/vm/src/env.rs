@@ -10,6 +10,7 @@ use std::rc::Rc;
 
 use rolp_heap::Heap;
 use rolp_metrics::{MemoryTracker, PauseRecorder, SimClock, Throughput};
+use rolp_trace::{EventKind, TraceRecorder};
 
 use crate::cost::CostModel;
 use crate::jit::{JitConfig, JitState};
@@ -38,11 +39,19 @@ pub struct VmEnv {
     pub jit: JitState,
     /// Guest threads.
     pub threads: Vec<MutatorThread>,
+    /// Structured telemetry flight recorder (disabled by default).
+    pub trace: TraceRecorder,
 }
 
 impl VmEnv {
     /// Creates an environment with `num_threads` idle guest threads.
-    pub fn new(heap: Heap, cost: CostModel, program: Program, jit_config: JitConfig, num_threads: u32) -> Self {
+    pub fn new(
+        heap: Heap,
+        cost: CostModel,
+        program: Program,
+        jit_config: JitConfig,
+        num_threads: u32,
+    ) -> Self {
         let program = Rc::new(program);
         let jit = JitState::new(&program, jit_config);
         let threads = (0..num_threads).map(|i| MutatorThread::new(ThreadId(i))).collect();
@@ -56,6 +65,7 @@ impl VmEnv {
             program,
             jit,
             threads,
+            trace: TraceRecorder::disabled(),
         }
     }
 
@@ -69,5 +79,16 @@ impl VmEnv {
     pub fn sample_memory(&mut self) {
         self.memory.set_committed(self.heap.committed_bytes());
         self.memory.set_used(self.heap.used_bytes());
+        if self.trace.is_enabled() {
+            self.trace.emit_global(
+                self.clock.now(),
+                EventKind::HeapWatermark {
+                    used_bytes: self.heap.used_bytes(),
+                    committed_bytes: self.heap.committed_bytes(),
+                    free_regions: self.heap.free_regions() as u64,
+                    total_regions: self.heap.num_regions() as u64,
+                },
+            );
+        }
     }
 }

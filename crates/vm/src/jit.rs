@@ -122,6 +122,11 @@ pub struct JitState {
     compiles: u64,
     osr_compiles: u64,
     total_invocations: u64,
+    /// When set, call-profiling toggles are appended to `toggle_log` for
+    /// the flight recorder to drain at the next GC safepoint (the same
+    /// unsynchronized-then-merge discipline the OLD table uses, §7.6).
+    log_toggles: bool,
+    toggle_log: Vec<(CallSiteId, bool)>,
 }
 
 impl JitState {
@@ -137,7 +142,21 @@ impl JitState {
             compiles: 0,
             osr_compiles: 0,
             total_invocations: 0,
+            log_toggles: false,
+            toggle_log: Vec::new(),
         }
+    }
+
+    /// Turns call-profiling toggle logging on or off (off by default; the
+    /// flight recorder enables it when tracing is requested).
+    pub fn set_toggle_logging(&mut self, enabled: bool) {
+        self.log_toggles = enabled;
+    }
+
+    /// Drains the buffered call-profiling toggles (site, enabled) in the
+    /// order they happened. Called at GC safepoints by the recorder.
+    pub fn take_toggle_log(&mut self) -> Vec<(CallSiteId, bool)> {
+        std::mem::take(&mut self.toggle_log)
     }
 
     /// The configuration in use.
@@ -182,7 +201,12 @@ impl JitState {
 
     /// Counts a method entry; returns a compile event when the threshold
     /// trips.
-    pub fn note_entry(&mut self, program: &Program, m: MethodId, rng: &mut StdRng) -> Option<JitEvent> {
+    pub fn note_entry(
+        &mut self,
+        program: &Program,
+        m: MethodId,
+        rng: &mut StdRng,
+    ) -> Option<JitEvent> {
         self.total_invocations += 1;
         let st = &mut self.methods[m.0 as usize];
         st.invocations += 1;
@@ -273,13 +297,20 @@ impl JitState {
         let site = &mut self.call_sites[cs.0 as usize];
         if !site.inlined {
             site.delta = site.reserved_delta;
+            if self.log_toggles {
+                self.toggle_log.push((cs, true));
+            }
         }
     }
 
     /// Disables call-site profiling (zeroes the cell; the fast branch now
     /// falls through).
     pub fn disable_call_profiling(&mut self, cs: CallSiteId) {
-        self.call_sites[cs.0 as usize].delta = 0;
+        let site = &mut self.call_sites[cs.0 as usize];
+        if site.delta != 0 && self.log_toggles {
+            self.toggle_log.push((cs, false));
+        }
+        site.delta = 0;
     }
 
     /// Call sites that are compiled into some method, not inlined, and thus

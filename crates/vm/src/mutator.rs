@@ -26,8 +26,8 @@ use rolp_heap::{ClassId, Handle, ObjectHeader, ObjectRef};
 
 use crate::env::VmEnv;
 use crate::jit::JitEvent;
-use crate::program::{AllocSiteId, CallSiteId, MethodId};
 use crate::profiler::VmProfiler;
+use crate::program::{AllocSiteId, CallSiteId, MethodId};
 use crate::thread::ThreadId;
 
 /// An allocation request handed to the collector.
@@ -130,15 +130,23 @@ impl Vm {
         MutatorCtx { vm: self, thread }
     }
 
-    fn handle_jit_event(&mut self, event: JitEvent) {
-        let method = match event {
-            JitEvent::Compile(m) | JitEvent::OsrCompile(m) => m,
+    fn handle_jit_event(&mut self, thread: ThreadId, event: JitEvent) {
+        let (method, osr) = match event {
+            JitEvent::Compile(m) => (m, false),
+            JitEvent::OsrCompile(m) => (m, true),
         };
         // Charge the compile itself to mutator time (background compiler
         // threads steal cycles from the application on a loaded box).
         let cost = self.env.program.method(method).bytecode_size as u64
             * self.env.cost.jit_compile_per_bytecode_ns;
         self.env.charge(cost);
+        if self.env.trace.is_enabled() {
+            self.env.trace.emit_thread(
+                thread.0,
+                self.env.clock.now(),
+                rolp_trace::EventKind::JitCompile { method: method.0, osr },
+            );
+        }
         let program = Rc::clone(&self.env.program);
         self.profiler.borrow_mut().on_jit_compile(&program, &mut self.env.jit, method);
     }
@@ -284,7 +292,7 @@ impl MutatorCtx<'_> {
         if !inlined {
             let program = Rc::clone(&self.vm.env.program);
             if let Some(ev) = self.vm.env.jit.note_entry(&program, callee, &mut self.vm.rng) {
-                self.vm.handle_jit_event(ev);
+                self.vm.handle_jit_event(self.thread, ev);
             }
         }
         inlined
@@ -338,7 +346,7 @@ impl MutatorCtx<'_> {
                 let program = Rc::clone(&self.vm.env.program);
                 if let Some(ev) = self.vm.env.jit.note_backedges(&program, m, ops, &mut self.vm.rng)
                 {
-                    self.vm.handle_jit_event(ev);
+                    self.vm.handle_jit_event(self.thread, ev);
                 }
             }
         }
@@ -695,9 +703,8 @@ mod tests {
         let delta = w.vm.env.jit.call_site(cs).delta;
 
         // NullProfiler has no rethrow hook: the exit update is skipped.
-        let r = w.vm.ctx(ThreadId(0)).call_fallible(cs, |_| {
-            Err::<(), _>(GuestException { code: 7 })
-        });
+        let r =
+            w.vm.ctx(ThreadId(0)).call_fallible(cs, |_| Err::<(), _>(GuestException { code: 7 }));
         assert!(r.is_err());
         assert_eq!(w.vm.env.threads[0].tss, delta, "leaked delta after unwind");
     }

@@ -224,7 +224,11 @@ mod tests {
         assert_eq!(m.package(), "a.b");
         let m2 = MethodDecl { name: "C::m".into(), bytecode_size: 1, inlineable: false };
         assert_eq!(m2.package(), "");
-        let m3 = MethodDecl { name: "cassandra.db.Memtable::put".into(), bytecode_size: 1, inlineable: false };
+        let m3 = MethodDecl {
+            name: "cassandra.db.Memtable::put".into(),
+            bytecode_size: 1,
+            inlineable: false,
+        };
         assert_eq!(m3.package(), "cassandra.db");
     }
 }

@@ -69,9 +69,7 @@ impl MutatorThread {
     /// the stack. This is what the paper's end-of-GC stack traversal
     /// computes (§7.2.3).
     pub fn expected_tss(&self, current_delta: impl Fn(CallSiteId) -> u16) -> u16 {
-        self.frames
-            .iter()
-            .fold(0u16, |acc, f| acc.wrapping_add(current_delta(f.call_site)))
+        self.frames.iter().fold(0u16, |acc, f| acc.wrapping_add(current_delta(f.call_site)))
     }
 
     /// Overwrites the live TSS (the reconciliation fix).
@@ -143,7 +141,7 @@ mod tests {
         let mut t = MutatorThread::new(ThreadId(1));
         t.push_frame(CS_A, 10);
         t.push_frame(CS_B, 0); // was unprofiled at entry
-        // Site B has since been enabled with delta 4.
+                               // Site B has since been enabled with delta 4.
         let expected = t.expected_tss(|cs| if cs == CS_A { 10 } else { 4 });
         assert_eq!(expected, 14);
     }

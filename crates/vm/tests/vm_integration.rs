@@ -15,8 +15,13 @@ struct Bump;
 
 impl CollectorApi for Bump {
     fn allocate(&mut self, env: &mut VmEnv, req: AllocRequest) -> ObjectRef {
-        match env.heap.alloc_in(SpaceKind::Eden, req.class, req.ref_words, req.data_words, req.header)
-        {
+        match env.heap.alloc_in(
+            SpaceKind::Eden,
+            req.class,
+            req.ref_words,
+            req.data_words,
+            req.header,
+        ) {
             Ok(r) => r,
             Err(AllocFailure::NeedsGc) => panic!("test heap exhausted"),
             Err(e) => panic!("{e:?}"),
@@ -73,8 +78,7 @@ fn inlined_calls_are_cheaper_than_regular_calls() {
     };
     let time_with = |inlineable: bool| {
         let (program, cs_caller, cs_helper) = build(inlineable);
-        let mut vm =
-            vm_with(program, JitConfig { compile_threshold: 4, ..Default::default() }, 1);
+        let mut vm = vm_with(program, JitConfig { compile_threshold: 4, ..Default::default() }, 1);
         // Warm up so the caller compiles and the inlining decision is made.
         for _ in 0..10 {
             vm.ctx(ThreadId(0)).call(cs_caller, |ctx| {
@@ -184,12 +188,7 @@ fn unprofiled_alloc_hook_fires_for_cold_and_filtered_sites() {
         unprofiled: u64,
     }
     impl VmProfiler for Counter {
-        fn on_jit_compile(
-            &mut self,
-            _p: &Program,
-            _j: &mut rolp_vm::JitState,
-            _m: MethodId,
-        ) {
+        fn on_jit_compile(&mut self, _p: &Program, _j: &mut rolp_vm::JitState, _m: MethodId) {
             // Never assigns profile ids: everything stays unprofiled.
         }
         fn on_alloc(&mut self, _pid: u16, _tss: u16, _t: ThreadId) -> u32 {

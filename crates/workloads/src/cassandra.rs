@@ -209,9 +209,7 @@ impl CassandraWorkload {
             ctx.call(ids.cs_hash, |ctx| ctx.work(100));
             ctx.work(300);
             match gen_hint.filter(|_| annotate) {
-                Some(gen) => {
-                    ctx.alloc_annotated(ids.site_buffer, classes.buffer, 0, words, gen)
-                }
+                Some(gen) => ctx.alloc_annotated(ids.site_buffer, classes.buffer, 0, words, gen),
                 None => ctx.alloc(ids.site_buffer, classes.buffer, 0, words),
             }
         })
@@ -496,7 +494,12 @@ mod tests {
 
     #[test]
     fn mixes_have_distinct_write_fractions() {
-        assert!(CassandraMix::WriteIntensive.write_fraction() > CassandraMix::ReadWrite.write_fraction());
-        assert!(CassandraMix::ReadWrite.write_fraction() > CassandraMix::ReadIntensive.write_fraction());
+        assert!(
+            CassandraMix::WriteIntensive.write_fraction()
+                > CassandraMix::ReadWrite.write_fraction()
+        );
+        assert!(
+            CassandraMix::ReadWrite.write_fraction() > CassandraMix::ReadIntensive.write_fraction()
+        );
     }
 }

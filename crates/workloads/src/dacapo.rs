@@ -74,20 +74,34 @@ pub fn all_benchmarks() -> Vec<DacapoSpec> {
     // (name, heap, workers, helpers, sites/w, calls, allocs, work, words,
     //  survive%, survive_ops, conflicts, ops)
     #[allow(clippy::type_complexity)] // a literal parameter table reads best flat
-    let rows: [(&'static str, u64, usize, usize, usize, u64, u64, u64, (u32, u32), f64, usize, usize, u64); 13] = [
-        ("avrora",     32,   24,  8,  3,  40, 10, 30, (4, 16),  0.02, 200, 0, 30_000),
-        ("eclipse",    1024, 90,  30, 4,  60, 30, 40, (8, 48),  0.10, 400, 0, 20_000),
-        ("fop",        512,  200, 60, 4,  120, 25, 15, (8, 32), 0.05, 150, 0, 15_000),
-        ("h2",         1024, 90,  20, 2,  50, 35, 35, (16, 64), 0.15, 600, 0, 20_000),
-        ("jython",     128,  400, 120, 2, 150, 30, 12, (6, 24), 0.03, 100, 0, 12_000),
-        ("luindex",    256,  30,  10, 3,  30, 25, 40, (8, 40),  0.08, 300, 0, 20_000),
-        ("lusearch",   256,  35,  10, 4,  35, 30, 35, (8, 40),  0.04, 120, 0, 20_000),
-        ("pmd",        256,  200, 60, 2,  90, 28, 20, (6, 24),  0.06, 250, 6, 15_000),
-        ("sunflow",    128,  22,  6,  10, 15, 60, 25, (4, 20),  0.02, 80,  0, 20_000),
-        ("tomcat",     512,  180, 60, 2,  80, 25, 25, (8, 32),  0.07, 300, 4, 15_000),
-        ("tradebeans", 512,  140, 40, 2,  70, 25, 30, (8, 32),  0.08, 350, 0, 15_000),
-        ("tradesoap",  512,  350, 100, 1, 110, 30, 18, (8, 32), 0.08, 350, 3, 12_000),
-        ("xalan",      64,   130, 40, 3,  100, 35, 20, (6, 24), 0.04, 150, 0, 20_000),
+    let rows: [(
+        &'static str,
+        u64,
+        usize,
+        usize,
+        usize,
+        u64,
+        u64,
+        u64,
+        (u32, u32),
+        f64,
+        usize,
+        usize,
+        u64,
+    ); 13] = [
+        ("avrora", 32, 24, 8, 3, 40, 10, 30, (4, 16), 0.02, 200, 0, 30_000),
+        ("eclipse", 1024, 90, 30, 4, 60, 30, 40, (8, 48), 0.10, 400, 0, 20_000),
+        ("fop", 512, 200, 60, 4, 120, 25, 15, (8, 32), 0.05, 150, 0, 15_000),
+        ("h2", 1024, 90, 20, 2, 50, 35, 35, (16, 64), 0.15, 600, 0, 20_000),
+        ("jython", 128, 400, 120, 2, 150, 30, 12, (6, 24), 0.03, 100, 0, 12_000),
+        ("luindex", 256, 30, 10, 3, 30, 25, 40, (8, 40), 0.08, 300, 0, 20_000),
+        ("lusearch", 256, 35, 10, 4, 35, 30, 35, (8, 40), 0.04, 120, 0, 20_000),
+        ("pmd", 256, 200, 60, 2, 90, 28, 20, (6, 24), 0.06, 250, 6, 15_000),
+        ("sunflow", 128, 22, 6, 10, 15, 60, 25, (4, 20), 0.02, 80, 0, 20_000),
+        ("tomcat", 512, 180, 60, 2, 80, 25, 25, (8, 32), 0.07, 300, 4, 15_000),
+        ("tradebeans", 512, 140, 40, 2, 70, 25, 30, (8, 32), 0.08, 350, 0, 15_000),
+        ("tradesoap", 512, 350, 100, 1, 110, 30, 18, (8, 32), 0.08, 350, 3, 12_000),
+        ("xalan", 64, 130, 40, 3, 100, 35, 20, (6, 24), 0.04, 150, 0, 20_000),
     ];
     rows.iter()
         .map(|&(name, heap, workers, helpers, spw, calls, allocs, work, words, sf, so, cf, ops)| {
@@ -217,7 +231,8 @@ impl Workload for DacapoBench {
     }
 
     fn setup(&mut self, rt: &mut JvmRuntime) {
-        self.class = Some(rt.vm.env.heap.classes.register(format!("dacapo.{}.Obj", self.spec.name)));
+        self.class =
+            Some(rt.vm.env.heap.classes.register(format!("dacapo.{}.Obj", self.spec.name)));
     }
 
     fn tick(&mut self, ctx: &mut MutatorCtx<'_>) -> u64 {
@@ -323,8 +338,19 @@ mod tests {
         assert_eq!(b.len(), 13);
         let names: Vec<&str> = b.iter().map(|s| s.name).collect();
         for expected in [
-            "avrora", "eclipse", "fop", "h2", "jython", "luindex", "lusearch", "pmd", "sunflow",
-            "tomcat", "tradebeans", "tradesoap", "xalan",
+            "avrora",
+            "eclipse",
+            "fop",
+            "h2",
+            "jython",
+            "luindex",
+            "lusearch",
+            "pmd",
+            "sunflow",
+            "tomcat",
+            "tradebeans",
+            "tradesoap",
+            "xalan",
         ] {
             assert!(names.contains(&expected), "missing {expected}");
         }

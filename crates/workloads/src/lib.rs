@@ -13,6 +13,8 @@
 //! - [`graphchi`] — a sharded out-of-core graph engine running Connected
 //!   Components and PageRank over a synthetic power-law graph.
 //! - [`ycsb`] — zipfian key and operation-mix generators.
+//! - [`presets`] — the Table 1 paper-parameterized workload constructors
+//!   and heap sizing shared by the CLI and bench harnesses.
 //! - [`spec`] — the [`spec::Workload`] trait and the [`spec::execute`]
 //!   run driver shared by tests, examples, and bench harnesses.
 
@@ -20,6 +22,7 @@ pub mod cassandra;
 pub mod dacapo;
 pub mod graphchi;
 pub mod lucene;
+pub mod presets;
 pub mod spec;
 pub mod ycsb;
 

@@ -1,0 +1,102 @@
+//! Paper-parameterized workload presets (§8.1).
+//!
+//! One place holds the Table 1 big-data workload parameters and heap
+//! sizing so the CLI and every bench harness construct *identical*
+//! experiments. All counts divide by the experiment [`SimScale`]; the
+//! fixed shape parameters (pacing, fan-out, seeds) do not scale.
+
+use rolp_heap::HeapConfig;
+use rolp_metrics::SimScale;
+
+use crate::cassandra::{CassandraMix, CassandraParams, CassandraWorkload};
+use crate::graphchi::{GraphAlgo, GraphChiParams, GraphChiWorkload};
+use crate::lucene::{LuceneParams, LuceneWorkload};
+use crate::spec::Workload;
+
+/// Cassandra workload at experiment scale (10 k ops/s as in the paper).
+pub fn cassandra(mix: CassandraMix, scale: SimScale) -> CassandraWorkload {
+    CassandraWorkload::new(CassandraParams {
+        mix,
+        op_pacing_ns: 100_000,
+        memtable_flush_entries: scale.count(2_400_000) as usize,
+        key_space: scale.count(8_000_000),
+        parse_buffers_per_op: 6,
+        row_cache_entries: scale.count(1_200_000) as usize,
+        seed: 0xCA55,
+    })
+}
+
+/// Lucene workload at experiment scale (80% writes, 25 k ops/s).
+pub fn lucene(scale: SimScale) -> LuceneWorkload {
+    LuceneWorkload::new(LuceneParams {
+        write_fraction: 0.80,
+        op_pacing_ns: 40_000,
+        segment_flush_docs: scale.count(4_500_000) as usize,
+        vocabulary: scale.count(1_200_000),
+        doc_words: 48,
+        postings_per_doc: 2,
+        analysis_scratch: 4,
+        seed: 0x10CE,
+    })
+}
+
+/// GraphChi workload at experiment scale (paper: 42 M vertices, 1.5 B
+/// edges, 16 shards — one shard's edge blocks are roughly a quarter of
+/// the heap and live for exactly one interval).
+pub fn graphchi(algo: GraphAlgo, scale: SimScale) -> GraphChiWorkload {
+    GraphChiWorkload::new(GraphChiParams {
+        algo,
+        vertices: scale.count(42_000_000) as u32,
+        edges: scale.count(1_500_000_000),
+        shards: 16,
+        chunk: 4_096,
+        io_ns_per_edge: 800,
+        update_sample: 64,
+        seed: 0x6AF,
+    })
+}
+
+/// The big-data heap: the paper's 6 GB divided by the scale, with
+/// region count held near G1's ~1.5–2 k regions.
+pub fn bigdata_heap(scale: SimScale) -> HeapConfig {
+    let heap = scale.bytes(6 * 1024 * 1024 * 1024);
+    let region = (heap / 1536).next_power_of_two().clamp(64 * 1024, 1024 * 1024);
+    HeapConfig { region_bytes: region as usize, max_heap_bytes: heap }
+}
+
+/// The six big-data rows of Table 1 / Figs. 8–10, in paper order.
+pub fn bigdata_workloads(scale: SimScale) -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(cassandra(CassandraMix::WriteIntensive, scale)),
+        Box::new(cassandra(CassandraMix::ReadWrite, scale)),
+        Box::new(cassandra(CassandraMix::ReadIntensive, scale)),
+        Box::new(lucene(scale)),
+        Box::new(graphchi(GraphAlgo::ConnectedComponents, scale)),
+        Box::new(graphchi(GraphAlgo::PageRank, scale)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bigdata_heap_scales_with_power_of_two_regions() {
+        for divisor in [1, 4, 16, 64] {
+            let heap = bigdata_heap(SimScale::new(divisor));
+            assert_eq!(heap.max_heap_bytes, 6 * 1024 * 1024 * 1024 / divisor);
+            assert!(heap.region_bytes.is_power_of_two());
+            assert!((64 * 1024..=1024 * 1024).contains(&heap.region_bytes));
+        }
+    }
+
+    #[test]
+    fn bigdata_set_matches_paper_order() {
+        let names: Vec<String> =
+            bigdata_workloads(SimScale::new(16)).iter().map(|w| w.name()).collect();
+        assert_eq!(names.len(), 6);
+        assert!(names[0].contains("Cassandra"));
+        assert!(names[3].contains("Lucene"));
+        assert!(names[5].contains("GraphChi"));
+    }
+}

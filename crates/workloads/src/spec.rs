@@ -86,6 +86,11 @@ pub struct RunOutcome {
     pub throughput_samples: Vec<(SimTime, u64)>,
     /// Mutator (non-pause) simulated time.
     pub mutator_time: SimTime,
+    /// Flight-recorder events (empty unless `RuntimeConfig::trace_enabled`
+    /// was set).
+    pub trace: Vec<rolp_trace::TraceEvent>,
+    /// Events the per-thread trace rings overflowed and dropped.
+    pub trace_dropped: u64,
 }
 
 /// Runs `workload` under `config` until the budget is exhausted.
@@ -133,11 +138,14 @@ pub fn execute(
     let raw_pauses = rt.vm.env.pauses.clone();
     let mut pauses = raw_pauses.clone();
     pauses.discard_before(budget.warmup_discard);
+    let trace_dropped = rt.vm.env.trace.dropped();
     RunOutcome {
         report,
         pauses,
         raw_pauses,
         throughput_samples: rt.vm.env.throughput.samples().to_vec(),
         mutator_time: rt.vm.env.clock.mutator_time(),
+        trace: rt.take_trace(),
+        trace_dropped,
     }
 }

@@ -6,8 +6,7 @@ use rolp::runtime::{CollectorKind, RuntimeConfig};
 use rolp_heap::{HeapConfig, RegionKind};
 use rolp_workloads::{
     all_benchmarks, execute, CassandraMix, CassandraParams, CassandraWorkload, DacapoBench,
-    GraphAlgo, GraphChiParams, GraphChiWorkload, LuceneParams, LuceneWorkload, RunBudget,
-    Workload,
+    GraphAlgo, GraphChiParams, GraphChiWorkload, LuceneParams, LuceneWorkload, RunBudget, Workload,
 };
 
 fn heap() -> HeapConfig {
@@ -152,10 +151,8 @@ fn dacapo_suite_runs_under_every_collector() {
     for name in ["avrora", "sunflow", "pmd"] {
         let spec = rolp_workloads::benchmark(name).expect("exists");
         for kind in CollectorKind::all() {
-            let mut bench = DacapoBench::new(
-                rolp_workloads::DacapoSpec { ops: 400, ..spec.clone() },
-                9,
-            );
+            let mut bench =
+                DacapoBench::new(rolp_workloads::DacapoSpec { ops: 400, ..spec.clone() }, 9);
             let cfg = RuntimeConfig {
                 collector: kind,
                 heap: spec.heap_config(rolp_metrics::SimScale::new(64)),

@@ -25,9 +25,8 @@ fn main() {
     };
 
     println!("GraphChi-like engine, synthetic power-law graph (650k vertices, 23M edges)\n");
-    let mut table = TextTable::new(vec![
-        "algo", "system", "intervals", "p50 ms", "p99 ms", "max ms",
-    ]);
+    let mut table =
+        TextTable::new(vec!["algo", "system", "intervals", "p50 ms", "p99 ms", "max ms"]);
 
     for algo in [GraphAlgo::ConnectedComponents, GraphAlgo::PageRank] {
         for kind in [CollectorKind::G1, CollectorKind::RolpNg2c] {

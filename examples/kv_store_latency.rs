@@ -12,9 +12,7 @@ use rolp::runtime::CollectorKind;
 use rolp_heap::HeapConfig;
 use rolp_metrics::table::TextTable;
 use rolp_metrics::SimTime;
-use rolp_workloads::{
-    execute, CassandraMix, CassandraParams, CassandraWorkload, RunBudget,
-};
+use rolp_workloads::{execute, CassandraMix, CassandraParams, CassandraWorkload, RunBudget};
 
 fn main() {
     let heap = HeapConfig { region_bytes: 64 * 1024, max_heap_bytes: 96 << 20 };

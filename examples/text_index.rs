@@ -24,15 +24,17 @@ fn main() {
         warmup_discard: SimTime::from_secs(150),
         max_ops: u64::MAX,
     };
-    let params = LuceneParams {
-        segment_flush_docs: 70_000,
-        vocabulary: 20_000,
-        ..Default::default()
-    };
+    let params =
+        LuceneParams { segment_flush_docs: 70_000, vocabulary: 20_000, ..Default::default() };
 
     println!("Lucene-like indexer, 80% writes over a synthetic corpus\n");
     let mut table = TextTable::new(vec![
-        "filter", "p99 ms", "profiled allocs", "unprofiled allocs", "decisions", "OLD table",
+        "filter",
+        "p99 ms",
+        "profiled allocs",
+        "unprofiled allocs",
+        "decisions",
+        "OLD table",
     ]);
     for (label, filters) in [
         // `include("lucene")` covers every package of the program — the

@@ -4,9 +4,7 @@
 use rolp::runtime::{CollectorKind, JvmRuntime, RuntimeConfig};
 use rolp_heap::{HeapConfig, RegionKind};
 use rolp_vm::{GuestException, ProgramBuilder, ThreadId};
-use rolp_workloads::{
-    execute, CassandraMix, CassandraParams, CassandraWorkload, RunBudget,
-};
+use rolp_workloads::{execute, CassandraMix, CassandraParams, CassandraWorkload, RunBudget};
 
 fn small_heap() -> HeapConfig {
     HeapConfig { region_bytes: 64 * 1024, max_heap_bytes: 24 << 20 }
@@ -82,18 +80,14 @@ fn rolp_tail_approaches_ng2c_and_beats_g1() {
     };
     let g1 = tail(CollectorKind::G1);
     let rolp = tail(CollectorKind::RolpNg2c);
-    assert!(
-        rolp < g1 * 0.8,
-        "ROLP p99 ({rolp:.2} ms) should be well below G1 ({g1:.2} ms)"
-    );
+    assert!(rolp < g1 * 0.8, "ROLP p99 ({rolp:.2} ms) should be well below G1 ({g1:.2} ms)");
 }
 
 #[test]
 fn every_collector_survives_the_kv_store_with_a_valid_heap() {
     for kind in CollectorKind::all() {
         let mut w = cassandra_small();
-        let config =
-            RuntimeConfig { collector: kind, heap: small_heap(), ..Default::default() };
+        let config = RuntimeConfig { collector: kind, heap: small_heap(), ..Default::default() };
         let out = execute(&mut w, config, &RunBudget::smoke(25_000));
         assert_eq!(out.report.ops, 25_000, "{kind:?} lost operations");
         assert!(out.report.gc_cycles > 0, "{kind:?} never collected");
@@ -182,11 +176,8 @@ fn ng2c_annotations_route_objects_to_their_generations() {
     let site = b.alloc_site(hot, 1);
     let program = b.build();
 
-    let config = RuntimeConfig {
-        collector: CollectorKind::Ng2c,
-        heap: small_heap(),
-        ..Default::default()
-    };
+    let config =
+        RuntimeConfig { collector: CollectorKind::Ng2c, heap: small_heap(), ..Default::default() };
     let mut rt = JvmRuntime::new(config, program);
     let class = rt.vm.env.heap.classes.register("app.Annotated");
 

@@ -71,13 +71,9 @@ fn exported_profile_warm_starts_a_fresh_run() {
     // Run 2: import; pretenuring must begin as soon as the hot method
     // compiles — long before any inference pass could have run.
     let (rt2, _, _) = run(Some(parsed), 3_000);
-    let used_dynamic: usize = (1u8..=14)
-        .map(|g| rt2.vm.env.heap.num_of_kind(RegionKind::Dynamic(g)))
-        .sum();
-    assert!(
-        used_dynamic > 0,
-        "offline-seeded decisions must pretenure before the first inference"
-    );
+    let used_dynamic: usize =
+        (1u8..=14).map(|g| rt2.vm.env.heap.num_of_kind(RegionKind::Dynamic(g))).sum();
+    assert!(used_dynamic > 0, "offline-seeded decisions must pretenure before the first inference");
     let rolp2 = {
         let p = rt2.profiler.as_ref().expect("rolp").borrow();
         p.stats(&rt2.vm.env.program, &rt2.vm.env.jit)
@@ -91,8 +87,7 @@ fn stale_profile_entries_are_ignored() {
         "zzz.Gone::method@9 7\napp.store.Buffer::fill@5 6\n".parse().expect("parses");
     let (rt, _, _) = run(Some(profile), 3_000);
     // The matching entry applied; the stale one was dropped silently.
-    let used_dynamic: usize = (1u8..=14)
-        .map(|g| rt.vm.env.heap.num_of_kind(RegionKind::Dynamic(g)))
-        .sum();
+    let used_dynamic: usize =
+        (1u8..=14).map(|g| rt.vm.env.heap.num_of_kind(RegionKind::Dynamic(g))).sum();
     assert!(used_dynamic > 0);
 }

@@ -57,10 +57,7 @@ fn claim_tail_reduction_without_programmer_effort() {
     let (rolp, _) = run(CollectorKind::RolpNg2c);
 
     assert!(rolp < g1 * 0.7, "ROLP p99 {rolp:.1} ms vs G1 {g1:.1} ms");
-    assert!(
-        rolp < ng2c * 1.5,
-        "ROLP p99 {rolp:.1} ms must be in NG2C's league ({ng2c:.1} ms)"
-    );
+    assert!(rolp < ng2c * 1.5, "ROLP p99 {rolp:.1} ms must be in NG2C's league ({ng2c:.1} ms)");
     assert!(annotations > 0, "the NG2C baseline needs hand annotations; ROLP needs none");
 }
 

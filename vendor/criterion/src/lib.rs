@@ -1,0 +1,95 @@
+//! Offline, API-compatible subset of `criterion`.
+//!
+//! Provides `Criterion::bench_function`, `Bencher::iter`, `black_box`, and
+//! the `criterion_group!`/`criterion_main!` macros. Measurement is a simple
+//! calibrated wall-clock loop — adequate for relative comparisons of the
+//! repository's hot paths, with none of criterion's statistics machinery.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall-clock time per benchmark measurement.
+const MEASURE_TARGET: Duration = Duration::from_millis(200);
+
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+
+        // Calibrate: grow the iteration count until a run takes long enough
+        // to time meaningfully.
+        loop {
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            if b.elapsed >= Duration::from_millis(10) || b.iters >= 1 << 30 {
+                break;
+            }
+            b.iters *= 8;
+        }
+
+        let per_run = b.elapsed;
+        let runs = (MEASURE_TARGET.as_nanos() / per_run.as_nanos().max(1)).clamp(1, 1000) as u32;
+        let mut best = per_run;
+        for _ in 1..runs {
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            if b.elapsed < best {
+                best = b.elapsed;
+            }
+        }
+
+        let ns_per_iter = best.as_nanos() as f64 / b.iters as f64;
+        println!("{name:<40} {ns_per_iter:>12.2} ns/iter ({} iters)", b.iters);
+        self
+    }
+}
+
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed += start.elapsed();
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+    (name = $group:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let _ = $cfg;
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        #[allow(dead_code)]
+        fn main() {
+            $($group();)+
+        }
+    };
+}

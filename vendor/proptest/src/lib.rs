@@ -1,0 +1,463 @@
+//! Offline, API-compatible subset of `proptest`.
+//!
+//! The build environment has no crates.io access, so this crate supplies the
+//! slice of the proptest surface the test suite uses: the `proptest!` macro,
+//! `Strategy` with `prop_map`, range/`any`/`Just`/tuple/`vec`/`option`
+//! strategies, weighted `prop_oneof!`, `prop_assert*!`, `prop_assume!`, and
+//! `ProptestConfig { cases }`.
+//!
+//! Failing inputs are **not shrunk**; the panic message reports the seed and
+//! case number instead, which is enough to reproduce deterministically.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+pub mod strategy {
+    use super::*;
+
+    /// A generator of values of type `Self::Value`.
+    pub trait Strategy {
+        type Value;
+
+        fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases the strategy (used by `prop_oneof!`).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut StdRng) -> T {
+            (**self).sample(rng)
+        }
+    }
+
+    /// Always yields a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// `s.prop_map(f)`.
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+
+        fn sample(&self, rng: &mut StdRng) -> U {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// Weighted union over same-valued strategies (`prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<(u32, BoxedStrategy<T>)>,
+        total_weight: u64,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            let total_weight = arms.iter().map(|(w, _)| *w as u64).sum();
+            assert!(total_weight > 0, "prop_oneof! weights sum to zero");
+            Union { arms, total_weight }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut StdRng) -> T {
+            let mut pick = rng.gen_range(0..self.total_weight);
+            for (w, s) in &self.arms {
+                if pick < *w as u64 {
+                    return s.sample(rng);
+                }
+                pick -= *w as u64;
+            }
+            unreachable!("weights covered above")
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for core::ops::Range<f64> {
+        type Value = f64;
+
+        fn sample(&self, rng: &mut StdRng) -> f64 {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// `any::<T>()`.
+    pub struct Any<T>(core::marker::PhantomData<T>);
+
+    pub fn any<T: rand::Standard>() -> Any<T> {
+        Any(core::marker::PhantomData)
+    }
+
+    impl<T: rand::Standard> Strategy for Any<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut StdRng) -> T {
+            rng.gen()
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+    impl_tuple_strategy!(A, B, C, D, E, F, G);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Element-count bound accepted by [`vec`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_incl: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi_incl: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi_incl: r.end - 1 }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange { lo: *r.start(), hi_incl: *r.end() }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.size.lo..=self.size.hi_incl);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod array {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+
+    pub struct UniformArrayStrategy<S, const N: usize> {
+        element: S,
+    }
+
+    impl<S: Strategy, const N: usize> Strategy for UniformArrayStrategy<S, N> {
+        type Value = [S::Value; N];
+
+        fn sample(&self, rng: &mut StdRng) -> [S::Value; N] {
+            core::array::from_fn(|_| self.element.sample(rng))
+        }
+    }
+
+    macro_rules! uniform_fn {
+        ($($name:ident => $n:literal),+ $(,)?) => {$(
+            /// An array of `N` independent samples of `element`.
+            pub fn $name<S: Strategy>(element: S) -> UniformArrayStrategy<S, $n> {
+                UniformArrayStrategy { element }
+            }
+        )+};
+    }
+    uniform_fn! {
+        uniform2 => 2, uniform3 => 3, uniform4 => 4, uniform8 => 8,
+        uniform16 => 16, uniform32 => 32,
+    }
+}
+
+pub mod option {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    pub struct OptionStrategy<S>(S);
+
+    /// `prop::option::of(s)` — yields `None` about a quarter of the time.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Option<S::Value> {
+            if rng.gen_bool(0.25) {
+                None
+            } else {
+                Some(self.0.sample(rng))
+            }
+        }
+    }
+}
+
+/// Runner configuration; only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; 96 keeps the suite quick while still
+        // exercising each property broadly (no shrinking here anyway).
+        ProptestConfig { cases: 96, max_shrink_iters: 0 }
+    }
+}
+
+#[doc(hidden)]
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Derives a deterministic per-test RNG from the test name, so every
+    /// `cargo test` run sees the same inputs.
+    pub fn deterministic_rng(test_name: &str) -> StdRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        StdRng::seed_from_u64(h)
+    }
+}
+
+/// `prop::` namespace, mirroring `proptest::prelude::prop`.
+pub mod prop {
+    pub use super::array;
+    pub use super::collection;
+    pub use super::option;
+}
+
+pub mod prelude {
+    pub use super::prop;
+    pub use super::strategy::{any, Just, Strategy};
+    pub use super::ProptestConfig;
+    pub use super::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { cfg = { $cfg }; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { cfg = { $crate::ProptestConfig::default() }; $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (cfg = { $cfg:expr };
+     $($(#[$meta:meta])*
+       fn $name:ident($($p:pat_param in $s:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                let mut __rng = $crate::test_runner::deterministic_rng(stringify!($name));
+                let __strategies = ($($s,)+);
+                for __case in 0..__config.cases {
+                    let __values =
+                        $crate::strategy::Strategy::sample(&__strategies, &mut __rng);
+                    let __outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(move || {
+                            let ($($p,)+) = __values;
+                            $body
+                        }),
+                    );
+                    if let Err(__panic) = __outcome {
+                        eprintln!(
+                            "proptest case {}/{} of `{}` failed (deterministic seed; \
+                             rerun reproduces it)",
+                            __case + 1,
+                            __config.cases,
+                            stringify!($name),
+                        );
+                        ::std::panic::resume_unwind(__panic);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($w:expr => $s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($w as u32, $crate::strategy::Strategy::boxed($s))),+
+        ])
+    };
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($s))),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+pub use strategy::Strategy;
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_any(x in 1u32..10, y in any::<u64>(), flag in any::<bool>()) {
+            prop_assert!((1..10).contains(&x));
+            let _ = (y, flag);
+        }
+
+        #[test]
+        fn vec_sizes(v in prop::collection::vec(0u8..5, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&b| b < 5));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+        #[test]
+        fn config_cases_respected(_x in 0u8..2) {
+            // Just needs to run without panicking under a custom config.
+        }
+    }
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Arm {
+        A(u16),
+        B,
+    }
+
+    proptest! {
+        #[test]
+        fn oneof_and_map(arm in prop_oneof![3 => (1u16..6).prop_map(Arm::A), 1 => Just(Arm::B)]) {
+            match arm {
+                Arm::A(v) => prop_assert!((1..6).contains(&v)),
+                Arm::B => {}
+            }
+        }
+
+        #[test]
+        fn assume_skips(x in 0u8..10) {
+            prop_assume!(x > 3);
+            prop_assert!(x > 3);
+        }
+    }
+}
