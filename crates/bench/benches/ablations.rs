@@ -12,11 +12,11 @@
 //! 5. *Unsynchronized OLD counters* (§7.6) — injected increment loss vs
 //!    decision stability.
 
-use rolp::runtime::{CollectorKind, JvmRuntime, RuntimeConfig};
+use rolp::runtime::{CollectorKind, RuntimeConfig};
 use rolp::ProfilingLevel;
 use rolp_bench::{banner, scale, TextTable};
 use rolp_metrics::SimScale;
-use rolp_vm::{CostModel, JitConfig, ThreadId};
+use rolp_vm::{CostModel, JitConfig};
 use rolp_workloads::{
     benchmark, execute, CassandraMix, DacapoBench, DacapoSpec, RunBudget, Workload,
 };
@@ -159,45 +159,47 @@ fn site_only_contexts(scale: SimScale) {
     );
 }
 
-/// Ablation 5: §7.6 unsynchronized-counter loss.
-fn old_table_loss(scale: SimScale) {
+/// Ablation 5: §7.6 unsynchronized-counter loss — *measured*, not
+/// simulated. Real OS mutator threads hammer the shared OLD table with
+/// racy relaxed increments; per-epoch reconciliation against exact
+/// per-thread tallies reports how many increments the races actually
+/// lost, and the merged histograms are compared cell-by-cell against the
+/// single-threaded reference.
+fn old_table_loss(_scale: SimScale) {
+    use rolp::concurrent::{compare_to_reference, run_concurrent, run_reference, ConcurrentConfig};
     println!("--- Ablation 5: unsynchronized OLD-table increments (Section 7.6) ---");
-    let heap = rolp_bench::bigdata_heap(scale);
-    let full = rolp_bench::bigdata_budget(scale);
-    let budget = RunBudget {
-        sim_time: rolp_metrics::SimTime::from_nanos(full.sim_time.as_nanos() / 2),
-        warmup_discard: rolp_metrics::SimTime::ZERO,
-        max_ops: u64::MAX,
-    };
-    let mut table =
-        TextTable::new(vec!["increment loss", "decisions", "lost increments", "p99 ms"]);
-    for loss in [0.0, 0.05, 0.30] {
-        let mut w = rolp_bench::cassandra(CassandraMix::WriteIntensive, scale);
-        let mut config = rolp_bench::runtime_config(CollectorKind::RolpNg2c, heap.clone(), scale);
-        config.rolp.filters = w.profiling_filters();
-        let program = w.build_program();
-        let mut rt = JvmRuntime::new(config, program);
-        if let Some(p) = &rt.profiler {
-            p.borrow_mut().old.set_loss_probability(loss, 99);
-        }
-        w.setup(&mut rt);
-        let mut ops = 0u64;
-        while rt.vm.env.clock.now() < budget.sim_time && ops < budget.max_ops {
-            let mut ctx = rt.ctx(ThreadId(0));
-            ops += w.tick(&mut ctx);
-        }
-        let report = rt.report();
-        let r = report.rolp.expect("rolp");
-        let lost = rt.profiler.as_ref().map(|p| p.borrow().old.lost_increments).unwrap_or(0);
+    let mut table = TextTable::new(vec![
+        "mutator threads",
+        "intended increments",
+        "lost (measured)",
+        "loss",
+        "histogram deviation",
+    ]);
+    for threads in [1usize, 2, 4, 8] {
+        let config = ConcurrentConfig { mutator_threads: threads, ..Default::default() };
+        let run = run_concurrent(&config);
+        let reference = run_reference(&config);
+        let report = compare_to_reference(&run.histograms, &reference);
+        assert!(
+            report.within_bound(run.total_lost),
+            "loss bound violated: deviation {} > measured loss {}",
+            report.total_abs_dev,
+            run.total_lost
+        );
         table.row(vec![
-            rolp_bench::fmt_pct(loss, 0),
-            r.decisions.to_string(),
-            lost.to_string(),
-            format!("{:.2}", rt.vm.env.pauses.percentile_ms(99.0)),
+            threads.to_string(),
+            run.total_intended.to_string(),
+            run.total_lost.to_string(),
+            rolp_bench::fmt_pct(run.total_lost as f64 / run.total_intended.max(1) as f64, 2),
+            report.total_abs_dev.to_string(),
         ]);
     }
     println!("{}", table.render());
-    println!("expect: even heavy increment loss leaves the profiling decisions intact\n");
+    println!(
+        "expect: contention may drop some age-0 counts, but the merged histograms\n\
+         never exceed the reference and deviate by at most the measured loss —\n\
+         the decisions the profiler derives from the shape are unaffected\n"
+    );
 }
 
 fn main() {

@@ -13,6 +13,13 @@
 //!
 //! Expected shape (paper §8.4): ROLP ≈ NG2C ≪ G1 < CMS at the tail, with
 //! ROLP needing no programmer effort.
+//!
+//! CI hooks:
+//! - `ROLP_BENCH_QUICK=1` runs a smoke subset (first workload, G1 + ROLP
+//!   only) sized for a per-PR gate.
+//! - `ROLP_BENCH_JSON=<file>` writes the per-run pause statistics as
+//!   JSON; `scripts/bench_gate.py` compares it against the committed
+//!   `BENCH_baseline.json` and fails the build on a p99 regression.
 
 use rolp::runtime::CollectorKind;
 use rolp_bench::{
@@ -20,8 +27,40 @@ use rolp_bench::{
     TextTable, FIG8_PERCENTILES, FIG9_INTERVALS_MS,
 };
 
+/// One run's machine-readable summary for the regression gate.
+struct JsonRow {
+    workload: String,
+    collector: &'static str,
+    pauses: usize,
+    gc_cycles: u64,
+    ops: u64,
+    percentiles_ms: Vec<(f64, f64)>,
+}
+
+fn render_json(scale_divisor: u64, rows: &[JsonRow]) -> String {
+    let mut s = String::from("{\n");
+    s.push_str(&format!("  \"scale\": {scale_divisor},\n  \"results\": [\n"));
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"collector\": \"{}\", \"pauses\": {}, \
+             \"gc_cycles\": {}, \"ops\": {}",
+            r.workload, r.collector, r.pauses, r.gc_cycles, r.ops
+        ));
+        for (p, ms) in &r.percentiles_ms {
+            // "99.9" -> "p99_9": keys must be identifier-ish for the gate.
+            let key = format!("{p}").replace('.', "_");
+            s.push_str(&format!(", \"p{key}_ms\": {ms:.3}"));
+        }
+        s.push_str(if i + 1 < rows.len() { "},\n" } else { "}\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
 fn main() {
     let scale = scale();
+    let quick = std::env::var("ROLP_BENCH_QUICK").is_ok_and(|v| v != "0");
+    let json_out = std::env::var("ROLP_BENCH_JSON").ok();
     banner("Figures 8 & 9: application pause distribution (6 workloads x 4 collectors)", scale);
     let heap = bigdata_heap(scale);
     let budget = bigdata_budget(scale);
@@ -31,11 +70,21 @@ fn main() {
         budget.sim_time,
         budget.warmup_discard,
     );
+    if quick {
+        println!("quick mode: first workload, G1 + ROLP only (ROLP_BENCH_QUICK)");
+    }
 
-    let collectors =
-        [CollectorKind::Cms, CollectorKind::G1, CollectorKind::Ng2c, CollectorKind::RolpNg2c];
+    let collectors: Vec<CollectorKind> = if quick {
+        vec![CollectorKind::G1, CollectorKind::RolpNg2c]
+    } else {
+        vec![CollectorKind::Cms, CollectorKind::G1, CollectorKind::Ng2c, CollectorKind::RolpNg2c]
+    };
+    let mut json_rows: Vec<JsonRow> = Vec::new();
 
-    let names: Vec<String> = bigdata_workloads(scale).iter().map(|w| w.name()).collect();
+    let mut names: Vec<String> = bigdata_workloads(scale).iter().map(|w| w.name()).collect();
+    if quick {
+        names.truncate(1);
+    }
     for (wi, name) in names.iter().enumerate() {
         let mut fig8 = TextTable::new(
             std::iter::once("system".to_string())
@@ -60,6 +109,17 @@ fn main() {
                 row.push(format!("{:.1}", out.pauses.percentile_ms(p)));
             }
             fig8.row(row);
+            json_rows.push(JsonRow {
+                workload: name.clone(),
+                collector: kind.label(),
+                pauses: out.pauses.count(),
+                gc_cycles: out.report.gc_cycles,
+                ops: out.report.ops,
+                percentiles_ms: FIG8_PERCENTILES
+                    .iter()
+                    .map(|&p| (p, out.pauses.percentile_ms(p)))
+                    .collect(),
+            });
 
             let bounds_ns: Vec<u64> = FIG9_INTERVALS_MS.iter().map(|ms| ms * 1_000_000).collect();
             let counts = out.pauses.histogram().interval_counts(&bounds_ns);
@@ -110,16 +170,31 @@ fn main() {
 
         let get =
             |k: CollectorKind| tail_ms.iter().find(|(c, _)| *c == k).map(|(_, v)| *v).unwrap();
-        let (cms, g1, ng2c, rolp) = (
-            get(CollectorKind::Cms),
-            get(CollectorKind::G1),
-            get(CollectorKind::Ng2c),
-            get(CollectorKind::RolpNg2c),
-        );
-        let reduction = if g1 > 0.0 { (1.0 - rolp / g1) * 100.0 } else { 0.0 };
-        println!(
-            "shape check [{name}]: p99.9 CMS {cms:.1} ms, G1 {g1:.1} ms, NG2C {ng2c:.1} ms, \
-             ROLP {rolp:.1} ms -> ROLP reduces G1 tail by {reduction:.0}%\n"
-        );
+        if quick {
+            let (g1, rolp) = (get(CollectorKind::G1), get(CollectorKind::RolpNg2c));
+            let reduction = if g1 > 0.0 { (1.0 - rolp / g1) * 100.0 } else { 0.0 };
+            println!(
+                "shape check [{name}]: p99.9 G1 {g1:.1} ms, ROLP {rolp:.1} ms -> \
+                 ROLP reduces G1 tail by {reduction:.0}%\n"
+            );
+        } else {
+            let (cms, g1, ng2c, rolp) = (
+                get(CollectorKind::Cms),
+                get(CollectorKind::G1),
+                get(CollectorKind::Ng2c),
+                get(CollectorKind::RolpNg2c),
+            );
+            let reduction = if g1 > 0.0 { (1.0 - rolp / g1) * 100.0 } else { 0.0 };
+            println!(
+                "shape check [{name}]: p99.9 CMS {cms:.1} ms, G1 {g1:.1} ms, NG2C {ng2c:.1} ms, \
+                 ROLP {rolp:.1} ms -> ROLP reduces G1 tail by {reduction:.0}%\n"
+            );
+        }
+    }
+
+    if let Some(path) = json_out {
+        let rendered = render_json(scale.divisor(), &json_rows);
+        std::fs::write(&path, rendered).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("stats: {} run(s) written to {path} (ROLP_BENCH_JSON)", json_rows.len());
     }
 }

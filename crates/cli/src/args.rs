@@ -39,6 +39,15 @@ pub struct Args {
     pub trace_out: Option<String>,
     /// Write the machine-readable run summary (JSON) to this file.
     pub stats_json: Option<String>,
+    /// Guest mutator threads.
+    pub mutator_threads: u32,
+    /// Parallel GC workers (None keeps the cost model's default).
+    pub gc_workers: Option<usize>,
+    /// Run the concurrency determinism check instead of a workload:
+    /// multi-threaded mutators + parallel GC workers vs. the
+    /// single-threaded reference, asserting the merged histograms stay
+    /// within the measured §7.6 loss bound.
+    pub verify_determinism: bool,
 }
 
 impl Default for Args {
@@ -54,6 +63,9 @@ impl Default for Args {
             import_profile: None,
             trace_out: None,
             stats_json: None,
+            mutator_threads: 4,
+            gc_workers: None,
+            verify_determinism: false,
         }
     }
 }
@@ -84,6 +96,15 @@ OPTIONS:
                         events instead.
     --stats-json <FILE> write the end-of-run summary as JSON (pause
                         percentiles, throughput, profiler counters)
+    --mutator-threads <N>  guest mutator threads           [default: 4]
+    --gc-workers <N>    parallel GC workers (marking, remembered-set
+                        prescan, one private OLD table each)
+                        [default: cost model, 4]
+    --verify-determinism   run the concurrency check instead of a
+                        workload: N racy mutator threads + N parallel GC
+                        workers vs. the single-threaded reference; fails
+                        unless the merged histograms stay within the
+                        measured lost-increment bound (paper section 7.6)
     --help              show this text
 ";
 
@@ -123,6 +144,24 @@ pub fn parse(argv: &[String]) -> Result<Args, String> {
             "--import-profile" => args.import_profile = Some(take("--import-profile")?),
             "--trace-out" => args.trace_out = Some(take("--trace-out")?),
             "--stats-json" => args.stats_json = Some(take("--stats-json")?),
+            "--mutator-threads" => {
+                let v = take("--mutator-threads")?;
+                args.mutator_threads = v
+                    .parse::<u32>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or("--mutator-threads must be positive")?;
+            }
+            "--gc-workers" => {
+                let v = take("--gc-workers")?;
+                args.gc_workers = Some(
+                    v.parse::<usize>()
+                        .ok()
+                        .filter(|&n| n > 0)
+                        .ok_or("--gc-workers must be positive")?,
+                );
+            }
+            "--verify-determinism" => args.verify_determinism = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown option {other}\n\n{USAGE}")),
         }
@@ -196,6 +235,21 @@ mod tests {
         assert_eq!(a.secs, 90);
         assert_eq!(a.discard, 10);
         assert!(a.report);
+    }
+
+    #[test]
+    fn concurrency_flags_parse() {
+        let a = parse(&argv("--mutator-threads 8 --gc-workers 2 --verify-determinism"))
+            .expect("parses");
+        assert_eq!(a.mutator_threads, 8);
+        assert_eq!(a.gc_workers, Some(2));
+        assert!(a.verify_determinism);
+        let d = parse(&[]).expect("defaults");
+        assert_eq!(d.mutator_threads, 4);
+        assert_eq!(d.gc_workers, None);
+        assert!(!d.verify_determinism);
+        assert!(parse(&argv("--gc-workers 0")).unwrap_err().contains("positive"));
+        assert!(parse(&argv("--mutator-threads 0")).unwrap_err().contains("positive"));
     }
 
     #[test]

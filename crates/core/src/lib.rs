@@ -15,6 +15,10 @@
 //! - [`context`] — the 32-bit allocation context (§3.1).
 //! - [`old_table`] — the Object Lifetime Distribution table (§3.3, §7.5,
 //!   §7.6).
+//! - [`shared_table`] — its concurrent twin with relaxed-atomic age-0
+//!   increments (§7.6's unsynchronized fast path, for real).
+//! - [`concurrent`] — mutator/GC-worker thread harness, safepoint merge
+//!   protocol, measured-loss reconciliation (§5.2, §7.6).
 //! - [`inference`] — lifetime inference and conflict detection (§4).
 //! - [`conflicts`] — the call-site-enabling conflict resolver (§5).
 //! - [`filters`] — package filters (§7.3).
@@ -60,6 +64,7 @@
 //! assert!(report.ops == 1_000);
 //! ```
 
+pub mod concurrent;
 pub mod conflicts;
 pub mod context;
 pub mod filters;
@@ -70,8 +75,11 @@ pub mod old_table;
 pub mod profiler;
 pub mod report;
 pub mod runtime;
+pub mod shared_table;
 pub mod survivor;
+pub mod sync_compat;
 
+pub use concurrent::PublishSlot;
 pub use conflicts::{
     worst_case_resolution_time_ms, ConflictConfig, ConflictResolver, ConflictStats,
 };
@@ -79,8 +87,9 @@ pub use filters::PackageFilters;
 pub use inference::{classify_row, find_peaks, infer, InferenceOutcome, RowVerdict};
 pub use leak::{LeakReport, LeakSuspect};
 pub use offline::{DecisionProfile, ProfileEntry, ProfileParseError};
-pub use old_table::{OldTable, WorkerTable, AGE_COLUMNS};
+pub use old_table::{merge_worker_tables, MergeSummary, OldTable, WorkerTable, AGE_COLUMNS};
 pub use profiler::{ProfilingLevel, RolpConfig, RolpProfiler, RolpStats};
 pub use report::{render_decisions, render_summary, stats_json};
 pub use runtime::{CollectorKind, JvmRuntime, RunReport, RuntimeConfig};
+pub use shared_table::SharedOldTable;
 pub use survivor::SurvivorTracking;

@@ -14,13 +14,13 @@
 //! `4 * (1 + N) MB` for `N` conflicts.
 //!
 //! §7.6's unsynchronized application-thread increments can lose counts;
-//! the simulation is single-threaded, so an optional loss probability
-//! reproduces that imprecision for the ablation study.
+//! this single-threaded table is the exact *reference*. The concurrent
+//! twin ([`crate::SharedOldTable`]) runs the real racy increments, and the
+//! loss is *measured* against this reference by per-epoch reconciliation
+//! (see [`crate::concurrent`]) instead of being simulated with a
+//! probability knob.
 
 use std::collections::HashMap;
-
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use crate::context::{site_of, tss_of};
 
@@ -41,12 +41,6 @@ pub struct OldTable {
     /// (keyed by *row key*), kept so inference does not scan 64 K rows.
     touched: Vec<u32>,
     touched_set: std::collections::HashSet<u32>,
-    /// Probability of losing an application-thread increment (§7.6
-    /// ablation; 0.0 = the single-threaded ideal).
-    loss_probability: f64,
-    rng: StdRng,
-    /// Increments dropped by the loss model.
-    pub lost_increments: u64,
 }
 
 impl OldTable {
@@ -57,16 +51,7 @@ impl OldTable {
             expanded: HashMap::new(),
             touched: Vec::new(),
             touched_set: std::collections::HashSet::new(),
-            loss_probability: 0.0,
-            rng: StdRng::seed_from_u64(0xD15EA5E),
-            lost_increments: 0,
         }
-    }
-
-    /// Enables the §7.6 lost-increment model with the given probability.
-    pub fn set_loss_probability(&mut self, p: f64, seed: u64) {
-        self.loss_probability = p.clamp(0.0, 1.0);
-        self.rng = StdRng::seed_from_u64(seed);
     }
 
     /// The *row key* a context resolves to: the full context for expanded
@@ -126,13 +111,9 @@ impl OldTable {
     }
 
     /// Application-thread path: one object allocated through `context`
-    /// (age-0 increment, unsynchronized — may be lost under the §7.6
-    /// model).
+    /// (age-0 increment; exact here — the racy flavor lives in
+    /// [`crate::SharedOldTable::record_allocation`]).
     pub fn record_allocation(&mut self, context: u32) {
-        if self.loss_probability > 0.0 && self.rng.gen_bool(self.loss_probability) {
-            self.lost_increments += 1;
-            return;
-        }
         self.touch(context);
         let row = self.row_mut(context);
         row[0] = row[0].saturating_add(1);
@@ -223,6 +204,42 @@ impl WorkerTable {
             table.record_survival(context, age);
         }
     }
+
+    /// Drains the buffered records (used by the deterministic merge).
+    pub fn drain_entries(&mut self) -> Vec<(u32, u8)> {
+        std::mem::take(&mut self.entries)
+    }
+}
+
+/// What a safepoint merge of per-worker tables applied (§5.2): per-worker
+/// record counts for the `rolp-trace` merge event, plus the total.
+#[derive(Debug, Clone, Default)]
+pub struct MergeSummary {
+    /// Records each worker contributed, in worker-index order.
+    pub per_worker: Vec<u64>,
+    /// Total records merged this safepoint.
+    pub total: u64,
+}
+
+/// Merges (and drains) every worker's private table into the global table
+/// **deterministically**: all records are collected and sorted by
+/// `(context, age)` before being applied, so the merged histograms do not
+/// depend on how survivor work was distributed across GC workers. (The
+/// apply order matters because under-counted rows saturate at zero.)
+pub fn merge_worker_tables(workers: &mut [WorkerTable], table: &mut OldTable) -> MergeSummary {
+    let mut summary = MergeSummary::default();
+    let mut records: Vec<(u32, u8)> = Vec::new();
+    for worker in workers.iter_mut() {
+        let entries = worker.drain_entries();
+        summary.per_worker.push(entries.len() as u64);
+        summary.total += entries.len() as u64;
+        records.extend(entries);
+    }
+    records.sort_unstable();
+    for (context, age) in records {
+        table.record_survival(context, age);
+    }
+    summary
 }
 
 #[cfg(test)]
@@ -322,16 +339,37 @@ mod tests {
     }
 
     #[test]
-    fn loss_model_drops_some_increments() {
-        let mut t = OldTable::new();
-        t.set_loss_probability(0.5, 42);
-        let c = pack(1, 0);
-        for _ in 0..1_000 {
-            t.record_allocation(c);
-        }
-        let recorded = t.histogram(c)[0] as u64;
-        assert_eq!(recorded + t.lost_increments, 1_000);
-        assert!(t.lost_increments > 300 && t.lost_increments < 700);
+    fn sorted_merge_is_independent_of_worker_assignment() {
+        // The same survival records split across workers two different
+        // ways must produce identical histograms after the deterministic
+        // merge — including rows that saturate at zero.
+        let records = [
+            (pack(2, 0), 0u8),
+            (pack(2, 0), 1),
+            (pack(7, 3), 0),
+            (pack(2, 0), 0),
+            (pack(7, 3), 5), // under-counted: saturates row 5 at zero
+        ];
+        let run = |assignment: &[usize]| {
+            let mut t = OldTable::new();
+            t.record_allocation(pack(2, 0));
+            t.record_allocation(pack(2, 0));
+            t.record_allocation(pack(7, 3));
+            let mut workers = vec![WorkerTable::new(); 3];
+            for (i, &(c, a)) in records.iter().enumerate() {
+                workers[assignment[i]].record_survival(c, a);
+            }
+            let summary = merge_worker_tables(&mut workers, &mut t);
+            assert_eq!(summary.total, records.len() as u64);
+            assert!(workers.iter().all(WorkerTable::is_empty));
+            (t.histogram(pack(2, 0)), t.histogram(pack(7, 3)), summary.per_worker)
+        };
+        let (a2, a7, a_per) = run(&[0, 0, 1, 2, 2]);
+        let (b2, b7, b_per) = run(&[2, 1, 0, 1, 0]);
+        assert_eq!(a2, b2);
+        assert_eq!(a7, b7);
+        assert_eq!(a_per, vec![2, 1, 2]);
+        assert_eq!(b_per, vec![2, 2, 1]);
     }
 
     #[test]

@@ -64,6 +64,9 @@ pub struct RolpConfig {
     pub offline_profile: Option<crate::offline::DecisionProfile>,
     /// Seed for the conflict resolver's random batches.
     pub seed: u64,
+    /// GC worker count — one private [`WorkerTable`] each (§5.2, §7.6),
+    /// merged deterministically at the safepoint ending every pause.
+    pub gc_workers: usize,
 }
 
 impl Default for RolpConfig {
@@ -78,6 +81,7 @@ impl Default for RolpConfig {
             demotion_threshold: 0.5,
             offline_profile: None,
             seed: 0x0517,
+            gc_workers: 4,
         }
     }
 }
@@ -161,10 +165,11 @@ impl RolpProfiler {
             // still required; we simply never feed it, see on_gc_end).
             SurvivorTracking::new()
         };
+        let gc_workers = config.gc_workers.max(1);
         RolpProfiler {
             config,
             old: OldTable::new(),
-            workers: (0..4).map(|_| WorkerTable::new()).collect(),
+            workers: (0..gc_workers).map(|_| WorkerTable::new()).collect(),
             resolver,
             decisions: HashMap::new(),
             survivor,
@@ -186,6 +191,11 @@ impl RolpProfiler {
     /// The configuration in use.
     pub fn config(&self) -> &RolpConfig {
         &self.config
+    }
+
+    /// Number of per-GC-worker private tables (paper §5.2).
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
     }
 
     /// Turns flight-recorder logging of conflict-batch transitions on or
@@ -440,11 +450,26 @@ impl GcHooks for RolpProfiler {
     }
 
     fn on_gc_end(&mut self, env: &mut VmEnv, info: &GcCycleInfo) {
-        // §7.6: merge the GC workers' private tables.
-        for w in 0..self.workers.len() {
-            let mut table = std::mem::take(&mut self.workers[w]);
-            table.merge_into(&mut self.old);
-            self.workers[w] = table;
+        // §7.6: merge the GC workers' private tables at the safepoint,
+        // sorted by (context, age) so the end-state is independent of how
+        // survivor work was split across workers.
+        let merge = crate::old_table::merge_worker_tables(&mut self.workers, &mut self.old);
+        if env.trace.is_enabled() && merge.total > 0 {
+            // Per-worker record counts, workers ≥ 8 folded into the last
+            // slot (the event payload is fixed-size).
+            let mut records = [0u64; 8];
+            for (w, &n) in merge.per_worker.iter().enumerate() {
+                records[w.min(7)] += n;
+            }
+            env.trace.emit_global(
+                env.clock.now(),
+                rolp_trace::EventKind::OldTableMerge {
+                    cycle: info.cycle,
+                    workers: merge.per_worker.len() as u32,
+                    records,
+                    total_records: merge.total,
+                },
+            );
         }
 
         // §7.2.3: verify/repair every thread's stack state against the

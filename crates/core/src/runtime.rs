@@ -77,6 +77,12 @@ pub struct RuntimeConfig {
     pub regional: rolp_gc::RegionalConfig,
     /// Guest threads.
     pub threads: u32,
+    /// Parallel GC workers. `Some(n)` overrides both the cost model's
+    /// worker count and the profiler's private-table count in one place
+    /// (the two must agree — each worker owns one
+    /// [`rolp::WorkerTable`](crate::WorkerTable)); `None` keeps their
+    /// individual defaults.
+    pub gc_workers: Option<usize>,
     /// Seed for JIT identifier randomness.
     pub seed: u64,
     /// Divisor applied to side-table (OLD table) memory accounting. The
@@ -102,6 +108,7 @@ impl Default for RuntimeConfig {
             rolp: RolpConfig::default(),
             regional: rolp_gc::RegionalConfig::default(),
             threads: 1,
+            gc_workers: None,
             seed: 42,
             side_table_scale: 1,
             trace_enabled: false,
@@ -153,6 +160,12 @@ impl JvmRuntime {
     /// Assembles a runtime for `program`.
     pub fn new(mut config: RuntimeConfig, program: Program) -> Self {
         let heap = Heap::new(config.heap.clone());
+
+        if let Some(workers) = config.gc_workers {
+            let workers = workers.max(1);
+            config.cost.gc_workers = workers as u64;
+            config.rolp.gc_workers = workers;
+        }
 
         // Call-profiling code exists only under ROLP (and not at its
         // no-call level).
@@ -316,6 +329,27 @@ mod tests {
         c.rolp.level = ProfilingLevel::NoCallProfiling;
         let rt = JvmRuntime::new(c, tiny_program());
         assert!(!rt.vm.env.jit.config().install_call_profiling);
+    }
+
+    #[test]
+    fn gc_workers_knob_reaches_cost_model_and_profiler() {
+        let cfg = RuntimeConfig {
+            collector: CollectorKind::RolpNg2c,
+            heap: HeapConfig { region_bytes: 4096, max_heap_bytes: 1 << 20 },
+            gc_workers: Some(8),
+            ..Default::default()
+        };
+        let rt = JvmRuntime::new(cfg, tiny_program());
+        assert_eq!(rt.vm.env.cost.gc_workers, 8);
+        assert_eq!(rt.profiler.as_ref().unwrap().borrow().worker_count(), 8);
+
+        // None keeps the individual defaults.
+        let cfg = RuntimeConfig {
+            heap: HeapConfig { region_bytes: 4096, max_heap_bytes: 1 << 20 },
+            ..Default::default()
+        };
+        let rt = JvmRuntime::new(cfg, tiny_program());
+        assert_eq!(rt.vm.env.cost.gc_workers, CostModel::default().gc_workers);
     }
 
     #[test]

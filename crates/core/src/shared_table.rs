@@ -1,0 +1,382 @@
+//! The shared (concurrent) Object Lifetime Distribution table.
+//!
+//! [`SharedOldTable`] is the multi-threaded twin of [`crate::OldTable`]:
+//! the same §7.5 geometry (a base block of one row per allocation-site id,
+//! plus one expansion block per conflicted site), but with every age cell
+//! an [`AtomicU32`] so real mutator threads can bump age-0 cells while GC
+//! worker threads and the safepoint merger operate on the same storage.
+//!
+//! Fidelity to the paper's §7.6 concurrency story:
+//!
+//! - **Application threads increment age-0 cells with no locks and no
+//!   read-modify-write.** [`SharedOldTable::record_allocation`] is a
+//!   relaxed load followed by a relaxed store — the Rust-legal rendering
+//!   of the paper's *unsynchronized* `incl` (HotSpot omits the `lock`
+//!   prefix to keep the allocation fast path cheap). Two threads hitting
+//!   the same cell can overlap and **lose counts**, exactly as §7.6
+//!   describes. Because both halves are atomic ops, this is benign
+//!   imprecision, not UB — ThreadSanitizer stays quiet while the lost
+//!   counts remain measurable.
+//! - **Loss is measured, not simulated.** The old `loss_probability` knob
+//!   is gone: a per-epoch reconciliation compares the age-0 counts that
+//!   actually landed in the table against the exact per-thread allocation
+//!   tallies (see [`crate::concurrent::EpochReconciliation`]), so the §7.6
+//!   imprecision is an *observed* quantity of a real race.
+//! - **GC-side updates go through private per-worker tables**
+//!   ([`crate::WorkerTable`]) merged at the safepoint, never through racy
+//!   read-modify-write cycles on the shared cells.
+//!
+//! Geometry is parameterizable so scaled-down tests (and Miri, which
+//! would crawl over a 4 MB table) can use small power-of-two row counts;
+//! site and stack-state ids then *alias* into rows by masking, which is
+//! also how every thread stack state shares its site's row before a
+//! conflict expands it.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+use crate::context::{site_of, tss_of};
+use crate::old_table::AGE_COLUMNS;
+
+/// Rows in the full-scale base table / expansion blocks (§7.5: 2^16).
+pub const FULL_SCALE_ROWS: usize = 1 << 16;
+
+/// The concurrent Object Lifetime Distribution table.
+pub struct SharedOldTable {
+    site_rows: usize,
+    site_mask: u16,
+    tss_rows: usize,
+    tss_mask: u16,
+    /// Base block: `site_rows` rows of [`AGE_COLUMNS`] cells, flat.
+    base: Box<[AtomicU32]>,
+    /// Per-site expansion blocks, installed at safepoints. `OnceLock::get`
+    /// is a single atomic load, keeping the mutator path lock-free.
+    expanded: Box<[OnceLock<Box<[AtomicU32]>>]>,
+    expansions: AtomicUsize,
+}
+
+fn zeroed_cells(n: usize) -> Box<[AtomicU32]> {
+    (0..n).map(|_| AtomicU32::new(0)).collect()
+}
+
+impl SharedOldTable {
+    /// A full-scale table: 2^16 site rows, 2^16 stack states per expansion
+    /// block (4 MB + 4 MB per conflict, as §7.5 sizes it).
+    pub fn new() -> Self {
+        Self::with_geometry(FULL_SCALE_ROWS, FULL_SCALE_ROWS)
+    }
+
+    /// A table with explicit power-of-two row counts. Site ids alias into
+    /// `site_rows` rows and stack states into `tss_rows` expansion rows by
+    /// masking.
+    pub fn with_geometry(site_rows: usize, tss_rows: usize) -> Self {
+        assert!(site_rows.is_power_of_two() && site_rows <= FULL_SCALE_ROWS);
+        assert!(tss_rows.is_power_of_two() && tss_rows <= FULL_SCALE_ROWS);
+        SharedOldTable {
+            site_rows,
+            site_mask: (site_rows - 1) as u16,
+            tss_rows,
+            tss_mask: (tss_rows - 1) as u16,
+            base: zeroed_cells(site_rows * AGE_COLUMNS),
+            expanded: (0..site_rows).map(|_| OnceLock::new()).collect(),
+            expansions: AtomicUsize::new(0),
+        }
+    }
+
+    #[inline]
+    fn site_row(&self, context: u32) -> usize {
+        (site_of(context) & self.site_mask) as usize
+    }
+
+    /// The cell backing `(context, age)` under the current expansion
+    /// state.
+    #[inline]
+    fn cell(&self, context: u32, age: usize) -> &AtomicU32 {
+        let site = self.site_row(context);
+        match self.expanded[site].get() {
+            Some(block) => {
+                let row = (tss_of(context) & self.tss_mask) as usize;
+                &block[row * AGE_COLUMNS + age]
+            }
+            None => &self.base[site * AGE_COLUMNS + age],
+        }
+    }
+
+    /// Application-thread fast path: bump the age-0 cell with the paper's
+    /// unsynchronized increment (relaxed load + relaxed store, no lock, no
+    /// RMW). Concurrent callers on the same cell may lose counts — that is
+    /// the §7.6 trade, and the per-epoch reconciliation measures it.
+    #[inline]
+    pub fn record_allocation(&self, context: u32) {
+        let cell = self.cell(context, 0);
+        let v = cell.load(Ordering::Relaxed);
+        cell.store(v.saturating_add(1), Ordering::Relaxed);
+    }
+
+    /// Lossless variant (`lock xadd`): what the paper rejects for the hot
+    /// path. Kept for the contention ablation, which compares the measured
+    /// loss of [`SharedOldTable::record_allocation`] against this.
+    #[inline]
+    pub fn record_allocation_atomic(&self, context: u32) {
+        self.cell(context, 0).fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Safepoint-side survival move (`age` → `age + 1`). Called only by
+    /// the single merger thread while the world is stopped (GC workers
+    /// buffer into private [`crate::WorkerTable`]s instead of calling
+    /// this), so plain load/store is exact here.
+    pub fn record_survival(&self, context: u32, age: u8) {
+        let age = (age as usize).min(AGE_COLUMNS - 1);
+        let next = (age + 1).min(AGE_COLUMNS - 1);
+        let from = self.cell(context, age);
+        let v = from.load(Ordering::Relaxed);
+        from.store(v.saturating_sub(1), Ordering::Relaxed);
+        let to = self.cell(context, next);
+        let v = to.load(Ordering::Relaxed);
+        to.store(v.saturating_add(1), Ordering::Relaxed);
+    }
+
+    /// Grows the table with a private block for a conflicted site (§7.5).
+    /// Safepoint-only: aliased counts already in the base row stay there
+    /// until the next periodic clear, as in the sequential table.
+    pub fn expand_site(&self, site: u16) {
+        let row = (site & self.site_mask) as usize;
+        let mut installed = false;
+        self.expanded[row].get_or_init(|| {
+            installed = true;
+            zeroed_cells(self.tss_rows * AGE_COLUMNS)
+        });
+        if installed {
+            self.expansions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// True if `site` has its own per-stack-state expansion block.
+    pub fn is_expanded(&self, site: u16) -> bool {
+        self.expanded[(site & self.site_mask) as usize].get().is_some()
+    }
+
+    /// Number of expansion blocks.
+    pub fn expansions(&self) -> usize {
+        self.expansions.load(Ordering::Relaxed)
+    }
+
+    /// The *row key* a context resolves to (site-aliased unless expanded),
+    /// matching [`crate::OldTable::row_key`] so decisions transfer.
+    pub fn row_key(&self, context: u32) -> u32 {
+        if self.is_expanded(site_of(context)) {
+            context
+        } else {
+            (site_of(context) as u32) << 16
+        }
+    }
+
+    /// Memory footprint per §7.5: one base block plus one per conflict.
+    pub fn memory_bytes(&self) -> u64 {
+        let base = self.site_rows * AGE_COLUMNS * std::mem::size_of::<u32>();
+        let per_block = self.tss_rows * AGE_COLUMNS * std::mem::size_of::<u32>();
+        (base + self.expansions() * per_block) as u64
+    }
+
+    /// The age histogram of a context's row.
+    pub fn histogram(&self, context: u32) -> [u32; AGE_COLUMNS] {
+        let mut out = [0u32; AGE_COLUMNS];
+        for (age, slot) in out.iter_mut().enumerate() {
+            *slot = self.cell(context, age).load(Ordering::Relaxed);
+        }
+        out
+    }
+
+    /// Sum of all age-0 cells — the reconciliation counter's observed
+    /// side. Safepoint-side scan (the mutators are stopped).
+    pub fn age0_total(&self) -> u64 {
+        let mut sum = 0u64;
+        for row in 0..self.site_rows {
+            sum += self.base[row * AGE_COLUMNS].load(Ordering::Relaxed) as u64;
+            if let Some(block) = self.expanded[row].get() {
+                for trow in 0..self.tss_rows {
+                    sum += block[trow * AGE_COLUMNS].load(Ordering::Relaxed) as u64;
+                }
+            }
+        }
+        sum
+    }
+
+    /// All rows with at least one nonzero cell, keyed like
+    /// [`SharedOldTable::row_key`]. Safepoint-side scan.
+    pub fn snapshot(&self) -> BTreeMap<u32, [u32; AGE_COLUMNS]> {
+        let mut out = BTreeMap::new();
+        let read_row = |cells: &[AtomicU32], start: usize| {
+            let mut h = [0u32; AGE_COLUMNS];
+            let mut nonzero = false;
+            for (age, slot) in h.iter_mut().enumerate() {
+                *slot = cells[start + age].load(Ordering::Relaxed);
+                nonzero |= *slot != 0;
+            }
+            nonzero.then_some(h)
+        };
+        for row in 0..self.site_rows {
+            if let Some(h) = read_row(&self.base, row * AGE_COLUMNS) {
+                out.insert((row as u32) << 16, h);
+            }
+            if let Some(block) = self.expanded[row].get() {
+                for trow in 0..self.tss_rows {
+                    if let Some(h) = read_row(block, trow * AGE_COLUMNS) {
+                        out.insert(((row as u32) << 16) | trow as u32, h);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Clears all counts (the §4 freshness reset); expansion blocks stay.
+    /// Safepoint-only.
+    pub fn clear_counts(&self) {
+        for cell in self.base.iter() {
+            cell.store(0, Ordering::Relaxed);
+        }
+        for block in self.expanded.iter().filter_map(|b| b.get()) {
+            for cell in block.iter() {
+                cell.store(0, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+impl Default for SharedOldTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::pack;
+
+    fn small() -> SharedOldTable {
+        SharedOldTable::with_geometry(64, 16)
+    }
+
+    #[test]
+    fn allocations_land_in_age_zero() {
+        let t = small();
+        let c = pack(10, 0);
+        t.record_allocation(c);
+        t.record_allocation(c);
+        t.record_allocation_atomic(c);
+        assert_eq!(t.histogram(c)[0], 3);
+        assert_eq!(t.age0_total(), 3);
+    }
+
+    #[test]
+    fn unexpanded_sites_alias_stack_states_and_masked_geometry_aliases_sites() {
+        let t = small();
+        t.record_allocation(pack(5, 111));
+        t.record_allocation(pack(5, 222));
+        assert_eq!(t.histogram(pack(5, 0))[0], 2);
+        assert_eq!(t.row_key(pack(5, 111)), t.row_key(pack(5, 222)));
+        // 64-row geometry: site 69 aliases site 5's row.
+        t.record_allocation(pack(69, 0));
+        assert_eq!(t.histogram(pack(5, 0))[0], 3);
+    }
+
+    #[test]
+    fn expansion_splits_stack_states() {
+        let t = small();
+        t.expand_site(5);
+        assert!(t.is_expanded(5));
+        assert_eq!(t.expansions(), 1);
+        t.expand_site(5); // idempotent
+        assert_eq!(t.expansions(), 1);
+        t.record_allocation(pack(5, 1));
+        t.record_allocation(pack(5, 2));
+        assert_eq!(t.histogram(pack(5, 1))[0], 1);
+        assert_eq!(t.histogram(pack(5, 2))[0], 1);
+        assert_ne!(t.row_key(pack(5, 1)), t.row_key(pack(5, 2)));
+    }
+
+    #[test]
+    fn survival_moves_between_age_columns_and_saturates() {
+        let t = small();
+        let c = pack(3, 0);
+        t.record_allocation(c);
+        t.record_survival(c, 0);
+        let h = t.histogram(c);
+        assert_eq!((h[0], h[1]), (0, 1));
+        for age in 1..40u8 {
+            t.record_survival(c, age.min(15));
+        }
+        assert_eq!(t.histogram(c)[15], 1);
+        // Underflow saturates instead of wrapping.
+        t.record_survival(pack(9, 0), 3);
+        assert_eq!(t.histogram(pack(9, 0))[3], 0);
+        assert_eq!(t.histogram(pack(9, 0))[4], 1);
+    }
+
+    #[test]
+    fn snapshot_reports_nonzero_rows_with_row_keys() {
+        let t = small();
+        t.expand_site(7);
+        t.record_allocation(pack(7, 3));
+        t.record_allocation(pack(2, 9)); // aliases to site row 2
+        let snap = t.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[&pack(2, 0)][0], 1);
+        assert_eq!(snap[&pack(7, 3)][0], 1);
+    }
+
+    #[test]
+    fn clear_resets_counts_but_keeps_expansions() {
+        let t = small();
+        t.expand_site(4);
+        t.record_allocation(pack(4, 9));
+        t.record_allocation(pack(8, 0));
+        t.clear_counts();
+        assert!(t.snapshot().is_empty());
+        assert!(t.is_expanded(4));
+        assert_eq!(t.age0_total(), 0);
+    }
+
+    #[test]
+    fn memory_accounting_matches_geometry() {
+        let t = SharedOldTable::with_geometry(64, 16);
+        let base = (64 * AGE_COLUMNS * 4) as u64;
+        let block = (16 * AGE_COLUMNS * 4) as u64;
+        assert_eq!(t.memory_bytes(), base);
+        t.expand_site(1);
+        assert_eq!(t.memory_bytes(), base + block);
+    }
+
+    #[test]
+    fn full_scale_geometry_matches_the_paper() {
+        let t = SharedOldTable::new();
+        assert_eq!(t.memory_bytes(), 4 * 1024 * 1024, "2^16 rows x 16 x 4 B");
+    }
+
+    #[test]
+    fn concurrent_unsynchronized_increments_lose_at_most_the_deficit() {
+        // 4 threads x 20k increments on one contended cell: the final
+        // count never exceeds the intended total, and the deficit is the
+        // measured §7.6 loss.
+        let t = std::sync::Arc::new(small());
+        let c = pack(1, 0);
+        let threads = 4;
+        let per = 20_000u32;
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                let t = std::sync::Arc::clone(&t);
+                s.spawn(move || {
+                    for _ in 0..per {
+                        t.record_allocation(c);
+                    }
+                });
+            }
+        });
+        let recorded = t.histogram(c)[0];
+        assert!(recorded <= threads * per);
+        assert!(recorded > 0);
+    }
+}

@@ -15,8 +15,8 @@ use rolp_heap::{AllocFailure, ObjectRef, RegionId, RegionKind, SpaceKind};
 use rolp_vm::{AllocRequest, CollectorApi, VmEnv};
 
 use crate::evac::evacuate_concurrent;
-use crate::mark::mark_liveness;
 use crate::observer::GcHooks;
+use crate::parallel::mark_liveness_parallel;
 
 /// Tunables of the concurrent collector.
 #[derive(Debug, Clone)]
@@ -92,7 +92,7 @@ impl ConcurrentCollector {
     }
 
     fn cycle(&mut self, env: &mut VmEnv) {
-        let mark = mark_liveness(&mut env.heap);
+        let mark = mark_liveness_parallel(&mut env.heap, env.cost.gc_workers.max(1) as usize);
         // Concurrent marking steals mutator cycles.
         env.clock.advance(env.cost.copy_ns(mark.live_bytes) / 2);
 

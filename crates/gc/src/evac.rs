@@ -24,8 +24,8 @@ use rolp_heap::{Heap, ObjectRef, RegionId, RegionKind, SpaceKind};
 use rolp_metrics::{PauseKind, SimTime};
 use rolp_vm::{CostModel, VmEnv};
 
-use crate::mark::mark_liveness;
 use crate::observer::GcHooks;
+use crate::parallel::{mark_liveness_parallel, prescan_remsets, RemsetPrescan};
 
 /// Statistics of one evacuation (or compaction) pause.
 #[derive(Debug, Clone, Copy, Default)]
@@ -124,6 +124,7 @@ struct Evacuator<'a> {
     hooks: &'a mut dyn GcHooks,
     tracking: bool,
     in_cset: Vec<bool>,
+    gc_workers: u32,
     stats: EvacStats,
     scan: Vec<ObjectRef>,
     failed: bool,
@@ -159,9 +160,10 @@ impl Evacuator<'_> {
                 self.stats.bytes_copied += size_bytes;
                 self.stats.gen_bytes[gen_index(space)] += size_bytes;
                 if self.tracking {
-                    // Simulated worker assignment mirrors the per-worker
-                    // private tables of §7.6.
-                    let worker = (self.stats.survivors % 4) as u32;
+                    // Per-worker private tables (§5.2): a worker owns the
+                    // source regions it claims, so attribute by source
+                    // region — deterministic under any claim order.
+                    let worker = obj.region().0 % self.gc_workers;
                     self.hooks.on_survivor(header, from_kind, worker);
                 }
                 self.scan.push(new);
@@ -188,33 +190,22 @@ impl Evacuator<'_> {
         }
     }
 
-    fn process_remsets(&mut self, cset: &[RegionId]) {
-        for &r in cset {
-            let mut slots = self.heap.region_mut(r).rset.take();
-            // The remembered set hashes its slots; iteration order would
-            // leak the hasher's randomness into evacuation order (and via
-            // survivor-overflow promotion into the whole run). Sort for
-            // determinism.
-            slots.sort_unstable_by_key(|s| (s.region.0, s.offset, s.epoch));
-            for slot in slots {
-                self.stats.remset_slots += 1;
-                // Stale-entry filters (see module docs).
-                if self.in_cset(slot.region) {
-                    continue; // covered by transitive scanning
-                }
-                let holder = self.heap.region(slot.region);
-                if holder.assigned_epoch != slot.epoch
-                    || matches!(holder.kind, RegionKind::Free)
-                    || (slot.offset as usize) >= holder.top()
-                {
-                    continue;
-                }
-                let value = ObjectRef::from_raw(holder.word(slot.offset));
-                if value.is_null() || !self.in_cset(value.region()) {
-                    continue;
-                }
-                match self.forward(value) {
+    /// Applies the verdicts of a [`prescan_remsets`] pass: the workers
+    /// already validated every slot (read-only, in parallel); the
+    /// coordinator performs the order-sensitive forwarding writes here,
+    /// in the prescan's sorted order, which keeps the result identical to
+    /// the single-threaded reference.
+    fn process_remsets(&mut self, cset: &[RegionId], prescan: RemsetPrescan) {
+        self.stats.remset_slots += prescan.slots_examined;
+        for (&r, valid) in cset.iter().zip(&prescan.valid) {
+            self.heap.region_mut(r).rset.clear();
+            for v in valid {
+                // `forward` is idempotent, so a slot aliased into several
+                // collection-set remembered sets converges to the same
+                // rewrite, and the re-record below dedups in the set.
+                match self.forward(v.value) {
                     Some(new) => {
+                        let slot = v.slot;
                         self.heap.region_mut(slot.region).set_word(slot.offset, new.raw());
                         // The slot still holds a cross-region reference;
                         // re-record it against the new target region.
@@ -303,6 +294,11 @@ fn evacuate_mode(
     for id in cset {
         in_cset[id.0 as usize] = true;
     }
+    // Fan the remembered-set validation out to the GC workers while the
+    // heap is still quiescent (nothing has been forwarded yet); the
+    // verdicts are applied sequentially below.
+    let gc_workers = env.cost.gc_workers.max(1);
+    let prescan = prescan_remsets(&env.heap, cset, &in_cset, gc_workers as usize);
     let tracking = hooks.survivor_tracking_enabled();
     let mut ev = Evacuator {
         heap: &mut env.heap,
@@ -310,6 +306,7 @@ fn evacuate_mode(
         hooks,
         tracking,
         in_cset,
+        gc_workers: gc_workers as u32,
         stats: EvacStats { regions_in_cset: cset.len() as u64, ..Default::default() },
         scan: Vec::new(),
         failed: false,
@@ -317,7 +314,7 @@ fn evacuate_mode(
 
     ev.process_roots();
     if !ev.failed {
-        ev.process_remsets(cset);
+        ev.process_remsets(cset, prescan);
     }
     if !ev.failed {
         ev.drain_scan();
@@ -449,8 +446,9 @@ pub fn full_compact(env: &mut VmEnv, hooks: &mut dyn GcHooks) -> EvacStats {
     // Phase 0: a failed evacuation may have left forwarding pointers.
     resolve_all_forwarding(&mut env.heap);
 
-    // Phase 1: mark.
-    let mark = mark_liveness(&mut env.heap);
+    // Phase 1: mark, on the worker pool when one is configured.
+    let gc_workers = env.cost.gc_workers.max(1) as u32;
+    let mark = mark_liveness_parallel(&mut env.heap, gc_workers as usize);
 
     // Phase 2: compact, most-garbage regions first (releases fastest).
     env.heap.retire_all_current();
@@ -500,7 +498,8 @@ pub fn full_compact(env: &mut VmEnv, hooks: &mut dyn GcHooks) -> EvacStats {
             stats.bytes_copied += size_bytes;
             stats.gen_bytes[gen_index(to_space)] += size_bytes;
             if tracking {
-                let worker = (stats.survivors % 4) as u32;
+                // Source-region attribution, as in `Evacuator::forward`.
+                let worker = src.0 % gc_workers;
                 hooks.on_survivor(header, from_kind, worker);
             }
         }

@@ -15,13 +15,16 @@
 //!   concurrent, tiny pauses, barrier and memory taxes.
 //!
 //! Shared machinery: [`mark`] (tracing), [`evac`] (evacuation, full
-//! compaction, remembered-set maintenance, pause accounting).
+//! compaction, remembered-set maintenance, pause accounting), and
+//! [`parallel`] (the GC worker pool: atomic mark bitmap, work-stealing
+//! marking, read-only remembered-set prescan).
 
 pub mod cms;
 pub mod concurrent;
 pub mod evac;
 pub mod mark;
 pub mod observer;
+pub mod parallel;
 pub mod regional;
 
 pub use cms::{CmsCollector, CmsConfig, CmsStats};
@@ -29,4 +32,5 @@ pub use concurrent::{ConcurrentCollector, ConcurrentConfig, ConcurrentStats};
 pub use evac::{evacuate, full_compact, rebuild_remsets, EvacOutcome, EvacStats};
 pub use mark::{mark_liveness, MarkResult};
 pub use observer::{GcCycleInfo, GcHooks, NullHooks};
+pub use parallel::{mark_liveness_parallel, prescan_remsets, MarkBitmap, RemsetPrescan};
 pub use regional::{RegionalCollector, RegionalConfig, RegionalStats};

@@ -1,0 +1,126 @@
+//! Lock-free work claiming for parallel GC workers.
+//!
+//! GC workers split pause work (regions to scan, chunks of an object
+//! list) by claiming from a shared cursor instead of being handed static
+//! partitions — the same dynamic load balancing HotSpot's parallel
+//! collectors use, which keeps a worker that drew a dense region from
+//! becoming the pause's critical path. Claim *order* is racy by design;
+//! callers must make their merge order-independent (sort, sum, or set
+//! union) to keep parallel pauses deterministic.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::region::RegionId;
+
+/// A shared claim cursor over a fixed list of regions.
+#[derive(Debug)]
+pub struct RegionClaimer {
+    regions: Vec<RegionId>,
+    cursor: AtomicUsize,
+}
+
+impl RegionClaimer {
+    /// A claimer over `regions` (claimed in list order).
+    pub fn new(regions: Vec<RegionId>) -> Self {
+        RegionClaimer { regions, cursor: AtomicUsize::new(0) }
+    }
+
+    /// Claims the next unclaimed region, or `None` when exhausted.
+    pub fn claim(&self) -> Option<RegionId> {
+        let idx = self.cursor.fetch_add(1, Ordering::Relaxed);
+        self.regions.get(idx).copied()
+    }
+
+    /// Total regions under the claimer.
+    pub fn len(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// True when the claimer covers no regions.
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+}
+
+/// A shared claim cursor handing out `[start, end)` chunks of an indexed
+/// work list (object slices, slot lists).
+#[derive(Debug)]
+pub struct ChunkClaimer {
+    len: usize,
+    chunk: usize,
+    cursor: AtomicUsize,
+}
+
+impl ChunkClaimer {
+    /// A claimer over `len` items in chunks of `chunk`.
+    pub fn new(len: usize, chunk: usize) -> Self {
+        ChunkClaimer { len, chunk: chunk.max(1), cursor: AtomicUsize::new(0) }
+    }
+
+    /// Claims the next chunk as an index range, or `None` when exhausted.
+    pub fn claim(&self) -> Option<std::ops::Range<usize>> {
+        let start = self.cursor.fetch_add(self.chunk, Ordering::Relaxed);
+        if start >= self.len {
+            return None;
+        }
+        Some(start..(start + self.chunk).min(self.len))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_are_claimed_exactly_once() {
+        let claimer = RegionClaimer::new((0..100).map(RegionId).collect());
+        assert_eq!(claimer.len(), 100);
+        let claimed: std::collections::HashSet<RegionId> =
+            std::iter::from_fn(|| claimer.claim()).collect();
+        assert_eq!(claimed.len(), 100);
+        assert!(claimer.claim().is_none(), "exhausted stays exhausted");
+    }
+
+    #[test]
+    fn concurrent_claims_partition_the_list() {
+        let claimer = std::sync::Arc::new(RegionClaimer::new((0..1_000).map(RegionId).collect()));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let claimer = std::sync::Arc::clone(&claimer);
+            handles.push(std::thread::spawn(move || {
+                let mut mine = Vec::new();
+                while let Some(r) = claimer.claim() {
+                    mine.push(r);
+                }
+                mine
+            }));
+        }
+        let mut all: Vec<RegionId> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 1_000, "every region claimed exactly once");
+    }
+
+    #[test]
+    fn chunks_cover_the_range_without_overlap() {
+        let claimer = ChunkClaimer::new(1_000, 64);
+        let mut covered = vec![false; 1_000];
+        while let Some(range) = claimer.claim() {
+            for i in range {
+                assert!(!covered[i], "chunk overlap at {i}");
+                covered[i] = true;
+            }
+        }
+        assert!(covered.iter().all(|&c| c));
+    }
+
+    #[test]
+    fn empty_and_zero_chunk_inputs_are_safe() {
+        assert!(RegionClaimer::new(Vec::new()).claim().is_none());
+        assert!(RegionClaimer::new(Vec::new()).is_empty());
+        let c = ChunkClaimer::new(0, 0);
+        assert!(c.claim().is_none());
+        let c = ChunkClaimer::new(3, 0); // chunk clamps to 1
+        assert_eq!(c.claim(), Some(0..1));
+    }
+}

@@ -83,6 +83,12 @@ pub fn event_to_json(event: &TraceEvent) -> String {
         EventKind::SurvivorTracking { enabled } => {
             obj.bool("enabled", *enabled);
         }
+        EventKind::OldTableMerge { cycle, workers, records, total_records } => {
+            obj.u64("cycle", *cycle)
+                .u64("workers", *workers as u64)
+                .u64_array("records", records)
+                .u64("total_records", *total_records);
+        }
     }
     obj.finish()
 }
@@ -218,6 +224,20 @@ pub fn parse_jsonl(input: &str) -> Result<Vec<TraceEvent>, String> {
                 "survivor_tracking" => {
                     EventKind::SurvivorTracking { enabled: get_bool(&map, "enabled")? }
                 }
+                "old_table_merge" => {
+                    let mut records = [0u64; 8];
+                    if let Some(JsonValue::UintArray(xs)) = map.get("records") {
+                        for (i, v) in xs.iter().take(8).enumerate() {
+                            records[i] = *v;
+                        }
+                    }
+                    EventKind::OldTableMerge {
+                        cycle: get_u64(&map, "cycle")?,
+                        workers: get_u64(&map, "workers")? as u32,
+                        records,
+                        total_records: get_u64(&map, "total_records")?,
+                    }
+                }
                 other => return Err(format!("unknown event type '{other}'")),
             })
         })()
@@ -291,6 +311,7 @@ pub fn to_chrome_trace(events: &[TraceEvent]) -> String {
                     EventKind::DecisionChange { .. } => "pretenure decision",
                     EventKind::SurvivorTracking { enabled: true } => "survivor tracking on",
                     EventKind::SurvivorTracking { .. } => "survivor tracking off",
+                    EventKind::OldTableMerge { .. } => "OLD table merge",
                     _ => unreachable!("pause and watermark handled above"),
                 };
                 // Strip the envelope fields the JSONL form carries; the
@@ -420,6 +441,17 @@ mod tests {
                 thread: GLOBAL_THREAD,
                 seq: 6,
                 kind: EventKind::SurvivorTracking { enabled: false },
+            },
+            TraceEvent {
+                ts: t(9_000),
+                thread: GLOBAL_THREAD,
+                seq: 7,
+                kind: EventKind::OldTableMerge {
+                    cycle: 12,
+                    workers: 4,
+                    records: [10, 11, 12, 13, 0, 0, 0, 0],
+                    total_records: 46,
+                },
             },
         ]
     }

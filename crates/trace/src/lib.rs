@@ -137,6 +137,19 @@ pub enum EventKind {
         /// New state.
         enabled: bool,
     },
+    /// Per-worker OLD tables merged into the global table at the
+    /// safepoint ending a pause (§5.2, §7.6).
+    OldTableMerge {
+        /// GC cycle the merge closed.
+        cycle: u64,
+        /// GC workers whose private tables were merged.
+        workers: u32,
+        /// Records contributed per worker; workers ≥ 8 fold into the
+        /// last slot (payloads are fixed-size `Copy`).
+        records: [u64; 8],
+        /// Total survival records merged.
+        total_records: u64,
+    },
 }
 
 impl EventKind {
@@ -152,6 +165,7 @@ impl EventKind {
             EventKind::ConflictBatch { .. } => "conflict_batch",
             EventKind::DecisionChange { .. } => "decision_change",
             EventKind::SurvivorTracking { .. } => "survivor_tracking",
+            EventKind::OldTableMerge { .. } => "old_table_merge",
         }
     }
 }

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Pause-time regression gate for the per-PR bench smoke run.
+
+Compares a fresh `ROLP_BENCH_JSON` stats file (from the quick-mode
+`fig8_9_pause_distribution` bench) against the committed baseline and
+fails if any (workload, collector) pair's p99 pause regressed by more
+than the allowed margin. The simulation is deterministic at a fixed
+scale, so the margin only needs to absorb intentional code-change drift,
+not machine noise.
+
+Usage:
+    scripts/bench_gate.py <current.json> [--baseline BENCH_baseline.json]
+                          [--max-regress 0.15]
+
+Exit status: 0 = within bounds, 1 = regression, 2 = usage/format error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"bench_gate: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    if "results" not in data or "scale" not in data:
+        print(f"bench_gate: {path} is not a bench stats file", file=sys.stderr)
+        sys.exit(2)
+    return data
+
+
+def key(row):
+    return (row["workload"], row["collector"])
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("current", help="stats JSON written by ROLP_BENCH_JSON")
+    ap.add_argument("--baseline", default="BENCH_baseline.json")
+    ap.add_argument("--max-regress", type=float, default=0.15,
+                    help="allowed fractional p99 increase (default 0.15)")
+    args = ap.parse_args()
+
+    cur = load(args.current)
+    base = load(args.baseline)
+    if cur["scale"] != base["scale"]:
+        print(f"bench_gate: scale mismatch (current 1/{cur['scale']}, "
+              f"baseline 1/{base['scale']}) — numbers are not comparable",
+              file=sys.stderr)
+        sys.exit(2)
+
+    baseline_rows = {key(r): r for r in base["results"]}
+    failures = []
+    compared = 0
+    for row in cur["results"]:
+        ref = baseline_rows.get(key(row))
+        if ref is None:
+            print(f"  [new] {row['workload']} / {row['collector']}: "
+                  f"p99 {row['p99_ms']:.2f} ms (no baseline, skipped)")
+            continue
+        compared += 1
+        cur_p99, ref_p99 = row["p99_ms"], ref["p99_ms"]
+        limit = ref_p99 * (1.0 + args.max_regress)
+        verdict = "OK" if cur_p99 <= limit else "REGRESSED"
+        print(f"  [{verdict}] {row['workload']} / {row['collector']}: "
+              f"p99 {cur_p99:.2f} ms vs baseline {ref_p99:.2f} ms "
+              f"(limit {limit:.2f} ms)")
+        if cur_p99 > limit:
+            failures.append(key(row))
+
+    if compared == 0:
+        print("bench_gate: no comparable rows between current and baseline",
+              file=sys.stderr)
+        sys.exit(2)
+    if failures:
+        names = ", ".join(f"{w}/{c}" for w, c in failures)
+        print(f"bench_gate: p99 regression beyond "
+              f"{args.max_regress:.0%}: {names}", file=sys.stderr)
+        sys.exit(1)
+    print(f"bench_gate: {compared} run(s) within {args.max_regress:.0%} of baseline")
+
+
+if __name__ == "__main__":
+    main()
