@@ -23,7 +23,7 @@
 
 use rolp::runtime::CollectorKind;
 use rolp_bench::{
-    banner, bigdata_budget, bigdata_heap, bigdata_workloads, fig9_labels, run_one, scale,
+    banner, bigdata_budget, bigdata_heap, bigdata_workloads, fig9_labels, run_one_threads, scale,
     TextTable, FIG8_PERCENTILES, FIG9_INTERVALS_MS,
 };
 
@@ -71,13 +71,26 @@ fn main() {
         budget.warmup_discard,
     );
     if quick {
-        println!("quick mode: first workload, G1 + ROLP only (ROLP_BENCH_QUICK)");
+        println!(
+            "quick mode: first workload, G1 + ROLP (4 mutator threads) + ROLP-seq \
+             (1 thread, sequential profiler backend) (ROLP_BENCH_QUICK)"
+        );
     }
 
-    let collectors: Vec<CollectorKind> = if quick {
-        vec![CollectorKind::G1, CollectorKind::RolpNg2c]
+    // (collector, mutator threads, gate label). The default 4-thread runs
+    // exercise the concurrent profiler data plane; quick mode adds a
+    // 1-thread ROLP run so the gate also covers the sequential backend.
+    let collectors: Vec<(CollectorKind, u32, &'static str)> = if quick {
+        vec![
+            (CollectorKind::G1, 4, CollectorKind::G1.label()),
+            (CollectorKind::RolpNg2c, 4, CollectorKind::RolpNg2c.label()),
+            (CollectorKind::RolpNg2c, 1, "ROLP-seq"),
+        ]
     } else {
-        vec![CollectorKind::Cms, CollectorKind::G1, CollectorKind::Ng2c, CollectorKind::RolpNg2c]
+        [CollectorKind::Cms, CollectorKind::G1, CollectorKind::Ng2c, CollectorKind::RolpNg2c]
+            .into_iter()
+            .map(|k| (k, 4, k.label()))
+            .collect()
     };
     let mut json_rows: Vec<JsonRow> = Vec::new();
 
@@ -96,22 +109,22 @@ fn main() {
         );
         let mut tail_ms: Vec<(CollectorKind, f64)> = Vec::new();
 
-        for &kind in &collectors {
+        for &(kind, threads, label) in &collectors {
             // Fresh workload instance per run (independent state).
             let mut workloads = bigdata_workloads(scale);
             let w = &mut workloads[wi];
             let start = std::time::Instant::now();
-            let out = run_one(w.as_mut(), kind, heap.clone(), scale, &budget);
+            let out = run_one_threads(w.as_mut(), kind, heap.clone(), scale, &budget, threads);
             let wall = start.elapsed();
 
-            let mut row = vec![kind.label().to_string()];
+            let mut row = vec![label.to_string()];
             for p in FIG8_PERCENTILES {
                 row.push(format!("{:.1}", out.pauses.percentile_ms(p)));
             }
             fig8.row(row);
             json_rows.push(JsonRow {
                 workload: name.clone(),
-                collector: kind.label(),
+                collector: label,
                 pauses: out.pauses.count(),
                 gc_cycles: out.report.gc_cycles,
                 ops: out.report.ops,
@@ -123,7 +136,7 @@ fn main() {
 
             let bounds_ns: Vec<u64> = FIG9_INTERVALS_MS.iter().map(|ms| ms * 1_000_000).collect();
             let counts = out.pauses.histogram().interval_counts(&bounds_ns);
-            let mut row9 = vec![kind.label().to_string()];
+            let mut row9 = vec![label.to_string()];
             row9.extend(counts.iter().map(|c| c.to_string()));
             fig9.row(row9);
 
@@ -154,8 +167,7 @@ fn main() {
                 );
             }
             eprintln!(
-                "  [{name} / {}] {} pauses, {} GC cycles, ops {}, wall {:.1?}",
-                kind.label(),
+                "  [{name} / {label}] {} pauses, {} GC cycles, ops {}, wall {:.1?}",
                 out.pauses.count(),
                 out.report.gc_cycles,
                 out.report.ops,

@@ -66,7 +66,8 @@ pub fn runtime_config(kind: CollectorKind, heap: HeapConfig, scale: SimScale) ->
     }
 }
 
-/// Runs one workload under one collector with the given budget.
+/// Runs one workload under one collector with the given budget, at the
+/// default bench thread count (4 — the concurrent profiler backend).
 ///
 /// When `ROLP_TRACE_DIR` is set, the run records a flight-recorder trace
 /// and writes `<dir>/<workload>-<collector>.trace.json` (Chrome
@@ -79,8 +80,26 @@ pub fn run_one(
     scale: SimScale,
     budget: &RunBudget,
 ) -> RunOutcome {
+    run_one_threads(workload, kind, heap, scale, budget, 4)
+}
+
+/// [`run_one`] with an explicit mutator-thread count — the bench-side
+/// analogue of the CLI's `--mutator-threads`. `threads` selects the
+/// profiler's table backend exactly as the runtime does: 1 runs the
+/// sequential/exact `OldTable`, >1 the relaxed-atomic `SharedOldTable`
+/// (and the matching GC worker parallelism), so the pause gate can cover
+/// both data planes.
+pub fn run_one_threads(
+    workload: &mut dyn Workload,
+    kind: CollectorKind,
+    heap: HeapConfig,
+    scale: SimScale,
+    budget: &RunBudget,
+    threads: u32,
+) -> RunOutcome {
     let trace_dir = std::env::var("ROLP_TRACE_DIR").ok();
     let mut config = runtime_config(kind, heap, scale);
+    config.threads = threads;
     config.trace_enabled = trace_dir.is_some();
     let name = workload.name();
     let out = rolp_workloads::execute(workload, config, budget);

@@ -8,6 +8,7 @@
 //! ```
 
 use rolp::runtime::{CollectorKind, JvmRuntime};
+use rolp::LifetimeTable;
 use rolp_metrics::SimScale;
 use rolp_workloads::{CassandraMix, RunBudget, Workload};
 
@@ -55,7 +56,7 @@ fn probe(mut w: Box<dyn Workload>, scale: SimScale, secs: u64) {
         println!("  ctx {:#010x} (site {}, tss {}) -> gen {}", k, k >> 16, k & 0xFFFF, g);
     }
     println!("touched rows now:");
-    for &key in p.old.touched_rows() {
+    for key in p.old.touched_rows() {
         let h = p.old.histogram(key);
         println!("  site {:>3} tss {:>5}: {:?}", key >> 16, key & 0xFFFF, h);
     }
@@ -119,7 +120,7 @@ fn probe_cassandra_rolp_decisions() {
         println!("  ctx {:#010x} (site {}, tss {}) -> gen {}", k, k >> 16, k & 0xFFFF, g);
     }
     println!("touched rows now:");
-    for &key in p.old.touched_rows() {
+    for key in p.old.touched_rows() {
         let h = p.old.histogram(key);
         println!("  site {:>3} tss {:>5}: {:?}", key >> 16, key & 0xFFFF, h);
     }

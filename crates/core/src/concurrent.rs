@@ -6,7 +6,7 @@
 //!
 //! 1. **Mutator epochs.** `--mutator-threads N` OS threads each replay a
 //!    seed-deterministic allocation schedule against one
-//!    [`SharedOldTable`], bumping age-0 cells with the unsynchronized
+//!    [`crate::SharedOldTable`], bumping age-0 cells with the unsynchronized
 //!    relaxed increment. Joining the threads is the safepoint that ends
 //!    the epoch.
 //! 2. **Reconciliation.** At each safepoint the coordinator compares the
@@ -16,21 +16,19 @@
 //!    `loss_probability` simulation.
 //! 3. **Parallel GC pause.** `--gc-workers N` worker threads claim chunks
 //!    of the live-object list from a shared cursor, buffer survivor age
-//!    moves into private [`WorkerTable`]s, and hand them to the
+//!    moves into private [`crate::WorkerTable`]s, and hand them to the
 //!    coordinator through a [`PublishSlot`] (the protocol the loom CI job
 //!    model-checks). The coordinator merges all records **sorted by
 //!    `(context, age)`**, so the merged histograms are identical no
 //!    matter how the chunk race distributed work.
 //! 4. **Loss bound.** [`run_reference`] replays the same schedules on the
-//!    exact single-threaded [`OldTable`]; [`compare_to_reference`] checks
+//!    exact single-threaded [`crate::OldTable`]; [`compare_to_reference`] checks
 //!    the §7.6 bound the CLI's `--verify-determinism` mode asserts:
 //!    every parallel cell ≤ its reference cell, and the total deviation
 //!    ≤ the reconciliation-reported loss. (Lost increments only *remove*
 //!    age-0 counts, and the survival pipeline's saturating decrements can
 //!    only shrink — never grow — a deficit, so the bound is exact.)
 
-use crate::old_table::{MergeSummary, WorkerTable};
-use crate::shared_table::SharedOldTable;
 use crate::sync_compat::{AtomicBool, Ordering, UnsafeCell};
 
 /// A single-producer single-consumer hand-off slot for a GC worker's
@@ -89,29 +87,6 @@ impl<T> PublishSlot<T> {
     }
 }
 
-/// Merges (and drains) per-worker tables into the shared table at a
-/// safepoint, sorted by `(context, age)` for determinism — the concurrent
-/// twin of [`crate::old_table::merge_worker_tables`]. Caller must be the
-/// single merger thread with all mutators and workers stopped.
-pub fn merge_workers_into_shared(
-    workers: &mut [WorkerTable],
-    table: &SharedOldTable,
-) -> MergeSummary {
-    let mut summary = MergeSummary::default();
-    let mut records: Vec<(u32, u8)> = Vec::new();
-    for worker in workers.iter_mut() {
-        let entries = worker.drain_entries();
-        summary.per_worker.push(entries.len() as u64);
-        summary.total += entries.len() as u64;
-        records.extend(entries);
-    }
-    records.sort_unstable();
-    for (context, age) in records {
-        table.record_survival(context, age);
-    }
-    summary
-}
-
 #[cfg(not(feature = "loom"))]
 pub use harness::*;
 
@@ -124,7 +99,9 @@ mod harness {
     use std::collections::BTreeMap;
     use std::sync::atomic::AtomicUsize;
 
-    use crate::old_table::{OldTable, AGE_COLUMNS};
+    use crate::geometry::{LifetimeTable, TableGeometry};
+    use crate::old_table::{merge_worker_tables, MergeSummary, OldTable, WorkerTable, AGE_COLUMNS};
+    use crate::shared_table::SharedOldTable;
 
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
@@ -251,7 +228,8 @@ mod harness {
     /// worker threads, safepoint merges, per-epoch reconciliation.
     pub fn run_concurrent(config: &ConcurrentConfig) -> ConcurrentRunResult {
         config.validate();
-        let table = SharedOldTable::with_geometry(config.site_rows, config.tss_rows);
+        let mut table =
+            SharedOldTable::with_geometry(TableGeometry::new(config.site_rows, config.tss_rows));
         for &site in &config.expand_sites {
             table.expand_site(site);
         }
@@ -340,7 +318,7 @@ mod harness {
                     std::thread::yield_now();
                 })
                 .collect();
-            merges.push(merge_workers_into_shared(&mut workers, &table));
+            merges.push(merge_worker_tables(&mut workers, &mut table));
 
             // Advance survivor ages; drop the dead.
             live.retain_mut(|obj| {
@@ -371,7 +349,8 @@ mod harness {
     /// races.
     pub fn run_reference(config: &ConcurrentConfig) -> BTreeMap<u32, [u32; AGE_COLUMNS]> {
         config.validate();
-        let mut table = OldTable::new();
+        let mut table =
+            OldTable::with_geometry(TableGeometry::new(config.site_rows, config.tss_rows));
         for &site in &config.expand_sites {
             table.expand_site(site);
         }
@@ -390,7 +369,7 @@ mod harness {
                     workers[i % config.gc_workers].record_survival(obj.context, obj.age);
                 }
             }
-            crate::old_table::merge_worker_tables(&mut workers, &mut table);
+            merge_worker_tables(&mut workers, &mut table);
             live.retain_mut(|obj| {
                 if obj.age < obj.dies_after {
                     obj.age += 1;
@@ -401,7 +380,7 @@ mod harness {
             });
         }
         let mut out = BTreeMap::new();
-        for &key in table.touched_rows() {
+        for key in table.touched_rows() {
             let h = table.histogram(key);
             if h.iter().any(|&c| c != 0) {
                 out.insert(key, h);

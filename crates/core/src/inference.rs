@@ -9,7 +9,8 @@
 //! call paths with different lifetimes — handed to the conflict-resolution
 //! machinery of §5.
 
-use crate::old_table::{OldTable, AGE_COLUMNS};
+use crate::geometry::LifetimeTable;
+use crate::old_table::AGE_COLUMNS;
 
 /// Minimum samples in a row before inference trusts it.
 pub const MIN_SAMPLES: u32 = 32;
@@ -147,10 +148,11 @@ pub struct InferenceOutcome {
 
 /// Runs inference over every touched row of the table (the §4 periodic
 /// pass). Does not clear the table — the caller does, after acting on the
-/// outcome.
-pub fn infer(table: &OldTable) -> InferenceOutcome {
+/// outcome. Written once against [`LifetimeTable`]; the trait's sorted
+/// `touched_rows` contract makes the outcome backend-independent.
+pub fn infer<T: LifetimeTable + ?Sized>(table: &T) -> InferenceOutcome {
     let mut out = InferenceOutcome::default();
-    for &key in table.touched_rows() {
+    for key in table.touched_rows() {
         out.rows_examined += 1;
         let hist = table.histogram(key);
         let site = crate::context::site_of(key);
@@ -180,6 +182,7 @@ pub fn infer(table: &OldTable) -> InferenceOutcome {
 mod tests {
     use super::*;
     use crate::context::pack;
+    use crate::old_table::OldTable;
 
     fn hist(pairs: &[(usize, u32)]) -> [u32; AGE_COLUMNS] {
         let mut h = [0u32; AGE_COLUMNS];

@@ -17,6 +17,7 @@ use std::collections::HashSet;
 use rolp_vm::{JitState, Program};
 
 use crate::context::site_of;
+use crate::geometry::LifetimeTable;
 use crate::old_table::AGE_COLUMNS;
 use crate::profiler::RolpProfiler;
 
@@ -52,8 +53,8 @@ impl LeakReport {
     /// monotonically across all recorded censuses (at least three) are
     /// suspects. Falls back to the immortal-age heuristic when fewer than
     /// three censuses exist.
-    pub fn gather(
-        profiler: &RolpProfiler,
+    pub fn gather<T: LifetimeTable>(
+        profiler: &RolpProfiler<T>,
         program: &Program,
         jit: &JitState,
         min_live: u64,
@@ -85,7 +86,7 @@ impl LeakReport {
             }
         } else {
             // Secondary signal: immortal-age pileup in the current window.
-            for &key in profiler.old.touched_rows() {
+            for key in profiler.old.touched_rows() {
                 let hist = profiler.old.histogram(key);
                 let immortal = hist[AGE_COLUMNS - 1] as u64;
                 if immortal >= min_live && hist[0] > 0 {
@@ -103,7 +104,11 @@ impl LeakReport {
         LeakReport { suspects }
     }
 
-    fn locate(profiler: &RolpProfiler, program: &Program, context: u32) -> String {
+    fn locate<T: LifetimeTable>(
+        profiler: &RolpProfiler<T>,
+        program: &Program,
+        context: u32,
+    ) -> String {
         let site_id = site_of(context);
         profiler
             .pid_to_site

@@ -13,8 +13,10 @@
 //! Module map (paper section in parentheses):
 //!
 //! - [`context`] — the 32-bit allocation context (§3.1).
+//! - [`geometry`] — the shared §7.5 table shape and the [`LifetimeTable`]
+//!   backend trait the profiler data plane is written against.
 //! - [`old_table`] — the Object Lifetime Distribution table (§3.3, §7.5,
-//!   §7.6).
+//!   §7.6), sequential/exact backend.
 //! - [`shared_table`] — its concurrent twin with relaxed-atomic age-0
 //!   increments (§7.6's unsynchronized fast path, for real).
 //! - [`concurrent`] — mutator/GC-worker thread harness, safepoint merge
@@ -68,6 +70,7 @@ pub mod concurrent;
 pub mod conflicts;
 pub mod context;
 pub mod filters;
+pub mod geometry;
 pub mod inference;
 pub mod leak;
 pub mod offline;
@@ -84,11 +87,14 @@ pub use conflicts::{
     worst_case_resolution_time_ms, ConflictConfig, ConflictResolver, ConflictStats,
 };
 pub use filters::PackageFilters;
+pub use geometry::{LifetimeTable, TableGeometry, FULL_SCALE_ROWS};
 pub use inference::{classify_row, find_peaks, infer, InferenceOutcome, RowVerdict};
 pub use leak::{LeakReport, LeakSuspect};
 pub use offline::{DecisionProfile, ProfileEntry, ProfileParseError};
 pub use old_table::{merge_worker_tables, MergeSummary, OldTable, WorkerTable, AGE_COLUMNS};
-pub use profiler::{ProfilingLevel, RolpConfig, RolpProfiler, RolpStats};
+pub use profiler::{
+    backend_for_threads, ProfilingLevel, RolpConfig, RolpProfiler, RolpStats, TableBackend,
+};
 pub use report::{render_decisions, render_summary, stats_json};
 pub use runtime::{CollectorKind, JvmRuntime, RunReport, RuntimeConfig};
 pub use shared_table::SharedOldTable;

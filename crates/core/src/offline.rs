@@ -63,7 +63,11 @@ impl std::error::Error for ProfileParseError {}
 impl DecisionProfile {
     /// Exports the profiler's current decisions. Only decisions with a
     /// zero thread-stack-state key are portable (see module docs).
-    pub fn from_profiler(profiler: &RolpProfiler, program: &Program, jit: &JitState) -> Self {
+    pub fn from_profiler<T: crate::geometry::LifetimeTable>(
+        profiler: &RolpProfiler<T>,
+        program: &Program,
+        jit: &JitState,
+    ) -> Self {
         let _ = jit;
         let mut entries = Vec::new();
         for (&ctx, &generation) in profiler.decisions() {

@@ -1,4 +1,4 @@
-//! The Object Lifetime Distribution (OLD) table.
+//! The Object Lifetime Distribution (OLD) table — sequential backend.
 //!
 //! The paper's central data structure (§3.3, §7.5, §7.6): per allocation
 //! context, the number of objects currently known at each age (0..=15).
@@ -6,99 +6,74 @@
 //! survivors from age `a` to `a+1` through *private per-worker tables*
 //! merged at the end of each collection.
 //!
-//! Sizing follows §7.5 exactly: the table starts with 2^16 rows — one per
-//! possible allocation-site identifier, with every thread stack state
-//! *aliasing* into its site's row (≈4 MB). When a conflict is detected on
-//! a site, the table grows by another 2^16 rows for that site so each
-//! thread stack state gets its own row (another 4 MB per conflict):
-//! `4 * (1 + N) MB` for `N` conflicts.
+//! Sizing follows §7.5 exactly via the shared [`TableGeometry`]: the
+//! table starts with 2^16 rows — one per possible allocation-site
+//! identifier, with every thread stack state *aliasing* into its site's
+//! row (≈4 MB). When a conflict is detected on a site, the table grows by
+//! another 2^16 rows for that site so each thread stack state gets its
+//! own row (another 4 MB per conflict): `4 * (1 + N) MB` for `N`
+//! conflicts.
 //!
 //! §7.6's unsynchronized application-thread increments can lose counts;
 //! this single-threaded table is the exact *reference*. The concurrent
 //! twin ([`crate::SharedOldTable`]) runs the real racy increments, and the
 //! loss is *measured* against this reference by per-epoch reconciliation
 //! (see [`crate::concurrent`]) instead of being simulated with a
-//! probability knob.
+//! probability knob. Both implement [`LifetimeTable`], so the profiler
+//! pipeline is written once against the trait.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
-use crate::context::{site_of, tss_of};
+use crate::geometry::{LifetimeTable, TableGeometry};
 
 /// Number of age columns (objects stop aging at 15; §4).
 pub const AGE_COLUMNS: usize = 16;
-/// Rows in the base table / in each expansion block.
-const BLOCK_ROWS: usize = 1 << 16;
 
 type Row = [u32; AGE_COLUMNS];
 
-/// The global Object Lifetime Distribution table.
+/// The sequential (exact) Object Lifetime Distribution table.
 pub struct OldTable {
+    geometry: TableGeometry,
     /// Base block: one row per allocation-site id (tss aliases in).
     base: Vec<Row>,
-    /// Expansion blocks for conflicted sites: full per-tss rows.
+    /// Expansion blocks for conflicted sites, keyed by base-block row.
     expanded: HashMap<u16, Vec<Row>>,
     /// Contexts with at least one recorded count since the last clear
     /// (keyed by *row key*), kept so inference does not scan 64 K rows.
     touched: Vec<u32>,
-    touched_set: std::collections::HashSet<u32>,
+    touched_set: HashSet<u32>,
 }
 
 impl OldTable {
-    /// Creates the table with its initial 2^16 site rows.
+    /// Creates the table with the paper's full-scale geometry.
     pub fn new() -> Self {
+        Self::with_geometry(TableGeometry::full_scale())
+    }
+
+    /// Creates the table with an explicit geometry (scaled-down tests
+    /// alias ids into rows by masking, like the shared backend).
+    pub fn with_geometry(geometry: TableGeometry) -> Self {
         OldTable {
-            base: vec![[0; AGE_COLUMNS]; BLOCK_ROWS],
+            geometry,
+            base: vec![[0; AGE_COLUMNS]; geometry.site_rows()],
             expanded: HashMap::new(),
             touched: Vec::new(),
-            touched_set: std::collections::HashSet::new(),
+            touched_set: HashSet::new(),
         }
-    }
-
-    /// The *row key* a context resolves to: the full context for expanded
-    /// (conflicted) sites, the site-only key otherwise.
-    pub fn row_key(&self, context: u32) -> u32 {
-        let site = site_of(context);
-        if self.expanded.contains_key(&site) {
-            context
-        } else {
-            (site as u32) << 16
-        }
-    }
-
-    /// True if `site` has its own per-tss expansion block.
-    pub fn is_expanded(&self, site: u16) -> bool {
-        self.expanded.contains_key(&site)
-    }
-
-    /// Grows the table by 2^16 rows for a conflicted site (§7.5). Counts
-    /// already aggregated in the site's base row stay there; they are
-    /// discarded at the next periodic clear.
-    pub fn expand_site(&mut self, site: u16) {
-        self.expanded.entry(site).or_insert_with(|| vec![[0; AGE_COLUMNS]; BLOCK_ROWS]);
-    }
-
-    /// Number of expansion blocks (== resolved-or-pending conflicts).
-    pub fn expansions(&self) -> usize {
-        self.expanded.len()
-    }
-
-    /// Memory footprint per §7.5: `4 MB * (1 + N)`.
-    pub fn memory_bytes(&self) -> u64 {
-        ((1 + self.expanded.len()) * BLOCK_ROWS * std::mem::size_of::<Row>()) as u64
     }
 
     fn row_mut(&mut self, context: u32) -> &mut Row {
-        let site = site_of(context);
+        let site = self.geometry.site_row(context) as u16;
         match self.expanded.get_mut(&site) {
-            Some(block) => &mut block[tss_of(context) as usize],
+            Some(block) => &mut block[self.geometry.tss_row(context)],
             None => &mut self.base[site as usize],
         }
     }
 
     fn row(&self, context: u32) -> &Row {
-        let site = site_of(context);
+        let site = self.geometry.site_row(context) as u16;
         match self.expanded.get(&site) {
-            Some(block) => &block[tss_of(context) as usize],
+            Some(block) => &block[self.geometry.tss_row(context)],
             None => &self.base[site as usize],
         }
     }
@@ -109,11 +84,17 @@ impl OldTable {
             self.touched.push(key);
         }
     }
+}
+
+impl LifetimeTable for OldTable {
+    fn geometry(&self) -> &TableGeometry {
+        &self.geometry
+    }
 
     /// Application-thread path: one object allocated through `context`
     /// (age-0 increment; exact here — the racy flavor lives in
     /// [`crate::SharedOldTable::record_allocation`]).
-    pub fn record_allocation(&mut self, context: u32) {
+    fn record_allocation(&mut self, context: u32) {
         self.touch(context);
         let row = self.row_mut(context);
         row[0] = row[0].saturating_add(1);
@@ -121,7 +102,7 @@ impl OldTable {
 
     /// GC-side path (normally via a [`WorkerTable`]): one object allocated
     /// through `context` survived at `age`, moving to `age + 1`.
-    pub fn record_survival(&mut self, context: u32, age: u8) {
+    fn record_survival(&mut self, context: u32, age: u8) {
         let age = (age as usize).min(AGE_COLUMNS - 1);
         let next = (age + 1).min(AGE_COLUMNS - 1);
         self.touch(context);
@@ -130,33 +111,52 @@ impl OldTable {
         row[next] = row[next].saturating_add(1);
     }
 
-    /// The age histogram of a context's row.
-    pub fn histogram(&self, context: u32) -> [u32; AGE_COLUMNS] {
+    /// Grows the table by an expansion block for a conflicted site
+    /// (§7.5). Counts already aggregated in the site's base row stay
+    /// there; they are discarded at the next periodic clear.
+    fn expand_site(&mut self, site: u16) {
+        let row = self.geometry.site_row((site as u32) << 16) as u16;
+        let rows = self.geometry.tss_rows();
+        self.expanded.entry(row).or_insert_with(|| vec![[0; AGE_COLUMNS]; rows]);
+    }
+
+    fn is_expanded(&self, site: u16) -> bool {
+        self.expanded.contains_key(&(self.geometry.site_row((site as u32) << 16) as u16))
+    }
+
+    fn expansions(&self) -> usize {
+        self.expanded.len()
+    }
+
+    fn expanded_sites(&self) -> Vec<u16> {
+        let mut sites: Vec<u16> = self.expanded.keys().copied().collect();
+        sites.sort_unstable();
+        sites
+    }
+
+    fn histogram(&self, context: u32) -> [u32; AGE_COLUMNS] {
         *self.row(context)
     }
 
-    /// Row keys with recorded counts since the last clear.
-    pub fn touched_rows(&self) -> &[u32] {
-        &self.touched
+    fn touched_rows(&self) -> Vec<u32> {
+        let mut rows = self.touched.clone();
+        rows.sort_unstable();
+        rows
     }
 
-    /// Whether `context`'s site half is a plausible (assigned) profile id.
-    /// Rows are dense, so this is a bound check against the id space the
-    /// JIT has handed out.
-    pub fn context_known(&self, context: u32, max_profile_id: u16) -> bool {
-        let site = site_of(context);
-        site != 0 && site <= max_profile_id
+    fn age0_total(&self) -> u64 {
+        // Row keys double as contexts, so each touched row reads back
+        // through the normal lookup.
+        self.touched.iter().map(|&key| self.row(key)[0] as u64).sum()
     }
 
-    /// Clears all counts (the §4 freshness reset after inference);
-    /// expansion blocks are kept.
-    pub fn clear_counts(&mut self) {
-        for key in &self.touched {
-            let site = site_of(*key);
-            match self.expanded.get_mut(&site) {
-                Some(block) => block[tss_of(*key) as usize] = [0; AGE_COLUMNS],
-                None => self.base[site as usize] = [0; AGE_COLUMNS],
-            }
+    /// Clears all counts (the §4 freshness reset after inference) per the
+    /// [`crate::geometry`] contract; expansion blocks are kept. Only rows
+    /// tracked as touched can be nonzero, so only they are zeroed.
+    fn clear_counts(&mut self) {
+        for i in 0..self.touched.len() {
+            let key = self.touched[i];
+            *self.row_mut(key) = [0; AGE_COLUMNS];
         }
         self.touched.clear();
         self.touched_set.clear();
@@ -198,8 +198,8 @@ impl WorkerTable {
         self.entries.is_empty()
     }
 
-    /// Merges (and drains) the buffer into the global table.
-    pub fn merge_into(&mut self, table: &mut OldTable) {
+    /// Merges (and drains) the buffer into a global table.
+    pub fn merge_into<T: LifetimeTable + ?Sized>(&mut self, table: &mut T) {
         for (context, age) in self.entries.drain(..) {
             table.record_survival(context, age);
         }
@@ -226,7 +226,12 @@ pub struct MergeSummary {
 /// `(context, age)` before being applied, so the merged histograms do not
 /// depend on how survivor work was distributed across GC workers. (The
 /// apply order matters because under-counted rows saturate at zero.)
-pub fn merge_worker_tables(workers: &mut [WorkerTable], table: &mut OldTable) -> MergeSummary {
+/// Written once against [`LifetimeTable`], so the sequential reference
+/// and the concurrent backend share the safepoint protocol.
+pub fn merge_worker_tables<T: LifetimeTable + ?Sized>(
+    workers: &mut [WorkerTable],
+    table: &mut T,
+) -> MergeSummary {
     let mut summary = MergeSummary::default();
     let mut records: Vec<(u32, u8)> = Vec::new();
     for worker in workers.iter_mut() {
@@ -254,6 +259,7 @@ mod tests {
         t.record_allocation(c);
         t.record_allocation(c);
         assert_eq!(t.histogram(c)[0], 2);
+        assert_eq!(t.age0_total(), 2);
     }
 
     #[test]
@@ -276,6 +282,15 @@ mod tests {
         assert_eq!(t.histogram(pack(5, 222))[0], 1);
         assert_eq!(t.histogram(pack(5, 0))[0], 0);
         assert_ne!(t.row_key(pack(5, 111)), t.row_key(pack(5, 222)));
+    }
+
+    #[test]
+    fn scaled_geometry_aliases_sites_by_masking() {
+        let mut t = OldTable::with_geometry(TableGeometry::new(64, 16));
+        t.record_allocation(pack(69, 0)); // 69 & 63 == 5
+        t.record_allocation(pack(5, 3));
+        assert_eq!(t.histogram(pack(5, 0))[0], 2);
+        assert_eq!(t.memory_bytes(), (64 * 16 * 4) as u64);
     }
 
     #[test]
@@ -319,6 +334,16 @@ mod tests {
         assert_eq!(t.histogram(pack(8, 0))[0], 0);
         assert!(t.is_expanded(4));
         assert!(t.touched_rows().is_empty());
+        assert_eq!(t.age0_total(), 0);
+    }
+
+    #[test]
+    fn touched_rows_are_sorted_regardless_of_record_order() {
+        let mut t = OldTable::new();
+        t.record_allocation(pack(9, 0));
+        t.record_allocation(pack(2, 0));
+        t.record_allocation(pack(5, 0));
+        assert_eq!(t.touched_rows(), vec![2 << 16, 5 << 16, 9 << 16]);
     }
 
     #[test]

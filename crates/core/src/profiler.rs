@@ -9,18 +9,49 @@
 //! (§7.3), survivor-tracking shutdown (§7.4), the exception-rethrow fixup
 //! (§7.2.2), and the end-of-GC thread-stack-state reconciliation that
 //! covers OSR and toggle corruption (§7.2.3).
+//!
+//! # The epoch pipeline
+//!
+//! The profiler is one explicit pipeline, generic over the
+//! [`LifetimeTable`] backend:
+//!
+//! 1. **record** — mutators bump age-0 cells ([`VmProfiler::on_alloc`]);
+//!    GC workers buffer survivals into private [`WorkerTable`]s
+//!    ([`GcHooks::on_survivor`]).
+//! 2. **safepoint merge** — every pause ends with the deterministic
+//!    worker-table merge and the §7.2.3 stack-state reconciliation
+//!    ([`GcHooks::on_gc_end`]).
+//! 3. **infer** — every [`RolpConfig::inference_period`] cycles, classify
+//!    the touched rows (§4).
+//! 4. **resolve conflicts** — expand conflicted sites (§7.5), engage the
+//!    call-site resolver (§5), fold the verdicts into the decision
+//!    working set, apply §6 demotion.
+//! 5. **publish** — compile the working set into an immutable, versioned
+//!    `DecisionTable` snapshot and atomically swap it into the shared
+//!    [`DecisionStore`], where the mutator allocation path and the GC's
+//!    pretenuring placement read it lock-free.
+//!
+//! The working set itself is a sorted map keyed by table row key; the
+//! flat-array snapshot is rebuilt from it at each publication, so readers
+//! never observe a half-updated epoch.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
 use rolp_gc::{GcCycleInfo, GcHooks};
 use rolp_heap::{ObjectHeader, RegionKind};
-use rolp_vm::{AllocSiteId, JitState, MethodId, Program, ThreadId, VmEnv, VmProfiler};
+use rolp_vm::{
+    AllocSiteId, DecisionStore, DecisionTable, JitState, MethodId, Program, ThreadId, VmEnv,
+    VmProfiler,
+};
 
 use crate::conflicts::{ConflictConfig, ConflictResolver, ConflictStats};
 use crate::context::pack;
 use crate::filters::PackageFilters;
-use crate::inference::infer;
+use crate::geometry::LifetimeTable;
+use crate::inference::{infer, InferenceOutcome};
 use crate::old_table::{OldTable, WorkerTable};
+use crate::shared_table::SharedOldTable;
 use crate::survivor::SurvivorTracking;
 
 /// The profiling level, matching the paper's Fig. 6 experiment arms.
@@ -105,6 +136,8 @@ pub struct RolpStats {
     pub inferences: u64,
     /// Active pretenuring decisions.
     pub decisions: usize,
+    /// Version of the last published decision snapshot.
+    pub decision_version: u64,
     /// OLD table footprint (§7.5).
     pub old_table_bytes: u64,
     /// Profiled allocations recorded.
@@ -123,15 +156,85 @@ pub struct RolpStats {
     pub survivor_reactivations: u64,
 }
 
-/// The runtime object lifetime profiler.
-pub struct RolpProfiler {
+/// The OLD-table backend a runtime-assembled profiler runs on: the
+/// sequential/exact table, or the relaxed-atomic one real mutator threads
+/// share. Selected by `rolp::runtime` from the configured thread count.
+pub enum TableBackend {
+    /// [`OldTable`]: exact, single-threaded reference.
+    Sequential(OldTable),
+    /// [`SharedOldTable`]: the §7.6 concurrent table.
+    Concurrent(SharedOldTable),
+}
+
+macro_rules! backend_dispatch {
+    ($self:expr, $t:ident => $body:expr) => {
+        match $self {
+            TableBackend::Sequential($t) => $body,
+            TableBackend::Concurrent($t) => $body,
+        }
+    };
+}
+
+impl LifetimeTable for TableBackend {
+    fn geometry(&self) -> &crate::geometry::TableGeometry {
+        backend_dispatch!(self, t => t.geometry())
+    }
+
+    fn record_allocation(&mut self, context: u32) {
+        backend_dispatch!(self, t => LifetimeTable::record_allocation(t, context))
+    }
+
+    fn record_survival(&mut self, context: u32, age: u8) {
+        backend_dispatch!(self, t => LifetimeTable::record_survival(t, context, age))
+    }
+
+    fn expand_site(&mut self, site: u16) {
+        backend_dispatch!(self, t => LifetimeTable::expand_site(t, site))
+    }
+
+    fn is_expanded(&self, site: u16) -> bool {
+        backend_dispatch!(self, t => LifetimeTable::is_expanded(t, site))
+    }
+
+    fn expansions(&self) -> usize {
+        backend_dispatch!(self, t => LifetimeTable::expansions(t))
+    }
+
+    fn expanded_sites(&self) -> Vec<u16> {
+        backend_dispatch!(self, t => t.expanded_sites())
+    }
+
+    fn histogram(&self, context: u32) -> [u32; crate::old_table::AGE_COLUMNS] {
+        backend_dispatch!(self, t => LifetimeTable::histogram(t, context))
+    }
+
+    fn touched_rows(&self) -> Vec<u32> {
+        backend_dispatch!(self, t => t.touched_rows())
+    }
+
+    fn age0_total(&self) -> u64 {
+        backend_dispatch!(self, t => LifetimeTable::age0_total(t))
+    }
+
+    fn clear_counts(&mut self) {
+        backend_dispatch!(self, t => LifetimeTable::clear_counts(t))
+    }
+}
+
+/// The runtime object lifetime profiler, generic over the OLD-table
+/// backend (see the module-level pipeline description).
+pub struct RolpProfiler<T: LifetimeTable = OldTable> {
     config: RolpConfig,
     /// The global OLD table.
-    pub old: OldTable,
+    pub old: T,
     workers: Vec<WorkerTable>,
     resolver: ConflictResolver,
-    /// Row key → estimated lifetime (target generation).
-    decisions: HashMap<u32, u8>,
+    /// Decision working set: row key → estimated lifetime (target
+    /// generation). Safepoint-side only; readers use the published
+    /// snapshot in [`RolpProfiler::decision_store`].
+    decisions: BTreeMap<u32, u8>,
+    /// The lock-free publication point for decision snapshots.
+    store: Arc<DecisionStore>,
     survivor: SurvivorTracking,
     /// Profile id → allocation site (for leak reports and diagnostics).
     pub(crate) pid_to_site: HashMap<u16, AllocSiteId>,
@@ -153,25 +256,38 @@ pub struct RolpProfiler {
     window_pauses: u64,
 }
 
-impl RolpProfiler {
-    /// Creates a profiler.
+impl RolpProfiler<OldTable> {
+    /// Creates a profiler on the sequential (exact) table.
     pub fn new(config: RolpConfig) -> Self {
+        Self::with_table(config, OldTable::new())
+    }
+}
+
+impl RolpProfiler<TableBackend> {
+    /// Creates a profiler on a runtime-selected backend.
+    pub fn with_backend(config: RolpConfig, backend: TableBackend) -> Self {
+        Self::with_table(config, backend)
+    }
+}
+
+impl<T: LifetimeTable> RolpProfiler<T> {
+    /// Creates a profiler on an explicit table backend.
+    pub fn with_table(config: RolpConfig, table: T) -> Self {
         let resolver = ConflictResolver::new(config.conflict.clone(), config.seed);
-        let survivor = if config.survivor_shutdown {
-            SurvivorTracking::new()
-        } else {
-            // Shutdown disabled: a controller that can never trip (its
-            // threshold is irrelevant because decisions-hash stability is
-            // still required; we simply never feed it, see on_gc_end).
-            SurvivorTracking::new()
-        };
+        let survivor = SurvivorTracking::new();
         let gc_workers = config.gc_workers.max(1);
+        let geometry = *table.geometry();
+        let store = DecisionStore::with_initial(DecisionTable::empty_with_geometry(
+            geometry.site_rows(),
+            geometry.tss_rows(),
+        ));
         RolpProfiler {
             config,
-            old: OldTable::new(),
+            old: table,
             workers: (0..gc_workers).map(|_| WorkerTable::new()).collect(),
             resolver,
-            decisions: HashMap::new(),
+            decisions: BTreeMap::new(),
+            store: Arc::new(store),
             survivor,
             pid_to_site: HashMap::new(),
             liveness_history: std::collections::VecDeque::new(),
@@ -204,9 +320,17 @@ impl RolpProfiler {
         self.resolver.set_batch_logging(enabled);
     }
 
-    /// Current pretenuring decisions (row key → generation).
-    pub fn decisions(&self) -> &HashMap<u32, u8> {
+    /// The decision working set (row key → generation), safepoint-side.
+    pub fn decisions(&self) -> &BTreeMap<u32, u8> {
         &self.decisions
+    }
+
+    /// The shared publication point for decision snapshots: the mutator
+    /// allocation path and the GC's pretenuring placement read it
+    /// lock-free; this profiler publishes a new version at the end of
+    /// each inference epoch (and on offline warm starts).
+    pub fn decision_store(&self) -> Arc<DecisionStore> {
+        Arc::clone(&self.store)
     }
 
     /// Counter snapshot; `jit`/`program` provide the site denominators.
@@ -220,6 +344,7 @@ impl RolpProfiler {
             conflicts: self.resolver.stats(),
             inferences: self.inferences,
             decisions: self.decisions.len(),
+            decision_version: self.store.version(),
             old_table_bytes: self.old.memory_bytes(),
             profiled_allocations: self.profiled_allocations,
             unprofiled_allocations: self.unprofiled_allocations,
@@ -231,12 +356,73 @@ impl RolpProfiler {
         }
     }
 
-    /// Runs the §4 inference pass: classify rows, feed conflicts to the §5
-    /// resolver, refresh decisions, apply §6 demotion, drive the §7.4
-    /// survivor switch, clear the table.
+    /// Pipeline stage 3 (§4): classify every touched row.
+    fn stage_infer(&self) -> InferenceOutcome {
+        infer(&self.old)
+    }
+
+    /// Pipeline stage 4: grow the table for fresh conflicts (§7.5),
+    /// engage the §5 resolver, fold the verdicts into the working set,
+    /// and apply §6 fragmentation demotion.
+    fn stage_resolve(&mut self, env: &mut VmEnv, info: &GcCycleInfo, outcome: &InferenceOutcome) {
+        for &site in &outcome.new_conflicts {
+            self.old.expand_site(site);
+        }
+        if self.config.level == ProfilingLevel::Real {
+            let program = std::rc::Rc::clone(&env.program);
+            self.resolver.on_inference(
+                &program,
+                &mut env.jit,
+                &outcome.new_conflicts,
+                &outcome.unresolved_conflicts,
+            );
+        } else {
+            // Other levels only count conflicts; no resolution.
+            self.resolver.note_detected_only(&outcome.new_conflicts);
+        }
+
+        // Merge decisions *upward*: inference raises estimates; only
+        // the §6 fragmentation path lowers them. A pretenured context
+        // produces no young survivals anymore, so its fresh window
+        // degenerates to an age-0 spike — replacing instead of merging
+        // would bounce the context back to the young generation every
+        // other inference.
+        for &(key, gen) in &outcome.decisions {
+            let slot = self.decisions.entry(key).or_insert(gen);
+            *slot = (*slot).max(gen);
+        }
+
+        // §6: under fragmentation, demote estimates feeding the most
+        // fragmented dynamic generations.
+        if info.tenured_fragmentation > self.config.demotion_threshold {
+            for (_, gen) in self.decisions.iter_mut() {
+                let g = *gen as usize;
+                if (1..=14).contains(&g)
+                    && info.dynamic_gen_garbage[g] > self.config.demotion_threshold
+                {
+                    *gen -= 1;
+                    self.demotions += 1;
+                }
+            }
+        }
+    }
+
+    /// Pipeline stage 5: compile the working set into the next immutable
+    /// snapshot and atomically publish it. Returns `(version,
+    /// changed_rows)`.
+    fn stage_publish(&mut self) -> (u64, u32) {
+        let next =
+            DecisionTable::next_from(self.store.load(), &self.decisions, self.old.expanded_sites());
+        let changed = next.changed_rows();
+        let version = self.store.publish(next);
+        (version, changed)
+    }
+
+    /// Runs one inference epoch: infer → resolve conflicts → publish,
+    /// plus the §7.4 survivor switch and the end-of-epoch table clear.
     fn run_inference(&mut self, env: &mut VmEnv, info: &GcCycleInfo) {
         let tracing = env.trace.is_enabled();
-        let decisions_before = if tracing { self.decisions.clone() } else { HashMap::new() };
+        let decisions_before = if tracing { self.decisions.clone() } else { BTreeMap::new() };
         let survivor_before = self.survivor.enabled();
         let mut new_conflicts = 0u64;
         let mut unresolved_conflicts = 0u64;
@@ -248,52 +434,10 @@ impl RolpProfiler {
         let tracking_active = self.survivor.enabled() || !self.config.survivor_shutdown;
 
         if tracking_active {
-            let outcome = infer(&self.old);
+            let outcome = self.stage_infer();
             new_conflicts = outcome.new_conflicts.len() as u64;
             unresolved_conflicts = outcome.unresolved_conflicts.len() as u64;
-
-            // Conflicts: grow the table (§7.5) and engage the resolver
-            // (§5).
-            for &site in &outcome.new_conflicts {
-                self.old.expand_site(site);
-            }
-            if self.config.level == ProfilingLevel::Real {
-                let program = std::rc::Rc::clone(&env.program);
-                self.resolver.on_inference(
-                    &program,
-                    &mut env.jit,
-                    &outcome.new_conflicts,
-                    &outcome.unresolved_conflicts,
-                );
-            } else {
-                // Other levels only count conflicts; no resolution.
-                self.resolver.note_detected_only(&outcome.new_conflicts);
-            }
-
-            // Merge decisions *upward*: inference raises estimates; only
-            // the §6 fragmentation path lowers them. A pretenured context
-            // produces no young survivals anymore, so its fresh window
-            // degenerates to an age-0 spike — replacing instead of merging
-            // would bounce the context back to the young generation every
-            // other inference.
-            for &(key, gen) in &outcome.decisions {
-                let slot = self.decisions.entry(key).or_insert(gen);
-                *slot = (*slot).max(gen);
-            }
-
-            // §6: under fragmentation, demote estimates feeding the most
-            // fragmented dynamic generations.
-            if info.tenured_fragmentation > self.config.demotion_threshold {
-                for (_, gen) in self.decisions.iter_mut() {
-                    let g = *gen as usize;
-                    if (1..=14).contains(&g)
-                        && info.dynamic_gen_garbage[g] > self.config.demotion_threshold
-                    {
-                        *gen -= 1;
-                        self.demotions += 1;
-                    }
-                }
-            }
+            self.stage_resolve(env, info, &outcome);
         }
 
         // §7.4: stable (non-trivial) decisions → survivor tracking off;
@@ -304,8 +448,8 @@ impl RolpProfiler {
             && !self.decisions.is_empty()
             && self.resolver.open_conflicts() == 0
         {
-            let mut sorted: Vec<(u32, u8)> = self.decisions.iter().map(|(&k, &v)| (k, v)).collect();
-            sorted.sort_unstable();
+            // The working set iterates in key order, as the hash expects.
+            let sorted: Vec<(u32, u8)> = self.decisions.iter().map(|(&k, &v)| (k, v)).collect();
             let hash = SurvivorTracking::hash_decisions(&sorted);
             let mean = if self.window_pauses == 0 {
                 0.0
@@ -317,21 +461,20 @@ impl RolpProfiler {
         self.window_pause_ms = 0.0;
         self.window_pauses = 0;
 
+        let (version, changed_rows) = self.stage_publish();
+
         if tracing {
             use rolp_trace::EventKind;
             let now = env.clock.now();
             for (action, size) in self.resolver.take_batch_log() {
                 env.trace.emit_global(now, EventKind::ConflictBatch { action, size });
             }
-            // Sorted so the event stream is independent of hash order.
-            let mut changed: Vec<(u32, u8)> = self
-                .decisions
-                .iter()
-                .map(|(&k, &v)| (k, v))
-                .filter(|&(k, v)| decisions_before.get(&k) != Some(&v))
-                .collect();
-            changed.sort_unstable();
-            for (key, gen) in changed {
+            // The working set iterates sorted, so the event stream is
+            // deterministic.
+            for (&key, &gen) in &self.decisions {
+                if decisions_before.get(&key) == Some(&gen) {
+                    continue;
+                }
                 let from_gen = decisions_before.get(&key).copied().unwrap_or(0);
                 let reason = if gen >= from_gen { "inferred" } else { "demoted" };
                 env.trace.emit_global(
@@ -357,6 +500,14 @@ impl RolpProfiler {
                     demotions: self.demotions,
                 },
             );
+            env.trace.emit_global(
+                now,
+                EventKind::DecisionPublish {
+                    version,
+                    changed_rows: changed_rows as u64,
+                    decisions: self.decisions.len() as u64,
+                },
+            );
         }
 
         self.old.clear_counts();
@@ -364,7 +515,7 @@ impl RolpProfiler {
     }
 }
 
-impl VmProfiler for RolpProfiler {
+impl<T: LifetimeTable> VmProfiler for RolpProfiler<T> {
     fn on_jit_compile(&mut self, program: &Program, jit: &mut JitState, method: MethodId) {
         // Resolve the offline profile against the program once.
         if self.pending_offline.is_none() {
@@ -380,6 +531,7 @@ impl VmProfiler for RolpProfiler {
         if !self.config.filters.matches(decl.package()) {
             return;
         }
+        let mut warm_started = false;
         for &site in program.alloc_sites_of(method) {
             if let Some(pid) = jit.assign_profile_id(site) {
                 self.pid_to_site.insert(pid, site);
@@ -388,8 +540,15 @@ impl VmProfiler for RolpProfiler {
                 // a decision the moment the site is compiled.
                 if let Some(&gen) = self.pending_offline.as_ref().and_then(|m| m.get(&site)) {
                     self.decisions.entry(pack(pid, 0)).or_insert(gen);
+                    warm_started = true;
                 }
             }
+        }
+        if warm_started {
+            // Mid-epoch republish (no trace handle here): the allocation
+            // fast path must see warm-start decisions immediately, not at
+            // the next inference epoch.
+            self.stage_publish();
         }
         if self.config.level == ProfilingLevel::SlowCallProfiling {
             for &cs in program.call_sites_of(method) {
@@ -414,9 +573,11 @@ impl VmProfiler for RolpProfiler {
     }
 }
 
-impl GcHooks for RolpProfiler {
+impl<T: LifetimeTable> GcHooks for RolpProfiler<T> {
     fn advise(&self, context: u32) -> Option<u8> {
-        self.decisions.get(&self.old.row_key(context)).copied()
+        // One lock-free read of the published snapshot — the same data
+        // plane the mutator fast path uses.
+        self.store.load().advise(context)
     }
 
     fn survivor_tracking_enabled(&self) -> bool {
@@ -450,9 +611,9 @@ impl GcHooks for RolpProfiler {
     }
 
     fn on_gc_end(&mut self, env: &mut VmEnv, info: &GcCycleInfo) {
-        // §7.6: merge the GC workers' private tables at the safepoint,
-        // sorted by (context, age) so the end-state is independent of how
-        // survivor work was split across workers.
+        // Pipeline stage 2 (§7.6): merge the GC workers' private tables at
+        // the safepoint, sorted by (context, age) so the end-state is
+        // independent of how survivor work was split across workers.
         let merge = crate::old_table::merge_worker_tables(&mut self.workers, &mut self.old);
         if env.trace.is_enabled() && merge.total > 0 {
             // Per-worker record counts, workers ≥ 8 folded into the last
@@ -489,7 +650,7 @@ impl GcHooks for RolpProfiler {
         self.window_pause_ms += info.duration.as_millis_f64();
         self.window_pauses += 1;
 
-        // §4: inference once every 16 GC cycles.
+        // Pipeline stages 3–5: inference once every 16 GC cycles (§4).
         if info.cycle.is_multiple_of(self.config.inference_period) {
             self.run_inference(env, info);
         }
@@ -506,6 +667,16 @@ impl GcHooks for RolpProfiler {
                 );
             }
         }
+    }
+}
+
+/// Builds the runtime backend for a thread count: one mutator thread gets
+/// the exact sequential table; real parallelism gets the concurrent one.
+pub fn backend_for_threads(threads: u32) -> TableBackend {
+    if threads > 1 {
+        TableBackend::Concurrent(SharedOldTable::new())
+    } else {
+        TableBackend::Sequential(OldTable::new())
     }
 }
 
@@ -584,6 +755,57 @@ mod tests {
         assert_eq!(p.stats(&program, &env.jit).inferences, 1);
         let advised = p.advise(pack(pid, 0));
         assert_eq!(advised, Some(2), "objects dying at age 2 pretenure to gen 2");
+    }
+
+    #[test]
+    fn the_concurrent_backend_reaches_the_same_decisions() {
+        let (mut env, m, _site) = env_with_program();
+        let program = std::rc::Rc::clone(&env.program);
+        let mut p = RolpProfiler::with_backend(RolpConfig::default(), backend_for_threads(4));
+        assert!(matches!(p.old, TableBackend::Concurrent(_)));
+        p.on_jit_compile(&program, &mut env.jit, m);
+        for cycle in 1..=16u64 {
+            for _ in 0..20 {
+                let ctx = p.on_alloc(1, 0, ThreadId(0));
+                let h = ObjectHeader::new(1).with_allocation_context(ctx);
+                p.on_survivor(h, RegionKind::Eden, 0);
+                p.on_survivor(h.with_age(1), RegionKind::Eden, 1);
+            }
+            p.on_gc_end(&mut env, &cycle_info(cycle));
+        }
+        assert_eq!(p.advise(pack(1, 0)), Some(2), "same verdict as the sequential backend");
+    }
+
+    #[test]
+    fn inference_publishes_versioned_snapshots() {
+        let (mut env, m, _site) = env_with_program();
+        let program = std::rc::Rc::clone(&env.program);
+        let mut p = RolpProfiler::new(RolpConfig::default());
+        p.on_jit_compile(&program, &mut env.jit, m);
+        let store = p.decision_store();
+        assert_eq!(store.version(), 0, "starts on the empty snapshot");
+        assert_eq!(store.load().advise(pack(1, 0)), None);
+
+        // A mutator pins the pre-epoch snapshot...
+        let held = store.snapshot();
+
+        for cycle in 1..=16u64 {
+            for _ in 0..20 {
+                let ctx = p.on_alloc(1, 0, ThreadId(0));
+                let h = ObjectHeader::new(1).with_allocation_context(ctx);
+                p.on_survivor(h, RegionKind::Eden, 0);
+                p.on_survivor(h.with_age(1), RegionKind::Eden, 1);
+            }
+            p.on_gc_end(&mut env, &cycle_info(cycle));
+        }
+
+        // ...the epoch published version 1 with the new decision...
+        assert_eq!(store.version(), 1);
+        assert_eq!(store.load().advise(pack(1, 0)), Some(2));
+        assert!(store.load().changed_rows() >= 1);
+        // ...while the held snapshot still reads the old, consistent view.
+        assert_eq!(held.version(), 0);
+        assert_eq!(held.advise(pack(1, 0)), None);
     }
 
     #[test]

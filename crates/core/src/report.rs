@@ -12,12 +12,13 @@ use rolp_trace::json::JsonObject;
 use rolp_vm::{JitState, Program};
 
 use crate::context::{site_of, tss_of};
+use crate::geometry::LifetimeTable;
 use crate::profiler::RolpProfiler;
 use crate::runtime::RunReport;
 
 /// Renders the profiler's lifetime decisions with resolved source
 /// locations, sorted by generation (oldest first) then location.
-pub fn render_decisions(profiler: &RolpProfiler, program: &Program) -> String {
+pub fn render_decisions<T: LifetimeTable>(profiler: &RolpProfiler<T>, program: &Program) -> String {
     let mut rows: Vec<(u8, String, u16)> = profiler
         .decisions()
         .iter()
@@ -58,7 +59,11 @@ pub fn render_decisions(profiler: &RolpProfiler, program: &Program) -> String {
 }
 
 /// Renders a one-screen profiler summary.
-pub fn render_summary(profiler: &RolpProfiler, program: &Program, jit: &JitState) -> String {
+pub fn render_summary<T: LifetimeTable>(
+    profiler: &RolpProfiler<T>,
+    program: &Program,
+    jit: &JitState,
+) -> String {
     let stats = profiler.stats(program, jit);
     let mut out = String::new();
     let _ = writeln!(out, "ROLP profiler summary");
@@ -148,6 +153,7 @@ pub fn stats_json(report: &RunReport, pauses: &PauseRecorder, trace_dropped: u64
             .u64("frozen_sites", s.conflicts.frozen_sites)
             .u64("inferences", s.inferences)
             .u64("decisions", s.decisions as u64)
+            .u64("decision_version", s.decision_version)
             .u64("old_table_bytes", s.old_table_bytes)
             .u64("profiled_allocations", s.profiled_allocations)
             .u64("unprofiled_allocations", s.unprofiled_allocations)

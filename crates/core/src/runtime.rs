@@ -15,7 +15,10 @@ use rolp_vm::{
     CollectorApi, CostModel, JitConfig, MutatorCtx, NullProfiler, Program, ThreadId, Vm, VmEnv,
 };
 
-use crate::profiler::{ProfilingLevel, RolpConfig, RolpProfiler, RolpStats};
+use crate::geometry::LifetimeTable;
+use crate::profiler::{
+    backend_for_threads, ProfilingLevel, RolpConfig, RolpProfiler, RolpStats, TableBackend,
+};
 
 /// The five evaluated runtime configurations (paper §8).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -150,8 +153,11 @@ pub struct RunReport {
 pub struct JvmRuntime {
     /// The underlying VM (exposed for tests and advanced drivers).
     pub vm: Vm,
-    /// The ROLP profiler instance, when the configuration uses one.
-    pub profiler: Option<Rc<RefCell<RolpProfiler>>>,
+    /// The ROLP profiler instance, when the configuration uses one. The
+    /// table backend follows `threads`: multi-threaded runs profile into
+    /// the relaxed-atomic [`crate::SharedOldTable`], single-threaded runs
+    /// into the exact [`crate::OldTable`].
+    pub profiler: Option<Rc<RefCell<RolpProfiler<TableBackend>>>>,
     kind: CollectorKind,
     side_table_scale: u64,
 }
@@ -182,15 +188,25 @@ impl JvmRuntime {
 
         let (profiler_rc, vm) = match config.collector {
             CollectorKind::RolpNg2c => {
-                let mut prof = RolpProfiler::new(config.rolp.clone());
+                let mut prof = RolpProfiler::with_backend(
+                    config.rolp.clone(),
+                    backend_for_threads(config.threads),
+                );
                 prof.set_trace_logging(config.trace_enabled);
+                // One decision plane: the same Arc-swapped snapshot store
+                // feeds the mutator allocation fast path (via `env`) and
+                // the GC's promotion placement (via the collector).
+                let store = prof.decision_store();
+                env.decisions = Some(store.clone());
                 let rolp = Rc::new(RefCell::new(prof));
                 let hooks: Rc<RefCell<dyn rolp_gc::GcHooks>> = rolp.clone();
-                let collector: Box<dyn CollectorApi> = Box::new(RegionalCollector::with_config(
+                let mut regional = RegionalCollector::with_config(
                     rolp_gc::RegionalConfig { pretenuring: true, ..config.regional.clone() },
                     hooks,
                     "ROLP",
-                ));
+                );
+                regional.set_decision_store(store);
+                let collector: Box<dyn CollectorApi> = Box::new(regional);
                 let profiler: Rc<RefCell<dyn rolp_vm::VmProfiler>> = rolp.clone();
                 (Some(rolp), Vm::new(env, profiler, collector, config.seed))
             }

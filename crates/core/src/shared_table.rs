@@ -1,10 +1,11 @@
 //! The shared (concurrent) Object Lifetime Distribution table.
 //!
 //! [`SharedOldTable`] is the multi-threaded twin of [`crate::OldTable`]:
-//! the same §7.5 geometry (a base block of one row per allocation-site id,
-//! plus one expansion block per conflicted site), but with every age cell
-//! an [`AtomicU32`] so real mutator threads can bump age-0 cells while GC
-//! worker threads and the safepoint merger operate on the same storage.
+//! the same §7.5 [`TableGeometry`] (a base block of one row per
+//! allocation-site id, plus one expansion block per conflicted site), but
+//! with every age cell an [`AtomicU32`] so real mutator threads can bump
+//! age-0 cells while GC worker threads and the safepoint merger operate
+//! on the same storage.
 //!
 //! Fidelity to the paper's §7.6 concurrency story:
 //!
@@ -26,29 +27,22 @@
 //!   ([`crate::WorkerTable`]) merged at the safepoint, never through racy
 //!   read-modify-write cycles on the shared cells.
 //!
-//! Geometry is parameterizable so scaled-down tests (and Miri, which
-//! would crawl over a 4 MB table) can use small power-of-two row counts;
-//! site and stack-state ids then *alias* into rows by masking, which is
-//! also how every thread stack state shares its site's row before a
-//! conflict expands it.
+//! The safepoint-side surface (merge, inference, clear) is the
+//! [`LifetimeTable`] impl, shared with the sequential backend; the
+//! genuinely concurrent entry points are the inherent `&self` methods the
+//! trait impl delegates to.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
-use crate::context::{site_of, tss_of};
+use crate::geometry::{LifetimeTable, TableGeometry};
 use crate::old_table::AGE_COLUMNS;
-
-/// Rows in the full-scale base table / expansion blocks (§7.5: 2^16).
-pub const FULL_SCALE_ROWS: usize = 1 << 16;
 
 /// The concurrent Object Lifetime Distribution table.
 pub struct SharedOldTable {
-    site_rows: usize,
-    site_mask: u16,
-    tss_rows: usize,
-    tss_mask: u16,
-    /// Base block: `site_rows` rows of [`AGE_COLUMNS`] cells, flat.
+    geometry: TableGeometry,
+    /// Base block: one row of [`AGE_COLUMNS`] cells per site row, flat.
     base: Box<[AtomicU32]>,
     /// Per-site expansion blocks, installed at safepoints. `OnceLock::get`
     /// is a single atomic load, keeping the mutator path lock-free.
@@ -64,41 +58,26 @@ impl SharedOldTable {
     /// A full-scale table: 2^16 site rows, 2^16 stack states per expansion
     /// block (4 MB + 4 MB per conflict, as §7.5 sizes it).
     pub fn new() -> Self {
-        Self::with_geometry(FULL_SCALE_ROWS, FULL_SCALE_ROWS)
+        Self::with_geometry(TableGeometry::full_scale())
     }
 
-    /// A table with explicit power-of-two row counts. Site ids alias into
-    /// `site_rows` rows and stack states into `tss_rows` expansion rows by
-    /// masking.
-    pub fn with_geometry(site_rows: usize, tss_rows: usize) -> Self {
-        assert!(site_rows.is_power_of_two() && site_rows <= FULL_SCALE_ROWS);
-        assert!(tss_rows.is_power_of_two() && tss_rows <= FULL_SCALE_ROWS);
+    /// A table with an explicit geometry; ids alias into rows by masking.
+    pub fn with_geometry(geometry: TableGeometry) -> Self {
         SharedOldTable {
-            site_rows,
-            site_mask: (site_rows - 1) as u16,
-            tss_rows,
-            tss_mask: (tss_rows - 1) as u16,
-            base: zeroed_cells(site_rows * AGE_COLUMNS),
-            expanded: (0..site_rows).map(|_| OnceLock::new()).collect(),
+            geometry,
+            base: zeroed_cells(geometry.site_rows() * AGE_COLUMNS),
+            expanded: (0..geometry.site_rows()).map(|_| OnceLock::new()).collect(),
             expansions: AtomicUsize::new(0),
         }
-    }
-
-    #[inline]
-    fn site_row(&self, context: u32) -> usize {
-        (site_of(context) & self.site_mask) as usize
     }
 
     /// The cell backing `(context, age)` under the current expansion
     /// state.
     #[inline]
     fn cell(&self, context: u32, age: usize) -> &AtomicU32 {
-        let site = self.site_row(context);
+        let site = self.geometry.site_row(context);
         match self.expanded[site].get() {
-            Some(block) => {
-                let row = (tss_of(context) & self.tss_mask) as usize;
-                &block[row * AGE_COLUMNS + age]
-            }
+            Some(block) => &block[self.geometry.tss_row(context) * AGE_COLUMNS + age],
             None => &self.base[site * AGE_COLUMNS + age],
         }
     }
@@ -141,11 +120,11 @@ impl SharedOldTable {
     /// Safepoint-only: aliased counts already in the base row stay there
     /// until the next periodic clear, as in the sequential table.
     pub fn expand_site(&self, site: u16) {
-        let row = (site & self.site_mask) as usize;
+        let row = self.geometry.site_row((site as u32) << 16);
         let mut installed = false;
         self.expanded[row].get_or_init(|| {
             installed = true;
-            zeroed_cells(self.tss_rows * AGE_COLUMNS)
+            zeroed_cells(self.geometry.tss_rows() * AGE_COLUMNS)
         });
         if installed {
             self.expansions.fetch_add(1, Ordering::Relaxed);
@@ -154,29 +133,12 @@ impl SharedOldTable {
 
     /// True if `site` has its own per-stack-state expansion block.
     pub fn is_expanded(&self, site: u16) -> bool {
-        self.expanded[(site & self.site_mask) as usize].get().is_some()
+        self.expanded[self.geometry.site_row((site as u32) << 16)].get().is_some()
     }
 
     /// Number of expansion blocks.
     pub fn expansions(&self) -> usize {
         self.expansions.load(Ordering::Relaxed)
-    }
-
-    /// The *row key* a context resolves to (site-aliased unless expanded),
-    /// matching [`crate::OldTable::row_key`] so decisions transfer.
-    pub fn row_key(&self, context: u32) -> u32 {
-        if self.is_expanded(site_of(context)) {
-            context
-        } else {
-            (site_of(context) as u32) << 16
-        }
-    }
-
-    /// Memory footprint per §7.5: one base block plus one per conflict.
-    pub fn memory_bytes(&self) -> u64 {
-        let base = self.site_rows * AGE_COLUMNS * std::mem::size_of::<u32>();
-        let per_block = self.tss_rows * AGE_COLUMNS * std::mem::size_of::<u32>();
-        (base + self.expansions() * per_block) as u64
     }
 
     /// The age histogram of a context's row.
@@ -192,10 +154,10 @@ impl SharedOldTable {
     /// side. Safepoint-side scan (the mutators are stopped).
     pub fn age0_total(&self) -> u64 {
         let mut sum = 0u64;
-        for row in 0..self.site_rows {
+        for row in 0..self.geometry.site_rows() {
             sum += self.base[row * AGE_COLUMNS].load(Ordering::Relaxed) as u64;
             if let Some(block) = self.expanded[row].get() {
-                for trow in 0..self.tss_rows {
+                for trow in 0..self.geometry.tss_rows() {
                     sum += block[trow * AGE_COLUMNS].load(Ordering::Relaxed) as u64;
                 }
             }
@@ -204,7 +166,10 @@ impl SharedOldTable {
     }
 
     /// All rows with at least one nonzero cell, keyed like
-    /// [`SharedOldTable::row_key`]. Safepoint-side scan.
+    /// [`LifetimeTable::row_key`]. Safepoint-side scan. Every record
+    /// leaves at least one nonzero cell behind (allocation bumps age 0;
+    /// survival's destination column saturates *up*), so nonzero-ness is
+    /// exactly "touched since the last clear".
     pub fn snapshot(&self) -> BTreeMap<u32, [u32; AGE_COLUMNS]> {
         let mut out = BTreeMap::new();
         let read_row = |cells: &[AtomicU32], start: usize| {
@@ -216,12 +181,12 @@ impl SharedOldTable {
             }
             nonzero.then_some(h)
         };
-        for row in 0..self.site_rows {
+        for row in 0..self.geometry.site_rows() {
             if let Some(h) = read_row(&self.base, row * AGE_COLUMNS) {
                 out.insert((row as u32) << 16, h);
             }
             if let Some(block) = self.expanded[row].get() {
-                for trow in 0..self.tss_rows {
+                for trow in 0..self.geometry.tss_rows() {
                     if let Some(h) = read_row(block, trow * AGE_COLUMNS) {
                         out.insert(((row as u32) << 16) | trow as u32, h);
                     }
@@ -231,8 +196,8 @@ impl SharedOldTable {
         out
     }
 
-    /// Clears all counts (the §4 freshness reset); expansion blocks stay.
-    /// Safepoint-only.
+    /// Clears all counts (the §4 freshness reset) per the
+    /// [`crate::geometry`] contract; expansion blocks stay. Safepoint-only.
     pub fn clear_counts(&self) {
         for cell in self.base.iter() {
             cell.store(0, Ordering::Relaxed);
@@ -242,6 +207,57 @@ impl SharedOldTable {
                 cell.store(0, Ordering::Relaxed);
             }
         }
+    }
+}
+
+impl LifetimeTable for SharedOldTable {
+    fn geometry(&self) -> &TableGeometry {
+        &self.geometry
+    }
+
+    fn record_allocation(&mut self, context: u32) {
+        SharedOldTable::record_allocation(self, context);
+    }
+
+    fn record_survival(&mut self, context: u32, age: u8) {
+        SharedOldTable::record_survival(self, context, age);
+    }
+
+    fn expand_site(&mut self, site: u16) {
+        SharedOldTable::expand_site(self, site);
+    }
+
+    fn is_expanded(&self, site: u16) -> bool {
+        SharedOldTable::is_expanded(self, site)
+    }
+
+    fn expansions(&self) -> usize {
+        SharedOldTable::expansions(self)
+    }
+
+    fn expanded_sites(&self) -> Vec<u16> {
+        (0..self.geometry.site_rows())
+            .filter(|&row| self.expanded[row].get().is_some())
+            .map(|row| row as u16)
+            .collect()
+    }
+
+    fn histogram(&self, context: u32) -> [u32; AGE_COLUMNS] {
+        SharedOldTable::histogram(self, context)
+    }
+
+    fn touched_rows(&self) -> Vec<u32> {
+        // BTreeMap keys iterate in ascending order, satisfying the
+        // trait's sorted contract.
+        self.snapshot().into_keys().collect()
+    }
+
+    fn age0_total(&self) -> u64 {
+        SharedOldTable::age0_total(self)
+    }
+
+    fn clear_counts(&mut self) {
+        SharedOldTable::clear_counts(self);
     }
 }
 
@@ -257,7 +273,13 @@ mod tests {
     use crate::context::pack;
 
     fn small() -> SharedOldTable {
-        SharedOldTable::with_geometry(64, 16)
+        SharedOldTable::with_geometry(TableGeometry::new(64, 16))
+    }
+
+    /// Trait-qualified row key (the inherent methods shadow the trait's
+    /// provided ones in method resolution).
+    fn key(t: &SharedOldTable, c: u32) -> u32 {
+        LifetimeTable::row_key(t, c)
     }
 
     #[test]
@@ -277,10 +299,11 @@ mod tests {
         t.record_allocation(pack(5, 111));
         t.record_allocation(pack(5, 222));
         assert_eq!(t.histogram(pack(5, 0))[0], 2);
-        assert_eq!(t.row_key(pack(5, 111)), t.row_key(pack(5, 222)));
+        assert_eq!(key(&t, pack(5, 111)), key(&t, pack(5, 222)));
         // 64-row geometry: site 69 aliases site 5's row.
         t.record_allocation(pack(69, 0));
         assert_eq!(t.histogram(pack(5, 0))[0], 3);
+        assert_eq!(key(&t, pack(69, 0)), key(&t, pack(5, 0)), "row keys mask too");
     }
 
     #[test]
@@ -295,7 +318,7 @@ mod tests {
         t.record_allocation(pack(5, 2));
         assert_eq!(t.histogram(pack(5, 1))[0], 1);
         assert_eq!(t.histogram(pack(5, 2))[0], 1);
-        assert_ne!(t.row_key(pack(5, 1)), t.row_key(pack(5, 2)));
+        assert_ne!(key(&t, pack(5, 1)), key(&t, pack(5, 2)));
     }
 
     #[test]
@@ -326,6 +349,7 @@ mod tests {
         assert_eq!(snap.len(), 2);
         assert_eq!(snap[&pack(2, 0)][0], 1);
         assert_eq!(snap[&pack(7, 3)][0], 1);
+        assert_eq!(LifetimeTable::touched_rows(&t), vec![pack(2, 0), pack(7, 3)]);
     }
 
     #[test]
@@ -342,7 +366,7 @@ mod tests {
 
     #[test]
     fn memory_accounting_matches_geometry() {
-        let t = SharedOldTable::with_geometry(64, 16);
+        let t = small();
         let base = (64 * AGE_COLUMNS * 4) as u64;
         let block = (16 * AGE_COLUMNS * 4) as u64;
         assert_eq!(t.memory_bytes(), base);

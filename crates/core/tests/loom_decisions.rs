@@ -1,0 +1,96 @@
+//! Model check for the decision publication protocol (build table →
+//! anchor in history → pointer swap → lock-free reader load), run by the
+//! `loom` CI job:
+//!
+//! ```sh
+//! cargo test -p rolp --features loom --test loom_decisions
+//! ```
+//!
+//! Under `--features loom`, [`rolp_vm::DecisionStore`]'s pointer swap is
+//! compiled against the (vendored) loom primitives, so the publish-side
+//! store and every reader load are schedule points across the seeded
+//! interleavings `loom::model` explores. The model asserts the two
+//! properties the allocation fast path depends on:
+//!
+//! 1. every observed snapshot is internally consistent — the version a
+//!    reader sees always matches that version's decisions (no torn or
+//!    half-published table is ever reachable);
+//! 2. versions are monotonic per reader, and a snapshot held across a
+//!    publish keeps serving its own epoch's decisions.
+#![cfg(feature = "loom")]
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use rolp_vm::{DecisionStore, DecisionTable};
+
+const CTX: u32 = 7 << 16;
+
+fn rows(gen: u8) -> BTreeMap<u32, u8> {
+    [(CTX, gen)].into_iter().collect()
+}
+
+#[test]
+fn loom_decision_publish_read_pair() {
+    loom::model(|| {
+        let store =
+            Arc::new(DecisionStore::with_initial(DecisionTable::empty_with_geometry(64, 16)));
+
+        // Reader: a mutator thread resolving pretenuring advice while two
+        // publishes land. It also grabs an owned epoch snapshot mid-run,
+        // the way a mutator might pin one across a safepoint.
+        let reader = {
+            let store = Arc::clone(&store);
+            loom::thread::spawn(move || {
+                let mut last = 0u64;
+                let mut held: Option<Arc<DecisionTable>> = None;
+                for _ in 0..64 {
+                    let t = store.load();
+                    let v = t.version();
+                    assert!(v >= last, "published versions must be monotonic: {last} -> {v}");
+                    last = v;
+                    // Whatever epoch the load lands in, the snapshot must
+                    // be internally consistent with its version.
+                    match v {
+                        0 => assert_eq!(t.advise(CTX), None),
+                        1 => assert_eq!(t.advise(CTX), Some(2)),
+                        2 => assert_eq!(t.advise(CTX), Some(9)),
+                        v => panic!("impossible version {v}"),
+                    }
+                    if held.is_none() && v >= 1 {
+                        held = Some(store.snapshot());
+                    }
+                    if v == 2 {
+                        break;
+                    }
+                    loom::thread::yield_now();
+                }
+                held
+            })
+        };
+
+        // Writer (the safepoint side): two inference epochs back to back.
+        let v1 = DecisionTable::next_from(store.load(), &rows(2), []);
+        assert_eq!(store.publish(v1), 1);
+        let v2 = DecisionTable::next_from(store.load(), &rows(9), []);
+        assert_eq!(v2.changed_rows(), 1);
+        assert_eq!(store.publish(v2), 2);
+
+        // A snapshot the reader pinned stays consistent with *its* epoch
+        // even though newer tables were published after it was taken.
+        if let Some(held) = reader.join().expect("reader thread") {
+            match held.version() {
+                1 => assert_eq!(held.advise(CTX), Some(2)),
+                2 => assert_eq!(held.advise(CTX), Some(9)),
+                v => panic!("pinned snapshot has impossible version {v}"),
+            }
+        }
+
+        // Writer-side quiescent state: the final load observes epoch 2,
+        // and the history anchors all three tables (what keeps every
+        // reader-held pointer dereferenceable).
+        assert_eq!(store.load().version(), 2);
+        assert_eq!(store.load().advise(CTX), Some(9));
+        assert_eq!(store.epochs(), 3);
+    });
+}

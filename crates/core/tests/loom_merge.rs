@@ -13,7 +13,7 @@
 
 use std::sync::Arc;
 
-use rolp::{merge_worker_tables, OldTable, PublishSlot, WorkerTable};
+use rolp::{merge_worker_tables, LifetimeTable, OldTable, PublishSlot, WorkerTable};
 
 #[test]
 fn loom_safepoint_merge_protocol() {

@@ -109,19 +109,20 @@ impl CmsCollector {
             * env.heap.region_bytes() as u64;
         let tenuring = self.config.tenuring_threshold;
         let mut survivor_bytes = 0u64;
-        let mut dest = |from: RegionKind, age: u8, size_words: u32| -> SpaceKind {
-            match from {
-                RegionKind::Eden | RegionKind::Survivor => {
-                    survivor_bytes += size_words as u64 * 8;
-                    if age >= tenuring || survivor_bytes > survivor_budget {
-                        SpaceKind::Old
-                    } else {
-                        SpaceKind::Survivor
+        let mut dest =
+            |from: RegionKind, age: u8, size_words: u32, _ctx: Option<u32>| -> SpaceKind {
+                match from {
+                    RegionKind::Eden | RegionKind::Survivor => {
+                        survivor_bytes += size_words as u64 * 8;
+                        if age >= tenuring || survivor_bytes > survivor_budget {
+                            SpaceKind::Old
+                        } else {
+                            SpaceKind::Survivor
+                        }
                     }
+                    _ => SpaceKind::Old,
                 }
-                _ => SpaceKind::Old,
-            }
-        };
+            };
 
         let hooks = Rc::clone(&self.hooks);
         let mut hooks_ref = hooks.borrow_mut();

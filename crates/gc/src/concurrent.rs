@@ -124,7 +124,7 @@ impl ConcurrentCollector {
             .map(|(id, _)| id)
             .collect();
 
-        let mut dest = |_from: RegionKind, _age: u8, _size: u32| SpaceKind::Eden;
+        let mut dest = |_from: RegionKind, _age: u8, _size: u32, _ctx: Option<u32>| SpaceKind::Eden;
         env.trace.set_gc_cause("relocate");
         let hooks = Rc::clone(&self.hooks);
         let mut hooks_ref = hooks.borrow_mut();

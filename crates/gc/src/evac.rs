@@ -120,7 +120,7 @@ pub fn evac_pause_ns(cost: &CostModel, stats: &EvacStats, survivor_tracking: boo
 
 struct Evacuator<'a> {
     heap: &'a mut Heap,
-    dest: &'a mut dyn FnMut(RegionKind, u8, u32) -> SpaceKind,
+    dest: &'a mut dyn FnMut(RegionKind, u8, u32, Option<u32>) -> SpaceKind,
     hooks: &'a mut dyn GcHooks,
     tracking: bool,
     in_cset: Vec<bool>,
@@ -150,7 +150,7 @@ impl Evacuator<'_> {
             header.age()
         };
         let size_words = self.heap.size_words(obj);
-        let space = (self.dest)(from_kind, new_age, size_words);
+        let space = (self.dest)(from_kind, new_age, size_words, header.allocation_context());
         let size_bytes = size_words as u64 * 8;
         match self.heap.copy_object(obj, space) {
             Ok(new) => {
@@ -254,12 +254,13 @@ impl Evacuator<'_> {
 /// Evacuates the live objects of `cset`, releasing its regions on success.
 ///
 /// `dest` maps (source region kind, post-increment age, object size in
-/// words) to the destination space. The pause is computed from the cost model, charged to the clock,
-/// and recorded with `kind`.
+/// words, allocation context when the object was profiled) to the
+/// destination space. The pause is computed from the cost model, charged
+/// to the clock, and recorded with `kind`.
 pub fn evacuate(
     env: &mut VmEnv,
     cset: &[RegionId],
-    dest: &mut dyn FnMut(RegionKind, u8, u32) -> SpaceKind,
+    dest: &mut dyn FnMut(RegionKind, u8, u32, Option<u32>) -> SpaceKind,
     hooks: &mut dyn GcHooks,
     kind: PauseKind,
 ) -> EvacOutcome {
@@ -273,7 +274,7 @@ pub fn evacuate(
 pub fn evacuate_concurrent(
     env: &mut VmEnv,
     cset: &[RegionId],
-    dest: &mut dyn FnMut(RegionKind, u8, u32) -> SpaceKind,
+    dest: &mut dyn FnMut(RegionKind, u8, u32, Option<u32>) -> SpaceKind,
     hooks: &mut dyn GcHooks,
 ) -> EvacOutcome {
     evacuate_mode(env, cset, dest, hooks, PauseKind::ConcurrentHandshake, true)
@@ -282,7 +283,7 @@ pub fn evacuate_concurrent(
 fn evacuate_mode(
     env: &mut VmEnv,
     cset: &[RegionId],
-    dest: &mut dyn FnMut(RegionKind, u8, u32) -> SpaceKind,
+    dest: &mut dyn FnMut(RegionKind, u8, u32, Option<u32>) -> SpaceKind,
     hooks: &mut dyn GcHooks,
     kind: PauseKind,
     concurrent: bool,

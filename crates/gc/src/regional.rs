@@ -20,10 +20,11 @@
 
 use std::cell::RefCell;
 use std::rc::Rc;
+use std::sync::Arc;
 
 use rolp_heap::{AllocFailure, ObjectRef, RegionId, RegionKind, SpaceKind};
 use rolp_metrics::{PauseKind, SimTime};
-use rolp_vm::{AllocRequest, CollectorApi, VmEnv};
+use rolp_vm::{AllocRequest, CollectorApi, DecisionStore, VmEnv};
 
 use crate::evac::{evacuate, full_compact, EvacStats};
 use crate::observer::{GcCycleInfo, GcHooks};
@@ -93,6 +94,7 @@ pub struct RegionalStats {
 pub struct RegionalCollector {
     config: RegionalConfig,
     hooks: Rc<RefCell<dyn GcHooks>>,
+    decisions: Option<Arc<DecisionStore>>,
     cycles: u64,
     mixed_remaining: usize,
     liveness_fresh: bool,
@@ -122,6 +124,7 @@ impl RegionalCollector {
         RegionalCollector {
             config,
             hooks,
+            decisions: None,
             cycles: 0,
             mixed_remaining: 0,
             liveness_fresh: false,
@@ -135,12 +138,25 @@ impl RegionalCollector {
         self.stats
     }
 
+    /// Attaches the profiler's published [`DecisionStore`]. Evacuation
+    /// then routes promoted survivors straight to their advised dynamic
+    /// generation by reading the current snapshot lock-free (the same
+    /// table the allocation fast path indexes).
+    pub fn set_decision_store(&mut self, store: Arc<DecisionStore>) {
+        self.decisions = Some(store);
+    }
+
     fn choose_space(&mut self, req: &AllocRequest) -> SpaceKind {
         if !self.config.pretenuring {
             return SpaceKind::Eden;
         }
-        let gen =
-            req.manual_gen.or_else(|| req.context.and_then(|c| self.hooks.borrow().advise(c)));
+        // Priority: hand annotation, then the advice the mutator already
+        // resolved from the decision snapshot, then a hooks query (the
+        // path direct-driven collectors without a VmEnv store use).
+        let gen = req
+            .manual_gen
+            .or(req.advised_gen)
+            .or_else(|| req.context.and_then(|c| self.hooks.borrow().advise(c)));
         match gen {
             None | Some(0) => SpaceKind::Eden,
             Some(15) => {
@@ -256,20 +272,30 @@ impl RegionalCollector {
             * env.heap.region_bytes() as u64;
         let tenuring = self.config.tenuring_threshold;
         let mut survivor_bytes = 0u64;
-        let mut dest = |from: RegionKind, age: u8, size_words: u32| -> SpaceKind {
-            match from {
-                RegionKind::Eden | RegionKind::Survivor => {
-                    survivor_bytes += size_words as u64 * 8;
-                    if age >= tenuring || survivor_bytes > survivor_budget {
-                        SpaceKind::Old
-                    } else {
-                        SpaceKind::Survivor
+        // Promotion placement: a survivor leaving the young spaces lands
+        // in its advised dynamic generation when the current decision
+        // snapshot has one for its allocation context (objects allocated
+        // before the decision was published still regroup with their
+        // cohort), otherwise in old — G1's behavior.
+        let decisions = if self.config.pretenuring { self.decisions.as_deref() } else { None };
+        let mut dest =
+            |from: RegionKind, age: u8, size_words: u32, ctx: Option<u32>| -> SpaceKind {
+                match from {
+                    RegionKind::Eden | RegionKind::Survivor => {
+                        survivor_bytes += size_words as u64 * 8;
+                        if age >= tenuring || survivor_bytes > survivor_budget {
+                            match ctx.zip(decisions).and_then(|(c, store)| store.load().advise(c)) {
+                                Some(g @ 1..=14) => SpaceKind::Dynamic(g),
+                                _ => SpaceKind::Old,
+                            }
+                        } else {
+                            SpaceKind::Survivor
+                        }
                     }
+                    RegionKind::Dynamic(g) => SpaceKind::Dynamic(g),
+                    _ => SpaceKind::Old,
                 }
-                RegionKind::Dynamic(g) => SpaceKind::Dynamic(g),
-                _ => SpaceKind::Old,
-            }
-        };
+            };
 
         let hooks = Rc::clone(&self.hooks);
         let mut hooks_ref = hooks.borrow_mut();

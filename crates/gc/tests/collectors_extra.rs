@@ -27,6 +27,7 @@ fn req(ref_words: u16, data_words: u32) -> AllocRequest {
         header: ObjectHeader::new(1),
         context: None,
         manual_gen: None,
+        advised_gen: None,
     }
 }
 

@@ -19,7 +19,7 @@ fn alloc(env: &mut VmEnv, space: SpaceKind, refs: u16, data: u32) -> ObjectRef {
     env.heap.alloc_in(space, ClassId(0), refs, data, ObjectHeader::new(hash)).expect("fits")
 }
 
-fn young_dest(from: RegionKind, _age: u8, _size: u32) -> SpaceKind {
+fn young_dest(from: RegionKind, _age: u8, _size: u32, _ctx: Option<u32>) -> SpaceKind {
     match from {
         RegionKind::Eden | RegionKind::Survivor => SpaceKind::Survivor,
         RegionKind::Dynamic(g) => SpaceKind::Dynamic(g),

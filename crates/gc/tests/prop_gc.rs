@@ -65,6 +65,7 @@ fn run_model(ops: &[Op], collector: &mut dyn CollectorApi, env: &mut VmEnv) {
                     header: ObjectHeader::new(1),
                     context: None,
                     manual_gen: gen,
+                    advised_gen: None,
                 };
                 let obj = collector.allocate(env, req);
                 let handle = env.heap.handles.create(obj);

@@ -89,6 +89,11 @@ pub fn event_to_json(event: &TraceEvent) -> String {
                 .u64_array("records", records)
                 .u64("total_records", *total_records);
         }
+        EventKind::DecisionPublish { version, changed_rows, decisions } => {
+            obj.u64("version", *version)
+                .u64("changed_rows", *changed_rows)
+                .u64("decisions", *decisions);
+        }
     }
     obj.finish()
 }
@@ -238,6 +243,11 @@ pub fn parse_jsonl(input: &str) -> Result<Vec<TraceEvent>, String> {
                         total_records: get_u64(&map, "total_records")?,
                     }
                 }
+                "decision_publish" => EventKind::DecisionPublish {
+                    version: get_u64(&map, "version")?,
+                    changed_rows: get_u64(&map, "changed_rows")?,
+                    decisions: get_u64(&map, "decisions")?,
+                },
                 other => return Err(format!("unknown event type '{other}'")),
             })
         })()
@@ -312,6 +322,7 @@ pub fn to_chrome_trace(events: &[TraceEvent]) -> String {
                     EventKind::SurvivorTracking { enabled: true } => "survivor tracking on",
                     EventKind::SurvivorTracking { .. } => "survivor tracking off",
                     EventKind::OldTableMerge { .. } => "OLD table merge",
+                    EventKind::DecisionPublish { .. } => "decision publish",
                     _ => unreachable!("pause and watermark handled above"),
                 };
                 // Strip the envelope fields the JSONL form carries; the
@@ -452,6 +463,12 @@ mod tests {
                     records: [10, 11, 12, 13, 0, 0, 0, 0],
                     total_records: 46,
                 },
+            },
+            TraceEvent {
+                ts: t(10_000),
+                thread: GLOBAL_THREAD,
+                seq: 8,
+                kind: EventKind::DecisionPublish { version: 3, changed_rows: 5, decisions: 17 },
             },
         ]
     }

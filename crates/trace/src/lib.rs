@@ -150,6 +150,17 @@ pub enum EventKind {
         /// Total survival records merged.
         total_records: u64,
     },
+    /// A new immutable decision snapshot was atomically published at the
+    /// end of an inference epoch (or an offline warm start).
+    DecisionPublish {
+        /// Snapshot version (0 = the initial empty table).
+        version: u64,
+        /// Row keys whose resolved decision differs from the previous
+        /// version.
+        changed_rows: u64,
+        /// Active decisions in the snapshot.
+        decisions: u64,
+    },
 }
 
 impl EventKind {
@@ -166,6 +177,7 @@ impl EventKind {
             EventKind::DecisionChange { .. } => "decision_change",
             EventKind::SurvivorTracking { .. } => "survivor_tracking",
             EventKind::OldTableMerge { .. } => "old_table_merge",
+            EventKind::DecisionPublish { .. } => "decision_publish",
         }
     }
 }

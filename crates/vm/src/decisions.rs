@@ -1,0 +1,434 @@
+//! Lock-free pretenuring-decision snapshots.
+//!
+//! ROLP's inference runs at safepoints, but its *decisions* are consumed
+//! on the allocation fast path — the one place the paper insists must
+//! stay at "negligible overhead" (§3.2, §8.3). This module gives the
+//! decisions the same shape HotSpot would: an immutable, versioned
+//! [`DecisionTable`] (a flat byte array indexed by the decision row key)
+//! published once per inference epoch via an atomic pointer swap on a
+//! [`DecisionStore`], and read with a single `Acquire` load plus one
+//! bounds-checked array index. No hashing, no locks, no reference-count
+//! traffic on the hot path.
+//!
+//! Publication protocol:
+//!
+//! 1. The profiler builds a fresh `DecisionTable` from its working
+//!    estimates (safepoint-side, no readers racing the build).
+//! 2. [`DecisionStore::publish`] swaps the current-table pointer with
+//!    `Release` ordering. Every table ever published is retained in an
+//!    epoch history (bounded: one entry per inference epoch), so a
+//!    reader holding a pointer from *any* epoch still dereferences valid
+//!    memory — the immutable-snapshot analogue of an RCU grace period.
+//! 3. Readers ([`DecisionStore::load`]) take one `Acquire` load and
+//!    index the snapshot. A mutator holding an older [`Arc`] snapshot
+//!    (via [`DecisionStore::snapshot`]) across a publish keeps reading
+//!    its consistent old version; the next load observes the new one.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+#[cfg(feature = "loom")]
+use loom::sync::atomic::{AtomicPtr, Ordering};
+#[cfg(not(feature = "loom"))]
+use std::sync::atomic::{AtomicPtr, Ordering};
+
+/// Slot value meaning "no decision for this site".
+const NO_DECISION: u8 = 0;
+/// Slot value meaning "site is conflicted/expanded — consult the
+/// per-stack-state block" (never a valid `gen + 1`, which is ≤ 16).
+const EXPANDED: u8 = 0xFF;
+
+/// An immutable, versioned snapshot of the profiler's pretenuring
+/// decisions, indexed by decision row key (site id in the high half,
+/// thread stack state in the low half — see `rolp::context`).
+///
+/// Layout: one byte per site id (`0` = none, `gen + 1` = pretenure to
+/// `gen`, a sentinel for conflicted sites), plus a dense per-stack-state
+/// block for each conflicted site. The common case — unconflicted site —
+/// resolves with a single bounds-checked index into the site array.
+pub struct DecisionTable {
+    version: u64,
+    site_slots: Box<[u8]>,
+    site_mask: u16,
+    /// Dense per-tss decision blocks for expanded (conflicted) sites.
+    expanded: BTreeMap<u16, Box<[u8]>>,
+    tss_mask: u16,
+    decisions: u32,
+    changed_rows: u32,
+}
+
+impl fmt::Debug for DecisionTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DecisionTable")
+            .field("version", &self.version)
+            .field("decisions", &self.decisions)
+            .field("changed_rows", &self.changed_rows)
+            .field("expanded_sites", &self.expanded.len())
+            .finish()
+    }
+}
+
+impl DecisionTable {
+    /// The empty version-0 table every store starts from (full-scale
+    /// geometry: 2^16 site slots, 64 KB).
+    pub fn empty() -> Self {
+        Self::empty_with_geometry(1 << 16, 1 << 16)
+    }
+
+    /// An empty table with explicit power-of-two slot counts (scaled-down
+    /// tests alias ids into the slots by masking, like the OLD table).
+    pub fn empty_with_geometry(site_slots: usize, tss_slots: usize) -> Self {
+        assert!(site_slots.is_power_of_two() && site_slots <= 1 << 16);
+        assert!(tss_slots.is_power_of_two() && tss_slots <= 1 << 16);
+        DecisionTable {
+            version: 0,
+            site_slots: vec![NO_DECISION; site_slots].into_boxed_slice(),
+            site_mask: (site_slots - 1) as u16,
+            expanded: BTreeMap::new(),
+            tss_mask: (tss_slots - 1) as u16,
+            decisions: 0,
+            changed_rows: 0,
+        }
+    }
+
+    /// Builds the next version from the profiler's working estimates.
+    ///
+    /// `rows` maps decision row keys to target generations: for an
+    /// unconflicted site the key is `site << 16` (stack states alias into
+    /// it), for a site in `expanded_sites` the key carries the full
+    /// context. `prev` is the currently published table; the new version
+    /// is `prev.version() + 1` and `changed_rows` counts the row keys
+    /// whose resolved decision differs from `prev`.
+    pub fn next_from(
+        prev: &DecisionTable,
+        rows: &BTreeMap<u32, u8>,
+        expanded_sites: impl IntoIterator<Item = u16>,
+    ) -> Self {
+        let mut table = DecisionTable {
+            version: prev.version + 1,
+            site_slots: vec![NO_DECISION; prev.site_slots.len()].into_boxed_slice(),
+            site_mask: prev.site_mask,
+            expanded: BTreeMap::new(),
+            tss_mask: prev.tss_mask,
+            decisions: 0,
+            changed_rows: 0,
+        };
+        for site in expanded_sites {
+            let site = site & table.site_mask;
+            table.site_slots[site as usize] = EXPANDED;
+            table
+                .expanded
+                .entry(site)
+                .or_insert_with(|| vec![NO_DECISION; (table.tss_mask as usize) + 1].into());
+        }
+        for (&key, &gen) in rows {
+            let site = ((key >> 16) as u16) & table.site_mask;
+            let encoded = gen.min(15) + 1;
+            match table.expanded.get_mut(&site) {
+                Some(block) => {
+                    let tss = ((key & 0xFFFF) as u16 & table.tss_mask) as usize;
+                    if block[tss] == NO_DECISION {
+                        table.decisions += 1;
+                    }
+                    block[tss] = encoded;
+                }
+                None => {
+                    if table.site_slots[site as usize] == NO_DECISION {
+                        table.decisions += 1;
+                    }
+                    table.site_slots[site as usize] = encoded;
+                }
+            }
+        }
+        // Changed rows: every key either table resolves, compared through
+        // the public read path so expansion transitions count too.
+        let mut keys: Vec<u32> = rows.keys().copied().collect();
+        keys.extend(prev.iter().map(|(k, _)| k));
+        keys.sort_unstable();
+        keys.dedup();
+        table.changed_rows =
+            keys.iter().filter(|&&k| table.advise(k) != prev.advise(k)).count() as u32;
+        table
+    }
+
+    /// Resolves a pretenuring decision for an allocation context: one
+    /// bounds-checked index into the site array; conflicted (expanded)
+    /// sites — rare by construction — take one more into their block.
+    #[inline]
+    pub fn advise(&self, context: u32) -> Option<u8> {
+        let site = ((context >> 16) as u16) & self.site_mask;
+        match self.site_slots[site as usize] {
+            NO_DECISION => None,
+            EXPANDED => self.advise_expanded(site, context),
+            encoded => Some(encoded - 1),
+        }
+    }
+
+    #[cold]
+    fn advise_expanded(&self, site: u16, context: u32) -> Option<u8> {
+        let block = self.expanded.get(&site)?;
+        match block[((context & 0xFFFF) as u16 & self.tss_mask) as usize] {
+            NO_DECISION => None,
+            encoded => Some(encoded - 1),
+        }
+    }
+
+    /// The snapshot's version (0 = the initial empty table).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Active decisions in this snapshot.
+    pub fn len(&self) -> usize {
+        self.decisions as usize
+    }
+
+    /// True when the snapshot holds no decisions.
+    pub fn is_empty(&self) -> bool {
+        self.decisions == 0
+    }
+
+    /// Row keys whose resolved decision differs from the previous
+    /// version (0 for the initial table).
+    pub fn changed_rows(&self) -> u32 {
+        self.changed_rows
+    }
+
+    /// Iterates `(row key, generation)` pairs, sorted by row key.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u8)> + '_ {
+        let base = self.site_slots.iter().enumerate().filter_map(|(site, &slot)| match slot {
+            NO_DECISION | EXPANDED => None,
+            encoded => Some(((site as u32) << 16, encoded - 1)),
+        });
+        let expanded = self.expanded.iter().flat_map(|(&site, block)| {
+            block.iter().enumerate().filter_map(move |(tss, &slot)| match slot {
+                NO_DECISION => None,
+                encoded => Some((((site as u32) << 16) | tss as u32, encoded - 1)),
+            })
+        });
+        let mut all: Vec<(u32, u8)> = base.chain(expanded).collect();
+        all.sort_unstable_by_key(|&(k, _)| k);
+        all.into_iter()
+    }
+}
+
+/// The publication point for [`DecisionTable`] snapshots.
+///
+/// `load` is the allocation fast path: one `Acquire` pointer load, no
+/// locks, no reference-count traffic. `publish` (safepoint-side, rare)
+/// swaps the pointer and retains the new table in the epoch history so
+/// earlier pointers stay dereferenceable for the store's lifetime.
+pub struct DecisionStore {
+    current: AtomicPtr<DecisionTable>,
+    /// Every published snapshot, oldest first. One entry per inference
+    /// epoch — bounded by run length, and what makes `load`'s borrowed
+    /// return sound.
+    history: Mutex<Vec<Arc<DecisionTable>>>,
+}
+
+impl DecisionStore {
+    /// A store holding the empty version-0 table.
+    pub fn new() -> Self {
+        Self::with_initial(DecisionTable::empty())
+    }
+
+    /// A store seeded with a specific initial table (scaled geometries).
+    pub fn with_initial(table: DecisionTable) -> Self {
+        let initial = Arc::new(table);
+        let ptr = Arc::as_ptr(&initial) as *mut DecisionTable;
+        DecisionStore { current: AtomicPtr::new(ptr), history: Mutex::new(vec![initial]) }
+    }
+
+    /// The current snapshot — the lock-free read side.
+    #[inline]
+    pub fn load(&self) -> &DecisionTable {
+        let ptr = self.current.load(Ordering::Acquire);
+        // SAFETY: `ptr` was derived from an `Arc<DecisionTable>` that is
+        // retained in `history` until the store itself drops, so it is
+        // valid for `&self`'s lifetime; the pointee is immutable after
+        // publication.
+        unsafe { &*ptr }
+    }
+
+    /// An owned handle to the current snapshot. A mutator may hold this
+    /// across publishes and keep reading a consistent (old) version.
+    pub fn snapshot(&self) -> Arc<DecisionTable> {
+        let ptr = self.current.load(Ordering::Acquire);
+        let history = self.history.lock().expect("decision history poisoned");
+        history
+            .iter()
+            .rev()
+            .find(|t| std::ptr::eq(Arc::as_ptr(t), ptr))
+            .cloned()
+            .unwrap_or_else(|| history.last().expect("history never empty").clone())
+    }
+
+    /// Publishes `table` as the new current snapshot (safepoint-side).
+    /// Returns its version.
+    pub fn publish(&self, table: DecisionTable) -> u64 {
+        let version = table.version();
+        let arc = Arc::new(table);
+        let ptr = Arc::as_ptr(&arc) as *mut DecisionTable;
+        // Retain before the swap so no reader can observe a pointer whose
+        // backing allocation is not yet anchored in the history.
+        self.history.lock().expect("decision history poisoned").push(arc);
+        self.current.store(ptr, Ordering::Release);
+        version
+    }
+
+    /// The current snapshot's version.
+    pub fn version(&self) -> u64 {
+        self.load().version()
+    }
+
+    /// Snapshots published so far (including the initial empty table).
+    pub fn epochs(&self) -> usize {
+        self.history.lock().expect("decision history poisoned").len()
+    }
+}
+
+impl Default for DecisionStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for DecisionStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DecisionStore")
+            .field("version", &self.version())
+            .field("decisions", &self.load().len())
+            .finish()
+    }
+}
+
+// SAFETY: published tables are immutable; `current` and the history
+// mutex guard all shared mutation.
+unsafe impl Send for DecisionStore {}
+unsafe impl Sync for DecisionStore {}
+
+#[cfg(all(test, not(feature = "loom")))]
+mod tests {
+    use super::*;
+
+    fn rows(pairs: &[(u32, u8)]) -> BTreeMap<u32, u8> {
+        pairs.iter().copied().collect()
+    }
+
+    #[test]
+    fn empty_table_advises_nothing() {
+        let t = DecisionTable::empty_with_geometry(64, 16);
+        assert_eq!(t.version(), 0);
+        assert!(t.is_empty());
+        assert_eq!(t.advise(5 << 16), None);
+    }
+
+    #[test]
+    fn site_decisions_alias_all_stack_states() {
+        let prev = DecisionTable::empty_with_geometry(64, 16);
+        let t = DecisionTable::next_from(&prev, &rows(&[(5 << 16, 3)]), []);
+        assert_eq!(t.version(), 1);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.advise(5 << 16), Some(3));
+        assert_eq!(t.advise((5 << 16) | 7), Some(3), "tss aliases into the site row");
+        assert_eq!(t.advise(6 << 16), None);
+    }
+
+    #[test]
+    fn expanded_sites_split_stack_states() {
+        let prev = DecisionTable::empty_with_geometry(64, 16);
+        let t = DecisionTable::next_from(&prev, &rows(&[((5 << 16) | 2, 7)]), [5u16]);
+        assert_eq!(t.advise((5 << 16) | 2), Some(7));
+        assert_eq!(t.advise((5 << 16) | 3), None, "sibling stack state undecided");
+        assert_eq!(t.advise(5 << 16), None);
+    }
+
+    #[test]
+    fn generation_zero_and_fifteen_are_representable() {
+        let prev = DecisionTable::empty_with_geometry(64, 16);
+        let t = DecisionTable::next_from(&prev, &rows(&[(1 << 16, 0), (2 << 16, 15)]), []);
+        assert_eq!(t.advise(1 << 16), Some(0));
+        assert_eq!(t.advise(2 << 16), Some(15));
+    }
+
+    #[test]
+    fn changed_rows_counts_differences_from_previous_version() {
+        let v0 = DecisionTable::empty_with_geometry(64, 16);
+        let v1 = DecisionTable::next_from(&v0, &rows(&[(1 << 16, 2), (2 << 16, 5)]), []);
+        assert_eq!(v1.changed_rows(), 2);
+        // One key keeps its value, one changes, one disappears, one is new.
+        let v2 = DecisionTable::next_from(&v1, &rows(&[(1 << 16, 2), (3 << 16, 4)]), []);
+        assert_eq!(v2.changed_rows(), 2, "2<<16 dropped, 3<<16 added, 1<<16 unchanged");
+        assert_eq!(v2.version(), 2);
+    }
+
+    #[test]
+    fn iter_reports_sorted_row_keys() {
+        let v0 = DecisionTable::empty_with_geometry(64, 16);
+        let t = DecisionTable::next_from(&v0, &rows(&[((5 << 16) | 3, 7), (2 << 16, 1)]), [5u16]);
+        let all: Vec<(u32, u8)> = t.iter().collect();
+        assert_eq!(all, vec![(2 << 16, 1), ((5 << 16) | 3, 7)]);
+    }
+
+    #[test]
+    fn store_publish_bumps_version_and_load_sees_it() {
+        let store = DecisionStore::with_initial(DecisionTable::empty_with_geometry(64, 16));
+        assert_eq!(store.version(), 0);
+        let next = DecisionTable::next_from(store.load(), &rows(&[(9 << 16, 4)]), []);
+        assert_eq!(store.publish(next), 1);
+        assert_eq!(store.version(), 1);
+        assert_eq!(store.load().advise(9 << 16), Some(4));
+        assert_eq!(store.epochs(), 2);
+    }
+
+    #[test]
+    fn old_snapshot_stays_consistent_across_a_publish() {
+        let store = DecisionStore::with_initial(DecisionTable::empty_with_geometry(64, 16));
+        let v1 = DecisionTable::next_from(store.load(), &rows(&[(1 << 16, 2)]), []);
+        store.publish(v1);
+
+        // The mutator grabs its epoch snapshot...
+        let held = store.snapshot();
+        assert_eq!(held.version(), 1);
+
+        // ...a publish lands while it is held...
+        let v2 = DecisionTable::next_from(store.load(), &rows(&[(1 << 16, 9)]), []);
+        store.publish(v2);
+
+        // ...the held snapshot still reads version-1 decisions, while the
+        // next load observes the new version.
+        assert_eq!(held.version(), 1);
+        assert_eq!(held.advise(1 << 16), Some(2));
+        assert_eq!(store.load().version(), 2);
+        assert_eq!(store.load().advise(1 << 16), Some(9));
+    }
+
+    #[test]
+    fn loads_across_threads_see_published_tables() {
+        let store = std::sync::Arc::new(DecisionStore::with_initial(
+            DecisionTable::empty_with_geometry(64, 16),
+        ));
+        let reader = {
+            let store = std::sync::Arc::clone(&store);
+            std::thread::spawn(move || {
+                // Spin until the publish is visible; every observed table
+                // must be internally consistent (version matches payload).
+                loop {
+                    let t = store.load();
+                    match t.version() {
+                        0 => assert_eq!(t.advise(4 << 16), None),
+                        v => {
+                            assert_eq!(t.advise(4 << 16), Some(11));
+                            break v;
+                        }
+                    }
+                    std::thread::yield_now();
+                }
+            })
+        };
+        let next = DecisionTable::next_from(store.load(), &rows(&[(4 << 16, 11)]), []);
+        store.publish(next);
+        assert_eq!(reader.join().expect("reader"), 1);
+    }
+}

@@ -7,12 +7,14 @@
 //! walks).
 
 use std::rc::Rc;
+use std::sync::Arc;
 
 use rolp_heap::Heap;
 use rolp_metrics::{MemoryTracker, PauseRecorder, SimClock, Throughput};
 use rolp_trace::{EventKind, TraceRecorder};
 
 use crate::cost::CostModel;
+use crate::decisions::DecisionStore;
 use crate::jit::{JitConfig, JitState};
 use crate::program::Program;
 use crate::thread::{MutatorThread, ThreadId};
@@ -41,6 +43,11 @@ pub struct VmEnv {
     pub threads: Vec<MutatorThread>,
     /// Structured telemetry flight recorder (disabled by default).
     pub trace: TraceRecorder,
+    /// Published pretenuring decisions. When set, the allocation fast
+    /// path resolves each profiled allocation's target generation with a
+    /// single lock-free read of the current [`crate::DecisionTable`]
+    /// snapshot (no profiler borrow, no hash lookup).
+    pub decisions: Option<Arc<DecisionStore>>,
 }
 
 impl VmEnv {
@@ -66,6 +73,7 @@ impl VmEnv {
             jit,
             threads,
             trace: TraceRecorder::disabled(),
+            decisions: None,
         }
     }
 

@@ -15,6 +15,7 @@
 //! - [`mod@env`] — the world state shared with collectors.
 
 pub mod cost;
+pub mod decisions;
 pub mod env;
 pub mod jit;
 pub mod mutator;
@@ -23,6 +24,7 @@ pub mod program;
 pub mod thread;
 
 pub use cost::CostModel;
+pub use decisions::{DecisionStore, DecisionTable};
 pub use env::VmEnv;
 pub use jit::{JitConfig, JitEvent, JitState};
 pub use mutator::{AllocRequest, CollectorApi, GuestException, MutatorCtx, Vm};

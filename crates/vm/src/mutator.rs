@@ -48,6 +48,11 @@ pub struct AllocRequest {
     /// NG2C-style hand annotation: the target dynamic generation
     /// (`Some(0)` forces young; paper §7.1). `None` = no annotation.
     pub manual_gen: Option<u8>,
+    /// ROLP's published advice for `context`, resolved lock-free by the
+    /// allocation fast path from the current
+    /// [`crate::DecisionTable`] snapshot. Lower priority than
+    /// `manual_gen`.
+    pub advised_gen: Option<u8>,
 }
 
 /// The collector interface the VM allocates through.
@@ -450,7 +455,15 @@ impl MutatorCtx<'_> {
             }
         }
 
-        let req = AllocRequest { class, ref_words, data_words, header, context, manual_gen };
+        // Pretenuring fast path: one atomic snapshot load plus one
+        // bounds-checked table index — never a profiler borrow.
+        let advised_gen = match (context, self.vm.env.decisions.as_deref()) {
+            (Some(ctx), Some(store)) => store.load().advise(ctx),
+            _ => None,
+        };
+
+        let req =
+            AllocRequest { class, ref_words, data_words, header, context, manual_gen, advised_gen };
         let obj = self.vm.collector.allocate(&mut self.vm.env, req);
         self.vm.env.heap.handles.create(obj)
     }

@@ -153,6 +153,43 @@ pub mod sync {
         instrumented_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
         instrumented_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
 
+        /// An atomic pointer whose every operation is a schedule point
+        /// (the generic parameter keeps the macro above out of it).
+        #[derive(Debug, Default)]
+        pub struct AtomicPtr<T>(std::sync::atomic::AtomicPtr<T>);
+
+        impl<T> AtomicPtr<T> {
+            pub fn new(value: *mut T) -> Self {
+                Self(std::sync::atomic::AtomicPtr::new(value))
+            }
+
+            pub fn load(&self, order: Ordering) -> *mut T {
+                super::super::schedule_tick();
+                self.0.load(order)
+            }
+
+            pub fn store(&self, value: *mut T, order: Ordering) {
+                super::super::schedule_tick();
+                self.0.store(value, order);
+            }
+
+            pub fn swap(&self, value: *mut T, order: Ordering) -> *mut T {
+                super::super::schedule_tick();
+                self.0.swap(value, order)
+            }
+
+            pub fn compare_exchange(
+                &self,
+                current: *mut T,
+                new: *mut T,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<*mut T, *mut T> {
+                super::super::schedule_tick();
+                self.0.compare_exchange(current, new, success, failure)
+            }
+        }
+
         macro_rules! instrumented_fetch {
             ($name:ident, $value:ty) => {
                 impl $name {

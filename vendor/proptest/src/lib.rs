@@ -173,7 +173,7 @@ pub mod collection {
     use rand::rngs::StdRng;
     use rand::Rng;
 
-    /// Element-count bound accepted by [`vec`].
+    /// Element-count bound accepted by [`fn@vec`].
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         lo: usize,
