@@ -73,23 +73,29 @@ fn main() {
     if quick {
         println!(
             "quick mode: first workload, G1 + ROLP (4 mutator threads) + ROLP-seq \
-             (1 thread, sequential profiler backend) (ROLP_BENCH_QUICK)"
+             (1 thread, sequential profiler backend) + ROLP (governed) \
+             (overhead governor on, no faults) (ROLP_BENCH_QUICK)"
         );
     }
 
-    // (collector, mutator threads, gate label). The default 4-thread runs
-    // exercise the concurrent profiler data plane; quick mode adds a
-    // 1-thread ROLP run so the gate also covers the sequential backend.
-    let collectors: Vec<(CollectorKind, u32, &'static str)> = if quick {
+    // (collector, mutator threads, gate label, governed). The default
+    // 4-thread runs exercise the concurrent profiler data plane; quick
+    // mode adds a 1-thread ROLP run so the gate also covers the
+    // sequential backend, and a governed ROLP run so the gate bounds the
+    // governor's own overhead. The governed row must come *after* plain
+    // ROLP: the shape-check lookup below takes the first match per
+    // CollectorKind.
+    let collectors: Vec<(CollectorKind, u32, &'static str, bool)> = if quick {
         vec![
-            (CollectorKind::G1, 4, CollectorKind::G1.label()),
-            (CollectorKind::RolpNg2c, 4, CollectorKind::RolpNg2c.label()),
-            (CollectorKind::RolpNg2c, 1, "ROLP-seq"),
+            (CollectorKind::G1, 4, CollectorKind::G1.label(), false),
+            (CollectorKind::RolpNg2c, 4, CollectorKind::RolpNg2c.label(), false),
+            (CollectorKind::RolpNg2c, 1, "ROLP-seq", false),
+            (CollectorKind::RolpNg2c, 4, "ROLP (governed)", true),
         ]
     } else {
         [CollectorKind::Cms, CollectorKind::G1, CollectorKind::Ng2c, CollectorKind::RolpNg2c]
             .into_iter()
-            .map(|k| (k, 4, k.label()))
+            .map(|k| (k, 4, k.label(), false))
             .collect()
     };
     let mut json_rows: Vec<JsonRow> = Vec::new();
@@ -108,14 +114,22 @@ fn main() {
             std::iter::once("system".to_string()).chain(fig9_labels()).collect::<Vec<_>>(),
         );
         let mut tail_ms: Vec<(CollectorKind, f64)> = Vec::new();
+        let mut governed_tail: Option<f64> = None;
 
-        for &(kind, threads, label) in &collectors {
+        for &(kind, threads, label, governed) in &collectors {
             // Fresh workload instance per run (independent state).
             let mut workloads = bigdata_workloads(scale);
             let w = &mut workloads[wi];
             let start = std::time::Instant::now();
-            let out = run_one_threads(w.as_mut(), kind, heap.clone(), scale, &budget, threads);
+            let out = if governed {
+                rolp_bench::run_one_governed(w.as_mut(), heap.clone(), scale, &budget, threads)
+            } else {
+                run_one_threads(w.as_mut(), kind, heap.clone(), scale, &budget, threads)
+            };
             let wall = start.elapsed();
+            if governed {
+                governed_tail = Some(out.pauses.percentile_ms(99.9));
+            }
 
             let mut row = vec![label.to_string()];
             for p in FIG8_PERCENTILES {
@@ -187,8 +201,16 @@ fn main() {
             let reduction = if g1 > 0.0 { (1.0 - rolp / g1) * 100.0 } else { 0.0 };
             println!(
                 "shape check [{name}]: p99.9 G1 {g1:.1} ms, ROLP {rolp:.1} ms -> \
-                 ROLP reduces G1 tail by {reduction:.0}%\n"
+                 ROLP reduces G1 tail by {reduction:.0}%"
             );
+            if let Some(gov) = governed_tail {
+                let overhead = if rolp > 0.0 { (gov / rolp - 1.0) * 100.0 } else { 0.0 };
+                println!(
+                    "governor overhead [{name}]: p99.9 governed {gov:.1} ms vs plain \
+                     {rolp:.1} ms ({overhead:+.1}%)"
+                );
+            }
+            println!();
         } else {
             let (cms, g1, ng2c, rolp) = (
                 get(CollectorKind::Cms),

@@ -116,6 +116,24 @@ pub fn run_one_threads(
     out
 }
 
+/// [`run_one_threads`] for ROLP with the overhead governor engaged
+/// (default budgets, no fault plan) — the `ROLP (governed)` gate row.
+/// With nothing injected the governor should stay in `Full` and cost
+/// only its once-per-epoch evaluation, so this row's pause percentiles
+/// must track plain ROLP's (the ISSUE acceptance bound is 10% on p99).
+pub fn run_one_governed(
+    workload: &mut dyn Workload,
+    heap: HeapConfig,
+    scale: SimScale,
+    budget: &RunBudget,
+    threads: u32,
+) -> RunOutcome {
+    let mut config = runtime_config(CollectorKind::RolpNg2c, heap, scale);
+    config.threads = threads;
+    config.rolp.governor = Some(rolp::GovernorConfig::default());
+    rolp_workloads::execute(workload, config, budget)
+}
+
 /// The Fig. 8 percentiles.
 pub const FIG8_PERCENTILES: [f64; 7] = [50.0, 75.0, 90.0, 95.0, 99.0, 99.9, 100.0];
 

@@ -43,6 +43,9 @@ pub struct Args {
     pub mutator_threads: u32,
     /// Parallel GC workers (None keeps the cost model's default).
     pub gc_workers: Option<usize>,
+    /// Fault-injection plan: a canned name or a `;`-separated spec
+    /// (enables the overhead governor). `None` = no injection.
+    pub fault_plan: Option<String>,
     /// Run the concurrency determinism check instead of a workload:
     /// multi-threaded mutators + parallel GC workers vs. the
     /// single-threaded reference, asserting the merged histograms stay
@@ -65,6 +68,7 @@ impl Default for Args {
             stats_json: None,
             mutator_threads: 4,
             gc_workers: None,
+            fault_plan: None,
             verify_determinism: false,
         }
     }
@@ -100,6 +104,11 @@ OPTIONS:
     --gc-workers <N>    parallel GC workers (marking, remembered-set
                         prescan, one private OLD table each)
                         [default: cost model, 4]
+    --fault-plan <SPEC> inject deterministic profiler faults and engage
+                        the overhead governor. SPEC is a canned plan
+                        (pressure-spike | id-exhaustion | merge-chaos) or
+                        a `;`-separated list of atoms, e.g.
+                        \"seed=7;burst@16..64x200000;drop-merge%3\"
     --verify-determinism   run the concurrency check instead of a
                         workload: N racy mutator threads + N parallel GC
                         workers vs. the single-threaded reference; fails
@@ -160,6 +169,12 @@ pub fn parse(argv: &[String]) -> Result<Args, String> {
                         .filter(|&n| n > 0)
                         .ok_or("--gc-workers must be positive")?,
                 );
+            }
+            "--fault-plan" => {
+                let v = take("--fault-plan")?;
+                // Validate eagerly so a typo fails before the run starts.
+                rolp_faults::FaultPlan::parse(&v)?;
+                args.fault_plan = Some(v);
             }
             "--verify-determinism" => args.verify_determinism = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
@@ -258,6 +273,17 @@ mod tests {
         assert_eq!(a.trace_out.as_deref(), Some("t.json"));
         assert_eq!(a.stats_json.as_deref(), Some("s.json"));
         assert!(parse(&argv("--trace-out")).unwrap_err().contains("needs a value"));
+    }
+
+    #[test]
+    fn fault_plan_flag_parses_and_validates() {
+        let a = parse(&argv("--fault-plan merge-chaos")).expect("canned name parses");
+        assert_eq!(a.fault_plan.as_deref(), Some("merge-chaos"));
+        let a = parse(&argv("--fault-plan seed=7;burst@16..64x1000")).expect("spec parses");
+        assert!(a.fault_plan.is_some());
+        let err = parse(&argv("--fault-plan no-such-plan")).unwrap_err();
+        assert!(err.contains("pressure-spike"), "error lists canned plans: {err}");
+        assert_eq!(parse(&[]).unwrap().fault_plan, None);
     }
 
     #[test]

@@ -63,6 +63,17 @@ fn run(args: Args) -> Result<(), String> {
     // The flight recorder stays off (and costs nothing) unless a trace
     // sink was requested.
     config.trace_enabled = args.trace_out.is_some();
+    if let Some(spec) = &args.fault_plan {
+        let plan = rolp_faults::FaultPlan::parse(spec).expect("validated at parse time");
+        println!(
+            "fault plan: {} (seed {}, {} fault(s)) — overhead governor engaged",
+            plan.name,
+            plan.seed,
+            plan.faults.len()
+        );
+        config.rolp.fault_plan = Some(plan);
+        config.rolp.governor = Some(rolp::GovernorConfig::default());
+    }
 
     let budget = RunBudget {
         sim_time: SimTime::from_secs(args.secs),
@@ -239,6 +250,14 @@ fn print_report(report: &rolp::runtime::RunReport, pauses: &rolp_metrics::PauseR
         rolp_metrics::table::fmt_bytes(report.max_used_bytes),
         rolp_metrics::table::fmt_bytes(report.max_committed_bytes)
     );
+    if let Some(r) = &report.rolp {
+        if let Some(state) = r.governor_state {
+            println!(
+                "governor           ended in state `{state}` ({} transition(s), {} injected fault event(s))",
+                r.governor_transitions, r.injected_fault_events
+            );
+        }
+    }
     println!("pauses (post-discard): {}", pauses.count());
     for p in [50.0, 90.0, 99.0, 99.9, 100.0] {
         println!("  p{p:<6} {:>9.2} ms", pauses.percentile_ms(p));

@@ -161,6 +161,17 @@ impl ConflictResolver {
         self.active_batch.len() + self.frozen.len()
     }
 
+    /// Re-applies the resolver's intended call-site-profiling state to the
+    /// JIT after the governor bulk-disabled it (`Reduced` and below shed
+    /// all call-site profiling): frozen distinguishing sets (§5) and the
+    /// in-flight probe batch are re-enabled so resolution resumes exactly
+    /// where it paused.
+    pub fn reapply_to_jit(&self, jit: &mut JitState) {
+        for &cs in self.frozen.iter().chain(&self.active_batch) {
+            jit.enable_call_profiling(cs);
+        }
+    }
+
     /// Feeds one inference round's verdicts into the state machine,
     /// enabling/disabling call-site profiling as the §5 algorithm
     /// prescribes. `new_conflicts` are sites that just went multimodal
@@ -443,6 +454,23 @@ mod tests {
         let mut quiet = ConflictResolver::new(ConflictConfig::default(), 7);
         quiet.on_inference(&program2, &mut jit2, &[1], &[]);
         assert!(quiet.take_batch_log().is_empty());
+    }
+
+    #[test]
+    fn reapply_restores_probe_batch_and_frozen_sets_after_bulk_disable() {
+        let (program, mut jit) = world(16);
+        let mut r = ConflictResolver::new(ConflictConfig::default(), 7);
+        r.on_inference(&program, &mut jit, &[3], &[]);
+        let enabled = jit.enabled_call_sites();
+        assert!(enabled > 0);
+        // Governor sheds all call-site profiling (Reduced state)...
+        for cs in program.call_sites() {
+            jit.disable_call_profiling(cs);
+        }
+        assert_eq!(jit.enabled_call_sites(), 0);
+        // ...then recovery re-applies the resolver's intent exactly.
+        r.reapply_to_jit(&mut jit);
+        assert_eq!(jit.enabled_call_sites(), enabled);
     }
 
     #[test]

@@ -1,0 +1,294 @@
+//! The overhead governor: graceful degradation under profiling pressure.
+//!
+//! ROLP's headline numbers (§8) hold only while profiling stays cheap:
+//! record-path work bounded, OLD-table memory within its §7.5 budget, and
+//! call-site profiling limited to the small distinguishing sets §5
+//! converges to. When any of those budgets blows — adversarial call
+//! patterns, site-id saturation, allocation bursts — a production
+//! profiler must shed load rather than sink the application (the
+//! always-on discipline DJXPerf argues for, and the unprofiled-goes-to-
+//! gen-0 fallback NG2C builds in).
+//!
+//! The [`Governor`] tracks one [`EpochCost`] per inference epoch against
+//! configurable budgets and drives an explicit four-state machine, one
+//! step per epoch:
+//!
+//! ```text
+//! Full  ->  Reduced  ->  SitesOnly  ->  Off
+//!   (call-site       (stack-state      (all-gen-0 table;
+//!    profiling shed,   hashing off,      allocation fast path
+//!    conflicts frozen) site-id-only)     is one branch)
+//! ```
+//!
+//! Hysteresis works the other way: after `calm_epochs_to_recover`
+//! consecutive under-budget epochs the governor climbs back one step, so
+//! a transient burst does not strand the profiler in `Off`. Every
+//! transition is emitted as a `governor_transition` trace event by the
+//! profiler.
+//!
+//! Degradation never *remaps* an allocation context: a context either
+//! keeps its meaning (site id assignments are saturating and permanent)
+//! or is demoted to gen-0 semantics (no decision published for it). That
+//! invariant is what `tests/prop_governor.rs` checks under arbitrary
+//! fault plans.
+
+/// The degradation states, most to least profiling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum GovernorState {
+    /// Everything on: call-site profiling, stack-state hashing, full
+    /// decision publication.
+    Full,
+    /// Call-site profiling shed (all deltas zeroed, conflict resolution
+    /// frozen at detection-only); contexts keep site id + current TSS.
+    Reduced,
+    /// Stack-state hashing off: contexts are site-id-only (TSS forced to
+    /// 0), so conflicted sites collapse to their site row.
+    SitesOnly,
+    /// Profiling off: the decision store publishes an all-gen-0 (empty)
+    /// table and the allocation fast path degenerates to one branch.
+    Off,
+}
+
+impl GovernorState {
+    /// Stable label used in trace events and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            GovernorState::Full => "full",
+            GovernorState::Reduced => "reduced",
+            GovernorState::SitesOnly => "sites-only",
+            GovernorState::Off => "off",
+        }
+    }
+
+    /// One step more degraded (saturates at `Off`).
+    fn degraded(self) -> GovernorState {
+        match self {
+            GovernorState::Full => GovernorState::Reduced,
+            GovernorState::Reduced => GovernorState::SitesOnly,
+            _ => GovernorState::Off,
+        }
+    }
+
+    /// One step less degraded (saturates at `Full`).
+    fn recovered(self) -> GovernorState {
+        match self {
+            GovernorState::Off => GovernorState::SitesOnly,
+            GovernorState::SitesOnly => GovernorState::Reduced,
+            _ => GovernorState::Full,
+        }
+    }
+}
+
+/// Per-epoch budgets and hysteresis.
+#[derive(Debug, Clone)]
+pub struct GovernorConfig {
+    /// Record-path events (profiled allocations + survivor records +
+    /// injected synthetics) allowed per inference epoch.
+    pub max_record_events_per_epoch: u64,
+    /// OLD-table footprint allowed, in bytes (§7.5 accounting).
+    pub max_table_bytes: u64,
+    /// Estimated call-site-profiling overhead allowed per epoch, in
+    /// simulated nanoseconds (`rolp_vm::cost` slow-branch pricing).
+    pub max_call_overhead_ns_per_epoch: u64,
+    /// Consecutive under-budget epochs before climbing back one state.
+    pub calm_epochs_to_recover: u32,
+    /// State to start in (`Full` normally; tests force `Off` to compare
+    /// against a profiler-disabled run bit-for-bit).
+    pub start_state: GovernorState,
+}
+
+impl Default for GovernorConfig {
+    fn default() -> Self {
+        GovernorConfig {
+            // Generous: a healthy run (fig. 8 scale) stays well under
+            // these, so the governed bench row tracks the plain ROLP row.
+            max_record_events_per_epoch: 2_000_000,
+            max_table_bytes: 8 << 20,
+            max_call_overhead_ns_per_epoch: 50_000_000,
+            calm_epochs_to_recover: 2,
+            start_state: GovernorState::Full,
+        }
+    }
+}
+
+/// What one inference epoch cost, measured by the profiler.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EpochCost {
+    /// Record-path events charged to the epoch.
+    pub record_events: u64,
+    /// OLD-table footprint at evaluation time, in bytes.
+    pub table_bytes: u64,
+    /// Estimated call-site-profiling overhead for the epoch, in ns.
+    pub call_overhead_ns: u64,
+}
+
+/// A state change the profiler must apply and trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GovernorTransition {
+    /// State before.
+    pub from: GovernorState,
+    /// State after.
+    pub to: GovernorState,
+    /// `record-budget` / `table-budget` / `call-budget` on degradation,
+    /// `recovered` on hysteresis climb-back.
+    pub reason: &'static str,
+}
+
+/// The budget-tracking state machine.
+#[derive(Debug, Clone)]
+pub struct Governor {
+    config: GovernorConfig,
+    state: GovernorState,
+    calm_epochs: u32,
+    transitions: u64,
+}
+
+impl Governor {
+    /// A governor starting in `config.start_state`.
+    pub fn new(config: GovernorConfig) -> Self {
+        let state = config.start_state;
+        Governor { config, state, calm_epochs: 0, transitions: 0 }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> GovernorState {
+        self.state
+    }
+
+    /// Transitions taken so far.
+    pub fn transitions(&self) -> u64 {
+        self.transitions
+    }
+
+    /// The first budget `cost` exceeds, if any.
+    fn tripped_budget(&self, cost: &EpochCost) -> Option<&'static str> {
+        if cost.record_events > self.config.max_record_events_per_epoch {
+            Some("record-budget")
+        } else if cost.table_bytes > self.config.max_table_bytes {
+            Some("table-budget")
+        } else if cost.call_overhead_ns > self.config.max_call_overhead_ns_per_epoch {
+            Some("call-budget")
+        } else {
+            None
+        }
+    }
+
+    /// Feeds one epoch's cost; returns the transition to apply, if the
+    /// state changed. Over budget: degrade one step immediately (and
+    /// reset the calm streak). Under budget: count a calm epoch and climb
+    /// one step back once the hysteresis threshold is met.
+    pub fn evaluate(&mut self, cost: &EpochCost) -> Option<GovernorTransition> {
+        let from = self.state;
+        match self.tripped_budget(cost) {
+            Some(reason) => {
+                self.calm_epochs = 0;
+                let to = from.degraded();
+                if to == from {
+                    return None;
+                }
+                self.state = to;
+                self.transitions += 1;
+                Some(GovernorTransition { from, to, reason })
+            }
+            None => {
+                if from == GovernorState::Full {
+                    return None;
+                }
+                self.calm_epochs += 1;
+                if self.calm_epochs < self.config.calm_epochs_to_recover {
+                    return None;
+                }
+                self.calm_epochs = 0;
+                let to = from.recovered();
+                self.state = to;
+                self.transitions += 1;
+                Some(GovernorTransition { from, to, reason: "recovered" })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tight() -> GovernorConfig {
+        GovernorConfig {
+            max_record_events_per_epoch: 100,
+            max_table_bytes: 1 << 20,
+            max_call_overhead_ns_per_epoch: 1_000,
+            calm_epochs_to_recover: 2,
+            start_state: GovernorState::Full,
+        }
+    }
+
+    fn hot() -> EpochCost {
+        EpochCost { record_events: 1_000, table_bytes: 0, call_overhead_ns: 0 }
+    }
+
+    fn calm() -> EpochCost {
+        EpochCost::default()
+    }
+
+    #[test]
+    fn degrades_one_step_per_hot_epoch_and_saturates_at_off() {
+        let mut g = Governor::new(tight());
+        let t1 = g.evaluate(&hot()).unwrap();
+        assert_eq!(
+            (t1.from, t1.to, t1.reason),
+            (GovernorState::Full, GovernorState::Reduced, "record-budget")
+        );
+        assert_eq!(g.evaluate(&hot()).unwrap().to, GovernorState::SitesOnly);
+        assert_eq!(g.evaluate(&hot()).unwrap().to, GovernorState::Off);
+        assert_eq!(g.evaluate(&hot()), None, "already Off");
+        assert_eq!(g.state(), GovernorState::Off);
+        assert_eq!(g.transitions(), 3);
+    }
+
+    #[test]
+    fn each_budget_reports_its_own_reason() {
+        let mut g = Governor::new(tight());
+        let t = g.evaluate(&EpochCost { table_bytes: 2 << 20, ..Default::default() }).unwrap();
+        assert_eq!(t.reason, "table-budget");
+        let t = g.evaluate(&EpochCost { call_overhead_ns: 2_000, ..Default::default() }).unwrap();
+        assert_eq!(t.reason, "call-budget");
+    }
+
+    #[test]
+    fn hysteresis_requires_consecutive_calm_epochs() {
+        let mut g = Governor::new(tight());
+        g.evaluate(&hot());
+        g.evaluate(&hot());
+        assert_eq!(g.state(), GovernorState::SitesOnly);
+        assert_eq!(g.evaluate(&calm()), None, "one calm epoch is not enough");
+        // A hot epoch resets the streak (and degrades further).
+        assert_eq!(g.evaluate(&hot()).unwrap().to, GovernorState::Off);
+        assert_eq!(g.evaluate(&calm()), None);
+        let t = g.evaluate(&calm()).unwrap();
+        assert_eq!(
+            (t.from, t.to, t.reason),
+            (GovernorState::Off, GovernorState::SitesOnly, "recovered")
+        );
+        // Full recovery takes two more calm pairs.
+        g.evaluate(&calm());
+        assert_eq!(g.evaluate(&calm()).unwrap().to, GovernorState::Reduced);
+        g.evaluate(&calm());
+        assert_eq!(g.evaluate(&calm()).unwrap().to, GovernorState::Full);
+        assert_eq!(g.evaluate(&calm()), None, "Full and calm: steady state");
+    }
+
+    #[test]
+    fn forced_off_start_state_stays_off_while_hot() {
+        let mut g = Governor::new(GovernorConfig {
+            start_state: GovernorState::Off,
+            max_record_events_per_epoch: 0,
+            max_table_bytes: 0,
+            max_call_overhead_ns_per_epoch: 0,
+            ..tight()
+        });
+        assert_eq!(g.state(), GovernorState::Off);
+        // Zero budgets: any nonzero cost keeps it pinned.
+        assert_eq!(g.evaluate(&EpochCost { record_events: 1, ..Default::default() }), None);
+        assert_eq!(g.state(), GovernorState::Off);
+    }
+}

@@ -25,6 +25,8 @@
 //! - [`conflicts`] — the call-site-enabling conflict resolver (§5).
 //! - [`filters`] — package filters (§7.3).
 //! - [`survivor`] — survivor-tracking shutdown (§7.4).
+//! - [`governor`] — the overhead governor: graceful degradation when a
+//!   profiling budget blows (Full → Reduced → SitesOnly → Off).
 //! - [`profiler`] — the assembled profiler (§3, §6, §7).
 //! - [`leak`] — the leak-detection use-case (§2.2).
 //! - [`runtime`] — the five evaluated runtime configurations (§8).
@@ -71,6 +73,7 @@ pub mod conflicts;
 pub mod context;
 pub mod filters;
 pub mod geometry;
+pub mod governor;
 pub mod inference;
 pub mod leak;
 pub mod offline;
@@ -88,6 +91,7 @@ pub use conflicts::{
 };
 pub use filters::PackageFilters;
 pub use geometry::{LifetimeTable, TableGeometry, FULL_SCALE_ROWS};
+pub use governor::{EpochCost, Governor, GovernorConfig, GovernorState, GovernorTransition};
 pub use inference::{classify_row, find_peaks, infer, InferenceOutcome, RowVerdict};
 pub use leak::{LeakReport, LeakSuspect};
 pub use offline::{DecisionProfile, ProfileEntry, ProfileParseError};

@@ -45,10 +45,13 @@ use rolp_vm::{
     VmProfiler,
 };
 
+use rolp_faults::{CycleFaults, FaultInjector, FaultPlan};
+
 use crate::conflicts::{ConflictConfig, ConflictResolver, ConflictStats};
 use crate::context::pack;
 use crate::filters::PackageFilters;
 use crate::geometry::LifetimeTable;
+use crate::governor::{EpochCost, Governor, GovernorConfig, GovernorState};
 use crate::inference::{infer, InferenceOutcome};
 use crate::old_table::{OldTable, WorkerTable};
 use crate::shared_table::SharedOldTable;
@@ -98,6 +101,12 @@ pub struct RolpConfig {
     /// GC worker count — one private [`WorkerTable`] each (§5.2, §7.6),
     /// merged deterministically at the safepoint ending every pause.
     pub gc_workers: usize,
+    /// Overhead governor (`None` = ungoverned: the pre-governor behavior,
+    /// bit for bit). See [`crate::governor`].
+    pub governor: Option<GovernorConfig>,
+    /// Deterministic fault-injection plan (`None` = no injection). See
+    /// [`rolp_faults`].
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for RolpConfig {
@@ -113,6 +122,8 @@ impl Default for RolpConfig {
             offline_profile: None,
             seed: 0x0517,
             gc_workers: 4,
+            governor: None,
+            fault_plan: None,
         }
     }
 }
@@ -154,6 +165,18 @@ pub struct RolpStats {
     pub survivor_shutdowns: u64,
     /// Times survivor tracking was turned back on.
     pub survivor_reactivations: u64,
+    /// Governor state label (`None` when running ungoverned).
+    pub governor_state: Option<&'static str>,
+    /// Governor state transitions taken.
+    pub governor_transitions: u64,
+    /// Profile-id requests refused after the 16-bit id space saturated.
+    pub profile_id_overflows: u64,
+    /// Synthetic record-path events charged by the fault injector.
+    pub injected_fault_events: u64,
+    /// Survivor records discarded by injected merge drops.
+    pub dropped_merge_records: u64,
+    /// Safepoint merges postponed by injected merge delays.
+    pub delayed_merges: u64,
 }
 
 /// The OLD-table backend a runtime-assembled profiler runs on: the
@@ -244,7 +267,27 @@ pub struct RolpProfiler<T: LifetimeTable = OldTable> {
     /// Offline-profile generations awaiting their site's JIT compilation.
     pending_offline: Option<HashMap<AllocSiteId, u8>>,
     max_profile_id: u16,
+    /// The overhead governor, if configured.
+    governor: Option<Governor>,
+    /// The fault injector, if a plan is configured.
+    faults: Option<FaultInjector>,
+    /// Sticky adversarial TSS forced by a `TssCollision` fault.
+    fault_tss: Option<u16>,
+    // Governor state effects, cached as flags for the hot hooks.
+    /// `Reduced` and below: call-site profiling shed, resolver frozen.
+    call_shed: bool,
+    /// `SitesOnly` and below: stack-state hashing off (TSS forced to 0).
+    strip_tss: bool,
+    /// `Off`: nothing recorded; the store publishes the all-gen-0 table.
+    profiling_off: bool,
     // counters
+    governor_transitions: u64,
+    injected_records: u64,
+    dropped_merge_records: u64,
+    delayed_merges: u64,
+    // epoch bases for the governor's per-epoch cost deltas
+    epoch_record_base: u64,
+    epoch_invocation_base: u64,
     profiled_allocations: u64,
     unprofiled_allocations: u64,
     survivor_records: u64,
@@ -281,6 +324,11 @@ impl<T: LifetimeTable> RolpProfiler<T> {
             geometry.site_rows(),
             geometry.tss_rows(),
         ));
+        let governor = config.governor.clone().map(Governor::new);
+        let faults = config.fault_plan.clone().map(FaultInjector::new);
+        // A forced start state (tests, CLI overrides) must gate the hooks
+        // from the very first allocation, not the first transition.
+        let start = governor.as_ref().map(|g| g.state()).unwrap_or(GovernorState::Full);
         RolpProfiler {
             config,
             old: table,
@@ -293,6 +341,18 @@ impl<T: LifetimeTable> RolpProfiler<T> {
             liveness_history: std::collections::VecDeque::new(),
             pending_offline: None,
             max_profile_id: 0,
+            governor,
+            faults,
+            fault_tss: None,
+            call_shed: start != GovernorState::Full,
+            strip_tss: matches!(start, GovernorState::SitesOnly | GovernorState::Off),
+            profiling_off: start == GovernorState::Off,
+            governor_transitions: 0,
+            injected_records: 0,
+            dropped_merge_records: 0,
+            delayed_merges: 0,
+            epoch_record_base: 0,
+            epoch_invocation_base: 0,
             profiled_allocations: 0,
             unprofiled_allocations: 0,
             survivor_records: 0,
@@ -353,7 +413,44 @@ impl<T: LifetimeTable> RolpProfiler<T> {
             demotions: self.demotions,
             survivor_shutdowns: self.survivor.shutdowns,
             survivor_reactivations: self.survivor.reactivations,
+            governor_state: self.governor.as_ref().map(|g| g.state().label()),
+            governor_transitions: self.governor_transitions,
+            profile_id_overflows: jit.profile_id_overflows(),
+            injected_fault_events: self.injected_records,
+            dropped_merge_records: self.dropped_merge_records,
+            delayed_merges: self.delayed_merges,
         }
+    }
+
+    /// Current governor state (`None` when running ungoverned).
+    pub fn governor_state(&self) -> Option<GovernorState> {
+        self.governor.as_ref().map(|g| g.state())
+    }
+
+    /// Applies the hook-side effects of a governor state, in order of
+    /// severity: shed (or restore) call-site profiling, strip TSS, gate
+    /// the allocation fast path. Idempotent per state.
+    fn apply_governor_state(&mut self, env: &mut VmEnv, to: GovernorState) {
+        let shed = to != GovernorState::Full;
+        if shed && !self.call_shed {
+            // Reduced entry: zero every call-site delta. The resolver's
+            // frozen/probing sets are preserved untouched and re-applied
+            // verbatim on recovery, so conflicted contexts keep their
+            // meaning while shed.
+            let program = std::rc::Rc::clone(&env.program);
+            for cs in program.call_sites() {
+                env.jit.disable_call_profiling(cs);
+            }
+        } else if !shed && self.call_shed {
+            // Full recovery: restore exactly the deltas the resolver owns.
+            self.resolver.reapply_to_jit(&mut env.jit);
+        }
+        self.call_shed = shed;
+        self.strip_tss = matches!(to, GovernorState::SitesOnly | GovernorState::Off);
+        self.profiling_off = to == GovernorState::Off;
+        // In `Off` the JIT patches the profiling instructions out: the
+        // mutator fast path is one branch (`alloc_profiling_enabled`).
+        env.jit.set_alloc_profiling(!self.profiling_off);
     }
 
     /// Pipeline stage 3 (§4): classify every touched row.
@@ -368,7 +465,7 @@ impl<T: LifetimeTable> RolpProfiler<T> {
         for &site in &outcome.new_conflicts {
             self.old.expand_site(site);
         }
-        if self.config.level == ProfilingLevel::Real {
+        if self.config.level == ProfilingLevel::Real && !self.call_shed {
             let program = std::rc::Rc::clone(&env.program);
             self.resolver.on_inference(
                 &program,
@@ -377,7 +474,9 @@ impl<T: LifetimeTable> RolpProfiler<T> {
                 &outcome.unresolved_conflicts,
             );
         } else {
-            // Other levels only count conflicts; no resolution.
+            // Other levels — and a governor-`Reduced` profiler, whose
+            // call-site profiling is shed — only count conflicts; no
+            // resolution.
             self.resolver.note_detected_only(&outcome.new_conflicts);
         }
 
@@ -427,11 +526,55 @@ impl<T: LifetimeTable> RolpProfiler<T> {
         let mut new_conflicts = 0u64;
         let mut unresolved_conflicts = 0u64;
 
+        // Governor: meter the closing epoch and apply any state change
+        // before the pipeline stages run, so a blown budget degrades this
+        // epoch's publication, not the next one's.
+        if self.governor.is_some() {
+            let record_total =
+                self.profiled_allocations + self.survivor_records + self.injected_records;
+            let invocations = env.jit.total_invocations();
+            let cost = EpochCost {
+                record_events: record_total - self.epoch_record_base,
+                table_bytes: self.old.memory_bytes(),
+                // Estimate: each invocation crosses call sites in
+                // proportion to the enabled fraction; an enabled crossing
+                // costs the slow branch twice (enter + exit).
+                call_overhead_ns: {
+                    let delta = invocations - self.epoch_invocation_base;
+                    let enabled = env.jit.enabled_call_sites() as u64;
+                    let total = env.program.num_call_sites().max(1) as u64;
+                    2 * env.cost.profile_call_slow_ns * enabled * delta / total
+                },
+            };
+            self.epoch_record_base = record_total;
+            self.epoch_invocation_base = invocations;
+            let transition = self.governor.as_mut().and_then(|g| g.evaluate(&cost));
+            if let Some(tr) = transition {
+                self.apply_governor_state(env, tr.to);
+                self.governor_transitions += 1;
+                if tracing {
+                    env.trace.emit_global(
+                        env.clock.now(),
+                        rolp_trace::EventKind::GovernorTransition {
+                            from: tr.from.label(),
+                            to: tr.to.label(),
+                            reason: tr.reason,
+                            record_events: cost.record_events,
+                            table_bytes: cost.table_bytes,
+                            call_overhead_ns: cost.call_overhead_ns,
+                        },
+                    );
+                }
+            }
+        }
+        let off = self.profiling_off;
+
         // With survivor tracking off (§7.4), the window's table holds only
         // age-0 allocation counts — no lifetime information. Decisions are
         // left frozen (the workload was judged stable) and conflict
         // machinery idles; only the pause-growth reactivation check runs.
-        let tracking_active = self.survivor.enabled() || !self.config.survivor_shutdown;
+        // A governor-`Off` profiler skips the learning stages outright.
+        let tracking_active = !off && (self.survivor.enabled() || !self.config.survivor_shutdown);
 
         if tracking_active {
             let outcome = self.stage_infer();
@@ -445,6 +588,7 @@ impl<T: LifetimeTable> RolpProfiler<T> {
         // while a conflict is still being resolved — the resolver needs
         // age data to judge its probing batches.
         if self.config.survivor_shutdown
+            && !off
             && !self.decisions.is_empty()
             && self.resolver.open_conflicts() == 0
         {
@@ -461,7 +605,21 @@ impl<T: LifetimeTable> RolpProfiler<T> {
         self.window_pause_ms = 0.0;
         self.window_pauses = 0;
 
-        let (version, changed_rows) = self.stage_publish();
+        let (version, changed_rows) = if off {
+            // `Off` publishes the all-gen-0 (empty) table: every context
+            // falls back to NG2C's unprofiled semantics. The working set
+            // is retained untouched for recovery — contexts are demoted,
+            // never remapped.
+            let next = DecisionTable::next_from(
+                self.store.load(),
+                &BTreeMap::new(),
+                std::iter::empty::<u16>(),
+            );
+            let changed = next.changed_rows();
+            (self.store.publish(next), changed)
+        } else {
+            self.stage_publish()
+        };
 
         if tracing {
             use rolp_trace::EventKind;
@@ -517,6 +675,10 @@ impl<T: LifetimeTable> RolpProfiler<T> {
 
 impl<T: LifetimeTable> VmProfiler for RolpProfiler<T> {
     fn on_jit_compile(&mut self, program: &Program, jit: &mut JitState, method: MethodId) {
+        // Keep the JIT's allocation-profiling gate in sync with the
+        // governor state (idempotent; covers an `Off` start state before
+        // the first transition ever fires).
+        jit.set_alloc_profiling(!self.profiling_off);
         // Resolve the offline profile against the program once.
         if self.pending_offline.is_none() {
             self.pending_offline = Some(
@@ -550,7 +712,7 @@ impl<T: LifetimeTable> VmProfiler for RolpProfiler<T> {
             // the next inference epoch.
             self.stage_publish();
         }
-        if self.config.level == ProfilingLevel::SlowCallProfiling {
+        if self.config.level == ProfilingLevel::SlowCallProfiling && !self.call_shed {
             for &cs in program.call_sites_of(method) {
                 jit.enable_call_profiling(cs);
             }
@@ -558,9 +720,18 @@ impl<T: LifetimeTable> VmProfiler for RolpProfiler<T> {
     }
 
     fn on_alloc(&mut self, site_profile_id: u16, tss: u16, _thread: ThreadId) -> u32 {
+        // `SitesOnly` and below: stack-state hashing is off, contexts are
+        // site-id-only. A `TssCollision` fault instead forces every
+        // context into one adversarial TSS row.
+        let tss = if self.strip_tss { 0 } else { self.fault_tss.unwrap_or(tss) };
         let context = pack(site_profile_id, tss);
-        self.old.record_allocation(context);
-        self.profiled_allocations += 1;
+        // `Off` normally never reaches here (the JIT gate patches the
+        // profiling instructions out); direct-driven calls still must not
+        // feed the table.
+        if !self.profiling_off {
+            self.old.record_allocation(context);
+            self.profiled_allocations += 1;
+        }
         context
     }
 
@@ -590,6 +761,11 @@ impl<T: LifetimeTable> GcHooks for RolpProfiler<T> {
         if !from.is_young() {
             return;
         }
+        // Governor `Off`: the window's survivals carry no usable signal
+        // (nothing was recorded at allocation), so skip the table work.
+        if self.profiling_off {
+            return;
+        }
         // Biased-locked objects and corrupted contexts are discarded
         // (§3.2.2).
         let Some(context) = header.allocation_context() else {
@@ -611,26 +787,64 @@ impl<T: LifetimeTable> GcHooks for RolpProfiler<T> {
     }
 
     fn on_gc_end(&mut self, env: &mut VmEnv, info: &GcCycleInfo) {
+        // Fault injection (deterministic, seedable): applied at the
+        // safepoint, before the merge, so every injected record is part of
+        // the same epoch a real record of that cycle would land in.
+        let cycle_faults = match self.faults.as_mut() {
+            Some(f) => f.on_cycle(info.cycle),
+            None => CycleFaults::default(),
+        };
+        if cycle_faults.exhaust_site_ids {
+            env.jit.force_profile_id_exhaustion();
+        }
+        if cycle_faults.forced_tss.is_some() {
+            self.fault_tss = cycle_faults.forced_tss;
+        }
+        for &ctx in &cycle_faults.flood_contexts {
+            if !self.profiling_off {
+                self.old.record_allocation(ctx);
+            }
+        }
+        // Floods and bursts charge the governor's record budget whether or
+        // not profiling is currently off — sustained pressure must keep a
+        // degraded profiler degraded.
+        self.injected_records +=
+            cycle_faults.flood_contexts.len() as u64 + cycle_faults.burst_events;
+
         // Pipeline stage 2 (§7.6): merge the GC workers' private tables at
         // the safepoint, sorted by (context, age) so the end-state is
-        // independent of how survivor work was split across workers.
-        let merge = crate::old_table::merge_worker_tables(&mut self.workers, &mut self.old);
-        if env.trace.is_enabled() && merge.total > 0 {
-            // Per-worker record counts, workers ≥ 8 folded into the last
-            // slot (the event payload is fixed-size).
-            let mut records = [0u64; 8];
-            for (w, &n) in merge.per_worker.iter().enumerate() {
-                records[w.min(7)] += n;
+        // independent of how survivor work was split across workers. A
+        // `drop-merge` fault discards the workers' records instead; a
+        // `delay-merge` fault leaves them buffered until the next cycle.
+        let merge = if cycle_faults.drop_merge {
+            let mut discard = OldTable::new();
+            let dropped = crate::old_table::merge_worker_tables(&mut self.workers, &mut discard);
+            self.dropped_merge_records += dropped.total;
+            None
+        } else if cycle_faults.delay_merge {
+            self.delayed_merges += 1;
+            None
+        } else {
+            Some(crate::old_table::merge_worker_tables(&mut self.workers, &mut self.old))
+        };
+        if let Some(merge) = &merge {
+            if env.trace.is_enabled() && merge.total > 0 {
+                // Per-worker record counts, workers ≥ 8 folded into the
+                // last slot (the event payload is fixed-size).
+                let mut records = [0u64; 8];
+                for (w, &n) in merge.per_worker.iter().enumerate() {
+                    records[w.min(7)] += n;
+                }
+                env.trace.emit_global(
+                    env.clock.now(),
+                    rolp_trace::EventKind::OldTableMerge {
+                        cycle: info.cycle,
+                        workers: merge.per_worker.len() as u32,
+                        records,
+                        total_records: merge.total,
+                    },
+                );
             }
-            env.trace.emit_global(
-                env.clock.now(),
-                rolp_trace::EventKind::OldTableMerge {
-                    cycle: info.cycle,
-                    workers: merge.per_worker.len() as u32,
-                    records,
-                    total_records: merge.total,
-                },
-            );
         }
 
         // §7.2.3: verify/repair every thread's stack state against the
@@ -889,6 +1103,122 @@ mod tests {
         let stats = p.stats(&program, &env.jit);
         assert_eq!(stats.survivor_shutdowns, 1);
         assert!(stats.decisions > 0, "frozen decisions survive the shutdown");
+    }
+
+    fn tight_governor() -> GovernorConfig {
+        GovernorConfig {
+            max_record_events_per_epoch: 10,
+            calm_epochs_to_recover: 2,
+            ..Default::default()
+        }
+    }
+
+    /// One hot epoch: 20 allocations surviving twice per cycle.
+    fn drive_hot_epoch(
+        p: &mut RolpProfiler,
+        env: &mut VmEnv,
+        cycles: std::ops::RangeInclusive<u64>,
+    ) {
+        for cycle in cycles {
+            for _ in 0..20 {
+                let ctx = p.on_alloc(1, 0, ThreadId(0));
+                let h = ObjectHeader::new(1).with_allocation_context(ctx);
+                p.on_survivor(h, RegionKind::Eden, 0);
+                p.on_survivor(h.with_age(1), RegionKind::Eden, 1);
+            }
+            p.on_gc_end(env, &cycle_info(cycle));
+        }
+    }
+
+    #[test]
+    fn governor_degrades_to_off_then_recovers_without_remapping() {
+        let (mut env, m, _site) = env_with_program();
+        let program = std::rc::Rc::clone(&env.program);
+        let mut p = RolpProfiler::new(RolpConfig {
+            governor: Some(tight_governor()),
+            survivor_shutdown: false,
+            ..Default::default()
+        });
+        p.on_jit_compile(&program, &mut env.jit, m);
+
+        // Epoch 1 learns the decision *and* blows the record budget.
+        drive_hot_epoch(&mut p, &mut env, 1..=16);
+        assert_eq!(p.governor_state(), Some(GovernorState::Reduced));
+        assert_eq!(p.advise(pack(1, 0)), Some(2), "decision published before degrading further");
+
+        // Two more hot epochs walk the machine down to Off.
+        drive_hot_epoch(&mut p, &mut env, 17..=48);
+        assert_eq!(p.governor_state(), Some(GovernorState::Off));
+        assert!(!env.jit.alloc_profiling_enabled(), "fast path gated in Off");
+        assert_eq!(p.advise(pack(1, 0)), None, "Off publishes the all-gen-0 table");
+        assert!(!p.decisions().is_empty(), "working set retained for recovery");
+
+        // Calm epochs: hysteresis climbs back and republishes the same
+        // decision — the context was demoted, never remapped.
+        for cycle in 49..=80u64 {
+            p.on_gc_end(&mut env, &cycle_info(cycle));
+        }
+        assert!(p.governor_state() < Some(GovernorState::Off));
+        assert!(env.jit.alloc_profiling_enabled());
+        assert_eq!(p.advise(pack(1, 0)), Some(2), "same decision back after recovery");
+        let stats = p.stats(&program, &env.jit);
+        assert!(stats.governor_transitions >= 4);
+        assert_eq!(stats.governor_state, Some(p.governor_state().unwrap().label()));
+    }
+
+    #[test]
+    fn sites_only_state_strips_the_stack_state_hash() {
+        let (_env, _m, _site) = env_with_program();
+        let mut p = RolpProfiler::new(RolpConfig {
+            governor: Some(GovernorConfig {
+                start_state: GovernorState::SitesOnly,
+                ..Default::default()
+            }),
+            ..Default::default()
+        });
+        assert_eq!(p.on_alloc(7, 0x1234, ThreadId(0)), pack(7, 0), "TSS forced to 0");
+    }
+
+    #[test]
+    fn fault_plan_forces_id_exhaustion_and_tss_collisions() {
+        use rolp_faults::{FaultKind, FaultPlan};
+        let (mut env, m, _site) = env_with_program();
+        let program = std::rc::Rc::clone(&env.program);
+        let mut p = RolpProfiler::new(RolpConfig {
+            fault_plan: Some(FaultPlan {
+                name: "test".into(),
+                seed: 1,
+                faults: vec![
+                    FaultKind::SiteIdExhaustion { at_cycle: 1 },
+                    FaultKind::TssCollision { from_cycle: 2, tss: 0xAA },
+                ],
+            }),
+            ..Default::default()
+        });
+        p.on_jit_compile(&program, &mut env.jit, m);
+        p.on_gc_end(&mut env, &cycle_info(1));
+        assert!(env.jit.profile_ids_exhausted());
+        p.on_gc_end(&mut env, &cycle_info(2));
+        assert_eq!(p.on_alloc(1, 0x5555, ThreadId(0)), pack(1, 0xAA), "collided TSS is sticky");
+    }
+
+    #[test]
+    fn merge_chaos_drops_and_delays_without_panicking() {
+        use rolp_faults::FaultPlan;
+        let (mut env, m, _site) = env_with_program();
+        let program = std::rc::Rc::clone(&env.program);
+        let mut p = RolpProfiler::new(RolpConfig {
+            fault_plan: Some(FaultPlan::named("merge-chaos").unwrap()),
+            governor: Some(GovernorConfig::default()),
+            ..Default::default()
+        });
+        p.on_jit_compile(&program, &mut env.jit, m);
+        drive_hot_epoch(&mut p, &mut env, 1..=64);
+        let stats = p.stats(&program, &env.jit);
+        assert!(stats.dropped_merge_records > 0, "drop-merge%3 fired");
+        assert!(stats.delayed_merges > 0, "delay-merge%5 fired");
+        assert!(stats.injected_fault_events > 0, "burst charged the record budget");
+        assert!(stats.governor_state.is_some());
     }
 
     #[test]

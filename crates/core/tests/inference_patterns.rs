@@ -122,6 +122,124 @@ fn expansion_separates_the_factory_modes() {
     assert!(out2.decisions.iter().any(|&(k, g)| k == path_b && (7..=9).contains(&g)));
 }
 
+/// A program with one hot caller and `n` profilable call sites, jitted so
+/// the resolver has something to probe.
+fn probe_world(n: usize) -> (std::rc::Rc<rolp_vm::Program>, rolp_vm::JitState) {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut b = rolp_vm::ProgramBuilder::new();
+    let caller = b.method("app.Main::run", 500, false);
+    for i in 0..n {
+        let callee = b.method(format!("app.W{i}::go"), 200, false);
+        b.call_site(caller, callee);
+    }
+    let program = std::rc::Rc::new(b.build());
+    let mut jit = rolp_vm::JitState::new(
+        &program,
+        rolp_vm::JitConfig { compile_threshold: 1, ..Default::default() },
+    );
+    jit.note_entry(&program, caller, &mut StdRng::seed_from_u64(1));
+    (program, jit)
+}
+
+#[test]
+fn shrink_back_converges_to_a_minimal_set_end_to_end() {
+    // Section 5 end to end: conflict detected *by inference on real age
+    // histograms*, probed, separated by TSS tracking, then shrunk back
+    // until only a minimal distinguishing set stays enabled.
+    use rolp::{ConflictConfig, ConflictResolver};
+
+    let (program, mut jit) = probe_world(12);
+    let mut resolver = ConflictResolver::new(ConflictConfig::default(), 42);
+    let mut t = OldTable::new();
+    let site = 7u16;
+
+    // Epoch 1: the merged row is bimodal — inference reports a conflict
+    // and the resolver enables a probing batch.
+    cohort(&mut t, (site as u32) << 16, 300, 0);
+    cohort(&mut t, (site as u32) << 16, 300, 8);
+    let out = infer(&t);
+    assert_eq!(out.new_conflicts, vec![site]);
+    t.expand_site(site);
+    resolver.on_inference(&program, &mut jit, &out.new_conflicts, &out.unresolved_conflicts);
+    let batch = jit.enabled_call_sites();
+    assert!(batch >= 2, "probing batch enabled, got {batch}");
+
+    // Epoch 2: with tracking on, the paths separate into unimodal
+    // sub-rows — resolved, so the resolver starts halving the batch.
+    t.clear_counts();
+    let path_a = ((site as u32) << 16) | 0x00AA;
+    let path_b = ((site as u32) << 16) | 0x00BB;
+    cohort(&mut t, path_a, 300, 0);
+    cohort(&mut t, path_b, 300, 8);
+    let out = infer(&t);
+    assert!(out.new_conflicts.is_empty() && out.unresolved_conflicts.is_empty());
+    resolver.on_inference(&program, &mut jit, &out.new_conflicts, &out.unresolved_conflicts);
+    assert!(jit.enabled_call_sites() < batch, "shrink-back disabled half the batch");
+
+    // Later epochs: the separation persists, so the batch halves away to
+    // a minimal frozen set and the conflict closes.
+    for _ in 0..8 {
+        t.clear_counts();
+        cohort(&mut t, path_a, 300, 0);
+        cohort(&mut t, path_b, 300, 8);
+        let out = infer(&t);
+        resolver.on_inference(&program, &mut jit, &out.new_conflicts, &out.unresolved_conflicts);
+    }
+    let stats = resolver.stats();
+    assert_eq!(stats.resolved, 1);
+    assert!(
+        (1..=2).contains(&stats.frozen_sites),
+        "minimal distinguishing set, got {}",
+        stats.frozen_sites
+    );
+    assert_eq!(jit.enabled_call_sites() as u64, stats.frozen_sites, "only S stays enabled");
+    assert_eq!(resolver.open_conflicts(), 0);
+}
+
+#[test]
+fn shrink_back_restores_the_disabled_half_when_separation_degrades() {
+    // The other shrink-back arm: disabling half the batch collapses the
+    // paths onto one TSS row again (the sub-row goes bimodal), so the
+    // half comes back and the whole set freezes.
+    use rolp::{ConflictConfig, ConflictResolver};
+
+    let (program, mut jit) = probe_world(12);
+    let mut resolver = ConflictResolver::new(ConflictConfig::default(), 42);
+    let mut t = OldTable::new();
+    let site = 9u16;
+
+    cohort(&mut t, (site as u32) << 16, 300, 0);
+    cohort(&mut t, (site as u32) << 16, 300, 8);
+    let out = infer(&t);
+    assert_eq!(out.new_conflicts, vec![site]);
+    t.expand_site(site);
+    resolver.on_inference(&program, &mut jit, &out.new_conflicts, &out.unresolved_conflicts);
+    let batch = jit.enabled_call_sites();
+
+    // Resolved once: first shrink step disables half.
+    t.clear_counts();
+    let path_a = ((site as u32) << 16) | 0x00AA;
+    let path_b = ((site as u32) << 16) | 0x00BB;
+    cohort(&mut t, path_a, 300, 0);
+    cohort(&mut t, path_b, 300, 8);
+    let out = infer(&t);
+    resolver.on_inference(&program, &mut jit, &out.new_conflicts, &out.unresolved_conflicts);
+    assert!(jit.enabled_call_sites() < batch);
+
+    // With the half gone the paths land on one sub-row and the histogram
+    // goes bimodal again — inference reports the site unresolved.
+    t.clear_counts();
+    cohort(&mut t, path_a, 300, 0);
+    cohort(&mut t, path_a, 300, 8);
+    let out = infer(&t);
+    assert_eq!(out.unresolved_conflicts, vec![site]);
+    resolver.on_inference(&program, &mut jit, &out.new_conflicts, &out.unresolved_conflicts);
+    assert_eq!(jit.enabled_call_sites(), batch, "the disabled half came back");
+    assert_eq!(resolver.stats().frozen_sites as usize, batch);
+    assert_eq!(resolver.open_conflicts(), 0);
+}
+
 #[test]
 fn inference_is_idempotent_on_an_unchanged_table() {
     let mut t = OldTable::new();

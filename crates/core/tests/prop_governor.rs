@@ -1,0 +1,197 @@
+//! Property tests for the overhead governor under arbitrary fault plans.
+//!
+//! Two guarantees (DESIGN.md §13):
+//!
+//! 1. **Degradation never remaps a context.** Whatever the governor sheds,
+//!    a surviving allocation context either keeps its published meaning or
+//!    falls back to gen-0 semantics (no decision) — it is never advised to
+//!    a *different* generation than the working set holds for it.
+//! 2. **`Off` is the disabled profiler, bit for bit.** A governor pinned
+//!    in `Off` produces exactly the run a profiler that matches nothing
+//!    produces: same clock, same pauses, same placement, same watermarks.
+
+use proptest::prelude::*;
+use rolp::context::site_of;
+use rolp::governor::{GovernorConfig, GovernorState};
+use rolp::profiler::{RolpConfig, RolpProfiler};
+use rolp_faults::{FaultKind, FaultPlan};
+use rolp_gc::{GcCycleInfo, GcHooks};
+use rolp_heap::{ObjectHeader, RegionKind};
+use rolp_metrics::{PauseKind, SimTime};
+use rolp_vm::{CostModel, JitConfig, ProgramBuilder, ThreadId, VmEnv, VmProfiler};
+
+fn cycle_info(cycle: u64) -> GcCycleInfo {
+    GcCycleInfo {
+        cycle,
+        kind: PauseKind::Young,
+        bytes_copied: 0,
+        survivors: 0,
+        duration: SimTime::from_millis(5),
+        tenured_fragmentation: 0.0,
+        dynamic_gen_garbage: [0.0; 16],
+    }
+}
+
+fn fault_strategy() -> impl Strategy<Value = FaultKind> {
+    prop_oneof![
+        (1u64..48).prop_map(|at_cycle| FaultKind::SiteIdExhaustion { at_cycle }),
+        (1u64..48, 0u16..u16::MAX)
+            .prop_map(|(from_cycle, tss)| FaultKind::TssCollision { from_cycle, tss }),
+        (1u64..48, 1u32..64).prop_map(|(from_cycle, rows_per_cycle)| FaultKind::RowFlood {
+            from_cycle,
+            rows_per_cycle
+        }),
+        (1u64..32, 1u64..32, 1u64..300_000).prop_map(|(from_cycle, len, events_per_cycle)| {
+            FaultKind::AllocBurst { from_cycle, until_cycle: from_cycle + len, events_per_cycle }
+        }),
+        (1u64..8).prop_map(|every| FaultKind::MergeDrop { every }),
+        (1u64..8).prop_map(|every| FaultKind::MergeDelay { every }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Drive a governed profiler through 64 GC cycles of load under an
+    /// arbitrary fault plan and an arbitrary (possibly hair-trigger)
+    /// record budget. Nothing may panic, the site's profile id may never
+    /// change, and published advice may never contradict the retained
+    /// working set.
+    #[test]
+    fn surviving_contexts_never_change_meaning(
+        seed in 0u64..1_000,
+        faults in prop::collection::vec(fault_strategy(), 0..4),
+        record_budget in prop_oneof![Just(50u64), Just(5_000), Just(2_000_000)],
+    ) {
+        let mut b = ProgramBuilder::new();
+        let m = b.method("app.data.Maker::make", 100, false);
+        let site = b.alloc_site(m, 1);
+        let program = b.build();
+        let heap = rolp_heap::Heap::new(rolp_heap::HeapConfig {
+            region_bytes: 4096,
+            max_heap_bytes: 1 << 20,
+        });
+        let mut env = VmEnv::new(heap, CostModel::default(), program, JitConfig::default(), 1);
+        let program = std::rc::Rc::clone(&env.program);
+
+        let mut p = RolpProfiler::new(RolpConfig {
+            governor: Some(GovernorConfig {
+                max_record_events_per_epoch: record_budget,
+                ..Default::default()
+            }),
+            fault_plan: Some(FaultPlan { name: "prop".into(), seed, faults }),
+            survivor_shutdown: false,
+            ..Default::default()
+        });
+        p.on_jit_compile(&program, &mut env.jit, m);
+        let pid = env.jit.alloc_site(site).profile_id.expect("site gets an id");
+
+        for cycle in 1..=64u64 {
+            for i in 0..8u16 {
+                let ctx = p.on_alloc(pid, i % 2, ThreadId(0));
+                prop_assert_eq!(site_of(ctx), pid, "degradation must not remap the site id");
+                let h = ObjectHeader::new(1).with_allocation_context(ctx);
+                p.on_survivor(h, RegionKind::Eden, 0);
+                p.on_survivor(h.with_age(1), RegionKind::Eden, 1);
+            }
+            p.on_gc_end(&mut env, &cycle_info(cycle));
+        }
+
+        // The saturating id assignment survived whatever was injected.
+        prop_assert_eq!(env.jit.alloc_site(site).profile_id, Some(pid));
+
+        let state = p.governor_state().expect("governed run reports a state");
+        for (&ctx, &gen) in p.decisions() {
+            match p.advise(ctx) {
+                // Demoted to gen-0 semantics: allowed (that's degradation).
+                None => {}
+                // Still published: must mean exactly what the working set
+                // says — never remapped to another generation.
+                Some(g) => prop_assert_eq!(g, gen, "context {:#010x} was remapped", ctx),
+            }
+            if state == GovernorState::Off {
+                prop_assert_eq!(
+                    p.advise(ctx), None,
+                    "Off must publish the all-gen-0 table"
+                );
+            }
+        }
+    }
+}
+
+/// A deterministic synthetic workload through the full runtime: allocate
+/// through a profiled call path, hold a sliding window live so objects
+/// survive collections, release the rest.
+fn run_workload(config: rolp::runtime::RuntimeConfig) -> rolp::runtime::RunReport {
+    use rolp::runtime::JvmRuntime;
+
+    let mut b = ProgramBuilder::new();
+    let main = b.method("app.Main::run", 100, false);
+    let worker = b.method("app.Worker::step", 80, false);
+    let call = b.call_site(main, worker);
+    let site = b.alloc_site(worker, 1);
+    let site2 = b.alloc_site(main, 2);
+    let program = b.build();
+
+    let mut rt = JvmRuntime::new(config, program);
+    let class = rt.vm.env.heap.classes.register("app.Item");
+    let mut ring = std::collections::VecDeque::new();
+    for _ in 0..20_000u64 {
+        let mut ctx = rt.ctx(ThreadId(0));
+        ctx.call(call, |ctx| {
+            let h = ctx.alloc(site, class, 0, 4);
+            ctx.release(h);
+            let held = ctx.alloc(site2, class, 0, 4);
+            ring.push_back(held);
+            if ring.len() > 64 {
+                ctx.release(ring.pop_front().unwrap());
+            }
+            ctx.complete_ops(1);
+        });
+    }
+    rt.report()
+}
+
+/// Guarantee 2: a governor pinned in `Off` (zero budgets, `Off` start
+/// state) is indistinguishable from a profiler whose filters match
+/// nothing — identical clock, pauses, heap watermarks, and throughput.
+#[test]
+fn governor_off_is_bit_for_bit_the_disabled_profiler() {
+    use rolp::runtime::{CollectorKind, RuntimeConfig};
+    use rolp::PackageFilters;
+
+    let base = || RuntimeConfig {
+        collector: CollectorKind::RolpNg2c,
+        heap: rolp_heap::HeapConfig { region_bytes: 4096, max_heap_bytes: 1 << 20 },
+        ..Default::default()
+    };
+
+    let mut governed_cfg = base();
+    governed_cfg.rolp.governor = Some(GovernorConfig {
+        start_state: GovernorState::Off,
+        max_record_events_per_epoch: 0,
+        max_table_bytes: 0,
+        max_call_overhead_ns_per_epoch: 0,
+        calm_epochs_to_recover: 2,
+    });
+    let governed = run_workload(governed_cfg);
+
+    let mut disabled_cfg = base();
+    disabled_cfg.rolp.filters = PackageFilters::include(&["no.such.pkg"]);
+    let disabled = run_workload(disabled_cfg);
+
+    // The governed run really was pinned off the whole time.
+    let stats = governed.rolp.as_ref().expect("rolp stats");
+    assert_eq!(stats.governor_state, Some("off"));
+    assert_eq!(stats.profiled_allocations, 0, "nothing recorded while Off");
+    assert_eq!(stats.decisions, 0);
+
+    // Bit-for-bit run equality.
+    assert_eq!(governed.elapsed, disabled.elapsed, "identical simulated clock");
+    assert_eq!(governed.total_paused, disabled.total_paused, "identical pause time");
+    assert_eq!(governed.ops, disabled.ops);
+    assert_eq!(governed.gc_cycles, disabled.gc_cycles);
+    assert_eq!(governed.pauses, disabled.pauses);
+    assert_eq!(governed.max_used_bytes, disabled.max_used_bytes);
+    assert_eq!(governed.max_committed_bytes, disabled.max_committed_bytes);
+}

@@ -94,6 +94,21 @@ pub fn event_to_json(event: &TraceEvent) -> String {
                 .u64("changed_rows", *changed_rows)
                 .u64("decisions", *decisions);
         }
+        EventKind::GovernorTransition {
+            from,
+            to,
+            reason,
+            record_events,
+            table_bytes,
+            call_overhead_ns,
+        } => {
+            obj.str("from", from)
+                .str("to", to)
+                .str("reason", reason)
+                .u64("record_events", *record_events)
+                .u64("table_bytes", *table_bytes)
+                .u64("call_overhead_ns", *call_overhead_ns);
+        }
     }
     obj.finish()
 }
@@ -135,6 +150,14 @@ fn intern(s: &str) -> &'static str {
         "inferred",
         "demoted",
         "offline",
+        "reduced",
+        "sites-only",
+        "off",
+        "record-budget",
+        "table-budget",
+        "call-budget",
+        "recovered",
+        "forced",
     ];
     for k in KNOWN {
         if *k == s {
@@ -248,6 +271,14 @@ pub fn parse_jsonl(input: &str) -> Result<Vec<TraceEvent>, String> {
                     changed_rows: get_u64(&map, "changed_rows")?,
                     decisions: get_u64(&map, "decisions")?,
                 },
+                "governor_transition" => EventKind::GovernorTransition {
+                    from: get_label(&map, "from")?,
+                    to: get_label(&map, "to")?,
+                    reason: get_label(&map, "reason")?,
+                    record_events: get_u64(&map, "record_events")?,
+                    table_bytes: get_u64(&map, "table_bytes")?,
+                    call_overhead_ns: get_u64(&map, "call_overhead_ns")?,
+                },
                 other => return Err(format!("unknown event type '{other}'")),
             })
         })()
@@ -323,6 +354,7 @@ pub fn to_chrome_trace(events: &[TraceEvent]) -> String {
                     EventKind::SurvivorTracking { .. } => "survivor tracking off",
                     EventKind::OldTableMerge { .. } => "OLD table merge",
                     EventKind::DecisionPublish { .. } => "decision publish",
+                    EventKind::GovernorTransition { .. } => "governor transition",
                     _ => unreachable!("pause and watermark handled above"),
                 };
                 // Strip the envelope fields the JSONL form carries; the
@@ -469,6 +501,19 @@ mod tests {
                 thread: GLOBAL_THREAD,
                 seq: 8,
                 kind: EventKind::DecisionPublish { version: 3, changed_rows: 5, decisions: 17 },
+            },
+            TraceEvent {
+                ts: t(11_000),
+                thread: GLOBAL_THREAD,
+                seq: 9,
+                kind: EventKind::GovernorTransition {
+                    from: "full",
+                    to: "reduced",
+                    reason: "call-budget",
+                    record_events: 120_000,
+                    table_bytes: 4 << 20,
+                    call_overhead_ns: 9_000_000,
+                },
             },
         ]
     }

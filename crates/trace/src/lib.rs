@@ -161,6 +161,23 @@ pub enum EventKind {
         /// Active decisions in the snapshot.
         decisions: u64,
     },
+    /// The overhead governor changed its degradation state.
+    GovernorTransition {
+        /// State before the transition (`full` / `reduced` / `sites-only`
+        /// / `off`).
+        from: &'static str,
+        /// State after the transition.
+        to: &'static str,
+        /// Budget that tripped (`record-budget` / `table-budget` /
+        /// `call-budget`) or `recovered` when pressure subsided.
+        reason: &'static str,
+        /// Record-path events charged to the closing epoch.
+        record_events: u64,
+        /// OLD-table footprint in bytes at evaluation time.
+        table_bytes: u64,
+        /// Estimated call-site-profiling overhead (ns) for the epoch.
+        call_overhead_ns: u64,
+    },
 }
 
 impl EventKind {
@@ -178,6 +195,7 @@ impl EventKind {
             EventKind::SurvivorTracking { .. } => "survivor_tracking",
             EventKind::OldTableMerge { .. } => "old_table_merge",
             EventKind::DecisionPublish { .. } => "decision_publish",
+            EventKind::GovernorTransition { .. } => "governor_transition",
         }
     }
 }

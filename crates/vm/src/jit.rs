@@ -119,6 +119,14 @@ pub struct JitState {
     next_profile_id: u16,
     /// Profile ids exhausted (more than 65 535 hot allocation sites).
     profile_ids_exhausted: bool,
+    /// Requests for a profile id refused after exhaustion (the §7.5
+    /// saturate-and-report discipline: ids are never wrapped or reused).
+    profile_id_overflows: u64,
+    /// Whether the per-allocation profiling instructions are live. The
+    /// degradation governor clears this in its `Off` state so the
+    /// allocation fast path degenerates to the single `profile_id`
+    /// branch — no OLD-table increment, no context install, no charge.
+    alloc_profiling_enabled: bool,
     compiles: u64,
     osr_compiles: u64,
     total_invocations: u64,
@@ -139,6 +147,8 @@ impl JitState {
             alloc_sites: vec![AllocSiteState::default(); program.num_alloc_sites()],
             next_profile_id: 1, // id 0 is reserved for "unprofiled"
             profile_ids_exhausted: false,
+            profile_id_overflows: 0,
+            alloc_profiling_enabled: true,
             compiles: 0,
             osr_compiles: 0,
             total_invocations: 0,
@@ -273,12 +283,17 @@ impl JitState {
     }
 
     /// Assigns (or returns the existing) 16-bit profile id for an
-    /// allocation site. Returns `None` once the id space is exhausted.
+    /// allocation site. Returns `None` once the id space is exhausted —
+    /// the id counter *saturates* rather than wrapping, because a wrapped
+    /// id would alias two distinct sites into one packed allocation
+    /// context (see `rolp::context`). Refused requests are counted in
+    /// [`JitState::profile_id_overflows`].
     pub fn assign_profile_id(&mut self, s: AllocSiteId) -> Option<u16> {
         if let Some(id) = self.alloc_sites[s.0 as usize].profile_id {
             return Some(id);
         }
         if self.profile_ids_exhausted {
+            self.profile_id_overflows += 1;
             return None;
         }
         let id = self.next_profile_id;
@@ -289,6 +304,37 @@ impl JitState {
         }
         self.alloc_sites[s.0 as usize].profile_id = Some(id);
         Some(id)
+    }
+
+    /// True once the 16-bit profile-id space is exhausted (§7.5).
+    pub fn profile_ids_exhausted(&self) -> bool {
+        self.profile_ids_exhausted
+    }
+
+    /// Profile-id requests refused after exhaustion.
+    pub fn profile_id_overflows(&self) -> u64 {
+        self.profile_id_overflows
+    }
+
+    /// Marks the 16-bit profile-id space exhausted immediately, as if
+    /// 65 535 hot allocation sites had already been seen. Already-assigned
+    /// ids keep working; new sites are refused (and counted). Used by the
+    /// fault-injection layer to exercise the saturation path.
+    pub fn force_profile_id_exhaustion(&mut self) {
+        self.profile_ids_exhausted = true;
+    }
+
+    /// Whether per-allocation profiling instructions are live.
+    #[inline]
+    pub fn alloc_profiling_enabled(&self) -> bool {
+        self.alloc_profiling_enabled
+    }
+
+    /// Switches the per-allocation profiling instructions on or off (the
+    /// governor's `Off` state patches them out; recovery patches them back
+    /// in — assigned profile ids are retained either way).
+    pub fn set_alloc_profiling(&mut self, enabled: bool) {
+        self.alloc_profiling_enabled = enabled;
     }
 
     /// Enables call-site profiling: installs the reserved identifier into
@@ -452,6 +498,36 @@ mod tests {
         jit.note_entry(&p, hot, &mut rng());
         jit.enable_call_profiling(cs_tiny);
         assert_eq!(jit.call_site(cs_tiny).delta, 0);
+    }
+
+    #[test]
+    fn exhausted_id_space_saturates_and_counts_refusals() {
+        let mut b = ProgramBuilder::new();
+        let m = b.method("x.M::f", 100, false);
+        let s1 = b.alloc_site(m, 1);
+        let s2 = b.alloc_site(m, 2);
+        let p = b.build();
+        let mut jit = JitState::new(&p, JitConfig::default());
+        let a = jit.assign_profile_id(s1).unwrap();
+        jit.force_profile_id_exhaustion();
+        assert!(jit.profile_ids_exhausted());
+        // New sites are refused (no wrap, no aliasing)...
+        assert_eq!(jit.assign_profile_id(s2), None);
+        assert_eq!(jit.assign_profile_id(s2), None);
+        assert_eq!(jit.profile_id_overflows(), 2);
+        // ...while already-assigned ids keep their meaning.
+        assert_eq!(jit.assign_profile_id(s1), Some(a));
+    }
+
+    #[test]
+    fn alloc_profiling_gate_toggles() {
+        let (p, ..) = sample_program();
+        let mut jit = JitState::new(&p, JitConfig::default());
+        assert!(jit.alloc_profiling_enabled());
+        jit.set_alloc_profiling(false);
+        assert!(!jit.alloc_profiling_enabled());
+        jit.set_alloc_profiling(true);
+        assert!(jit.alloc_profiling_enabled());
     }
 
     #[test]

@@ -33,8 +33,24 @@ def load(path):
     return data
 
 
-def key(row):
-    return (row["workload"], row["collector"])
+def field(row, name, path):
+    """Reads a row field, failing with a readable message (naming the
+    offending row and file) instead of a KeyError traceback when the
+    stats file predates the field or was hand-edited."""
+    try:
+        return row[name]
+    except (KeyError, TypeError):
+        ident = ""
+        if isinstance(row, dict):
+            ident = f" ({row.get('workload', '?')} / {row.get('collector', '?')})"
+        print(f"bench_gate: result row{ident} in {path} is missing '{name}' — "
+              f"regenerate the file with the current bench harness",
+              file=sys.stderr)
+        sys.exit(2)
+
+
+def key(row, path):
+    return (field(row, "workload", path), field(row, "collector", path))
 
 
 def main():
@@ -53,33 +69,50 @@ def main():
               file=sys.stderr)
         sys.exit(2)
 
-    baseline_rows = {key(r): r for r in base["results"]}
+    baseline_rows = {key(r, args.baseline): r for r in base["results"]}
     failures = []
     compared = 0
+    seen = set()
     for row in cur["results"]:
-        ref = baseline_rows.get(key(row))
+        k = key(row, args.current)
+        seen.add(k)
+        ref = baseline_rows.get(k)
+        cur_p99 = field(row, "p99_ms", args.current)
         if ref is None:
             print(f"  [new] {row['workload']} / {row['collector']}: "
-                  f"p99 {row['p99_ms']:.2f} ms (no baseline, skipped)")
+                  f"p99 {cur_p99:.2f} ms (no baseline, skipped)")
             continue
         compared += 1
-        cur_p99, ref_p99 = row["p99_ms"], ref["p99_ms"]
+        ref_p99 = field(ref, "p99_ms", args.baseline)
         limit = ref_p99 * (1.0 + args.max_regress)
         verdict = "OK" if cur_p99 <= limit else "REGRESSED"
         print(f"  [{verdict}] {row['workload']} / {row['collector']}: "
               f"p99 {cur_p99:.2f} ms vs baseline {ref_p99:.2f} ms "
               f"(limit {limit:.2f} ms)")
         if cur_p99 > limit:
-            failures.append(key(row))
+            failures.append(k)
+
+    # A baseline row with no current counterpart means coverage was
+    # silently dropped (a workload or collector stopped being benched) —
+    # that must fail as loudly as a regression would.
+    dropped = sorted(set(baseline_rows) - seen)
+    for w, c in dropped:
+        print(f"  [MISSING] {w} / {c}: in {args.baseline} but absent "
+              f"from {args.current}")
 
     if compared == 0:
         print("bench_gate: no comparable rows between current and baseline",
               file=sys.stderr)
         sys.exit(2)
-    if failures:
-        names = ", ".join(f"{w}/{c}" for w, c in failures)
-        print(f"bench_gate: p99 regression beyond "
-              f"{args.max_regress:.0%}: {names}", file=sys.stderr)
+    if failures or dropped:
+        msgs = []
+        if failures:
+            names = ", ".join(f"{w}/{c}" for w, c in failures)
+            msgs.append(f"p99 regression beyond {args.max_regress:.0%}: {names}")
+        if dropped:
+            names = ", ".join(f"{w}/{c}" for w, c in dropped)
+            msgs.append(f"baseline row(s) missing from current run: {names}")
+        print(f"bench_gate: {'; '.join(msgs)}", file=sys.stderr)
         sys.exit(1)
     print(f"bench_gate: {compared} run(s) within {args.max_regress:.0%} of baseline")
 
