@@ -34,6 +34,11 @@ struct JsonRow {
     pauses: usize,
     gc_cycles: u64,
     ops: u64,
+    /// Self-measured profiling overhead (mutator-attributed profiling
+    /// time / busy mutator time) from the run's final telemetry
+    /// snapshot; `scripts/metrics_gate.py` fails the build if a ROLP
+    /// row exceeds the paper's ~5% bound.
+    profiling_overhead: f64,
     percentiles_ms: Vec<(f64, f64)>,
 }
 
@@ -43,8 +48,8 @@ fn render_json(scale_divisor: u64, rows: &[JsonRow]) -> String {
     for (i, r) in rows.iter().enumerate() {
         s.push_str(&format!(
             "    {{\"workload\": \"{}\", \"collector\": \"{}\", \"pauses\": {}, \
-             \"gc_cycles\": {}, \"ops\": {}",
-            r.workload, r.collector, r.pauses, r.gc_cycles, r.ops
+             \"gc_cycles\": {}, \"ops\": {}, \"profiling_overhead\": {:.6}",
+            r.workload, r.collector, r.pauses, r.gc_cycles, r.ops, r.profiling_overhead
         ));
         for (p, ms) in &r.percentiles_ms {
             // "99.9" -> "p99_9": keys must be identifier-ish for the gate.
@@ -142,6 +147,7 @@ fn main() {
                 pauses: out.pauses.count(),
                 gc_cycles: out.report.gc_cycles,
                 ops: out.report.ops,
+                profiling_overhead: out.report.profiling_overhead,
                 percentiles_ms: FIG8_PERCENTILES
                     .iter()
                     .map(|&p| (p, out.pauses.percentile_ms(p)))

@@ -39,6 +39,14 @@ pub struct Args {
     pub trace_out: Option<String>,
     /// Write the machine-readable run summary (JSON) to this file.
     pub stats_json: Option<String>,
+    /// Stream live telemetry snapshots (JSONL, one per interval) to this
+    /// file.
+    pub metrics_out: Option<String>,
+    /// Simulated seconds between streamed snapshots.
+    pub metrics_interval: u64,
+    /// Write the final snapshot in Prometheus text exposition format to
+    /// this file at exit.
+    pub metrics_prom: Option<String>,
     /// Guest mutator threads.
     pub mutator_threads: u32,
     /// Parallel GC workers (None keeps the cost model's default).
@@ -66,6 +74,9 @@ impl Default for Args {
             import_profile: None,
             trace_out: None,
             stats_json: None,
+            metrics_out: None,
+            metrics_interval: 1,
+            metrics_prom: None,
             mutator_threads: 4,
             gc_workers: None,
             fault_plan: None,
@@ -99,7 +110,18 @@ OPTIONS:
                         Use a .jsonl extension for line-oriented JSON
                         events instead.
     --stats-json <FILE> write the end-of-run summary as JSON (pause
-                        percentiles, throughput, profiler counters)
+                        percentiles, throughput, profiler counters);
+                        written atomically (temp file + rename), and a
+                        partial telemetry snapshot is flushed if the run
+                        panics, so the file is never truncated JSON
+    --metrics-out <FILE>  stream live telemetry snapshots as JSONL, one
+                        flat object per line (schema rolp-metrics-v1:
+                        time-per-bucket, counters, gauges, histogram
+                        percentiles, profiling overhead)
+    --metrics-interval <N>  simulated seconds between streamed snapshots
+                        [default: 1]
+    --metrics-prom <FILE>  dump the final telemetry snapshot in
+                        Prometheus text exposition format at exit
     --mutator-threads <N>  guest mutator threads           [default: 4]
     --gc-workers <N>    parallel GC workers (marking, remembered-set
                         prescan, one private OLD table each)
@@ -153,6 +175,16 @@ pub fn parse(argv: &[String]) -> Result<Args, String> {
             "--import-profile" => args.import_profile = Some(take("--import-profile")?),
             "--trace-out" => args.trace_out = Some(take("--trace-out")?),
             "--stats-json" => args.stats_json = Some(take("--stats-json")?),
+            "--metrics-out" => args.metrics_out = Some(take("--metrics-out")?),
+            "--metrics-interval" => {
+                let v = take("--metrics-interval")?;
+                args.metrics_interval = v
+                    .parse::<u64>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or("--metrics-interval must be positive")?;
+            }
+            "--metrics-prom" => args.metrics_prom = Some(take("--metrics-prom")?),
             "--mutator-threads" => {
                 let v = take("--mutator-threads")?;
                 args.mutator_threads = v
@@ -273,6 +305,20 @@ mod tests {
         assert_eq!(a.trace_out.as_deref(), Some("t.json"));
         assert_eq!(a.stats_json.as_deref(), Some("s.json"));
         assert!(parse(&argv("--trace-out")).unwrap_err().contains("needs a value"));
+    }
+
+    #[test]
+    fn metrics_flags_parse() {
+        let a = parse(&argv("--metrics-out m.jsonl --metrics-interval 5 --metrics-prom m.prom"))
+            .expect("parses");
+        assert_eq!(a.metrics_out.as_deref(), Some("m.jsonl"));
+        assert_eq!(a.metrics_interval, 5);
+        assert_eq!(a.metrics_prom.as_deref(), Some("m.prom"));
+        let d = parse(&[]).expect("defaults");
+        assert_eq!(d.metrics_out, None);
+        assert_eq!(d.metrics_interval, 1);
+        assert_eq!(d.metrics_prom, None);
+        assert!(parse(&argv("--metrics-interval 0")).unwrap_err().contains("positive"));
     }
 
     #[test]

@@ -10,7 +10,7 @@ use rolp::runtime::{CollectorKind, RuntimeConfig};
 use rolp::DecisionProfile;
 use rolp_metrics::{SimScale, SimTime};
 use rolp_vm::CostModel;
-use rolp_workloads::{execute, DacapoBench, RunBudget, Workload};
+use rolp_workloads::{execute_with, DacapoBench, RunBudget, Workload};
 
 use args::{Args, WorkloadChoice};
 
@@ -96,10 +96,79 @@ fn run(args: Args) -> Result<(), String> {
     if args.export_profile.is_some() || args.report {
         run_with_runtime(&args, &mut *workload, config, &budget)
     } else {
-        let out = execute(&mut *workload, config, &budget);
+        let mut guard: Option<StatsPanicGuard> = None;
+        let out = execute_with(&mut *workload, config, &budget, |rt| {
+            guard = arm_stats_guard(&args, rt);
+        });
         print_outcome(&out);
-        write_outputs(&args, &out.report, &out.pauses, &out.trace, out.trace_dropped)
+        let result = write_outputs(
+            &args,
+            &out.report,
+            &out.pauses,
+            &out.trace,
+            out.trace_dropped,
+            &out.metrics,
+        );
+        if let Some(g) = &mut guard {
+            g.disarm();
+        }
+        result
     }
+}
+
+/// Arms the crash-flush guard for `--stats-json` runs (see
+/// [`StatsPanicGuard`]).
+fn arm_stats_guard(args: &Args, rt: &rolp::runtime::JvmRuntime) -> Option<StatsPanicGuard> {
+    args.stats_json.as_ref().map(|path| StatsPanicGuard {
+        path: path.clone(),
+        registry: rt.vm.env.telemetry.registry().clone(),
+        armed: true,
+    })
+}
+
+/// Keeps `--stats-json` valid even when a run panics mid-way: on unwind
+/// it publishes whatever the telemetry cells hold and writes a small,
+/// well-formed partial document (schema `rolp-stats-partial-v1`) in
+/// place of the full summary. Writes go through [`write_atomic`], so a
+/// crash never leaves truncated JSON behind.
+struct StatsPanicGuard {
+    path: String,
+    registry: std::sync::Arc<rolp_telemetry::Registry>,
+    armed: bool,
+}
+
+impl StatsPanicGuard {
+    /// Stands the guard down once the real summary has been written.
+    fn disarm(&mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for StatsPanicGuard {
+    fn drop(&mut self) {
+        if !self.armed || !std::thread::panicking() {
+            return;
+        }
+        // The simulated clock is out of reach mid-unwind; stamp the
+        // flush with the last published snapshot's timestamp.
+        let at_ns = self.registry.store().load().at_ns();
+        self.registry.publish(at_ns);
+        let snapshot = self.registry.store().snapshot();
+        let body = format!(
+            "{{\"schema\":\"rolp-stats-partial-v1\",\"panic\":true,\"telemetry\":{}}}",
+            snapshot.to_jsonl()
+        );
+        let _ = write_atomic(&self.path, &body);
+        eprintln!("stats: run panicked — partial telemetry snapshot written to {}", self.path);
+    }
+}
+
+/// Writes `contents` to `path` via a temp file + atomic rename, so
+/// readers never observe a half-written file.
+fn write_atomic(path: &str, contents: &str) -> Result<(), String> {
+    let tmp = format!("{path}.tmp");
+    std::fs::write(&tmp, contents).map_err(|e| format!("cannot write {tmp}: {e}"))?;
+    std::fs::rename(&tmp, path).map_err(|e| format!("cannot rename {tmp} to {path}: {e}"))
 }
 
 /// `--verify-determinism`: run racy multi-threaded mutators + parallel GC
@@ -154,13 +223,15 @@ fn verify_determinism(args: &Args) -> Result<(), String> {
     }
 }
 
-/// Writes the `--trace-out` / `--stats-json` sinks, if requested.
+/// Writes the `--trace-out` / `--stats-json` / `--metrics-*` sinks, if
+/// requested.
 fn write_outputs(
     args: &Args,
     report: &rolp::runtime::RunReport,
     pauses: &rolp_metrics::PauseRecorder,
     trace: &[rolp_trace::TraceEvent],
     dropped: u64,
+    metrics: &[std::sync::Arc<rolp_telemetry::MetricsSnapshot>],
 ) -> Result<(), String> {
     if let Some(path) = &args.trace_out {
         let rendered = if path.ends_with(".jsonl") {
@@ -174,11 +245,47 @@ fn write_outputs(
         println!("trace: {} event(s) written to {path}{dropped_note}", trace.len());
     }
     if let Some(path) = &args.stats_json {
-        std::fs::write(path, rolp::stats_json(report, pauses, dropped))
-            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        write_atomic(path, &rolp::stats_json(report, pauses, dropped))?;
         println!("stats: run summary written to {path}");
     }
+    if let Some(path) = &args.metrics_out {
+        let body = metrics_jsonl(metrics, args.metrics_interval);
+        let rows = body.lines().count();
+        std::fs::write(path, body).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("metrics: {rows} snapshot(s) streamed to {path}");
+    }
+    if let Some(path) = &args.metrics_prom {
+        std::fs::write(path, report.telemetry.to_prometheus())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("metrics: final snapshot exposed to {path} (Prometheus text format)");
+    }
     Ok(())
+}
+
+/// Renders the snapshot history as a JSONL stream, downsampled so
+/// consecutive rows are at least `interval_secs` of simulated time
+/// apart. The empty version-0 snapshot is skipped and the final one is
+/// always kept.
+fn metrics_jsonl(
+    metrics: &[std::sync::Arc<rolp_telemetry::MetricsSnapshot>],
+    interval_secs: u64,
+) -> String {
+    let interval_ns = interval_secs.saturating_mul(1_000_000_000);
+    let mut out = String::new();
+    let mut next_at = 0u64;
+    let last = metrics.len().saturating_sub(1);
+    for (i, snap) in metrics.iter().enumerate() {
+        if snap.version() == 0 {
+            continue;
+        }
+        if snap.at_ns() < next_at && i != last {
+            continue;
+        }
+        next_at = snap.at_ns().saturating_add(interval_ns);
+        out.push_str(&snap.to_jsonl());
+        out.push('\n');
+    }
+    out
 }
 
 /// Variant that keeps the runtime alive for report/export.
@@ -195,15 +302,23 @@ fn run_with_runtime(
     workload.set_annotations(config.collector == CollectorKind::Ng2c);
     let mut rt = rolp::runtime::JvmRuntime::new(config, program);
     workload.setup(&mut rt);
+    let mut guard = arm_stats_guard(args, &rt);
 
     let mut tick_no = 0u64;
     let threads = args.mutator_threads.max(1) as u64;
+    let publish_every = SimTime::from_secs(args.metrics_interval);
+    let mut next_publish = publish_every;
     while rt.vm.env.clock.now() < budget.sim_time {
         let thread = rolp_vm::ThreadId((tick_no % threads) as u32);
         tick_no += 1;
         let mut ctx = rt.ctx(thread);
         let ops = workload.tick(&mut ctx);
         ctx.complete_ops(ops);
+        let now = rt.vm.env.clock.now();
+        if now >= next_publish {
+            rt.vm.env.telemetry.registry().publish(now.as_nanos());
+            next_publish = now + publish_every;
+        }
     }
 
     let report = rt.report();
@@ -211,8 +326,15 @@ fn run_with_runtime(
     pauses.discard_before(budget.warmup_discard);
     print_report(&report, &pauses);
     let dropped = rt.vm.env.trace.dropped();
+    let metrics = rt.vm.env.telemetry.registry().store().history();
     let trace = rt.take_trace();
-    write_outputs(args, &report, &pauses, &trace, dropped)?;
+    write_outputs(args, &report, &pauses, &trace, dropped, &metrics)?;
+    if let Some(g) = &mut guard {
+        g.disarm();
+    }
+    if args.report {
+        println!("{}", rolp::render_telemetry(&report.telemetry));
+    }
 
     if let Some(profiler) = &rt.profiler {
         let p = profiler.borrow();
@@ -244,6 +366,10 @@ fn print_report(report: &rolp::runtime::RunReport, pauses: &rolp_metrics::PauseR
         report.ops_per_sec, report.ops_per_busy_sec
     );
     println!("GC cycles          {}", report.gc_cycles);
+    println!(
+        "profiling overhead {:.2}% of busy mutator time (self-measured)",
+        report.profiling_overhead * 100.0
+    );
     println!("time paused        {} of {}", report.total_paused, report.elapsed);
     println!(
         "max memory         {} used, {} committed",
@@ -278,6 +404,87 @@ fn main() -> ExitCode {
         Err(msg) => {
             eprintln!("{msg}");
             ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("rolp-cli-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn write_atomic_replaces_and_leaves_no_temp() {
+        let path = temp_path("atomic.json");
+        let path_str = path.to_str().unwrap();
+        std::fs::write(&path, "old").unwrap();
+        write_atomic(path_str, "{\"new\":true}").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"new\":true}");
+        assert!(!std::path::Path::new(&format!("{path_str}.tmp")).exists());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn panic_guard_flushes_a_valid_partial_snapshot() {
+        let path = temp_path("partial.json");
+        let path_str = path.to_str().unwrap().to_string();
+        let registry = std::sync::Arc::new(rolp_telemetry::Registry::new());
+        let cells = registry.register_thread();
+        cells.add_time(rolp_telemetry::Bucket::MutatorApp, 1_000);
+
+        let reg = registry.clone();
+        let result = std::panic::catch_unwind(move || {
+            let _guard = StatsPanicGuard { path: path_str, registry: reg, armed: true };
+            panic!("boom");
+        });
+        assert!(result.is_err());
+
+        let body = std::fs::read_to_string(&path).expect("partial snapshot written");
+        assert!(body.starts_with("{\"schema\":\"rolp-stats-partial-v1\",\"panic\":true"), "{body}");
+        assert!(body.contains("\"schema\":\"rolp-metrics-v1\""), "{body}");
+        assert!(body.contains("\"time_mutator_app_ns\":1000"), "{body}");
+        assert!(body.trim_end().ends_with('}'), "{body}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn disarmed_guard_writes_nothing() {
+        let path = temp_path("disarmed.json");
+        let path_str = path.to_str().unwrap().to_string();
+        let registry = std::sync::Arc::new(rolp_telemetry::Registry::new());
+        let result = std::panic::catch_unwind(move || {
+            let mut guard = StatsPanicGuard { path: path_str, registry, armed: true };
+            guard.disarm();
+            panic!("boom");
+        });
+        assert!(result.is_err());
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn metrics_jsonl_downsamples_and_keeps_the_final_row() {
+        let registry = rolp_telemetry::Registry::new();
+        let cells = registry.register_thread();
+        let mut history = vec![registry.store().snapshot()]; // version 0
+        for i in 1..=10u64 {
+            cells.add_time(rolp_telemetry::Bucket::MutatorApp, 100);
+            registry.publish(i * 1_000_000_000); // one per simulated second
+            history.push(registry.store().snapshot());
+        }
+        let body = metrics_jsonl(&history, 4);
+        let rows: Vec<&str> = body.lines().collect();
+        // t=1s, t=5s, t=9s, plus the forced final row at t=10s.
+        assert_eq!(rows.len(), 4, "{body}");
+        assert!(rows[0].contains("\"at_ns\":1000000000"), "{}", rows[0]);
+        assert!(rows.last().unwrap().contains("\"at_ns\":10000000000"));
+        for row in &rows {
+            assert!(row.starts_with('{') && row.ends_with('}'), "{row}");
+            assert!(row.contains("\"schema\":\"rolp-metrics-v1\""), "{row}");
         }
     }
 }

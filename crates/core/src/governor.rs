@@ -79,6 +79,30 @@ impl GovernorState {
     }
 }
 
+/// Where the governor's overhead signal comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CostSource {
+    /// Self-observed profiling time from the telemetry plane: the
+    /// fraction of busy mutator time the run actually spent in
+    /// profiling buckets this epoch. Falls back to the estimate when
+    /// no mutator time elapsed in the epoch.
+    #[default]
+    Measured,
+    /// The cost-model estimate (`2 * slow-branch ns * enabled sites *
+    /// invocation delta / total sites`) — the pre-telemetry behavior.
+    Estimated,
+}
+
+impl CostSource {
+    /// Stable label used in reports and `--stats-json`.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CostSource::Measured => "measured",
+            CostSource::Estimated => "estimated",
+        }
+    }
+}
+
 /// Per-epoch budgets and hysteresis.
 #[derive(Debug, Clone)]
 pub struct GovernorConfig {
@@ -89,7 +113,15 @@ pub struct GovernorConfig {
     pub max_table_bytes: u64,
     /// Estimated call-site-profiling overhead allowed per epoch, in
     /// simulated nanoseconds (`rolp_vm::cost` slow-branch pricing).
+    /// Checked when `cost_source` is [`CostSource::Estimated`], or as
+    /// the measured-mode fallback for epochs with no mutator time.
     pub max_call_overhead_ns_per_epoch: u64,
+    /// Measured profiling overhead allowed per epoch, as a fraction of
+    /// busy mutator time (paper §8.2 targets ~5%). Checked when
+    /// `cost_source` is [`CostSource::Measured`].
+    pub max_measured_overhead: f64,
+    /// Which overhead signal drives the call/overhead budget.
+    pub cost_source: CostSource,
     /// Consecutive under-budget epochs before climbing back one state.
     pub calm_epochs_to_recover: u32,
     /// State to start in (`Full` normally; tests force `Off` to compare
@@ -105,6 +137,8 @@ impl Default for GovernorConfig {
             max_record_events_per_epoch: 2_000_000,
             max_table_bytes: 8 << 20,
             max_call_overhead_ns_per_epoch: 50_000_000,
+            max_measured_overhead: 0.05,
+            cost_source: CostSource::Measured,
             calm_epochs_to_recover: 2,
             start_state: GovernorState::Full,
         }
@@ -120,6 +154,25 @@ pub struct EpochCost {
     pub table_bytes: u64,
     /// Estimated call-site-profiling overhead for the epoch, in ns.
     pub call_overhead_ns: u64,
+    /// Self-measured profiling time this epoch (telemetry
+    /// `mutator_profiling` delta), in ns.
+    pub measured_profiling_ns: u64,
+    /// Busy mutator time this epoch (telemetry `mutator_app +
+    /// mutator_profiling + jit_compile` delta), in ns. Zero means "no
+    /// measurement available" and falls back to the estimate.
+    pub measured_mutator_ns: u64,
+}
+
+impl EpochCost {
+    /// Measured profiling overhead as a fraction of busy mutator time,
+    /// or `None` when no mutator time was observed this epoch.
+    pub fn measured_overhead(&self) -> Option<f64> {
+        if self.measured_mutator_ns == 0 {
+            None
+        } else {
+            Some(self.measured_profiling_ns as f64 / self.measured_mutator_ns as f64)
+        }
+    }
 }
 
 /// A state change the profiler must apply and trace.
@@ -163,14 +216,20 @@ impl Governor {
     /// The first budget `cost` exceeds, if any.
     fn tripped_budget(&self, cost: &EpochCost) -> Option<&'static str> {
         if cost.record_events > self.config.max_record_events_per_epoch {
-            Some("record-budget")
-        } else if cost.table_bytes > self.config.max_table_bytes {
-            Some("table-budget")
-        } else if cost.call_overhead_ns > self.config.max_call_overhead_ns_per_epoch {
-            Some("call-budget")
-        } else {
-            None
+            return Some("record-budget");
         }
+        if cost.table_bytes > self.config.max_table_bytes {
+            return Some("table-budget");
+        }
+        // Overhead: the measured signal when configured and available,
+        // the cost-model estimate otherwise.
+        if self.config.cost_source == CostSource::Measured {
+            if let Some(overhead) = cost.measured_overhead() {
+                return (overhead > self.config.max_measured_overhead).then_some("overhead-budget");
+            }
+        }
+        (cost.call_overhead_ns > self.config.max_call_overhead_ns_per_epoch)
+            .then_some("call-budget")
     }
 
     /// Feeds one epoch's cost; returns the transition to apply, if the
@@ -219,11 +278,12 @@ mod tests {
             max_call_overhead_ns_per_epoch: 1_000,
             calm_epochs_to_recover: 2,
             start_state: GovernorState::Full,
+            ..Default::default()
         }
     }
 
     fn hot() -> EpochCost {
-        EpochCost { record_events: 1_000, table_bytes: 0, call_overhead_ns: 0 }
+        EpochCost { record_events: 1_000, ..Default::default() }
     }
 
     fn calm() -> EpochCost {
@@ -275,6 +335,58 @@ mod tests {
         g.evaluate(&calm());
         assert_eq!(g.evaluate(&calm()).unwrap().to, GovernorState::Full);
         assert_eq!(g.evaluate(&calm()), None, "Full and calm: steady state");
+    }
+
+    #[test]
+    fn measured_overhead_trips_its_own_budget() {
+        let mut g = Governor::new(tight());
+        // 8% of busy mutator time spent profiling > the 5% default cap.
+        let t = g
+            .evaluate(&EpochCost {
+                measured_profiling_ns: 8_000,
+                measured_mutator_ns: 100_000,
+                ..Default::default()
+            })
+            .unwrap();
+        assert_eq!(t.reason, "overhead-budget");
+        assert_eq!(t.to, GovernorState::Reduced);
+    }
+
+    #[test]
+    fn measured_signal_overrides_the_estimate_when_available() {
+        let mut g = Governor::new(tight());
+        // Estimate says hot (2_000 > 1_000 budget) but the measurement
+        // says 1% — measured wins, no transition.
+        let cost = EpochCost {
+            call_overhead_ns: 2_000,
+            measured_profiling_ns: 1_000,
+            measured_mutator_ns: 100_000,
+            ..Default::default()
+        };
+        assert_eq!(g.evaluate(&cost), None);
+        assert_eq!(g.state(), GovernorState::Full);
+    }
+
+    #[test]
+    fn measured_mode_falls_back_to_estimate_without_mutator_time() {
+        let mut g = Governor::new(tight());
+        // No measurement (measured_mutator_ns == 0): the estimate rules.
+        let t = g.evaluate(&EpochCost { call_overhead_ns: 2_000, ..Default::default() }).unwrap();
+        assert_eq!(t.reason, "call-budget");
+    }
+
+    #[test]
+    fn estimated_mode_ignores_the_measurement() {
+        let mut g = Governor::new(GovernorConfig { cost_source: CostSource::Estimated, ..tight() });
+        // Measurement says 50% overhead, but estimated mode only looks
+        // at the cost-model estimate (under budget here).
+        let cost = EpochCost {
+            call_overhead_ns: 500,
+            measured_profiling_ns: 50_000,
+            measured_mutator_ns: 100_000,
+            ..Default::default()
+        };
+        assert_eq!(g.evaluate(&cost), None);
     }
 
     #[test]

@@ -91,7 +91,9 @@ pub use conflicts::{
 };
 pub use filters::PackageFilters;
 pub use geometry::{LifetimeTable, TableGeometry, FULL_SCALE_ROWS};
-pub use governor::{EpochCost, Governor, GovernorConfig, GovernorState, GovernorTransition};
+pub use governor::{
+    CostSource, EpochCost, Governor, GovernorConfig, GovernorState, GovernorTransition,
+};
 pub use inference::{classify_row, find_peaks, infer, InferenceOutcome, RowVerdict};
 pub use leak::{LeakReport, LeakSuspect};
 pub use offline::{DecisionProfile, ProfileEntry, ProfileParseError};
@@ -99,7 +101,7 @@ pub use old_table::{merge_worker_tables, MergeSummary, OldTable, WorkerTable, AG
 pub use profiler::{
     backend_for_threads, ProfilingLevel, RolpConfig, RolpProfiler, RolpStats, TableBackend,
 };
-pub use report::{render_decisions, render_summary, stats_json};
+pub use report::{render_decisions, render_summary, render_telemetry, stats_json};
 pub use runtime::{CollectorKind, JvmRuntime, RunReport, RuntimeConfig};
 pub use shared_table::SharedOldTable;
 pub use survivor::SurvivorTracking;

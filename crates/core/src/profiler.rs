@@ -40,6 +40,7 @@ use std::sync::Arc;
 
 use rolp_gc::{GcCycleInfo, GcHooks};
 use rolp_heap::{ObjectHeader, RegionKind};
+use rolp_telemetry::{Bucket, CounterId, HistId};
 use rolp_vm::{
     AllocSiteId, DecisionStore, DecisionTable, JitState, MethodId, Program, ThreadId, VmEnv,
     VmProfiler,
@@ -169,6 +170,9 @@ pub struct RolpStats {
     pub governor_state: Option<&'static str>,
     /// Governor state transitions taken.
     pub governor_transitions: u64,
+    /// Overhead signal driving the governor — `measured` (telemetry) or
+    /// `estimated` (cost model); `None` when running ungoverned.
+    pub governor_cost_source: Option<&'static str>,
     /// Profile-id requests refused after the 16-bit id space saturated.
     pub profile_id_overflows: u64,
     /// Synthetic record-path events charged by the fault injector.
@@ -288,6 +292,10 @@ pub struct RolpProfiler<T: LifetimeTable = OldTable> {
     // epoch bases for the governor's per-epoch cost deltas
     epoch_record_base: u64,
     epoch_invocation_base: u64,
+    /// Telemetry `mutator_profiling` total at the last epoch boundary.
+    epoch_profiling_base: u64,
+    /// Telemetry busy-mutator total at the last epoch boundary.
+    epoch_busy_base: u64,
     profiled_allocations: u64,
     unprofiled_allocations: u64,
     survivor_records: u64,
@@ -353,6 +361,8 @@ impl<T: LifetimeTable> RolpProfiler<T> {
             delayed_merges: 0,
             epoch_record_base: 0,
             epoch_invocation_base: 0,
+            epoch_profiling_base: 0,
+            epoch_busy_base: 0,
             profiled_allocations: 0,
             unprofiled_allocations: 0,
             survivor_records: 0,
@@ -415,6 +425,7 @@ impl<T: LifetimeTable> RolpProfiler<T> {
             survivor_reactivations: self.survivor.reactivations,
             governor_state: self.governor.as_ref().map(|g| g.state().label()),
             governor_transitions: self.governor_transitions,
+            governor_cost_source: self.config.governor.as_ref().map(|c| c.cost_source.label()),
             profile_id_overflows: jit.profile_id_overflows(),
             injected_fault_events: self.injected_records,
             dropped_merge_records: self.dropped_merge_records,
@@ -451,6 +462,13 @@ impl<T: LifetimeTable> RolpProfiler<T> {
         // In `Off` the JIT patches the profiling instructions out: the
         // mutator fast path is one branch (`alloc_profiling_enabled`).
         env.jit.set_alloc_profiling(!self.profiling_off);
+        let encoded = match to {
+            GovernorState::Full => 0,
+            GovernorState::Reduced => 1,
+            GovernorState::SitesOnly => 2,
+            GovernorState::Off => 3,
+        };
+        env.telemetry.registry().set_gauge(rolp_telemetry::GaugeId::GovernorState, encoded);
     }
 
     /// Pipeline stage 3 (§4): classify every touched row.
@@ -533,6 +551,14 @@ impl<T: LifetimeTable> RolpProfiler<T> {
             let record_total =
                 self.profiled_allocations + self.survivor_records + self.injected_records;
             let invocations = env.jit.total_invocations();
+            // Self-observed signal from the telemetry plane: profiling
+            // time and busy mutator time this epoch, as deltas of the
+            // live per-thread cell totals (no snapshot publish needed).
+            let registry = env.telemetry.registry();
+            let prof_now = registry.total_time(Bucket::MutatorProfiling);
+            let busy_now = registry.total_time(Bucket::MutatorApp)
+                + prof_now
+                + registry.total_time(Bucket::JitCompile);
             let cost = EpochCost {
                 record_events: record_total - self.epoch_record_base,
                 table_bytes: self.old.memory_bytes(),
@@ -545,9 +571,13 @@ impl<T: LifetimeTable> RolpProfiler<T> {
                     let total = env.program.num_call_sites().max(1) as u64;
                     2 * env.cost.profile_call_slow_ns * enabled * delta / total
                 },
+                measured_profiling_ns: prof_now - self.epoch_profiling_base,
+                measured_mutator_ns: busy_now - self.epoch_busy_base,
             };
             self.epoch_record_base = record_total;
             self.epoch_invocation_base = invocations;
+            self.epoch_profiling_base = prof_now;
+            self.epoch_busy_base = busy_now;
             let transition = self.governor.as_mut().and_then(|g| g.evaluate(&cost));
             if let Some(tr) = transition {
                 self.apply_governor_state(env, tr.to);
@@ -576,10 +606,19 @@ impl<T: LifetimeTable> RolpProfiler<T> {
         // A governor-`Off` profiler skips the learning stages outright.
         let tracking_active = !off && (self.survivor.enabled() || !self.config.survivor_shutdown);
 
+        // Modeled stage costs (the inference pipeline runs at safepoints
+        // and does not advance the simulated clock, so these buckets are
+        // `Bucket::is_modeled`: work counts priced by the cost model).
+        let mut infer_ns = 0u64;
+        let mut resolve_ns = 0u64;
+
         if tracking_active {
+            let touched = self.old.touched_rows().len() as u64;
             let outcome = self.stage_infer();
             new_conflicts = outcome.new_conflicts.len() as u64;
             unresolved_conflicts = outcome.unresolved_conflicts.len() as u64;
+            infer_ns = touched * env.cost.profile_alloc_ns;
+            resolve_ns = (new_conflicts + unresolved_conflicts) * env.cost.profile_call_slow_ns;
             self.stage_resolve(env, info, &outcome);
         }
 
@@ -620,6 +659,17 @@ impl<T: LifetimeTable> RolpProfiler<T> {
         } else {
             self.stage_publish()
         };
+
+        // Attribute the epoch's modeled stage costs and close its
+        // telemetry record.
+        let publish_ns = changed_rows as u64 * env.cost.profile_alloc_ns;
+        let t = &env.telemetry;
+        t.add(Bucket::ProfilerInfer, infer_ns);
+        t.add(Bucket::ProfilerResolve, resolve_ns);
+        t.add(Bucket::ProfilerPublish, publish_ns);
+        t.bump(CounterId::EpochsInferred, 1);
+        t.record(HistId::ProfilerEpochNs, infer_ns + resolve_ns + publish_ns);
+        t.registry().set_gauge(rolp_telemetry::GaugeId::DecisionVersion, version);
 
         if tracing {
             use rolp_trace::EventKind;
@@ -808,8 +858,13 @@ impl<T: LifetimeTable> GcHooks for RolpProfiler<T> {
         // Floods and bursts charge the governor's record budget whether or
         // not profiling is currently off — sustained pressure must keep a
         // degraded profiler degraded.
-        self.injected_records +=
-            cycle_faults.flood_contexts.len() as u64 + cycle_faults.burst_events;
+        let injected = cycle_faults.flood_contexts.len() as u64 + cycle_faults.burst_events;
+        self.injected_records += injected;
+        // The synthetic records stand in for record-path work the
+        // simulation never executes, so their modeled cost lands in the
+        // profiling bucket — that is what pushes the *measured* overhead
+        // signal over budget under a pressure-spike plan.
+        env.telemetry.add(Bucket::MutatorProfiling, injected * env.cost.profile_alloc_ns);
 
         // Pipeline stage 2 (§7.6): merge the GC workers' private tables at
         // the safepoint, sorted by (context, age) so the end-state is
@@ -828,6 +883,9 @@ impl<T: LifetimeTable> GcHooks for RolpProfiler<T> {
             Some(crate::old_table::merge_worker_tables(&mut self.workers, &mut self.old))
         };
         if let Some(merge) = &merge {
+            // Modeled merge cost: the safepoint-side fold is priced per
+            // record like the survivor path that produced them.
+            env.telemetry.add(Bucket::ProfilerMerge, merge.total * env.cost.profile_survivor_ns);
             if env.trace.is_enabled() && merge.total > 0 {
                 // Per-worker record counts, workers ≥ 8 folded into the
                 // last slot (the event payload is fixed-size).

@@ -108,9 +108,10 @@ pub fn render_summary<T: LifetimeTable>(
     );
     let _ = writeln!(out, "  stack repairs:    {}", stats.reconciliations);
     if let Some(state) = stats.governor_state {
+        let source = stats.governor_cost_source.unwrap_or("estimated");
         let _ = writeln!(
             out,
-            "  governor:         state {state} ({} transitions)",
+            "  governor:         state {state} ({} transitions, {source} cost source)",
             stats.governor_transitions
         );
     }
@@ -129,6 +130,47 @@ pub fn render_summary<T: LifetimeTable>(
             out,
             "  faults injected:  {} events, {} merge records dropped, {} merges delayed",
             stats.injected_fault_events, stats.dropped_merge_records, stats.delayed_merges
+        );
+    }
+    out
+}
+
+/// Renders the live-telemetry section of `--report`: where every
+/// simulated nanosecond went (per-bucket decomposition), the
+/// self-measured profiling overhead, and the live histogram percentiles.
+pub fn render_telemetry(snapshot: &rolp_telemetry::MetricsSnapshot) -> String {
+    use rolp_telemetry::{Bucket, HistId};
+    let mut out = String::new();
+    let _ =
+        writeln!(out, "telemetry (snapshot v{} at {} ns)", snapshot.version(), snapshot.at_ns());
+    let total: u64 = Bucket::ALL.iter().map(|&b| snapshot.time(b)).sum();
+    let _ = writeln!(out, "  time decomposition:");
+    for b in Bucket::ALL {
+        let ns = snapshot.time(b);
+        if ns == 0 {
+            continue;
+        }
+        let share = if total == 0 { 0.0 } else { ns as f64 / total as f64 * 100.0 };
+        let modeled = if b.is_modeled() { " (modeled)" } else { "" };
+        let _ = writeln!(out, "    {:<20} {:>15} ns  {share:>5.1}%{modeled}", b.label(), ns);
+    }
+    let _ = writeln!(
+        out,
+        "  profiling overhead: {:.3}% of busy mutator time",
+        snapshot.profiling_overhead() * 100.0
+    );
+    let _ = writeln!(out, "  live percentiles (ns):");
+    for h in HistId::ALL {
+        let hist = snapshot.histogram(h);
+        let _ = writeln!(
+            out,
+            "    {:<20} n={:<8} p50={} p90={} p99={} max={}",
+            h.label(),
+            hist.count(),
+            hist.value_at_quantile(0.5),
+            hist.value_at_quantile(0.9),
+            hist.value_at_quantile(0.99),
+            hist.max()
         );
     }
     out
@@ -161,7 +203,11 @@ pub fn stats_json(report: &RunReport, pauses: &PauseRecorder, trace_dropped: u64
         .u64("max_committed_bytes", report.max_committed_bytes)
         .u64("gc_cycles", report.gc_cycles)
         .u64("trace_dropped_events", trace_dropped)
-        .raw("pauses", &pause_obj.finish());
+        .f64("profiling_overhead", report.profiling_overhead)
+        .raw("pauses", &pause_obj.finish())
+        // The final metrics snapshot, embedded as the same flat object
+        // the `--metrics-out` JSONL stream emits per window.
+        .raw("telemetry", &report.telemetry.to_jsonl());
 
     if let Some(s) = &report.rolp {
         let mut rolp = JsonObject::new();
@@ -193,6 +239,9 @@ pub fn stats_json(report: &RunReport, pauses: &PauseRecorder, trace_dropped: u64
             .u64("delayed_merges", s.delayed_merges);
         if let Some(state) = s.governor_state {
             rolp.str("governor_state", state);
+        }
+        if let Some(source) = s.governor_cost_source {
+            rolp.str("governor_cost_source", source);
         }
         obj.raw("rolp", &rolp.finish());
     }

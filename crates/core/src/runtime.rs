@@ -147,6 +147,13 @@ pub struct RunReport {
     pub pauses: usize,
     /// ROLP statistics, when the profiler was active.
     pub rolp: Option<RolpStats>,
+    /// Final published metrics snapshot: cumulative per-bucket time
+    /// decomposition, event counters, and live histograms.
+    pub telemetry: std::sync::Arc<rolp_telemetry::MetricsSnapshot>,
+    /// Self-measured profiling overhead: mutator-attributed profiling
+    /// time over busy mutator time (idle excluded). The paper's §8.2
+    /// throughput claim holds when this stays in the low percent range.
+    pub profiling_overhead: f64,
 }
 
 /// The assembled runtime.
@@ -284,10 +291,24 @@ impl JvmRuntime {
         }
     }
 
-    /// Builds the end-of-run report.
+    /// Aggregates every thread's metric cells at the current simulated
+    /// time and publishes the result as the next immutable
+    /// [`rolp_telemetry::MetricsSnapshot`] (lock-free for readers).
+    /// Returns the published snapshot. Drivers call this at their
+    /// reporting cadence; [`JvmRuntime::report`] publishes a final one.
+    pub fn publish_metrics(&mut self) -> std::sync::Arc<rolp_telemetry::MetricsSnapshot> {
+        let env = &self.vm.env;
+        let registry = env.telemetry.registry();
+        registry.publish(env.clock.now().as_nanos());
+        registry.store().snapshot()
+    }
+
+    /// Builds the end-of-run report (publishes a final metrics
+    /// snapshot).
     pub fn report(&mut self) -> RunReport {
         self.sample_side_tables();
         self.vm.env.sample_memory();
+        let telemetry = self.publish_metrics();
         let env = &self.vm.env;
         let elapsed = env.clock.now();
         let rolp = self.profiler.as_ref().map(|p| p.borrow().stats(&env.program, &env.jit));
@@ -304,6 +325,8 @@ impl JvmRuntime {
             gc_cycles: self.vm.collector.gc_cycles(),
             pauses: env.pauses.count(),
             rolp,
+            profiling_overhead: telemetry.profiling_overhead(),
+            telemetry,
         }
     }
 }

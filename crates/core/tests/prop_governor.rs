@@ -173,6 +173,7 @@ fn governor_off_is_bit_for_bit_the_disabled_profiler() {
         max_table_bytes: 0,
         max_call_overhead_ns_per_epoch: 0,
         calm_epochs_to_recover: 2,
+        ..Default::default()
     });
     let governed = run_workload(governed_cfg);
 

@@ -161,13 +161,17 @@ impl CmsCollector {
         let t0 = env.clock.now();
         let initial = SimTime::from_nanos(env.cost.safepoint_ns);
         env.clock.advance_paused(initial);
+        env.telemetry.add(rolp_telemetry::Bucket::GcMark, initial.as_nanos());
         env.pauses.record(t0, initial, PauseKind::ConcurrentHandshake);
+        crate::evac::telemetry_pause(env, initial);
         env.trace.set_gc_cause("initial-mark");
         trace_pause(env, t0, initial, PauseKind::ConcurrentHandshake, &EvacStats::default());
 
         let mark = mark_liveness_parallel(&mut env.heap, env.cost.gc_workers.max(1) as usize);
         self.hooks.borrow_mut().on_liveness(&mark.context_live);
-        env.clock.advance(env.cost.copy_ns(mark.live_bytes) / 2);
+        let trace_ns = env.cost.copy_ns(mark.live_bytes) / 2;
+        env.clock.advance(trace_ns);
+        env.telemetry.add(rolp_telemetry::Bucket::GcMark, trace_ns);
 
         // Remark pause (rescan roots).
         let t1 = env.clock.now();
@@ -177,7 +181,9 @@ impl CmsCollector {
                     / env.cost.gc_workers.max(1),
         );
         env.clock.advance_paused(remark);
+        env.telemetry.add(rolp_telemetry::Bucket::GcMark, remark.as_nanos());
         env.pauses.record(t1, remark, PauseKind::ConcurrentHandshake);
+        crate::evac::telemetry_pause(env, remark);
         env.trace.set_gc_cause("remark");
         trace_pause(env, t1, remark, PauseKind::ConcurrentHandshake, &EvacStats::default());
 

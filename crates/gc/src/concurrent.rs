@@ -94,7 +94,9 @@ impl ConcurrentCollector {
     fn cycle(&mut self, env: &mut VmEnv) {
         let mark = mark_liveness_parallel(&mut env.heap, env.cost.gc_workers.max(1) as usize);
         // Concurrent marking steals mutator cycles.
-        env.clock.advance(env.cost.copy_ns(mark.live_bytes) / 2);
+        let mark_ns = env.cost.copy_ns(mark.live_bytes) / 2;
+        env.clock.advance(mark_ns);
+        env.telemetry.add(rolp_telemetry::Bucket::GcMark, mark_ns);
 
         // Reclaim wholly dead regions outright, then relocate sparse ones.
         for id in env

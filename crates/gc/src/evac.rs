@@ -22,6 +22,7 @@ use std::collections::HashMap;
 
 use rolp_heap::{Heap, ObjectRef, RegionId, RegionKind, SpaceKind};
 use rolp_metrics::{PauseKind, SimTime};
+use rolp_telemetry::{Bucket, CounterId, HistId};
 use rolp_vm::{CostModel, VmEnv};
 
 use crate::observer::GcHooks;
@@ -116,6 +117,40 @@ pub fn evac_pause_ns(cost: &CostModel, stats: &EvacStats, survivor_tracking: boo
         + per_worker(stats.regions_in_cset, cost.region_overhead_ns)
         + cost.copy_ns(stats.bytes_copied)
         + per_worker(stats.survivors, survivor_each)
+}
+
+/// Attributes the components of an evacuation's work to telemetry
+/// buckets, term for term with [`evac_pause_ns`]: remembered-set
+/// scanning → `GcRemset`, the survivor-tracking increment → the
+/// collector half of `GcProfiling`, the safepoint → `GcOther`, and
+/// everything else (roots, region bookkeeping, copying, survivor aging)
+/// → `GcEvac`. The four parts sum exactly to `evac_pause_ns`.
+fn attribute_evac_work(env: &VmEnv, stats: &EvacStats, survivor_tracking: bool) {
+    let cost = &env.cost;
+    let workers = cost.gc_workers.max(1);
+    let per_worker = |n: u64, each: u64| n.saturating_mul(each) / workers;
+    let survivor_each =
+        cost.survivor_overhead_ns + if survivor_tracking { cost.profile_survivor_ns } else { 0 };
+    let remset = per_worker(stats.remset_slots, cost.remset_scan_ns);
+    let survivor_total = per_worker(stats.survivors, survivor_each);
+    let survivor_base = per_worker(stats.survivors, cost.survivor_overhead_ns);
+    let profiling = if survivor_tracking { survivor_total - survivor_base } else { 0 };
+    let evac = per_worker(stats.roots_scanned, cost.root_scan_ns)
+        + per_worker(stats.regions_in_cset, cost.region_overhead_ns)
+        + cost.copy_ns(stats.bytes_copied)
+        + survivor_total
+        - profiling;
+    let t = &env.telemetry;
+    t.add(Bucket::GcOther, cost.safepoint_ns);
+    t.add(Bucket::GcRemset, remset);
+    t.add(Bucket::GcProfiling, profiling);
+    t.add(Bucket::GcEvac, evac);
+}
+
+/// Records one stop-the-world pause into the live metrics plane.
+pub(crate) fn telemetry_pause(env: &VmEnv, pause: SimTime) {
+    env.telemetry.bump(CounterId::GcPauses, 1);
+    env.telemetry.record(HistId::GcPauseNs, pause.as_nanos());
 }
 
 struct Evacuator<'a> {
@@ -343,16 +378,22 @@ fn evacuate_mode(
     }
 
     let work = SimTime::from_nanos(evac_pause_ns(&env.cost, &stats, tracking));
+    // The work decomposition is the same whether it runs inside the
+    // pause or concurrently (stolen from the mutator).
+    attribute_evac_work(env, &stats, tracking);
     let pause = if concurrent {
         // Copying proceeds alongside the mutator; the application only
         // stops for three short relocation handshakes.
         env.clock.advance(work.as_nanos());
-        SimTime::from_nanos(3 * env.cost.safepoint_ns)
+        let pause = SimTime::from_nanos(3 * env.cost.safepoint_ns);
+        env.telemetry.add(Bucket::GcOther, pause.as_nanos());
+        pause
     } else {
         work
     };
     env.clock.advance_paused(pause);
     env.pauses.record(start, pause, kind);
+    telemetry_pause(env, pause);
     trace_pause(env, start, pause, kind, &stats);
     env.sample_memory();
 
@@ -551,14 +592,18 @@ pub fn full_compact(env: &mut VmEnv, hooks: &mut dyn GcHooks) -> EvacStats {
 
     // Pause: marking + copying + two full fix-up scans, bandwidth-bound.
     let used = env.heap.used_bytes();
-    let pause_ns = env.cost.safepoint_ns
-        + env.cost.copy_ns(mark.live_bytes) / 2 // mark traversal
-        + env.cost.copy_ns(stats.bytes_copied) // compaction copy
+    let mark_ns = env.cost.copy_ns(mark.live_bytes) / 2; // mark traversal
+    let compact_ns = env.cost.copy_ns(stats.bytes_copied) // compaction copy
         + env.cost.copy_ns(used) / 2 // reference fix-up scans
         + stats.survivors * env.cost.survivor_overhead_ns / env.cost.gc_workers.max(1);
+    let pause_ns = env.cost.safepoint_ns + mark_ns + compact_ns;
+    env.telemetry.add(Bucket::GcOther, env.cost.safepoint_ns);
+    env.telemetry.add(Bucket::GcMark, mark_ns);
+    env.telemetry.add(Bucket::GcEvac, compact_ns);
     let pause = SimTime::from_nanos(pause_ns);
     env.clock.advance_paused(pause);
     env.pauses.record(start, pause, PauseKind::Full);
+    telemetry_pause(env, pause);
     trace_pause(env, start, pause, PauseKind::Full, &stats);
     env.sample_memory();
 

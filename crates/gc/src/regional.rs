@@ -196,7 +196,9 @@ impl RegionalCollector {
         self.hooks.borrow_mut().on_liveness(&mark.context_live);
         // Tracing is roughly bandwidth-bound like copying, but runs
         // concurrently with the application.
-        env.clock.advance(env.cost.copy_ns(mark.live_bytes) / 2);
+        let trace_ns = env.cost.copy_ns(mark.live_bytes) / 2;
+        env.clock.advance(trace_ns);
+        env.telemetry.add(rolp_telemetry::Bucket::GcMark, trace_ns);
         let remark_start = env.clock.now();
         let remark = SimTime::from_nanos(
             env.cost.safepoint_ns
@@ -204,7 +206,9 @@ impl RegionalCollector {
                     / env.cost.gc_workers.max(1),
         );
         env.clock.advance_paused(remark);
+        env.telemetry.add(rolp_telemetry::Bucket::GcMark, remark.as_nanos());
         env.pauses.record(remark_start, remark, PauseKind::ConcurrentHandshake);
+        crate::evac::telemetry_pause(env, remark);
         env.trace.set_gc_cause("remark");
         crate::evac::trace_pause(
             env,

@@ -28,13 +28,19 @@ impl Default for Histogram {
 }
 
 impl Histogram {
+    /// Total number of buckets. Lock-free metric cells mirror this layout
+    /// with atomic counters and convert back losslessly via
+    /// [`Histogram::from_bucket_counts`].
+    pub const SLOTS: usize = 64 * SUB_BUCKETS;
+
     /// Creates an empty histogram covering the full `u64` range.
     pub fn new() -> Self {
         // 64 power-of-two buckets cover all u64 values.
-        Histogram { counts: vec![0; 64 * SUB_BUCKETS], total: 0, min: u64::MAX, max: 0, sum: 0 }
+        Histogram { counts: vec![0; Self::SLOTS], total: 0, min: u64::MAX, max: 0, sum: 0 }
     }
 
-    fn index_of(value: u64) -> usize {
+    /// The bucket index `value` maps to (always `< Histogram::SLOTS`).
+    pub fn index_of(value: u64) -> usize {
         if value < SUB_BUCKETS as u64 {
             return value as usize;
         }
@@ -46,7 +52,7 @@ impl Histogram {
 
     /// Lowest value that maps to the bucket at `index` (the reported
     /// representative for percentile queries).
-    fn value_of(index: usize) -> u64 {
+    pub fn value_of(index: usize) -> u64 {
         let bucket = index / SUB_BUCKETS;
         let sub = (index % SUB_BUCKETS) as u64;
         if bucket == 0 {
@@ -54,6 +60,29 @@ impl Histogram {
         } else {
             let shift = (bucket - 1) as u32;
             (SUB_BUCKETS as u64 + sub) << shift
+        }
+    }
+
+    /// Reconstructs a histogram from externally accumulated per-bucket
+    /// counts (the safepoint-aggregation path for per-thread atomic cells).
+    ///
+    /// `counts[i]` must hold the observations recorded for the bucket at
+    /// index `i` per [`Histogram::index_of`]; `min`/`max`/`sum` are the
+    /// exact extremes and sum of the recorded values. The result is
+    /// bit-identical to a histogram fed the same samples directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts.len() != Histogram::SLOTS`.
+    pub fn from_bucket_counts(counts: &[u64], min: u64, max: u64, sum: u128) -> Self {
+        assert_eq!(counts.len(), Self::SLOTS, "bucket count layout mismatch");
+        let total: u64 = counts.iter().sum();
+        Histogram {
+            counts: counts.to_vec(),
+            total,
+            min: if total == 0 { u64::MAX } else { min },
+            max: if total == 0 { 0 } else { max },
+            sum: if total == 0 { 0 } else { sum },
         }
     }
 
@@ -126,7 +155,7 @@ impl Histogram {
         if q >= 1.0 {
             return self.max;
         }
-        let rank = ((q * self.total as f64).ceil() as u64).max(1);
+        let rank = crate::stats::rank_of(q, self.total);
         let mut seen = 0u64;
         for (idx, &c) in self.counts.iter().enumerate() {
             seen += c;

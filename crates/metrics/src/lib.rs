@@ -28,5 +28,5 @@ pub use memory::MemoryTracker;
 pub use pause::{PauseEvent, PauseKind, PauseRecorder};
 pub use scale::SimScale;
 pub use simtime::{SimClock, SimTime};
-pub use stats::Summary;
+pub use stats::{quantile_sorted, rank_of, Summary};
 pub use throughput::Throughput;

@@ -54,6 +54,32 @@ impl Summary {
     }
 }
 
+/// Nearest-rank selection: the 1-based rank of the observation reported
+/// for quantile `q` in a sample of `n` observations.
+///
+/// This is the single definition of "which observation is the p99" shared
+/// by [`crate::Histogram::value_at_quantile`], the sorted-vector quantile
+/// below, and every test reference implementation: `ceil(q * n)`, clamped
+/// to `[1, n]`. Returns 0 for an empty sample.
+pub fn rank_of(q: f64, n: u64) -> u64 {
+    if n == 0 {
+        return 0;
+    }
+    ((q * n as f64).ceil() as u64).clamp(1, n)
+}
+
+/// Nearest-rank quantile of an ascending-sorted sample.
+///
+/// Returns the exact observation at [`rank_of`]`(q, len)`, or 0 for an
+/// empty slice. The slice must already be sorted; debug builds assert it.
+pub fn quantile_sorted(sorted: &[u64], q: f64) -> u64 {
+    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "input not sorted");
+    if sorted.is_empty() {
+        return 0;
+    }
+    sorted[rank_of(q, sorted.len() as u64) as usize - 1]
+}
+
 /// Geometric mean of strictly positive values, used for the DaCapo
 /// normalized-time roll-up. Returns 0.0 for an empty slice.
 pub fn geometric_mean(values: &[f64]) -> f64 {
@@ -96,5 +122,41 @@ mod tests {
     fn geometric_mean_of_reciprocals_is_one() {
         let g = geometric_mean(&[2.0, 0.5, 4.0, 0.25]);
         assert!((g - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rank_of_is_nearest_rank() {
+        assert_eq!(rank_of(0.0, 10), 1, "q=0 reports the minimum");
+        assert_eq!(rank_of(0.5, 10), 5);
+        assert_eq!(rank_of(0.99, 10), 10);
+        assert_eq!(rank_of(0.99, 100), 99);
+        assert_eq!(rank_of(1.0, 10), 10, "q=1 reports the maximum");
+        assert_eq!(rank_of(0.5, 0), 0, "empty sample has no rank");
+        assert_eq!(rank_of(0.5, 1), 1);
+    }
+
+    #[test]
+    fn quantile_sorted_selects_exact_observations() {
+        let xs: Vec<u64> = (1..=100).collect();
+        assert_eq!(quantile_sorted(&xs, 0.50), 50);
+        assert_eq!(quantile_sorted(&xs, 0.90), 90);
+        assert_eq!(quantile_sorted(&xs, 0.99), 99);
+        assert_eq!(quantile_sorted(&xs, 1.0), 100);
+        assert_eq!(quantile_sorted(&[], 0.5), 0);
+        assert_eq!(quantile_sorted(&[7], 0.99), 7);
+    }
+
+    #[test]
+    fn quantile_sorted_agrees_with_histogram_rank_selection() {
+        // Both paths go through `rank_of`; for exactly-representable small
+        // values the histogram must report the same observation.
+        let xs: Vec<u64> = (0..32).collect();
+        let mut h = crate::Histogram::new();
+        for &x in &xs {
+            h.record(x);
+        }
+        for q in [0.01, 0.25, 0.5, 0.9, 0.99] {
+            assert_eq!(h.value_at_quantile(q), quantile_sorted(&xs, q), "q={q}");
+        }
     }
 }

@@ -1,7 +1,7 @@
 //! Property-based tests for the metrics substrate.
 
 use proptest::prelude::*;
-use rolp_metrics::Histogram;
+use rolp_metrics::{quantile_sorted, Histogram};
 
 proptest! {
     /// Histogram percentiles track exact (sorted) percentiles within the
@@ -16,8 +16,7 @@ proptest! {
         }
         values.sort_unstable();
         for p in [50.0, 90.0, 99.0] {
-            let rank = ((p / 100.0 * values.len() as f64).ceil() as usize).clamp(1, values.len());
-            let exact = values[rank - 1] as f64;
+            let exact = quantile_sorted(&values, p / 100.0) as f64;
             let approx = h.percentile(p) as f64;
             // Log-bucketed with 5 precision bits: < 1/32 relative error on
             // the bucket representative (which is a lower bound).

@@ -169,7 +169,8 @@ pub enum EventKind {
         /// State after the transition.
         to: &'static str,
         /// Budget that tripped (`record-budget` / `table-budget` /
-        /// `call-budget`) or `recovered` when pressure subsided.
+        /// `call-budget` / `overhead-budget`) or `recovered` when
+        /// pressure subsided.
         reason: &'static str,
         /// Record-path events charged to the closing epoch.
         record_events: u64,

@@ -11,6 +11,7 @@ use std::sync::Arc;
 
 use rolp_heap::Heap;
 use rolp_metrics::{MemoryTracker, PauseRecorder, SimClock, Throughput};
+use rolp_telemetry::{GaugeId, Telemetry};
 use rolp_trace::{EventKind, TraceRecorder};
 
 use crate::cost::CostModel;
@@ -43,6 +44,11 @@ pub struct VmEnv {
     pub threads: Vec<MutatorThread>,
     /// Structured telemetry flight recorder (disabled by default).
     pub trace: TraceRecorder,
+    /// Always-on live metrics plane. Every nanosecond charged through
+    /// [`VmEnv::charge`] is attributed to the telemetry's current
+    /// bucket; pause and idle time are attributed explicitly at their
+    /// clock-advance sites.
+    pub telemetry: Telemetry,
     /// Published pretenuring decisions. When set, the allocation fast
     /// path resolves each profiled allocation's target generation with a
     /// single lock-free read of the current [`crate::DecisionTable`]
@@ -73,20 +79,26 @@ impl VmEnv {
             jit,
             threads,
             trace: TraceRecorder::disabled(),
+            telemetry: Telemetry::new(),
             decisions: None,
         }
     }
 
-    /// Charges `ns` of mutator time.
+    /// Charges `ns` of mutator time, attributed to the telemetry's
+    /// current bucket (see [`Telemetry::span`]).
     #[inline]
     pub fn charge(&mut self, ns: u64) {
         self.clock.advance(ns);
+        self.telemetry.on_charge(ns);
     }
 
     /// Updates the memory watermarks from current heap occupancy.
     pub fn sample_memory(&mut self) {
         self.memory.set_committed(self.heap.committed_bytes());
         self.memory.set_used(self.heap.used_bytes());
+        let registry = self.telemetry.registry();
+        registry.set_gauge(GaugeId::HeapUsedBytes, self.heap.used_bytes());
+        registry.set_gauge(GaugeId::HeapCommittedBytes, self.heap.committed_bytes());
         if self.trace.is_enabled() {
             self.trace.emit_global(
                 self.clock.now(),

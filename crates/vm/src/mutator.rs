@@ -23,6 +23,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use rolp_heap::{ClassId, Handle, ObjectHeader, ObjectRef};
+use rolp_telemetry::{Bucket, CounterId, HistId};
 
 use crate::env::VmEnv;
 use crate::jit::JitEvent;
@@ -144,7 +145,12 @@ impl Vm {
         // threads steal cycles from the application on a loaded box).
         let cost = self.env.program.method(method).bytecode_size as u64
             * self.env.cost.jit_compile_per_bytecode_ns;
-        self.env.charge(cost);
+        {
+            let _span = self.env.telemetry.span(Bucket::JitCompile);
+            self.env.charge(cost);
+        }
+        self.env.telemetry.bump(CounterId::JitCompiles, 1);
+        self.env.telemetry.record(HistId::JitCompileNs, cost);
         if self.env.trace.is_enabled() {
             self.env.trace.emit_thread(
                 thread.0,
@@ -188,6 +194,7 @@ impl MutatorCtx<'_> {
     /// time). No work is attributed to any method.
     pub fn idle(&mut self, ns: u64) {
         self.vm.env.clock.advance_idle(ns);
+        self.vm.env.telemetry.add(Bucket::Idle, ns);
     }
 
     // --- Calls ---
@@ -282,6 +289,7 @@ impl MutatorCtx<'_> {
         // sites — and only when call-profiling code is installed at all.
         let mut added = 0u16;
         if caller_compiled && !inlined && env.jit.config().install_call_profiling {
+            let _span = env.telemetry.span(Bucket::MutatorProfiling);
             let delta = env.jit.call_site(site).delta;
             if delta != 0 {
                 env.charge(env.cost.profile_call_slow_ns);
@@ -320,6 +328,7 @@ impl MutatorCtx<'_> {
 
         let env = &mut self.vm.env;
         if run_exit_profiling {
+            let _span = env.telemetry.span(Bucket::MutatorProfiling);
             let delta = env.jit.call_site(site).delta;
             if delta != 0 {
                 env.charge(env.cost.profile_call_slow_ns);
@@ -447,16 +456,21 @@ impl MutatorCtx<'_> {
                 let thread = self.thread;
                 let ctx_val = self.vm.profiler.borrow_mut().on_alloc(pid, tss, thread);
                 let env = &mut self.vm.env;
-                env.charge(if interpreted_profile {
-                    env.cost.profile_alloc_interpreted_ns
-                } else {
-                    env.cost.profile_alloc_ns
-                });
+                {
+                    let _span = env.telemetry.span(Bucket::MutatorProfiling);
+                    env.charge(if interpreted_profile {
+                        env.cost.profile_alloc_interpreted_ns
+                    } else {
+                        env.cost.profile_alloc_ns
+                    });
+                }
+                env.telemetry.bump(CounterId::ProfiledAllocs, 1);
                 header = header.with_allocation_context(ctx_val);
                 context = Some(ctx_val);
             }
             None => {
                 self.vm.profiler.borrow_mut().on_unprofiled_alloc();
+                self.vm.env.telemetry.bump(CounterId::UnprofiledAllocs, 1);
             }
         }
 
@@ -775,6 +789,55 @@ mod tests {
         ctx.bias_lock(h);
         assert!(ctx.header_of(h).is_biased());
         assert_eq!(ctx.header_of(h).allocation_context(), None);
+    }
+
+    #[test]
+    fn telemetry_attributes_every_charged_nanosecond() {
+        let mut w = world(2);
+        let cs = w.cs_helper;
+        // Interpreted warmup, a JIT compile, compiled work, and idle
+        // pacing — all of it must land in exactly one bucket.
+        for _ in 0..6 {
+            w.vm.ctx(ThreadId(0)).call(cs, |ctx| ctx.work(10));
+        }
+        w.vm.ctx(ThreadId(0)).idle(1_000);
+
+        let cells = std::sync::Arc::clone(w.vm.env.telemetry.cells());
+        let attributed: u64 = rolp_telemetry::Bucket::ALL
+            .iter()
+            .filter(|b| !b.is_modeled())
+            .map(|&b| cells.time(b))
+            .sum();
+        assert_eq!(
+            attributed,
+            w.vm.env.clock.now().as_nanos(),
+            "clock-backed buckets must partition the whole clock"
+        );
+        assert!(cells.time(Bucket::JitCompile) > 0, "compile time attributed");
+        assert_eq!(cells.time(Bucket::Idle), 1_000);
+        assert_eq!(cells.counter(CounterId::JitCompiles), 1);
+    }
+
+    #[test]
+    fn call_profiling_charges_land_in_profiling_bucket() {
+        let mut w = world(1);
+        let cs = w.cs_helper;
+        let main = w.main;
+        for _ in 0..3 {
+            w.vm.ctx(ThreadId(0)).call(cs, |ctx| ctx.work(1));
+        }
+        let program = Rc::clone(&w.vm.env.program);
+        while !w.vm.env.jit.is_compiled(main) {
+            w.vm.env.jit.note_entry(&program, main, &mut w.vm.rng);
+        }
+        w.vm.env.jit.enable_call_profiling(cs);
+
+        let before = w.vm.env.telemetry.cells().time(Bucket::MutatorProfiling);
+        w.vm.ctx(ThreadId(0)).call(cs, |ctx| ctx.work(1));
+        let after = w.vm.env.telemetry.cells().time(Bucket::MutatorProfiling);
+        // Entry and exit both take the slow profiling path.
+        assert_eq!(after - before, 2 * w.vm.env.cost.profile_call_slow_ns);
+        assert_eq!(w.vm.env.telemetry.current(), Bucket::MutatorApp, "span closed");
     }
 
     #[test]

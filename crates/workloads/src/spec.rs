@@ -91,13 +91,28 @@ pub struct RunOutcome {
     pub trace: Vec<rolp_trace::TraceEvent>,
     /// Events the per-thread trace rings overflowed and dropped.
     pub trace_dropped: u64,
+    /// Every telemetry snapshot published during the run (one per
+    /// sampling window, plus the end-of-run snapshot), oldest first.
+    pub metrics: Vec<std::sync::Arc<rolp_telemetry::MetricsSnapshot>>,
 }
 
 /// Runs `workload` under `config` until the budget is exhausted.
 pub fn execute(
     workload: &mut dyn Workload,
+    config: RuntimeConfig,
+    budget: &RunBudget,
+) -> RunOutcome {
+    execute_with(workload, config, budget, |_| {})
+}
+
+/// [`execute`] with an `on_start` hook that observes the runtime after
+/// setup but before the first tick — e.g. to clone the telemetry
+/// registry for a crash-flush guard that must outlive the run loop.
+pub fn execute_with(
+    workload: &mut dyn Workload,
     mut config: RuntimeConfig,
     budget: &RunBudget,
+    on_start: impl FnOnce(&JvmRuntime),
 ) -> RunOutcome {
     let program = workload.build_program();
     // Apply the workload's paper filters unless the caller configured
@@ -110,6 +125,7 @@ pub fn execute(
 
     let mut rt = JvmRuntime::new(config, program);
     workload.setup(&mut rt);
+    on_start(&rt);
 
     let mut ops: u64 = 0;
     let mut tick_no: u64 = 0;
@@ -127,6 +143,7 @@ pub fn execute(
         if now >= next_window {
             rt.vm.env.throughput.sample_window(now);
             rt.sample_side_tables();
+            rt.vm.env.telemetry.registry().publish(now.as_nanos());
             next_window = now + window;
         }
         if now >= budget.sim_time || ops >= budget.max_ops {
@@ -139,6 +156,9 @@ pub fn execute(
     let mut pauses = raw_pauses.clone();
     pauses.discard_before(budget.warmup_discard);
     let trace_dropped = rt.vm.env.trace.dropped();
+    // `report()` published the end-of-run snapshot, so the history is
+    // complete by the time we copy it out.
+    let metrics = rt.vm.env.telemetry.registry().store().history();
     RunOutcome {
         report,
         pauses,
@@ -147,5 +167,6 @@ pub fn execute(
         mutator_time: rt.vm.env.clock.mutator_time(),
         trace: rt.take_trace(),
         trace_dropped,
+        metrics,
     }
 }
