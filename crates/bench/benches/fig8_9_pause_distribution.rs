@@ -40,6 +40,13 @@ struct JsonRow {
     /// row exceeds the paper's ~5% bound.
     profiling_overhead: f64,
     percentiles_ms: Vec<(f64, f64)>,
+    /// p99 of the pauses inside the warmup window (before the discard
+    /// point) — present on ROLP rows so `scripts/bench_gate.py` can
+    /// compare the warmup cliff across cold and warm starts.
+    warmup_p99_ms: Option<f64>,
+    /// First epoch after which the published decision table stopped
+    /// changing (0 = stable from the start, i.e. a fully-warm start).
+    epochs_to_stable: Option<u64>,
 }
 
 fn render_json(scale_divisor: u64, rows: &[JsonRow]) -> String {
@@ -55,6 +62,12 @@ fn render_json(scale_divisor: u64, rows: &[JsonRow]) -> String {
             // "99.9" -> "p99_9": keys must be identifier-ish for the gate.
             let key = format!("{p}").replace('.', "_");
             s.push_str(&format!(", \"p{key}_ms\": {ms:.3}"));
+        }
+        if let Some(w) = r.warmup_p99_ms {
+            s.push_str(&format!(", \"warmup_p99_ms\": {w:.3}"));
+        }
+        if let Some(e) = r.epochs_to_stable {
+            s.push_str(&format!(", \"epochs_to_stable\": {e}"));
         }
         s.push_str(if i + 1 < rows.len() { "},\n" } else { "}\n" });
     }
@@ -79,28 +92,44 @@ fn main() {
         println!(
             "quick mode: first workload, G1 + ROLP (4 mutator threads) + ROLP-seq \
              (1 thread, sequential profiler backend) + ROLP (governed) \
-             (overhead governor on, no faults) (ROLP_BENCH_QUICK)"
+             (overhead governor on, no faults) + ROLP (warm) \
+             (warm-started from the plain ROLP run's profile) (ROLP_BENCH_QUICK)"
         );
     }
 
-    // (collector, mutator threads, gate label, governed). The default
+    /// How one gate row is driven.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mode {
+        Plain,
+        /// Overhead governor engaged.
+        Governed,
+        /// Plain ROLP that also exports its learned decision profile.
+        Learn,
+        /// ROLP warm-started from the profile the `Learn` row exported.
+        Warm,
+    }
+
+    // (collector, mutator threads, gate label, mode). The default
     // 4-thread runs exercise the concurrent profiler data plane; quick
     // mode adds a 1-thread ROLP run so the gate also covers the
-    // sequential backend, and a governed ROLP run so the gate bounds the
-    // governor's own overhead. The governed row must come *after* plain
-    // ROLP: the shape-check lookup below takes the first match per
-    // CollectorKind.
-    let collectors: Vec<(CollectorKind, u32, &'static str, bool)> = if quick {
+    // sequential backend, a governed ROLP run so the gate bounds the
+    // governor's own overhead, and a warm-started ROLP run so the gate
+    // covers the profile import/blend path. The governed and warm rows
+    // must come *after* plain ROLP: the shape-check lookup below takes
+    // the first match per CollectorKind, and the warm row consumes the
+    // profile the plain (`Learn`) row exports.
+    let collectors: Vec<(CollectorKind, u32, &'static str, Mode)> = if quick {
         vec![
-            (CollectorKind::G1, 4, CollectorKind::G1.label(), false),
-            (CollectorKind::RolpNg2c, 4, CollectorKind::RolpNg2c.label(), false),
-            (CollectorKind::RolpNg2c, 1, "ROLP-seq", false),
-            (CollectorKind::RolpNg2c, 4, "ROLP (governed)", true),
+            (CollectorKind::G1, 4, CollectorKind::G1.label(), Mode::Plain),
+            (CollectorKind::RolpNg2c, 4, CollectorKind::RolpNg2c.label(), Mode::Learn),
+            (CollectorKind::RolpNg2c, 1, "ROLP-seq", Mode::Plain),
+            (CollectorKind::RolpNg2c, 4, "ROLP (governed)", Mode::Governed),
+            (CollectorKind::RolpNg2c, 4, "ROLP (warm)", Mode::Warm),
         ]
     } else {
         [CollectorKind::Cms, CollectorKind::G1, CollectorKind::Ng2c, CollectorKind::RolpNg2c]
             .into_iter()
-            .map(|k| (k, 4, k.label(), false))
+            .map(|k| (k, 4, k.label(), Mode::Plain))
             .collect()
     };
     let mut json_rows: Vec<JsonRow> = Vec::new();
@@ -120,20 +149,54 @@ fn main() {
         );
         let mut tail_ms: Vec<(CollectorKind, f64)> = Vec::new();
         let mut governed_tail: Option<f64> = None;
+        let mut learned: Option<rolp::DecisionProfile> = None;
+        let mut warm_info: Vec<(&'static str, f64, u64)> = Vec::new();
 
-        for &(kind, threads, label, governed) in &collectors {
+        for &(kind, threads, label, mode) in &collectors {
             // Fresh workload instance per run (independent state).
             let mut workloads = bigdata_workloads(scale);
             let w = &mut workloads[wi];
             let start = std::time::Instant::now();
-            let out = if governed {
-                rolp_bench::run_one_governed(w.as_mut(), heap.clone(), scale, &budget, threads)
-            } else {
-                run_one_threads(w.as_mut(), kind, heap.clone(), scale, &budget, threads)
+            let out = match mode {
+                Mode::Governed => {
+                    rolp_bench::run_one_governed(w.as_mut(), heap.clone(), scale, &budget, threads)
+                }
+                Mode::Learn => {
+                    let (out, profile) = rolp_bench::run_one_learning(
+                        w.as_mut(),
+                        heap.clone(),
+                        scale,
+                        &budget,
+                        threads,
+                    );
+                    learned = Some(profile);
+                    out
+                }
+                Mode::Warm => rolp_bench::run_one_warm(
+                    w.as_mut(),
+                    heap.clone(),
+                    scale,
+                    &budget,
+                    threads,
+                    learned.clone().expect("warm row must follow the learning ROLP row"),
+                ),
+                Mode::Plain => {
+                    run_one_threads(w.as_mut(), kind, heap.clone(), scale, &budget, threads)
+                }
             };
             let wall = start.elapsed();
-            if governed {
+            if mode == Mode::Governed {
                 governed_tail = Some(out.pauses.percentile_ms(99.9));
+            }
+            let (warmup_p99, stable) = match &out.report.rolp {
+                Some(r) => (
+                    Some(rolp_bench::warmup_p99_ms(&out, budget.warmup_discard)),
+                    Some(r.last_change_epoch),
+                ),
+                None => (None, None),
+            };
+            if let (Some(w99), Some(e)) = (warmup_p99, stable) {
+                warm_info.push((label, w99, e));
             }
 
             let mut row = vec![label.to_string()];
@@ -152,6 +215,8 @@ fn main() {
                     .iter()
                     .map(|&p| (p, out.pauses.percentile_ms(p)))
                     .collect(),
+                warmup_p99_ms: warmup_p99,
+                epochs_to_stable: stable,
             });
 
             let bounds_ns: Vec<u64> = FIG9_INTERVALS_MS.iter().map(|ms| ms * 1_000_000).collect();
@@ -214,6 +279,16 @@ fn main() {
                 println!(
                     "governor overhead [{name}]: p99.9 governed {gov:.1} ms vs plain \
                      {rolp:.1} ms ({overhead:+.1}%)"
+                );
+            }
+            let find = |l: &str| warm_info.iter().find(|(n, _, _)| *n == l);
+            if let (Some(&(_, cold_w, cold_e)), Some(&(_, warm_w, warm_e))) =
+                (find("ROLP"), find("ROLP (warm)"))
+            {
+                println!(
+                    "warm start [{name}]: warmup-window p99 cold {cold_w:.1} ms \
+                     (stable at epoch {cold_e}) vs warm {warm_w:.1} ms (stable at \
+                     epoch {warm_e})"
                 );
             }
             println!();

@@ -134,6 +134,73 @@ pub fn run_one_governed(
     rolp_workloads::execute(workload, config, budget)
 }
 
+/// [`run_one_threads`] for ROLP, additionally extracting the learned
+/// [`rolp::DecisionProfile`] at the end of the run — the bench-side
+/// analogue of the CLI's `--profile-out`. The outcome is identical to a
+/// plain ROLP run (extraction happens after the final tick, before the
+/// report), so this can substitute for `run_one_threads` in a gate row.
+pub fn run_one_learning(
+    workload: &mut dyn Workload,
+    heap: HeapConfig,
+    scale: SimScale,
+    budget: &RunBudget,
+    threads: u32,
+) -> (RunOutcome, rolp::DecisionProfile) {
+    let mut config = runtime_config(CollectorKind::RolpNg2c, heap, scale);
+    config.threads = threads;
+    let mut profile = rolp::DecisionProfile::default();
+    let out = rolp_workloads::execute_hooked(
+        workload,
+        config,
+        budget,
+        |_| {},
+        |rt| {
+            if let Some(p) = rt.profiler.as_ref() {
+                profile = rolp::DecisionProfile::from_profiler(
+                    &p.borrow(),
+                    &rt.vm.env.program,
+                    &rt.vm.env.jit,
+                );
+            }
+        },
+    );
+    (out, profile)
+}
+
+/// [`run_one_threads`] for ROLP warm-started from a previously learned
+/// profile — the bench-side analogue of the CLI's `--profile-in`.
+pub fn run_one_warm(
+    workload: &mut dyn Workload,
+    heap: HeapConfig,
+    scale: SimScale,
+    budget: &RunBudget,
+    threads: u32,
+    profile: rolp::DecisionProfile,
+) -> RunOutcome {
+    let mut config = runtime_config(CollectorKind::RolpNg2c, heap, scale);
+    config.threads = threads;
+    config.rolp.offline_profile = Some(profile);
+    rolp_workloads::execute(workload, config, budget)
+}
+
+/// p99 of the pauses recorded inside `[0, window)` of a run — the
+/// warmup-window tail the Fig. 10 warm-start comparison and
+/// `scripts/warmup_gate.py` gate on. Computed from the raw (undiscarded)
+/// recorder so the warmup itself is visible.
+pub fn warmup_p99_ms(out: &RunOutcome, window: SimTime) -> f64 {
+    let mut ms: Vec<f64> = out
+        .raw_pauses
+        .events_between(SimTime::ZERO, window)
+        .map(|e| e.duration.as_millis_f64())
+        .collect();
+    if ms.is_empty() {
+        return 0.0;
+    }
+    ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let idx = ((ms.len() as f64) * 0.99).ceil() as usize;
+    ms[idx.saturating_sub(1).min(ms.len() - 1)]
+}
+
 /// The Fig. 8 percentiles.
 pub const FIG8_PERCENTILES: [f64; 7] = [50.0, 75.0, 90.0, 95.0, 99.0, 99.9, 100.0];
 

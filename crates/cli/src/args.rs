@@ -101,8 +101,17 @@ OPTIONS:
     --secs <N>          simulated run length in seconds   [default: 120]
     --discard <N>       warmup discard in seconds         [default: 30]
     --report            print the full profiler report
-    --export-profile <FILE>   write learned decisions (POLM2-style)
-    --import-profile <FILE>   warm-start from an exported profile
+    --profile-out <FILE>  write the learned state as a versioned
+                        rolp-profile-v1 file: pretenuring decisions with
+                        confidence, frozen distinguishing call sites, the
+                        program-shape fingerprint, and epoch count
+                        (alias: --export-profile)
+    --profile-in <FILE>   warm-start from an exported profile: decisions
+                        apply the moment their site is JIT-compiled, and
+                        the profile is validated against the running
+                        program's shape — entries that no longer resolve
+                        are rejected with a warning, never blindly applied
+                        (alias: --import-profile)
     --trace-out <FILE>  record a flight-recorder trace of GC pauses,
                         profiler inferences, pretenuring decisions, and
                         JIT activity; written in Chrome trace_event format
@@ -171,8 +180,12 @@ pub fn parse(argv: &[String]) -> Result<Args, String> {
                 args.discard = v.parse::<u64>().map_err(|_| "--discard must be a number")?;
             }
             "--report" => args.report = true,
-            "--export-profile" => args.export_profile = Some(take("--export-profile")?),
-            "--import-profile" => args.import_profile = Some(take("--import-profile")?),
+            "--profile-out" | "--export-profile" => {
+                args.export_profile = Some(take("--profile-out")?)
+            }
+            "--profile-in" | "--import-profile" => {
+                args.import_profile = Some(take("--profile-in")?)
+            }
             "--trace-out" => args.trace_out = Some(take("--trace-out")?),
             "--stats-json" => args.stats_json = Some(take("--stats-json")?),
             "--metrics-out" => args.metrics_out = Some(take("--metrics-out")?),
@@ -330,6 +343,18 @@ mod tests {
         let err = parse(&argv("--fault-plan no-such-plan")).unwrap_err();
         assert!(err.contains("pressure-spike"), "error lists canned plans: {err}");
         assert_eq!(parse(&[]).unwrap().fault_plan, None);
+    }
+
+    #[test]
+    fn profile_flags_and_their_legacy_aliases_parse() {
+        let a = parse(&argv("--profile-out out.prof --profile-in in.prof")).expect("parses");
+        assert_eq!(a.export_profile.as_deref(), Some("out.prof"));
+        assert_eq!(a.import_profile.as_deref(), Some("in.prof"));
+        let b = parse(&argv("--export-profile out.prof --import-profile in.prof"))
+            .expect("aliases parse");
+        assert_eq!(b.export_profile.as_deref(), Some("out.prof"));
+        assert_eq!(b.import_profile.as_deref(), Some("in.prof"));
+        assert!(parse(&argv("--profile-in")).unwrap_err().contains("needs a value"));
     }
 
     #[test]

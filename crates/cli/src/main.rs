@@ -54,10 +54,21 @@ fn run(args: Args) -> Result<(), String> {
         ..Default::default()
     };
     if let Some(path) = &args.import_profile {
+        // Parse/version/truncation errors fail the run here; shape
+        // validation against the program happens in the profiler at first
+        // JIT compile and is reported in the end-of-run summary.
         let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
         let profile: DecisionProfile =
             text.parse().map_err(|e| format!("bad profile {path}: {e}"))?;
-        println!("imported {} offline decision(s) from {path}", profile.len());
+        let provenance = match profile.fingerprint {
+            Some(fp) => format!("fingerprint {fp:016x}, {} epoch(s) of evidence", profile.epochs),
+            None => "legacy headerless profile, per-entry validation only".to_string(),
+        };
+        println!(
+            "profile-in: {} decision(s), {} call site(s) from {path} ({provenance})",
+            profile.len(),
+            profile.call_sites.len()
+        );
         config.rolp.offline_profile = Some(profile);
     }
     // The flight recorder stays off (and costs nothing) unless a trace
@@ -382,6 +393,26 @@ fn print_report(report: &rolp::runtime::RunReport, pauses: &rolp_metrics::PauseR
                 "governor           ended in state `{state}` ({} transition(s), {} injected fault event(s))",
                 r.governor_transitions, r.injected_fault_events
             );
+        }
+        if let Some(v) = r.profile_import {
+            println!(
+                "profile import     {}/{} entries applied, {}/{} call sites; stable since epoch {}",
+                v.entries_applied,
+                v.entries_total,
+                v.call_sites_applied,
+                v.call_sites_total,
+                r.last_change_epoch
+            );
+            if v.nothing_applied() {
+                println!(
+                    "WARNING: imported profile applied nothing — it came from a different program"
+                );
+            } else if !v.fully_applied() {
+                println!(
+                    "WARNING: imported profile only partially applied ({} entries, {} call sites rejected)",
+                    v.entries_rejected, v.call_sites_rejected
+                );
+            }
         }
     }
     println!("pauses (post-discard): {}", pauses.count());

@@ -161,6 +161,25 @@ impl ConflictResolver {
         self.active_batch.len() + self.frozen.len()
     }
 
+    /// The frozen distinguishing sets (§5): call sites kept enabled
+    /// because disabling them re-conflated separated contexts. These are
+    /// what an offline profile exports by name.
+    pub fn frozen_sites(&self) -> &[CallSiteId] {
+        &self.frozen
+    }
+
+    /// Warm-starts the frozen distinguishing sets from an imported
+    /// profile (deduplicated against what is already frozen). The caller
+    /// re-applies the resolver state to the JIT afterwards so the sites
+    /// actually start tracking.
+    pub fn import_frozen(&mut self, sites: impl IntoIterator<Item = CallSiteId>) {
+        for cs in sites {
+            if !self.frozen.contains(&cs) {
+                self.frozen.push(cs);
+            }
+        }
+    }
+
     /// Re-applies the resolver's intended call-site-profiling state to the
     /// JIT after the governor bulk-disabled it (`Reduced` and below shed
     /// all call-site profiling): frozen distinguishing sets (§5) and the
@@ -471,6 +490,20 @@ mod tests {
         // ...then recovery re-applies the resolver's intent exactly.
         r.reapply_to_jit(&mut jit);
         assert_eq!(jit.enabled_call_sites(), enabled);
+    }
+
+    #[test]
+    fn imported_frozen_sets_dedupe_and_reapply() {
+        let (program, mut jit) = world(4);
+        let mut r = ConflictResolver::new(ConflictConfig::default(), 7);
+        let sites: Vec<CallSiteId> = program.call_sites().collect();
+        r.import_frozen([sites[0], sites[1], sites[0]]);
+        assert_eq!(r.frozen_sites(), &[sites[0], sites[1]]);
+        r.import_frozen([sites[1], sites[2]]);
+        assert_eq!(r.frozen_sites().len(), 3, "dedupe against existing frozen sites");
+        assert_eq!(r.stats().frozen_sites, 3);
+        r.reapply_to_jit(&mut jit);
+        assert_eq!(jit.enabled_call_sites(), 3);
     }
 
     #[test]

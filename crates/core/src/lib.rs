@@ -96,7 +96,10 @@ pub use governor::{
 };
 pub use inference::{classify_row, find_peaks, infer, InferenceOutcome, RowVerdict};
 pub use leak::{LeakReport, LeakSuspect};
-pub use offline::{DecisionProfile, ProfileEntry, ProfileParseError};
+pub use offline::{
+    program_fingerprint, CallSiteEntry, DecisionProfile, ProfileEntry, ProfileParseError,
+    ProfileValidation, ResolvedProfile, PROFILE_FORMAT_V1,
+};
 pub use old_table::{merge_worker_tables, MergeSummary, OldTable, WorkerTable, AGE_COLUMNS};
 pub use profiler::{
     backend_for_threads, ProfilingLevel, RolpConfig, RolpProfiler, RolpStats, TableBackend,

@@ -42,8 +42,8 @@ use rolp_gc::{GcCycleInfo, GcHooks};
 use rolp_heap::{ObjectHeader, RegionKind};
 use rolp_telemetry::{Bucket, CounterId, HistId};
 use rolp_vm::{
-    AllocSiteId, DecisionStore, DecisionTable, JitState, MethodId, Program, ThreadId, VmEnv,
-    VmProfiler,
+    AllocSiteId, CallSiteId, DecisionStore, DecisionTable, JitState, MethodId, Program, ThreadId,
+    VmEnv, VmProfiler,
 };
 
 use rolp_faults::{CycleFaults, FaultInjector, FaultPlan};
@@ -54,9 +54,24 @@ use crate::filters::PackageFilters;
 use crate::geometry::LifetimeTable;
 use crate::governor::{EpochCost, Governor, GovernorConfig, GovernorState};
 use crate::inference::{infer, InferenceOutcome};
+use crate::offline::ProfileValidation;
 use crate::old_table::{OldTable, WorkerTable};
 use crate::shared_table::SharedOldTable;
 use crate::survivor::SurvivorTracking;
+
+/// Remaining confidence below which an imported row's offline prior is
+/// released: the row is dropped from the published table (so
+/// mis-pretenuring stops immediately) and live inference owns it from
+/// then on.
+const CONFIDENCE_FLOOR: u8 = 16;
+
+/// Consecutive canary-confirmed epochs after which an imported row
+/// *graduates* from probation: the canary flag is dropped and the row is
+/// trusted exactly like a live-learned decision (§7.4 semantics — once
+/// the workload has re-confirmed the prior, re-measuring it forever
+/// would only keep survivor tracking alive and let late, noisy
+/// inference perturb an otherwise stable table).
+const CONFIRMATIONS_TO_GRADUATE: u8 = 3;
 
 /// The profiling level, matching the paper's Fig. 6 experiment arms.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -97,6 +112,15 @@ pub struct RolpConfig {
     /// [`crate::offline`]). Matching allocation sites start pretenuring
     /// the moment they are JIT-compiled, skipping the learning warmup.
     pub offline_profile: Option<crate::offline::DecisionProfile>,
+    /// Blend the imported profile with live observation: imported rows
+    /// are published canary-flagged (a 1-in-[`CANARY_STRIDE`] sample of
+    /// their allocations stays young so survivor tracking keeps seeing
+    /// them), and each inference epoch decays or re-confirms the row's
+    /// confidence from that evidence. `false` = frozen POLM2-style
+    /// replay: the profile is trusted verbatim forever.
+    ///
+    /// [`CANARY_STRIDE`]: rolp_vm::CANARY_STRIDE
+    pub blend: bool,
     /// Seed for the conflict resolver's random batches.
     pub seed: u64,
     /// GC worker count — one private [`WorkerTable`] each (§5.2, §7.6),
@@ -121,6 +145,7 @@ impl Default for RolpConfig {
             exception_hook: true,
             demotion_threshold: 0.5,
             offline_profile: None,
+            blend: true,
             seed: 0x0517,
             gc_workers: 4,
             governor: None,
@@ -181,6 +206,23 @@ pub struct RolpStats {
     pub dropped_merge_records: u64,
     /// Safepoint merges postponed by injected merge delays.
     pub delayed_merges: u64,
+    /// Offline-profile import validation (`None` when no profile was
+    /// imported this run).
+    pub profile_import: Option<ProfileValidation>,
+    /// Imported rows whose confidence halved under the blend decay.
+    pub profile_blend_decays: u64,
+    /// Imported rows released to live inference (confidence fell below
+    /// the floor).
+    pub profile_rows_released: u64,
+    /// Imported rows still governing their decision (probationary,
+    /// graduated, and generation-0-exempt rows alike).
+    pub profile_rows_active: u64,
+    /// Imported rows that graduated from canary probation to full trust.
+    pub profile_rows_graduated: u64,
+    /// Inference epoch that last changed the published decision table
+    /// (0 = the published decisions never changed after startup — a
+    /// fully-warm start is stable from epoch 0).
+    pub last_change_epoch: u64,
 }
 
 /// The OLD-table backend a runtime-assembled profiler runs on: the
@@ -268,8 +310,25 @@ pub struct RolpProfiler<T: LifetimeTable = OldTable> {
     /// Recent per-context live-object censuses from marking passes,
     /// oldest first (the §2.2 leak-detection signal).
     pub(crate) liveness_history: std::collections::VecDeque<HashMap<u32, u64>>,
-    /// Offline-profile generations awaiting their site's JIT compilation.
-    pending_offline: Option<HashMap<AllocSiteId, u8>>,
+    /// Offline-profile `(generation, confidence)` pairs awaiting their
+    /// site's JIT compilation.
+    pending_offline: Option<HashMap<AllocSiteId, (u8, u8)>>,
+    /// Imported rows still holding their offline prior: row key →
+    /// remaining confidence. The max-merge skips these until the blend
+    /// decay releases them or they graduate to full trust.
+    imported: HashMap<u32, u8>,
+    /// Consecutive canary-confirmed epochs per probationary row; at
+    /// [`CONFIRMATIONS_TO_GRADUATE`] the row graduates out of
+    /// `imported`.
+    confirm_streak: HashMap<u32, u8>,
+    /// Imported rows that graduated to full trust (still governing their
+    /// decision, no longer probationary).
+    profile_rows_graduated: u64,
+    /// What the import applied and rejected (set at first resolution).
+    import_validation: Option<ProfileValidation>,
+    /// An import happened but its trace event / counter bump is still
+    /// pending (no trace handle inside `on_jit_compile`).
+    import_pending_note: bool,
     max_profile_id: u16,
     /// The overhead governor, if configured.
     governor: Option<Governor>,
@@ -302,6 +361,13 @@ pub struct RolpProfiler<T: LifetimeTable = OldTable> {
     reconciliations: u64,
     demotions: u64,
     inferences: u64,
+    // blend-decay counters: lifetime totals and the closing epoch's share
+    profile_blend_decays: u64,
+    profile_rows_released: u64,
+    epoch_blend_decays: u64,
+    epoch_blend_released: u64,
+    /// Inference epoch that last changed the published decision table.
+    last_change_epoch: u64,
     // pause window for the survivor controller
     window_pause_ms: f64,
     window_pauses: u64,
@@ -348,6 +414,11 @@ impl<T: LifetimeTable> RolpProfiler<T> {
             pid_to_site: HashMap::new(),
             liveness_history: std::collections::VecDeque::new(),
             pending_offline: None,
+            imported: HashMap::new(),
+            confirm_streak: HashMap::new(),
+            profile_rows_graduated: 0,
+            import_validation: None,
+            import_pending_note: false,
             max_profile_id: 0,
             governor,
             faults,
@@ -369,6 +440,11 @@ impl<T: LifetimeTable> RolpProfiler<T> {
             reconciliations: 0,
             demotions: 0,
             inferences: 0,
+            profile_blend_decays: 0,
+            profile_rows_released: 0,
+            epoch_blend_decays: 0,
+            epoch_blend_released: 0,
+            last_change_epoch: 0,
             window_pause_ms: 0.0,
             window_pauses: 0,
         }
@@ -393,6 +469,40 @@ impl<T: LifetimeTable> RolpProfiler<T> {
     /// The decision working set (row key → generation), safepoint-side.
     pub fn decisions(&self) -> &BTreeMap<u32, u8> {
         &self.decisions
+    }
+
+    /// Inference epochs completed.
+    pub fn inferences(&self) -> u64 {
+        self.inferences
+    }
+
+    /// The §5 resolver's frozen distinguishing call sites (exported into
+    /// profiles so a warm start separates conflicts from epoch 0).
+    pub fn frozen_call_sites(&self) -> Vec<CallSiteId> {
+        self.resolver.frozen_sites().to_vec()
+    }
+
+    /// Export confidence for a decision row: imported rows carry what is
+    /// left of their offline prior; live-learned rows export at full
+    /// confidence.
+    pub fn confidence_of(&self, context: u32) -> u8 {
+        self.imported.get(&context).copied().unwrap_or(crate::offline::DEFAULT_CONFIDENCE)
+    }
+
+    /// True while any imported row is still canary-probationary.
+    /// Generation-0 priors are exempt from probation: they say the
+    /// object dies around its first collection, so a surviving canary is
+    /// structurally not expected (zero survivals cannot contradict the
+    /// prior), and misprediction cost is bounded — a wrong gen-0 region
+    /// dies wholesale and is reclaimed without copying.
+    fn any_probationary(&self) -> bool {
+        self.imported.keys().any(|&k| self.decisions.get(&k).is_some_and(|&g| g > 0))
+    }
+
+    /// What the offline-profile import applied and rejected (`None` when
+    /// no profile was configured or no method has been compiled yet).
+    pub fn import_validation(&self) -> Option<ProfileValidation> {
+        self.import_validation
     }
 
     /// The shared publication point for decision snapshots: the mutator
@@ -430,6 +540,12 @@ impl<T: LifetimeTable> RolpProfiler<T> {
             injected_fault_events: self.injected_records,
             dropped_merge_records: self.dropped_merge_records,
             delayed_merges: self.delayed_merges,
+            profile_import: self.import_validation,
+            profile_blend_decays: self.profile_blend_decays,
+            profile_rows_released: self.profile_rows_released,
+            profile_rows_active: self.imported.len() as u64 + self.profile_rows_graduated,
+            profile_rows_graduated: self.profile_rows_graduated,
+            last_change_epoch: self.last_change_epoch,
         }
     }
 
@@ -505,6 +621,11 @@ impl<T: LifetimeTable> RolpProfiler<T> {
         // would bounce the context back to the young generation every
         // other inference.
         for &(key, gen) in &outcome.decisions {
+            // Imported rows hold their offline prior until the blend
+            // decay releases them; then live evidence owns the row.
+            if self.imported.contains_key(&key) {
+                continue;
+            }
             let slot = self.decisions.entry(key).or_insert(gen);
             *slot = (*slot).max(gen);
         }
@@ -526,10 +647,24 @@ impl<T: LifetimeTable> RolpProfiler<T> {
 
     /// Pipeline stage 5: compile the working set into the next immutable
     /// snapshot and atomically publish it. Returns `(version,
-    /// changed_rows)`.
+    /// changed_rows)`. Rows still backed by an imported offline prior are
+    /// published canary-flagged (unless blending is off), so the
+    /// allocation fast path keeps a small young-generation sample flowing
+    /// for the blend decay to judge them by. Generation-0 priors are not
+    /// flagged — they are exempt from probation (see
+    /// [`Self::any_probationary`]).
     fn stage_publish(&mut self) -> (u64, u32) {
-        let next =
-            DecisionTable::next_from(self.store.load(), &self.decisions, self.old.expanded_sites());
+        let blend = self.config.blend;
+        let imported = &self.imported;
+        let decisions = &self.decisions;
+        let next = DecisionTable::next_from_blended(
+            self.store.load(),
+            decisions,
+            self.old.expanded_sites(),
+            |key| {
+                blend && imported.contains_key(&key) && decisions.get(&key).is_some_and(|&g| g > 0)
+            },
+        );
         let changed = next.changed_rows();
         let version = self.store.publish(next);
         (version, changed)
@@ -622,14 +757,81 @@ impl<T: LifetimeTable> RolpProfiler<T> {
             self.stage_resolve(env, info, &outcome);
         }
 
+        // Confidence-weighted decay of the imported prior, judged on
+        // live canary evidence. A pretenured context produces no young
+        // survivals on its own, so imported rows are published
+        // canary-flagged: one in `CANARY_STRIDE` of their allocations
+        // stays young and ages through the survivor spaces like any
+        // other object. The closing epoch's OLD-table row then tells the
+        // truth about current traffic: canaries that survive confirm the
+        // prior (confidence restored); an epoch whose canaries all died
+        // before their first collection contradicts it (confidence
+        // halves). Below the floor the prior is released and the row
+        // handed back to live inference — every allocation young again,
+        // fully observable. After `CONFIRMATIONS_TO_GRADUATE` confirming
+        // epochs in a row the prior graduates instead: probation ends,
+        // the canary flag is dropped, and the row is trusted like a
+        // live-learned decision.
+        self.epoch_blend_decays = 0;
+        self.epoch_blend_released = 0;
+        if tracking_active && self.config.blend && !self.imported.is_empty() {
+            let mut released = Vec::new();
+            let mut graduated = Vec::new();
+            for (&key, conf) in self.imported.iter_mut() {
+                // Generation-0 priors are exempt (`any_probationary`).
+                if self.decisions.get(&key).is_none_or(|&g| g == 0) {
+                    continue;
+                }
+                let hist = self.old.histogram(key);
+                let allocs = hist[0] as u64;
+                let survivals: u64 = hist[1..].iter().map(|&c| c as u64).sum();
+                // Too few allocations to expect canaries in the sample:
+                // no evidence either way this epoch.
+                if allocs < 2 * rolp_vm::CANARY_STRIDE as u64 {
+                    continue;
+                }
+                if survivals > 0 {
+                    *conf = crate::offline::DEFAULT_CONFIDENCE;
+                    let streak = self.confirm_streak.entry(key).or_insert(0);
+                    *streak += 1;
+                    if *streak >= CONFIRMATIONS_TO_GRADUATE {
+                        graduated.push(key);
+                    }
+                    continue;
+                }
+                self.confirm_streak.insert(key, 0);
+                *conf /= 2;
+                self.epoch_blend_decays += 1;
+                self.profile_blend_decays += 1;
+                if *conf < CONFIDENCE_FLOOR {
+                    released.push(key);
+                }
+            }
+            for key in released {
+                self.imported.remove(&key);
+                self.confirm_streak.remove(&key);
+                self.decisions.remove(&key);
+                self.epoch_blend_released += 1;
+                self.profile_rows_released += 1;
+            }
+            for key in graduated {
+                self.imported.remove(&key);
+                self.confirm_streak.remove(&key);
+                self.profile_rows_graduated += 1;
+            }
+        }
+
         // §7.4: stable (non-trivial) decisions → survivor tracking off;
         // >10% average-pause growth while off → back on. Never shut down
         // while a conflict is still being resolved — the resolver needs
-        // age data to judge its probing batches.
+        // age data to judge its probing batches — nor while blended
+        // imported priors remain: their canary samples are the only live
+        // evidence the decay has, and it flows through the survivor path.
         if self.config.survivor_shutdown
             && !off
             && !self.decisions.is_empty()
             && self.resolver.open_conflicts() == 0
+            && (!self.config.blend || !self.any_probationary())
         {
             // The working set iterates in key order, as the hash expects.
             let sorted: Vec<(u32, u8)> = self.decisions.iter().map(|(&k, &v)| (k, v)).collect();
@@ -659,6 +861,13 @@ impl<T: LifetimeTable> RolpProfiler<T> {
         } else {
             self.stage_publish()
         };
+        if changed_rows > 0 {
+            // Stability marker for warmup measurement: a fully-warm run's
+            // published table never changes, so this stays 0 (the
+            // mid-epoch warm-start publish in `on_jit_compile`
+            // deliberately does not count).
+            self.last_change_epoch = self.inferences + 1;
+        }
 
         // Attribute the epoch's modeled stage costs and close its
         // telemetry record.
@@ -668,6 +877,9 @@ impl<T: LifetimeTable> RolpProfiler<T> {
         t.add(Bucket::ProfilerResolve, resolve_ns);
         t.add(Bucket::ProfilerPublish, publish_ns);
         t.bump(CounterId::EpochsInferred, 1);
+        if self.epoch_blend_decays > 0 {
+            t.bump(CounterId::ProfileBlendDecays, self.epoch_blend_decays);
+        }
         t.record(HistId::ProfilerEpochNs, infer_ns + resolve_ns + publish_ns);
         t.registry().set_gauge(rolp_telemetry::GaugeId::DecisionVersion, version);
 
@@ -716,6 +928,17 @@ impl<T: LifetimeTable> RolpProfiler<T> {
                     decisions: self.decisions.len() as u64,
                 },
             );
+            if self.epoch_blend_decays > 0 || self.epoch_blend_released > 0 {
+                env.trace.emit_global(
+                    now,
+                    EventKind::ProfileBlend {
+                        epoch: self.inferences + 1,
+                        decayed: self.epoch_blend_decays,
+                        released: self.epoch_blend_released,
+                        remaining: self.imported.len() as u64,
+                    },
+                );
+            }
         }
 
         self.old.clear_counts();
@@ -729,15 +952,30 @@ impl<T: LifetimeTable> VmProfiler for RolpProfiler<T> {
         // governor state (idempotent; covers an `Off` start state before
         // the first transition ever fires).
         jit.set_alloc_profiling(!self.profiling_off);
-        // Resolve the offline profile against the program once.
+        // Resolve the offline profile against the program once, with full
+        // shape validation: entries whose location no longer resolves are
+        // counted and skipped, never blindly applied (both `--profile-in`
+        // and the legacy `--import-profile` alias land here).
         if self.pending_offline.is_none() {
-            self.pending_offline = Some(
-                self.config
-                    .offline_profile
-                    .as_ref()
-                    .map(|p| p.resolve(program))
-                    .unwrap_or_default(),
-            );
+            let resolved = match self.config.offline_profile.as_ref() {
+                Some(p) => {
+                    let r = p.resolve_validated(program);
+                    self.import_validation = Some(r.validation);
+                    self.import_pending_note = true;
+                    if !r.call_sites.is_empty() {
+                        // Re-freeze the exporting run's distinguishing
+                        // call sites so conflicted contexts separate from
+                        // epoch 0 instead of re-probing.
+                        self.resolver.import_frozen(r.call_sites.iter().copied());
+                        if self.config.level == ProfilingLevel::Real && !self.call_shed {
+                            self.resolver.reapply_to_jit(jit);
+                        }
+                    }
+                    r.decisions
+                }
+                None => HashMap::new(),
+            };
+            self.pending_offline = Some(resolved);
         }
         let decl = program.method(method);
         if !self.config.filters.matches(decl.package()) {
@@ -749,9 +987,13 @@ impl<T: LifetimeTable> VmProfiler for RolpProfiler<T> {
                 self.pid_to_site.insert(pid, site);
                 self.max_profile_id = self.max_profile_id.max(pid);
                 // POLM2-style warm start: a matching offline entry becomes
-                // a decision the moment the site is compiled.
-                if let Some(&gen) = self.pending_offline.as_ref().and_then(|m| m.get(&site)) {
-                    self.decisions.entry(pack(pid, 0)).or_insert(gen);
+                // a decision the moment the site is compiled, carrying its
+                // confidence into the blend decay.
+                if let Some(&(gen, conf)) = self.pending_offline.as_ref().and_then(|m| m.get(&site))
+                {
+                    let key = pack(pid, 0);
+                    self.decisions.entry(key).or_insert(gen);
+                    self.imported.insert(key, conf);
                     warm_started = true;
                 }
             }
@@ -837,6 +1079,27 @@ impl<T: LifetimeTable> GcHooks for RolpProfiler<T> {
     }
 
     fn on_gc_end(&mut self, env: &mut VmEnv, info: &GcCycleInfo) {
+        // Flush the import note recorded at JIT-compile time (no trace or
+        // telemetry handle exists inside `on_jit_compile`).
+        if self.import_pending_note {
+            self.import_pending_note = false;
+            if let Some(v) = self.import_validation {
+                env.telemetry.bump(CounterId::ProfileEntriesImported, v.entries_applied as u64);
+                if env.trace.is_enabled() {
+                    env.trace.emit_global(
+                        env.clock.now(),
+                        rolp_trace::EventKind::ProfileImport {
+                            entries: v.entries_total as u64,
+                            applied: v.entries_applied as u64,
+                            rejected: v.entries_rejected as u64,
+                            call_sites: v.call_sites_applied as u64,
+                            had_fingerprint: v.fingerprint_checked,
+                            fingerprint_matched: v.fingerprint_matched,
+                        },
+                    );
+                }
+            }
+        }
         // Fault injection (deterministic, seedable): applied at the
         // safepoint, before the merge, so every injected record is part of
         // the same epoch a real record of that cycle would land in.
@@ -1277,6 +1540,167 @@ mod tests {
         assert!(stats.delayed_merges > 0, "delay-merge%5 fired");
         assert!(stats.injected_fault_events > 0, "burst charged the record budget");
         assert!(stats.governor_state.is_some());
+    }
+
+    #[test]
+    fn imported_profile_warm_starts_with_validation() {
+        let (mut env, m, _site) = env_with_program();
+        let program = std::rc::Rc::clone(&env.program);
+        let profile: crate::offline::DecisionProfile = format!(
+            "rolp-profile-v1\nfingerprint {:016x}\nepochs 5\nentries 2\n\
+             decision app.data.Maker::make@1 5 80\ndecision gone.Method::x@9 3 50\n",
+            crate::offline::program_fingerprint(&program)
+        )
+        .parse()
+        .unwrap();
+        let mut p =
+            RolpProfiler::new(RolpConfig { offline_profile: Some(profile), ..Default::default() });
+        p.on_jit_compile(&program, &mut env.jit, m);
+        assert_eq!(p.advise(pack(1, 0)), Some(5), "published before the first epoch");
+        let v = p.import_validation().expect("validated at first compile");
+        assert!(v.fingerprint_checked && v.fingerprint_matched);
+        assert_eq!(v.entries_applied, 1);
+        assert_eq!(v.entries_rejected, 1, "the stale entry was rejected, not applied");
+        assert_eq!(p.confidence_of(pack(1, 0)), 80);
+
+        // A quiet run never changes the published table: stable from
+        // epoch 0.
+        for cycle in 1..=32u64 {
+            p.on_gc_end(&mut env, &cycle_info(cycle));
+        }
+        let stats = p.stats(&program, &env.jit);
+        assert_eq!(stats.last_change_epoch, 0, "warm start is stable from epoch 0");
+        assert_eq!(stats.profile_rows_active, 1);
+        assert_eq!(stats.profile_import.unwrap().entries_applied, 1);
+    }
+
+    #[test]
+    fn blend_decay_releases_drifted_imported_rows() {
+        let (mut env, m, _site) = env_with_program();
+        let program = std::rc::Rc::clone(&env.program);
+        let profile: crate::offline::DecisionProfile =
+            "rolp-profile-v1\nentries 1\ndecision app.data.Maker::make@1 5 40\n".parse().unwrap();
+        let mut p =
+            RolpProfiler::new(RolpConfig { offline_profile: Some(profile), ..Default::default() });
+        p.on_jit_compile(&program, &mut env.jit, m);
+        assert_eq!(p.advise(pack(1, 0)), Some(5));
+
+        // One epoch = one inference window (16 cycles). Each epoch sees
+        // well over 2*CANARY_STRIDE allocations from the imported
+        // context, so the canary sample is large enough to count as
+        // evidence; `surviving_canaries` is how many of them live past
+        // their first young collection.
+        let mut cycle = 0u64;
+        let mut drive_epoch = |p: &mut RolpProfiler, env: &mut VmEnv, surviving_canaries: u32| {
+            for _ in 0..16 {
+                cycle += 1;
+                for i in 0..20u32 {
+                    let ctx = p.on_alloc(1, 0, ThreadId(0));
+                    if cycle % 16 == 1 && i < surviving_canaries {
+                        let h = ObjectHeader::new(1).with_allocation_context(ctx);
+                        p.on_survivor(h, RegionKind::Eden, 0);
+                    }
+                }
+                p.on_gc_end(env, &cycle_info(cycle));
+            }
+        };
+
+        // Matching traffic: canaries survive, so the prior is confirmed
+        // and its confidence restored to full.
+        drive_epoch(&mut p, &mut env, 3);
+        assert_eq!(p.confidence_of(pack(1, 0)), crate::offline::DEFAULT_CONFIDENCE);
+        assert_eq!(p.stats(&program, &env.jit).profile_blend_decays, 0);
+
+        // Drifted traffic: every canary dies before its first
+        // collection. 100 -> 50 -> 25 -> 12 (< floor): released on the
+        // third contradicting epoch.
+        drive_epoch(&mut p, &mut env, 0);
+        drive_epoch(&mut p, &mut env, 0);
+        assert_eq!(p.advise(pack(1, 0)), Some(5), "still holding the prior");
+        drive_epoch(&mut p, &mut env, 0);
+        assert_eq!(p.advise(pack(1, 0)), None, "released: the row is live inference's again");
+        let stats = p.stats(&program, &env.jit);
+        assert_eq!(stats.profile_blend_decays, 3);
+        assert_eq!(stats.profile_rows_released, 1);
+        assert_eq!(stats.profile_rows_active, 0);
+        assert_eq!(stats.last_change_epoch, 4, "the release changed the table");
+    }
+
+    /// A prior confirmed for `CONFIRMATIONS_TO_GRADUATE` consecutive
+    /// epochs graduates out of probation: the canary flag is dropped,
+    /// the decision stays, survivor tracking is free to shut down again
+    /// (§7.4), and none of it counts as a table change.
+    #[test]
+    fn confirmed_priors_graduate_to_full_trust() {
+        let (mut env, m, _site) = env_with_program();
+        let program = std::rc::Rc::clone(&env.program);
+        let profile: crate::offline::DecisionProfile =
+            "rolp-profile-v1\nentries 1\ndecision app.data.Maker::make@1 5 100\n".parse().unwrap();
+        let mut p =
+            RolpProfiler::new(RolpConfig { offline_profile: Some(profile), ..Default::default() });
+        p.on_jit_compile(&program, &mut env.jit, m);
+        assert!(p.store.load().is_canary(pack(1, 0)), "probationary rows are canary-flagged");
+
+        // Confirming traffic: every epoch some canaries survive their
+        // first young collection.
+        let mut cycle = 0u64;
+        for _ in 0..CONFIRMATIONS_TO_GRADUATE {
+            for _ in 0..16 {
+                cycle += 1;
+                for i in 0..20u32 {
+                    let ctx = p.on_alloc(1, 0, ThreadId(0));
+                    if i < 3 {
+                        let h = ObjectHeader::new(1).with_allocation_context(ctx);
+                        p.on_survivor(h, RegionKind::Eden, 0);
+                    }
+                }
+                p.on_gc_end(&mut env, &cycle_info(cycle));
+            }
+        }
+        assert_eq!(p.advise(pack(1, 0)), Some(5), "the graduated prior still governs");
+        assert!(!p.store.load().is_canary(pack(1, 0)), "graduation drops the canary flag");
+        assert!(!p.any_probationary(), "nothing left to probe -> §7.4 shutdown applies again");
+        let stats = p.stats(&program, &env.jit);
+        assert_eq!(stats.profile_rows_graduated, 1);
+        assert_eq!(stats.profile_rows_active, 1, "graduated rows still count as active");
+        assert_eq!(stats.profile_blend_decays, 0);
+        assert_eq!(stats.last_change_epoch, 0, "graduation is not a table change");
+    }
+
+    /// A generation-0 prior says the object dies around its first
+    /// collection — surviving canaries are structurally not expected, so
+    /// zero survivals cannot contradict it and the row must never decay
+    /// (a warm start importing such a row stays stable from epoch 0).
+    #[test]
+    fn generation_zero_priors_are_exempt_from_canary_decay() {
+        let (mut env, m, _site) = env_with_program();
+        let program = std::rc::Rc::clone(&env.program);
+        let profile: crate::offline::DecisionProfile =
+            "rolp-profile-v1\nentries 1\ndecision app.data.Maker::make@1 0 100\n".parse().unwrap();
+        let mut p =
+            RolpProfiler::new(RolpConfig { offline_profile: Some(profile), ..Default::default() });
+        p.on_jit_compile(&program, &mut env.jit, m);
+        assert_eq!(p.advise(pack(1, 0)), Some(0));
+        assert!(!p.store.load().is_canary(pack(1, 0)), "gen-0 rows are not canary-flagged");
+
+        // Heavy allocation with zero survivals, epoch after epoch — the
+        // evidence that releases a gen>=1 prior.
+        let mut cycle = 0u64;
+        for _ in 0..4 {
+            for _ in 0..16 {
+                cycle += 1;
+                for _ in 0..20 {
+                    p.on_alloc(1, 0, ThreadId(0));
+                }
+                p.on_gc_end(&mut env, &cycle_info(cycle));
+            }
+        }
+        assert_eq!(p.advise(pack(1, 0)), Some(0), "the gen-0 prior holds");
+        let stats = p.stats(&program, &env.jit);
+        assert_eq!(stats.profile_blend_decays, 0);
+        assert_eq!(stats.profile_rows_released, 0);
+        assert_eq!(stats.profile_rows_active, 1);
+        assert_eq!(stats.last_change_epoch, 0, "stable from epoch 0");
     }
 
     #[test]

@@ -132,6 +132,40 @@ pub fn render_summary<T: LifetimeTable>(
             stats.injected_fault_events, stats.dropped_merge_records, stats.delayed_merges
         );
     }
+    if let Some(v) = stats.profile_import {
+        let fp = if !v.fingerprint_checked {
+            "no fingerprint (legacy profile)"
+        } else if v.fingerprint_matched {
+            "fingerprint matched"
+        } else {
+            "FINGERPRINT MISMATCH"
+        };
+        let _ = writeln!(
+            out,
+            "  profile import:   {}/{} entries applied ({} rejected), {}/{} call sites, {fp}",
+            v.entries_applied,
+            v.entries_total,
+            v.entries_rejected,
+            v.call_sites_applied,
+            v.call_sites_total
+        );
+        let _ = writeln!(
+            out,
+            "  profile blend:    {} rows holding prior, {} decays, {} released to live inference",
+            stats.profile_rows_active, stats.profile_blend_decays, stats.profile_rows_released
+        );
+        if v.nothing_applied() {
+            let _ = writeln!(
+                out,
+                "  WARNING: imported profile applied nothing — it came from a different program"
+            );
+        } else if !v.fully_applied() {
+            let _ = writeln!(
+                out,
+                "  WARNING: imported profile only partially applied (program shape changed)"
+            );
+        }
+    }
     out
 }
 
@@ -236,7 +270,19 @@ pub fn stats_json(report: &RunReport, pauses: &PauseRecorder, trace_dropped: u64
             .u64("profile_id_overflows", s.profile_id_overflows)
             .u64("injected_fault_events", s.injected_fault_events)
             .u64("dropped_merge_records", s.dropped_merge_records)
-            .u64("delayed_merges", s.delayed_merges);
+            .u64("delayed_merges", s.delayed_merges)
+            .u64("profile_blend_decays", s.profile_blend_decays)
+            .u64("profile_rows_released", s.profile_rows_released)
+            .u64("profile_rows_active", s.profile_rows_active)
+            .u64("last_change_epoch", s.last_change_epoch);
+        if let Some(v) = s.profile_import {
+            rolp.u64("profile_entries_applied", v.entries_applied as u64)
+                .u64("profile_entries_rejected", v.entries_rejected as u64)
+                .u64("profile_call_sites_applied", v.call_sites_applied as u64)
+                .u64("profile_call_sites_rejected", v.call_sites_rejected as u64)
+                .bool("profile_fingerprint_checked", v.fingerprint_checked)
+                .bool("profile_fingerprint_matched", v.fingerprint_matched);
+        }
         if let Some(state) = s.governor_state {
             rolp.str("governor_state", state);
         }

@@ -1,0 +1,166 @@
+//! Property tests for the `rolp-profile-v1` on-disk format.
+//!
+//! The loader sits on a trust boundary — a profile file may come from an
+//! older build, a different program version, or a truncated copy — so the
+//! parser's contract is: round-trip everything the exporter can produce,
+//! and turn every malformed input into a clean [`ProfileParseError`],
+//! never a panic and never a silently wrong profile.
+
+use proptest::prelude::*;
+use rolp::{program_fingerprint, CallSiteEntry, DecisionProfile, ProfileEntry, PROFILE_FORMAT_V1};
+use rolp_vm::ProgramBuilder;
+
+/// A string of `size` characters drawn uniformly from `alphabet`
+/// (ASCII only). The vendored proptest subset has no regex strategies,
+/// so name/garbage shapes are built from this instead.
+fn chars_from(
+    alphabet: &'static str,
+    size: std::ops::Range<usize>,
+) -> impl Strategy<Value = String> {
+    proptest::collection::vec(0usize..alphabet.len(), size)
+        .prop_map(move |ix| ix.into_iter().map(|i| alphabet.as_bytes()[i] as char).collect())
+}
+
+const NAME_HEAD: &str = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ";
+const NAME_TAIL: &str = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789._:$";
+
+/// Method-name shape: Java-ish identifiers (`pkg.Class::method`,
+/// `a$1._x:y`). No whitespace (fields are whitespace-separated) and no
+/// `?`/`->` (the callsite serialization's placeholders).
+fn name() -> impl Strategy<Value = String> {
+    (0usize..NAME_HEAD.len(), chars_from(NAME_TAIL, 0..17))
+        .prop_map(|(h, tail)| format!("{}{tail}", NAME_HEAD.as_bytes()[h] as char))
+}
+
+/// Printable ASCII plus newline (and optionally tab): the "arbitrary
+/// text file" shape fed to the parser's trust boundary.
+fn printable(size: std::ops::Range<usize>, with_tab: bool) -> impl Strategy<Value = String> {
+    let classes = if with_tab { 97usize } else { 96 };
+    proptest::collection::vec(0usize..classes, size).prop_map(|ix| {
+        ix.into_iter()
+            .map(|i| match i {
+                95 => '\n',
+                96 => '\t',
+                i => (b' ' + i as u8) as char,
+            })
+            .collect()
+    })
+}
+
+/// `rolp-profile-*` headers that are well-formed but not version 1.
+fn wrong_version() -> impl Strategy<Value = String> {
+    prop_oneof![
+        (2u64..10_000).prop_map(|n| format!("rolp-profile-v{n}")),
+        Just("rolp-profile-v0".to_string()),
+        Just("rolp-profile-next".to_string()),
+    ]
+}
+
+fn entry() -> impl Strategy<Value = ProfileEntry> {
+    (name(), 0u32..10_000, 0u8..=15, 0u8..=100).prop_map(|(method, bci, generation, confidence)| {
+        ProfileEntry { method, bci, generation, confidence }
+    })
+}
+
+fn call_site() -> impl Strategy<Value = CallSiteEntry> {
+    (name(), proptest::option::of(name()))
+        .prop_map(|(caller, callee)| CallSiteEntry { caller, callee })
+}
+
+/// Arbitrary profiles in the exporter's normal form (entries and call
+/// sites sorted, as `from_profiler` and the parser both guarantee).
+fn profile() -> impl Strategy<Value = DecisionProfile> {
+    (
+        proptest::option::of(any::<u64>()),
+        any::<u64>(),
+        proptest::option::of((1usize..5_000, 1usize..500)),
+        proptest::collection::vec(entry(), 0..16),
+        proptest::collection::vec(call_site(), 0..8),
+    )
+        .prop_map(|(fingerprint, epochs, geometry, mut entries, mut call_sites)| {
+            entries.sort_by(|a, b| (&a.method, a.bci).cmp(&(&b.method, b.bci)));
+            call_sites.sort();
+            DecisionProfile { fingerprint, epochs, geometry, entries, call_sites }
+        })
+}
+
+proptest! {
+    /// Everything the exporter can render parses back identically.
+    #[test]
+    fn render_parse_round_trips(p in profile()) {
+        let text = p.to_string();
+        prop_assert!(text.starts_with(PROFILE_FORMAT_V1));
+        let back: DecisionProfile = text.parse().expect("rendered profile parses");
+        prop_assert_eq!(back, p);
+    }
+
+    /// Any line-prefix of a valid profile either parses or fails with a
+    /// clean error — a copy cut off mid-transfer must not import a silent
+    /// subset of the decisions the header declares.
+    #[test]
+    fn truncated_profiles_never_panic(p in profile(), keep in 0usize..64) {
+        let full = p.to_string();
+        let cut: String = full.lines().take(keep).map(|l| format!("{l}\n")).collect();
+        match cut.parse::<DecisionProfile>() {
+            Ok(parsed) => {
+                // A prefix that still parses must carry the full entry
+                // set (the `entries` count line precedes the decisions).
+                if cut.contains("\nentries ") {
+                    prop_assert_eq!(parsed.entries.len(), p.entries.len());
+                }
+            }
+            Err(e) => prop_assert!(!e.reason.is_empty()),
+        }
+    }
+
+    /// Unknown `rolp-profile-*` versions are rejected with a clean error,
+    /// whatever follows the header.
+    #[test]
+    fn wrong_version_headers_fail_cleanly(
+        version in wrong_version(),
+        body in printable(0..201, false),
+    ) {
+        let text = format!("{version}\n{body}");
+        let err = text.parse::<DecisionProfile>().expect_err("unknown version must fail");
+        prop_assert!(err.reason.contains("unsupported profile version"), "{}", err);
+    }
+
+    /// Arbitrary printable garbage never panics the parser: it either
+    /// happens to be a legal profile or yields a positioned error.
+    #[test]
+    fn arbitrary_input_never_panics(text in printable(0..401, true)) {
+        match text.parse::<DecisionProfile>() {
+            Ok(p) => prop_assert!(p.entries.iter().all(|e| e.generation <= 15)),
+            Err(e) => prop_assert!(e.line >= 1),
+        }
+    }
+
+    /// Resolving any profile against a program it was not exported from
+    /// (fingerprint mismatch included) never panics, and the validation
+    /// counts always reconcile: every entry and call site is either
+    /// applied or rejected, and decisions only target live sites.
+    #[test]
+    fn foreign_profiles_validate_without_panicking(p in profile()) {
+        let mut b = ProgramBuilder::new();
+        let m = b.method("app.Main::run", 60, false);
+        let callee = b.method("app.store.Buffer::fill", 120, false);
+        b.call_site(m, callee);
+        b.alloc_site(callee, 5);
+        let program = b.build();
+        prop_assume!(p.fingerprint != Some(program_fingerprint(&program)));
+
+        let resolved = p.resolve_validated(&program);
+        let v = resolved.validation;
+        prop_assert_eq!(v.entries_total, p.entries.len());
+        prop_assert_eq!(v.entries_applied + v.entries_rejected, v.entries_total);
+        prop_assert_eq!(v.call_sites_total, p.call_sites.len());
+        prop_assert_eq!(
+            v.call_sites_applied + v.call_sites_rejected,
+            v.call_sites_total
+        );
+        prop_assert!(v.fingerprint_checked == p.fingerprint.is_some());
+        for site in resolved.decisions.keys() {
+            prop_assert!(program.alloc_sites().any(|s| s == *site));
+        }
+    }
+}

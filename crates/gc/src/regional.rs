@@ -152,11 +152,17 @@ impl RegionalCollector {
         }
         // Priority: hand annotation, then the advice the mutator already
         // resolved from the decision snapshot, then a hooks query (the
-        // path direct-driven collectors without a VmEnv store use).
-        let gen = req
-            .manual_gen
-            .or(req.advised_gen)
-            .or_else(|| req.context.and_then(|c| self.hooks.borrow().advise(c)));
+        // path direct-driven collectors without a VmEnv store use). When
+        // this collector has its own store the mutator consulted the same
+        // snapshot — honor its verdict, including a canary-sampled `None`
+        // that deliberately keeps an imported-row allocation young.
+        let gen = req.manual_gen.or(req.advised_gen).or_else(|| {
+            if self.decisions.is_some() {
+                None
+            } else {
+                req.context.and_then(|c| self.hooks.borrow().advise(c))
+            }
+        });
         match gen {
             None | Some(0) => SpaceKind::Eden,
             Some(15) => {

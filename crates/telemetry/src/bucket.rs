@@ -129,11 +129,15 @@ pub enum CounterId {
     GcPauses,
     /// Profiler inference epochs completed.
     EpochsInferred,
+    /// Offline-profile decision entries applied at import.
+    ProfileEntriesImported,
+    /// Imported-row confidence halvings under the blend decay.
+    ProfileBlendDecays,
 }
 
 impl CounterId {
     /// Number of counters.
-    pub const COUNT: usize = 5;
+    pub const COUNT: usize = 7;
 
     /// Every counter, in index order.
     pub const ALL: [CounterId; CounterId::COUNT] = [
@@ -142,6 +146,8 @@ impl CounterId {
         CounterId::JitCompiles,
         CounterId::GcPauses,
         CounterId::EpochsInferred,
+        CounterId::ProfileEntriesImported,
+        CounterId::ProfileBlendDecays,
     ];
 
     /// Dense array index.
@@ -158,6 +164,8 @@ impl CounterId {
             CounterId::JitCompiles => "jit_compiles",
             CounterId::GcPauses => "gc_pauses",
             CounterId::EpochsInferred => "epochs_inferred",
+            CounterId::ProfileEntriesImported => "profile_entries_imported",
+            CounterId::ProfileBlendDecays => "profile_blend_decays",
         }
     }
 }

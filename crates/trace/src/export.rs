@@ -109,6 +109,27 @@ pub fn event_to_json(event: &TraceEvent) -> String {
                 .u64("table_bytes", *table_bytes)
                 .u64("call_overhead_ns", *call_overhead_ns);
         }
+        EventKind::ProfileImport {
+            entries,
+            applied,
+            rejected,
+            call_sites,
+            had_fingerprint,
+            fingerprint_matched,
+        } => {
+            obj.u64("entries", *entries)
+                .u64("applied", *applied)
+                .u64("rejected", *rejected)
+                .u64("call_sites", *call_sites)
+                .bool("had_fingerprint", *had_fingerprint)
+                .bool("fingerprint_matched", *fingerprint_matched);
+        }
+        EventKind::ProfileBlend { epoch, decayed, released, remaining } => {
+            obj.u64("epoch", *epoch)
+                .u64("decayed", *decayed)
+                .u64("released", *released)
+                .u64("remaining", *remaining);
+        }
     }
     obj.finish()
 }
@@ -279,6 +300,20 @@ pub fn parse_jsonl(input: &str) -> Result<Vec<TraceEvent>, String> {
                     table_bytes: get_u64(&map, "table_bytes")?,
                     call_overhead_ns: get_u64(&map, "call_overhead_ns")?,
                 },
+                "profile_import" => EventKind::ProfileImport {
+                    entries: get_u64(&map, "entries")?,
+                    applied: get_u64(&map, "applied")?,
+                    rejected: get_u64(&map, "rejected")?,
+                    call_sites: get_u64(&map, "call_sites")?,
+                    had_fingerprint: get_bool(&map, "had_fingerprint")?,
+                    fingerprint_matched: get_bool(&map, "fingerprint_matched")?,
+                },
+                "profile_blend" => EventKind::ProfileBlend {
+                    epoch: get_u64(&map, "epoch")?,
+                    decayed: get_u64(&map, "decayed")?,
+                    released: get_u64(&map, "released")?,
+                    remaining: get_u64(&map, "remaining")?,
+                },
                 other => return Err(format!("unknown event type '{other}'")),
             })
         })()
@@ -355,6 +390,8 @@ pub fn to_chrome_trace(events: &[TraceEvent]) -> String {
                     EventKind::OldTableMerge { .. } => "OLD table merge",
                     EventKind::DecisionPublish { .. } => "decision publish",
                     EventKind::GovernorTransition { .. } => "governor transition",
+                    EventKind::ProfileImport { .. } => "profile import",
+                    EventKind::ProfileBlend { .. } => "profile blend",
                     _ => unreachable!("pause and watermark handled above"),
                 };
                 // Strip the envelope fields the JSONL form carries; the
@@ -514,6 +551,25 @@ mod tests {
                     table_bytes: 4 << 20,
                     call_overhead_ns: 9_000_000,
                 },
+            },
+            TraceEvent {
+                ts: t(12_000),
+                thread: GLOBAL_THREAD,
+                seq: 10,
+                kind: EventKind::ProfileImport {
+                    entries: 12,
+                    applied: 10,
+                    rejected: 2,
+                    call_sites: 3,
+                    had_fingerprint: true,
+                    fingerprint_matched: false,
+                },
+            },
+            TraceEvent {
+                ts: t(13_000),
+                thread: GLOBAL_THREAD,
+                seq: 11,
+                kind: EventKind::ProfileBlend { epoch: 4, decayed: 3, released: 1, remaining: 9 },
             },
         ]
     }

@@ -179,6 +179,35 @@ pub enum EventKind {
         /// Estimated call-site-profiling overhead (ns) for the epoch.
         call_overhead_ns: u64,
     },
+    /// An offline decision profile was imported and validated against the
+    /// running program at startup (warm start).
+    ProfileImport {
+        /// Decision entries in the profile.
+        entries: u64,
+        /// Entries whose source location resolved in this program.
+        applied: u64,
+        /// Entries rejected by shape validation.
+        rejected: u64,
+        /// Frozen distinguishing call sites re-applied (§5).
+        call_sites: u64,
+        /// The profile carried a program-shape fingerprint.
+        had_fingerprint: bool,
+        /// The fingerprint matched the running program.
+        fingerprint_matched: bool,
+    },
+    /// One epoch's confidence-weighted decay of imported decisions:
+    /// imported rows whose target generation accumulates garbage lose
+    /// confidence and are eventually released to live learning.
+    ProfileBlend {
+        /// Inference epoch (1-based).
+        epoch: u64,
+        /// Imported rows whose confidence decayed this epoch.
+        decayed: u64,
+        /// Imported rows released to live learning this epoch.
+        released: u64,
+        /// Imported rows still held after this epoch.
+        remaining: u64,
+    },
 }
 
 impl EventKind {
@@ -197,6 +226,8 @@ impl EventKind {
             EventKind::OldTableMerge { .. } => "old_table_merge",
             EventKind::DecisionPublish { .. } => "decision_publish",
             EventKind::GovernorTransition { .. } => "governor_transition",
+            EventKind::ProfileImport { .. } => "profile_import",
+            EventKind::ProfileBlend { .. } => "profile_blend",
         }
     }
 }

@@ -38,6 +38,19 @@ const NO_DECISION: u8 = 0;
 /// Slot value meaning "site is conflicted/expanded — consult the
 /// per-stack-state block" (never a valid `gen + 1`, which is ≤ 16).
 const EXPANDED: u8 = 0xFF;
+/// Bit set on a slot whose decision came from an imported offline
+/// profile. The allocation fast path diverts a small deterministic
+/// sample of a flagged context's allocations to the young generation as
+/// *canaries*: a pretenured context produces no young survivals, so
+/// without the sample the profiler would have no live evidence to
+/// confirm or refute the imported prior. Plain `gen + 1` encodings are
+/// ≤ 16, so the bit never collides with them or with [`EXPANDED`].
+const CANARY_FLAG: u8 = 0x40;
+/// One in this many allocations of a canary-flagged context stays
+/// young. Small enough to keep the imported row's pretenuring benefit,
+/// large enough that every inference epoch of a hot context sees
+/// multiple canaries.
+pub const CANARY_STRIDE: u32 = 64;
 
 /// An immutable, versioned snapshot of the profiler's pretenuring
 /// decisions, indexed by decision row key (site id in the high half,
@@ -105,6 +118,19 @@ impl DecisionTable {
         rows: &BTreeMap<u32, u8>,
         expanded_sites: impl IntoIterator<Item = u16>,
     ) -> Self {
+        Self::next_from_blended(prev, rows, expanded_sites, |_| false)
+    }
+
+    /// [`next_from`](Self::next_from) with a canary predicate: row keys
+    /// for which `is_canary` returns true are flagged so the allocation
+    /// fast path ([`advise_for_alloc`](Self::advise_for_alloc)) samples
+    /// them — the blend machinery marks imported-profile rows this way.
+    pub fn next_from_blended(
+        prev: &DecisionTable,
+        rows: &BTreeMap<u32, u8>,
+        expanded_sites: impl IntoIterator<Item = u16>,
+        is_canary: impl Fn(u32) -> bool,
+    ) -> Self {
         let mut table = DecisionTable {
             version: prev.version + 1,
             site_slots: vec![NO_DECISION; prev.site_slots.len()].into_boxed_slice(),
@@ -124,7 +150,10 @@ impl DecisionTable {
         }
         for (&key, &gen) in rows {
             let site = ((key >> 16) as u16) & table.site_mask;
-            let encoded = gen.min(15) + 1;
+            let mut encoded = gen.min(15) + 1;
+            if is_canary(key) {
+                encoded |= CANARY_FLAG;
+            }
             match table.expanded.get_mut(&site) {
                 Some(block) => {
                     let tss = ((key & 0xFFFF) as u16 & table.tss_mask) as usize;
@@ -161,8 +190,50 @@ impl DecisionTable {
         match self.site_slots[site as usize] {
             NO_DECISION => None,
             EXPANDED => self.advise_expanded(site, context),
-            encoded => Some(encoded - 1),
+            encoded => Some((encoded & !CANARY_FLAG) - 1),
         }
+    }
+
+    /// [`advise`](Self::advise) for the allocation fast path: identical,
+    /// except that a canary-flagged (imported-profile) row answers `None`
+    /// — allocate young — for one in [`CANARY_STRIDE`] allocations, keyed
+    /// off the allocation's identity-hash draw `tick`. The diverted
+    /// objects age through the young generation like any other, feeding
+    /// the survivor-tracking evidence the blend decay judges the
+    /// imported prior by.
+    #[inline]
+    pub fn advise_for_alloc(&self, context: u32, tick: u32) -> Option<u8> {
+        let site = ((context >> 16) as u16) & self.site_mask;
+        let encoded = match self.site_slots[site as usize] {
+            NO_DECISION => return None,
+            EXPANDED => {
+                let block = self.expanded.get(&site)?;
+                match block[((context & 0xFFFF) as u16 & self.tss_mask) as usize] {
+                    NO_DECISION => return None,
+                    e => e,
+                }
+            }
+            e => e,
+        };
+        if encoded & CANARY_FLAG != 0 && tick.is_multiple_of(CANARY_STRIDE) {
+            return None;
+        }
+        Some((encoded & !CANARY_FLAG) - 1)
+    }
+
+    /// True when the context resolves to a canary-flagged (imported)
+    /// row.
+    pub fn is_canary(&self, context: u32) -> bool {
+        let site = ((context >> 16) as u16) & self.site_mask;
+        let encoded = match self.site_slots[site as usize] {
+            NO_DECISION => return false,
+            EXPANDED => {
+                let Some(block) = self.expanded.get(&site) else { return false };
+                block[((context & 0xFFFF) as u16 & self.tss_mask) as usize]
+            }
+            e => e,
+        };
+        encoded != NO_DECISION && encoded & CANARY_FLAG != 0
     }
 
     #[cold]
@@ -170,7 +241,7 @@ impl DecisionTable {
         let block = self.expanded.get(&site)?;
         match block[((context & 0xFFFF) as u16 & self.tss_mask) as usize] {
             NO_DECISION => None,
-            encoded => Some(encoded - 1),
+            encoded => Some((encoded & !CANARY_FLAG) - 1),
         }
     }
 
@@ -199,12 +270,12 @@ impl DecisionTable {
     pub fn iter(&self) -> impl Iterator<Item = (u32, u8)> + '_ {
         let base = self.site_slots.iter().enumerate().filter_map(|(site, &slot)| match slot {
             NO_DECISION | EXPANDED => None,
-            encoded => Some(((site as u32) << 16, encoded - 1)),
+            encoded => Some(((site as u32) << 16, (encoded & !CANARY_FLAG) - 1)),
         });
         let expanded = self.expanded.iter().flat_map(|(&site, block)| {
             block.iter().enumerate().filter_map(move |(tss, &slot)| match slot {
                 NO_DECISION => None,
-                encoded => Some((((site as u32) << 16) | tss as u32, encoded - 1)),
+                encoded => Some((((site as u32) << 16) | tss as u32, (encoded & !CANARY_FLAG) - 1)),
             })
         });
         let mut all: Vec<(u32, u8)> = base.chain(expanded).collect();
@@ -369,6 +440,51 @@ mod tests {
         let t = DecisionTable::next_from(&v0, &rows(&[((5 << 16) | 3, 7), (2 << 16, 1)]), [5u16]);
         let all: Vec<(u32, u8)> = t.iter().collect();
         assert_eq!(all, vec![(2 << 16, 1), ((5 << 16) | 3, 7)]);
+    }
+
+    #[test]
+    fn canary_rows_sample_one_in_stride_to_young() {
+        let prev = DecisionTable::empty_with_geometry(64, 16);
+        let t = DecisionTable::next_from_blended(
+            &prev,
+            &rows(&[(5 << 16, 3), (6 << 16, 7)]),
+            [],
+            |key| key == 5 << 16,
+        );
+        // Plain reads mask the flag: both rows advise their generation.
+        assert_eq!(t.advise(5 << 16), Some(3));
+        assert_eq!(t.advise(6 << 16), Some(7));
+        assert!(t.is_canary(5 << 16));
+        assert!(!t.is_canary(6 << 16));
+        assert_eq!(t.iter().collect::<Vec<_>>(), vec![(5 << 16, 3), (6 << 16, 7)]);
+
+        // The alloc path diverts the flagged row on stride ticks only.
+        assert_eq!(t.advise_for_alloc(5 << 16, 0), None, "stride tick goes young");
+        assert_eq!(t.advise_for_alloc(5 << 16, CANARY_STRIDE), None);
+        assert_eq!(t.advise_for_alloc(5 << 16, 1), Some(3));
+        assert_eq!(t.advise_for_alloc(5 << 16, CANARY_STRIDE - 1), Some(3));
+        // Unflagged rows never sample.
+        assert_eq!(t.advise_for_alloc(6 << 16, 0), Some(7));
+
+        // Changed-rows accounting compares masked decisions: republishing
+        // the same generations with the same flags is a no-op publish.
+        let t2 =
+            DecisionTable::next_from_blended(&t, &rows(&[(5 << 16, 3), (6 << 16, 7)]), [], |key| {
+                key == 5 << 16
+            });
+        assert_eq!(t2.changed_rows(), 0);
+    }
+
+    #[test]
+    fn canary_flag_reaches_expanded_blocks() {
+        let prev = DecisionTable::empty_with_geometry(64, 16);
+        let key = (5u32 << 16) | 2;
+        let t = DecisionTable::next_from_blended(&prev, &rows(&[(key, 7)]), [5u16], |k| k == key);
+        assert_eq!(t.advise(key), Some(7));
+        assert!(t.is_canary(key));
+        assert_eq!(t.advise_for_alloc(key, 0), None);
+        assert_eq!(t.advise_for_alloc(key, 3), Some(7));
+        assert_eq!(t.advise_for_alloc((5 << 16) | 3, 0), None, "sibling tss undecided");
     }
 
     #[test]

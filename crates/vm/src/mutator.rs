@@ -475,9 +475,11 @@ impl MutatorCtx<'_> {
         }
 
         // Pretenuring fast path: one atomic snapshot load plus one
-        // bounds-checked table index — never a profiler borrow.
+        // bounds-checked table index — never a profiler borrow. The
+        // identity-hash draw doubles as the canary-sampling tick for
+        // imported-profile rows (deterministic, uniform).
         let advised_gen = match (context, self.vm.env.decisions.as_deref()) {
-            (Some(ctx), Some(store)) => store.load().advise(ctx),
+            (Some(ctx), Some(store)) => store.load().advise_for_alloc(ctx, hash),
             _ => None,
         };
 

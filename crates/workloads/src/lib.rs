@@ -30,5 +30,5 @@ pub use cassandra::{CassandraMix, CassandraParams, CassandraWorkload};
 pub use dacapo::{all_benchmarks, benchmark, DacapoBench, DacapoSpec};
 pub use graphchi::{GraphAlgo, GraphChiParams, GraphChiWorkload};
 pub use lucene::{LuceneParams, LuceneWorkload};
-pub use spec::{execute, execute_with, RunBudget, RunOutcome, Workload};
+pub use spec::{execute, execute_hooked, execute_with, RunBudget, RunOutcome, Workload};
 pub use ycsb::{Op, YcsbGenerator, Zipfian};

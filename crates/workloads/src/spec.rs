@@ -110,9 +110,22 @@ pub fn execute(
 /// registry for a crash-flush guard that must outlive the run loop.
 pub fn execute_with(
     workload: &mut dyn Workload,
+    config: RuntimeConfig,
+    budget: &RunBudget,
+    on_start: impl FnOnce(&JvmRuntime),
+) -> RunOutcome {
+    execute_hooked(workload, config, budget, on_start, |_| {})
+}
+
+/// [`execute_with`] plus an `on_end` hook that observes the runtime after
+/// the final tick but before the report is assembled — e.g. to extract
+/// the profiler's learned state for a warm-started follow-up run.
+pub fn execute_hooked(
+    workload: &mut dyn Workload,
     mut config: RuntimeConfig,
     budget: &RunBudget,
     on_start: impl FnOnce(&JvmRuntime),
+    on_end: impl FnOnce(&mut JvmRuntime),
 ) -> RunOutcome {
     let program = workload.build_program();
     // Apply the workload's paper filters unless the caller configured
@@ -150,6 +163,8 @@ pub fn execute_with(
             break;
         }
     }
+
+    on_end(&mut rt);
 
     let report = rt.report();
     let raw_pauses = rt.vm.env.pauses.clone();

@@ -92,6 +92,29 @@ def main():
         if cur_p99 > limit:
             failures.append(k)
 
+        # Warm-start fields: present on ROLP rows since the profile
+        # persistence work. A baseline row carrying them obliges the
+        # current row to carry them too (field() fails readably if the
+        # harness stopped emitting them).
+        if "warmup_p99_ms" in ref:
+            cur_w = field(row, "warmup_p99_ms", args.current)
+            ref_w = field(ref, "warmup_p99_ms", args.baseline)
+            wlimit = ref_w * (1.0 + args.max_regress)
+            verdict = "OK" if cur_w <= wlimit else "REGRESSED"
+            print(f"  [{verdict}] {row['workload']} / {row['collector']}: "
+                  f"warmup p99 {cur_w:.2f} ms vs baseline {ref_w:.2f} ms "
+                  f"(limit {wlimit:.2f} ms)")
+            if cur_w > wlimit:
+                failures.append((k[0], f"{k[1]} [warmup p99]"))
+        if "epochs_to_stable" in ref:
+            cur_e = field(row, "epochs_to_stable", args.current)
+            ref_e = field(ref, "epochs_to_stable", args.baseline)
+            verdict = "OK" if cur_e <= ref_e else "REGRESSED"
+            print(f"  [{verdict}] {row['workload']} / {row['collector']}: "
+                  f"stable at epoch {cur_e} vs baseline {ref_e}")
+            if cur_e > ref_e:
+                failures.append((k[0], f"{k[1]} [epochs to stable]"))
+
     # A baseline row with no current counterpart means coverage was
     # silently dropped (a workload or collector stopped being benched) —
     # that must fail as loudly as a regression would.

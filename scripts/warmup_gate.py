@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""Warm-start gate: the profile import must kill the warmup cliff.
+
+Two modes, both asserting the Fig. 10 warm-start property — a restarted
+service that imports the profile a previous run exported must be stable
+from the first epoch and must not pay the cold run's warmup pause tail:
+
+1. `--cold cold.json --warm warm.json` — two `--stats-json` files from
+   CLI runs of the same preset (the cold run exported the profile with
+   `--profile-out`, the warm run imported it with `--profile-in`; both
+   with `--discard 0` so the warmup window is visible in the
+   percentiles). Asserts:
+     - the warm run's decision table never changed after import
+       (`rolp.last_change_epoch == 0`), and
+     - the warm run's p99 pause is no worse than the cold run's.
+
+2. `--bench fig10.json` — the `ROLP_BENCH_JSON` file from the
+   `ROLP_BENCH_WARMUP=1` fig10 run. Asserts:
+     - the `ROLP (warm)` row is stable at epoch 0,
+     - its warmup-window p99 is strictly below `ROLP (cold)`'s, and
+     - the `ROLP (drifted-warm)` row (profile learned under different
+       traffic) still beats cold — the confidence blend converges
+       instead of replaying stale decisions.
+
+Exit status: 0 = gate holds, 1 = violation, 2 = usage/format error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def usage_error(msg):
+    print(f"warmup_gate: {msg}", file=sys.stderr)
+    sys.exit(2)
+
+
+def fail(msg):
+    print(f"warmup_gate: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        usage_error(f"cannot read {path}: {e}")
+
+
+def get(obj, path_desc, *keys):
+    """Walks nested keys, failing readably when a key is absent (the
+    stats file predates the field or the run was not a ROLP run)."""
+    cur = obj
+    for k in keys:
+        if not isinstance(cur, dict) or k not in cur:
+            dotted = ".".join(keys)
+            usage_error(f"{path_desc} is missing '{dotted}' — regenerate "
+                        f"with the current build (is this a ROLP run?)")
+        cur = cur[k]
+    return cur
+
+
+def check_cli(cold_path, warm_path):
+    cold = load(cold_path)
+    warm = load(warm_path)
+
+    warm_stable = get(warm, warm_path, "rolp", "last_change_epoch")
+    cold_stable = get(cold, cold_path, "rolp", "last_change_epoch")
+    cold_p99 = get(cold, cold_path, "pauses", "p99_ms")
+    warm_p99 = get(warm, warm_path, "pauses", "p99_ms")
+    applied = get(warm, warm_path, "rolp", "profile_entries_applied") \
+        if "profile_entries_applied" in warm.get("rolp", {}) else None
+
+    print(f"  cold: p99 {cold_p99:.2f} ms, decisions stable at epoch "
+          f"{cold_stable}")
+    extra = f", {applied} profile entries applied" if applied is not None else ""
+    print(f"  warm: p99 {warm_p99:.2f} ms, decisions stable at epoch "
+          f"{warm_stable}{extra}")
+
+    if applied is not None and applied == 0:
+        fail(f"{warm_path}: warm run applied 0 profile entries — the "
+             f"import was rejected or empty, so this measures nothing")
+    if warm_stable != 0:
+        fail(f"{warm_path}: warm run's decision table still changed at "
+             f"epoch {warm_stable}; a warm start must be stable from "
+             f"epoch 0")
+    if warm_p99 > cold_p99:
+        fail(f"warm run p99 {warm_p99:.2f} ms exceeds cold run p99 "
+             f"{cold_p99:.2f} ms — the imported profile made things worse")
+    print("warmup_gate: warm start stable at epoch 0, "
+          f"p99 {warm_p99:.2f} <= cold {cold_p99:.2f} ms")
+
+
+def check_bench(path):
+    data = load(path)
+    rows = data.get("results")
+    if not isinstance(rows, list) or not rows:
+        usage_error(f"{path} is not a bench stats file")
+
+    by_label = {}
+    for row in rows:
+        by_label[row.get("collector")] = row
+
+    def row_of(label):
+        if label not in by_label:
+            usage_error(f"{path} has no '{label}' row — run the fig10 "
+                        f"bench with ROLP_BENCH_WARMUP=1")
+        return by_label[label]
+
+    def fields(label):
+        row = row_of(label)
+        desc = f"{path} row '{label}'"
+        return (get(row, desc, "warmup_p99_ms"),
+                get(row, desc, "epochs_to_stable"))
+
+    cold_p99, cold_stable = fields("ROLP (cold)")
+    warm_p99, warm_stable = fields("ROLP (warm)")
+    drift_p99, drift_stable = fields("ROLP (drifted-warm)")
+
+    print(f"  cold:         warmup p99 {cold_p99:.2f} ms, stable at epoch "
+          f"{cold_stable}")
+    print(f"  warm:         warmup p99 {warm_p99:.2f} ms, stable at epoch "
+          f"{warm_stable}")
+    print(f"  drifted-warm: warmup p99 {drift_p99:.2f} ms, stable at epoch "
+          f"{drift_stable}")
+
+    if warm_stable != 0:
+        fail(f"warm start only stabilized at epoch {warm_stable}, "
+             f"expected 0")
+    if warm_p99 >= cold_p99:
+        fail(f"warm warmup-window p99 {warm_p99:.2f} ms is not strictly "
+             f"below cold's {cold_p99:.2f} ms — the warmup cliff is back")
+    if drift_p99 >= cold_p99:
+        fail(f"drifted-warm warmup-window p99 {drift_p99:.2f} ms is not "
+             f"below cold's {cold_p99:.2f} ms — the blend is not "
+             f"converging under traffic drift")
+    print(f"warmup_gate: warm start stable at epoch 0 and beats cold "
+          f"({warm_p99:.2f} < {cold_p99:.2f} ms); drift converges "
+          f"({drift_p99:.2f} < {cold_p99:.2f} ms)")
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--cold", help="--stats-json of the cold (--profile-out) run")
+    ap.add_argument("--warm", help="--stats-json of the warm (--profile-in) run")
+    ap.add_argument("--bench", help="ROLP_BENCH_JSON of the ROLP_BENCH_WARMUP=1 fig10 run")
+    args = ap.parse_args()
+
+    if args.bench:
+        check_bench(args.bench)
+    elif args.cold or args.warm:
+        if not (args.cold and args.warm):
+            usage_error("--cold and --warm must be passed together")
+        check_cli(args.cold, args.warm)
+    else:
+        usage_error("nothing to check: pass --cold/--warm or --bench")
+
+
+if __name__ == "__main__":
+    main()
