@@ -93,7 +93,8 @@ fn main() {
             "quick mode: first workload, G1 + ROLP (4 mutator threads) + ROLP-seq \
              (1 thread, sequential profiler backend) + ROLP (governed) \
              (overhead governor on, no faults) + ROLP (warm) \
-             (warm-started from the plain ROLP run's profile) (ROLP_BENCH_QUICK)"
+             (warm-started from the plain ROLP run's profile) + ROLP (sharded) \
+             (4-shard locked OLD-table backend) (ROLP_BENCH_QUICK)"
         );
     }
 
@@ -107,6 +108,8 @@ fn main() {
         Learn,
         /// ROLP warm-started from the profile the `Learn` row exported.
         Warm,
+        /// Sharded OLD-table backend with the given shard count.
+        Sharded(usize),
     }
 
     // (collector, mutator threads, gate label, mode). The default
@@ -125,6 +128,7 @@ fn main() {
             (CollectorKind::RolpNg2c, 1, "ROLP-seq", Mode::Plain),
             (CollectorKind::RolpNg2c, 4, "ROLP (governed)", Mode::Governed),
             (CollectorKind::RolpNg2c, 4, "ROLP (warm)", Mode::Warm),
+            (CollectorKind::RolpNg2c, 4, "ROLP (sharded)", Mode::Sharded(4)),
         ]
     } else {
         [CollectorKind::Cms, CollectorKind::G1, CollectorKind::Ng2c, CollectorKind::RolpNg2c]
@@ -149,6 +153,8 @@ fn main() {
         );
         let mut tail_ms: Vec<(CollectorKind, f64)> = Vec::new();
         let mut governed_tail: Option<f64> = None;
+        let mut sharded_p99: Option<f64> = None;
+        let mut plain_p99: Option<f64> = None;
         let mut learned: Option<rolp::DecisionProfile> = None;
         let mut warm_info: Vec<(&'static str, f64, u64)> = Vec::new();
 
@@ -180,6 +186,14 @@ fn main() {
                     threads,
                     learned.clone().expect("warm row must follow the learning ROLP row"),
                 ),
+                Mode::Sharded(shards) => rolp_bench::run_one_sharded(
+                    w.as_mut(),
+                    heap.clone(),
+                    scale,
+                    &budget,
+                    threads,
+                    shards,
+                ),
                 Mode::Plain => {
                     run_one_threads(w.as_mut(), kind, heap.clone(), scale, &budget, threads)
                 }
@@ -187,6 +201,12 @@ fn main() {
             let wall = start.elapsed();
             if mode == Mode::Governed {
                 governed_tail = Some(out.pauses.percentile_ms(99.9));
+            }
+            if matches!(mode, Mode::Sharded(_)) {
+                sharded_p99 = Some(out.pauses.percentile_ms(99.0));
+            }
+            if mode == Mode::Learn {
+                plain_p99 = Some(out.pauses.percentile_ms(99.0));
             }
             let (warmup_p99, stable) = match &out.report.rolp {
                 Some(r) => (
@@ -279,6 +299,13 @@ fn main() {
                 println!(
                     "governor overhead [{name}]: p99.9 governed {gov:.1} ms vs plain \
                      {rolp:.1} ms ({overhead:+.1}%)"
+                );
+            }
+            if let (Some(sh), Some(pl)) = (sharded_p99, plain_p99) {
+                let delta = if pl > 0.0 { (sh / pl - 1.0) * 100.0 } else { 0.0 };
+                println!(
+                    "sharded backend [{name}]: p99 sharded {sh:.1} ms vs plain {pl:.1} ms \
+                     ({delta:+.1}%)"
                 );
             }
             let find = |l: &str| warm_info.iter().find(|(n, _, _)| *n == l);

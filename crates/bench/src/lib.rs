@@ -134,6 +134,27 @@ pub fn run_one_governed(
     rolp_workloads::execute(workload, config, budget)
 }
 
+/// [`run_one_threads`] for ROLP with the sharded OLD-table backend —
+/// the `ROLP (sharded)` gate row, the bench-side analogue of the CLI's
+/// `--table-shards`. Per-shard locking makes the counting exact (unlike
+/// the relaxed-atomic concurrent backend) while the deterministic
+/// cross-shard reductions keep published decisions bit-identical to the
+/// sequential reference, so this row's pause percentiles must track
+/// plain ROLP's (the ISSUE acceptance bound is 10% on p99).
+pub fn run_one_sharded(
+    workload: &mut dyn Workload,
+    heap: HeapConfig,
+    scale: SimScale,
+    budget: &RunBudget,
+    threads: u32,
+    shards: usize,
+) -> RunOutcome {
+    let mut config = runtime_config(CollectorKind::RolpNg2c, heap, scale);
+    config.threads = threads;
+    config.rolp.table_shards = Some(shards);
+    rolp_workloads::execute(workload, config, budget)
+}
+
 /// [`run_one_threads`] for ROLP, additionally extracting the learned
 /// [`rolp::DecisionProfile`] at the end of the run — the bench-side
 /// analogue of the CLI's `--profile-out`. The outcome is identical to a

@@ -51,6 +51,11 @@ pub struct Args {
     pub mutator_threads: u32,
     /// Parallel GC workers (None keeps the cost model's default).
     pub gc_workers: Option<usize>,
+    /// OLD-table shard count (`None` keeps the unsharded backends:
+    /// relaxed-shared for multi-threaded runs, sequential otherwise).
+    /// `--table-shards auto` resolves to the mutator-thread count
+    /// rounded up to a power of two.
+    pub table_shards: Option<usize>,
     /// Fault-injection plan: a canned name or a `;`-separated spec
     /// (enables the overhead governor). `None` = no injection.
     pub fault_plan: Option<String>,
@@ -79,6 +84,7 @@ impl Default for Args {
             metrics_prom: None,
             mutator_threads: 4,
             gc_workers: None,
+            table_shards: None,
             fault_plan: None,
             verify_determinism: false,
         }
@@ -135,6 +141,12 @@ OPTIONS:
     --gc-workers <N>    parallel GC workers (marking, remembered-set
                         prescan, one private OLD table each)
                         [default: cost model, 4]
+    --table-shards <N|auto>  partition the OLD table into N independently
+                        locked shards (N a power of two): exact counting
+                        with per-shard contention instead of the relaxed
+                        lossy shared table; merge and inference fan out
+                        across shards. `auto` = mutator threads rounded up
+                        to a power of two  [default: unsharded]
     --fault-plan <SPEC> inject deterministic profiler faults and engage
                         the overhead governor. SPEC is a canned plan
                         (pressure-spike | id-exhaustion | merge-chaos) or
@@ -151,6 +163,7 @@ OPTIONS:
 /// Parses arguments; `Err` carries the message to print.
 pub fn parse(argv: &[String]) -> Result<Args, String> {
     let mut args = Args::default();
+    let mut table_shards_spec: Option<String> = None;
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
         let mut take = |name: &str| {
@@ -215,6 +228,7 @@ pub fn parse(argv: &[String]) -> Result<Args, String> {
                         .ok_or("--gc-workers must be positive")?,
                 );
             }
+            "--table-shards" => table_shards_spec = Some(take("--table-shards")?),
             "--fault-plan" => {
                 let v = take("--fault-plan")?;
                 // Validate eagerly so a typo fails before the run starts.
@@ -228,6 +242,19 @@ pub fn parse(argv: &[String]) -> Result<Args, String> {
     }
     if args.discard >= args.secs {
         return Err("--discard must be smaller than --secs".to_string());
+    }
+    // `auto` depends on --mutator-threads, which may appear later on the
+    // command line, so shard resolution happens after the parse loop.
+    if let Some(spec) = table_shards_spec {
+        let shards = if spec == "auto" {
+            (args.mutator_threads as usize).next_power_of_two()
+        } else {
+            spec.parse::<usize>()
+                .ok()
+                .filter(|n| n.is_power_of_two())
+                .ok_or("--table-shards must be a power of two or `auto`")?
+        };
+        args.table_shards = Some(shards);
     }
     Ok(args)
 }
@@ -310,6 +337,20 @@ mod tests {
         assert!(!d.verify_determinism);
         assert!(parse(&argv("--gc-workers 0")).unwrap_err().contains("positive"));
         assert!(parse(&argv("--mutator-threads 0")).unwrap_err().contains("positive"));
+    }
+
+    #[test]
+    fn table_shards_flag_parses() {
+        assert_eq!(parse(&argv("--table-shards 8")).unwrap().table_shards, Some(8));
+        assert_eq!(parse(&[]).unwrap().table_shards, None);
+        // `auto` follows the mutator-thread count regardless of flag
+        // order, rounded up to a power of two.
+        let a = parse(&argv("--table-shards auto --mutator-threads 6")).unwrap();
+        assert_eq!(a.table_shards, Some(8));
+        let b = parse(&argv("--mutator-threads 4 --table-shards auto")).unwrap();
+        assert_eq!(b.table_shards, Some(4));
+        assert!(parse(&argv("--table-shards 3")).unwrap_err().contains("power of two"));
+        assert!(parse(&argv("--table-shards 0")).unwrap_err().contains("power of two"));
     }
 
     #[test]

@@ -53,6 +53,7 @@ fn run(args: Args) -> Result<(), String> {
         side_table_scale: scale.divisor(),
         ..Default::default()
     };
+    config.rolp.table_shards = args.table_shards;
     if let Some(path) = &args.import_profile {
         // Parse/version/truncation errors fail the run here; shape
         // validation against the program happens in the profiler at first
@@ -188,22 +189,32 @@ fn write_atomic(path: &str, contents: &str) -> Result<(), String> {
 /// reference, and the total deviation stays within the *measured* number
 /// of increments lost to the unsynchronized age-0 updates.
 fn verify_determinism(args: &Args) -> Result<(), String> {
-    use rolp::concurrent::{compare_to_reference, run_concurrent, run_reference, ConcurrentConfig};
+    use rolp::concurrent::{
+        compare_to_reference, run_concurrent, run_concurrent_sharded, run_reference,
+        ConcurrentConfig,
+    };
 
     let config = ConcurrentConfig {
         mutator_threads: args.mutator_threads.max(1) as usize,
         gc_workers: args.gc_workers.unwrap_or(4).max(1),
         ..Default::default()
     };
+    let backend = match args.table_shards {
+        Some(shards) => format!("sharded table ({shards} shard(s), exact counting)"),
+        None => "relaxed shared table".to_string(),
+    };
     println!(
-        "determinism check: {} mutator thread(s), {} GC worker(s), {} epoch(s) x {} allocs/thread",
+        "determinism check [{backend}]: {} mutator thread(s), {} GC worker(s), {} epoch(s) x {} allocs/thread",
         config.mutator_threads,
         config.gc_workers,
         config.epochs,
         config.allocs_per_thread_per_epoch
     );
 
-    let run = run_concurrent(&config);
+    let run = match args.table_shards {
+        Some(shards) => run_concurrent_sharded(&config, shards),
+        None => run_concurrent(&config),
+    };
     let reference = run_reference(&config);
     for r in &run.reconciliations {
         println!(
@@ -223,8 +234,20 @@ fn verify_determinism(args: &Args) -> Result<(), String> {
         "deviation vs reference: {} over {} row(s); cells exceeding reference: {}; measured loss: {} of {} increments",
         report.total_abs_dev, report.rows, report.cells_exceeding, run.total_lost, run.total_intended
     );
+    // Sharded counting is locked and exact: zero measured loss, so the
+    // §7.6 bound collapses to bit-identity with the reference.
+    if args.table_shards.is_some() && run.total_lost != 0 {
+        return Err(format!(
+            "determinism check FAILED: sharded backend reported {} lost increment(s); it must be exact",
+            run.total_lost
+        ));
+    }
     if report.within_bound(run.total_lost) {
-        println!("OK: merged histograms are within the measured loss bound");
+        if args.table_shards.is_some() {
+            println!("OK: sharded histograms are bit-identical to the sequential reference");
+        } else {
+            println!("OK: merged histograms are within the measured loss bound");
+        }
         Ok(())
     } else {
         Err(format!(

@@ -1,0 +1,356 @@
+//! Fleet profile aggregation: multi-runtime lifetime consensus.
+//!
+//! The paper profiles one JVM; the arXiv version of ROLP motivates
+//! sharing learned profiles across runs, and Deca-style distributed
+//! systems show lifetime knowledge aggregates naturally across executors
+//! running the same job. This module is the aggregation point: many
+//! runtime instances export [`DecisionProfile`]s (`rolp-profile-v1`) at
+//! epoch cadence into one [`FleetAggregator`], which merges them into a
+//! consensus profile a newly joining instance imports through the
+//! ordinary `--profile-in` canary-blend path — so a fresh instance
+//! pretenures from its first allocation instead of re-learning from zero.
+//!
+//! # Protocol
+//!
+//! - **Identity & validation.** Every submission carries the exporter's
+//!   program-shape fingerprint ([`crate::offline::program_fingerprint`]).
+//!   The first accepted submission pins the fleet's fingerprint; later
+//!   submissions with a different (or missing) fingerprint are rejected
+//!   and counted — a fleet only aggregates instances provably running the
+//!   same program shape.
+//! - **Epoch cadence.** Instances re-submit as they learn; a submission
+//!   under an already-seen instance name *replaces* that instance's
+//!   previous profile, so the aggregator always holds each instance's
+//!   latest view, never a mixture of stale and fresh epochs.
+//! - **Consensus.** Decisions are keyed by source location
+//!   `(method, bci)`. Each instance's entry votes for its generation with
+//!   its confidence as the weight; the generation with the greatest total
+//!   weight wins (ties break toward the *younger* generation — the safe
+//!   direction, since under-tenuring costs copying while over-tenuring
+//!   costs fragmentation). Conflicting locations are thus resolved by
+//!   confidence-weighted majority. The consensus entry's confidence is
+//!
+//!   ```text
+//!   agreement · mean-supporter-confidence
+//!     = (winner_weight / total_weight) · (winner_weight / supporters)
+//!   ```
+//!
+//!   so a unanimous, fully confident fleet exports 100 and a split vote
+//!   starts the importer's canary-blend decay from proportionally lower
+//!   trust. Frozen distinguishing call sites are included when a strict
+//!   majority of instances froze them.
+//! - **Determinism.** Submissions live in name-ordered maps and consensus
+//!   walks locations in sorted order, so the published profile is a pure
+//!   function of the submitted set — independent of arrival order.
+
+use std::collections::BTreeMap;
+
+use crate::offline::{CallSiteEntry, DecisionProfile, ProfileEntry};
+
+/// What [`FleetAggregator::submit`] did with a profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmissionOutcome {
+    /// Stored as a new instance's profile.
+    Accepted,
+    /// Replaced the same instance's earlier (staler-epoch) profile.
+    Replaced,
+    /// Rejected: the profile's fingerprint differs from the fleet's.
+    FingerprintMismatch,
+    /// Rejected: the profile carries no fingerprint (legacy format) — a
+    /// fleet cannot verify it profiled the same program.
+    MissingFingerprint,
+}
+
+impl SubmissionOutcome {
+    /// True when the submission was stored.
+    pub fn accepted(self) -> bool {
+        matches!(self, SubmissionOutcome::Accepted | SubmissionOutcome::Replaced)
+    }
+}
+
+/// The aggregated fleet view published to joining instances.
+#[derive(Debug, Clone)]
+pub struct FleetConsensus {
+    /// The consensus profile (importable via the `--profile-in` path).
+    pub profile: DecisionProfile,
+    /// Instances that contributed.
+    pub instances: usize,
+    /// Locations where every contributing instance voted for the same
+    /// generation.
+    pub unanimous: usize,
+    /// Locations where instances disagreed (resolved by weighted
+    /// majority).
+    pub contested: usize,
+}
+
+/// The central aggregator of a runtime fleet (see module docs for the
+/// protocol).
+#[derive(Debug, Default)]
+pub struct FleetAggregator {
+    fingerprint: Option<u64>,
+    submissions: BTreeMap<String, DecisionProfile>,
+    rejected: u64,
+}
+
+impl FleetAggregator {
+    /// An empty aggregator; the first accepted submission pins the fleet
+    /// fingerprint.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An aggregator pinned to a known program-shape fingerprint.
+    pub fn for_fingerprint(fingerprint: u64) -> Self {
+        FleetAggregator { fingerprint: Some(fingerprint), ..Default::default() }
+    }
+
+    /// Offers one instance's latest profile. Re-submitting under the same
+    /// instance name replaces the earlier profile (epoch-cadence update);
+    /// fingerprint mismatches are rejected and counted.
+    pub fn submit(&mut self, instance: &str, profile: DecisionProfile) -> SubmissionOutcome {
+        let Some(fp) = profile.fingerprint else {
+            self.rejected += 1;
+            return SubmissionOutcome::MissingFingerprint;
+        };
+        match self.fingerprint {
+            Some(pinned) if pinned != fp => {
+                self.rejected += 1;
+                return SubmissionOutcome::FingerprintMismatch;
+            }
+            Some(_) => {}
+            None => self.fingerprint = Some(fp),
+        }
+        match self.submissions.insert(instance.to_string(), profile) {
+            Some(_) => SubmissionOutcome::Replaced,
+            None => SubmissionOutcome::Accepted,
+        }
+    }
+
+    /// Instances currently contributing.
+    pub fn instances(&self) -> usize {
+        self.submissions.len()
+    }
+
+    /// Submissions rejected by fingerprint validation.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// The fleet's pinned program-shape fingerprint, once known.
+    pub fn fingerprint(&self) -> Option<u64> {
+        self.fingerprint
+    }
+
+    /// Builds the consensus profile from every instance's latest
+    /// submission (see module docs for the vote).
+    pub fn consensus(&self) -> FleetConsensus {
+        // location -> per-instance (generation, confidence) votes, in
+        // instance-name order.
+        let mut votes: BTreeMap<(&str, u32), Vec<(u8, u8)>> = BTreeMap::new();
+        let mut frozen: BTreeMap<&CallSiteEntry, usize> = BTreeMap::new();
+        let mut epochs = 0u64;
+        let mut geometry = None;
+        for profile in self.submissions.values() {
+            for e in &profile.entries {
+                votes
+                    .entry((e.method.as_str(), e.bci))
+                    .or_default()
+                    .push((e.generation, e.confidence));
+            }
+            for cs in &profile.call_sites {
+                *frozen.entry(cs).or_default() += 1;
+            }
+            epochs = epochs.max(profile.epochs);
+            geometry = geometry.or(profile.geometry);
+        }
+
+        let mut entries = Vec::new();
+        let (mut unanimous, mut contested) = (0usize, 0usize);
+        for ((method, bci), vs) in votes {
+            let mut by_gen: BTreeMap<u8, (u64, u64)> = BTreeMap::new();
+            let mut total = 0u64;
+            for &(generation, confidence) in &vs {
+                let w = confidence.max(1) as u64;
+                let slot = by_gen.entry(generation).or_default();
+                slot.0 += w;
+                slot.1 += 1;
+                total += w;
+            }
+            if by_gen.len() == 1 {
+                unanimous += 1;
+            } else {
+                contested += 1;
+            }
+            // Ascending generation order + strict `>` — ties go young.
+            let (&generation, &(weight, supporters)) = by_gen
+                .iter()
+                .reduce(|best, cur| if cur.1 .0 > best.1 .0 { cur } else { best })
+                .expect("at least one vote");
+            let confidence = ((weight * weight) / (total * supporters)).clamp(1, 100) as u8;
+            entries.push(ProfileEntry { method: method.to_string(), bci, generation, confidence });
+        }
+
+        let n = self.submissions.len();
+        let call_sites: Vec<CallSiteEntry> = frozen
+            .into_iter()
+            .filter(|&(_, count)| count * 2 > n)
+            .map(|(cs, _)| cs.clone())
+            .collect();
+
+        FleetConsensus {
+            profile: DecisionProfile {
+                fingerprint: self.fingerprint,
+                epochs,
+                geometry,
+                entries,
+                call_sites,
+            },
+            instances: n,
+            unanimous,
+            contested,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile(fp: u64, epochs: u64, entries: &[(&str, u32, u8, u8)]) -> DecisionProfile {
+        DecisionProfile {
+            fingerprint: Some(fp),
+            epochs,
+            geometry: Some((1024, 64)),
+            entries: entries
+                .iter()
+                .map(|&(method, bci, generation, confidence)| ProfileEntry {
+                    method: method.into(),
+                    bci,
+                    generation,
+                    confidence,
+                })
+                .collect(),
+            call_sites: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn first_submission_pins_the_fingerprint() {
+        let mut agg = FleetAggregator::new();
+        assert_eq!(agg.submit("a", profile(7, 1, &[])), SubmissionOutcome::Accepted);
+        assert_eq!(agg.fingerprint(), Some(7));
+        assert_eq!(agg.submit("b", profile(8, 1, &[])), SubmissionOutcome::FingerprintMismatch);
+        assert_eq!(
+            agg.submit("c", DecisionProfile::default()),
+            SubmissionOutcome::MissingFingerprint
+        );
+        assert_eq!(agg.instances(), 1);
+        assert_eq!(agg.rejected(), 2);
+    }
+
+    #[test]
+    fn resubmission_replaces_the_instance_profile() {
+        let mut agg = FleetAggregator::new();
+        agg.submit("a", profile(7, 1, &[("m::f", 0, 3, 50)]));
+        assert_eq!(
+            agg.submit("a", profile(7, 5, &[("m::f", 0, 4, 90)])),
+            SubmissionOutcome::Replaced
+        );
+        assert_eq!(agg.instances(), 1);
+        let c = agg.consensus();
+        assert_eq!(c.profile.epochs, 5);
+        assert_eq!(c.profile.entries[0].generation, 4, "latest epoch wins, not a blend with stale");
+    }
+
+    #[test]
+    fn unanimous_fleet_exports_full_confidence() {
+        let mut agg = FleetAggregator::new();
+        for name in ["a", "b", "c"] {
+            agg.submit(name, profile(7, 3, &[("m::f", 0, 2, 100)]));
+        }
+        let c = agg.consensus();
+        assert_eq!(c.instances, 3);
+        assert_eq!((c.unanimous, c.contested), (1, 0));
+        assert_eq!(c.profile.entries[0].generation, 2);
+        assert_eq!(c.profile.entries[0].confidence, 100);
+        assert_eq!(c.profile.fingerprint, Some(7));
+    }
+
+    #[test]
+    fn conflicts_resolve_by_confidence_weighted_majority() {
+        let mut agg = FleetAggregator::new();
+        agg.submit("a", profile(7, 3, &[("m::f", 0, 2, 100)]));
+        agg.submit("b", profile(7, 3, &[("m::f", 0, 2, 100)]));
+        agg.submit("c", profile(7, 3, &[("m::f", 0, 9, 100)]));
+        let c = agg.consensus();
+        assert_eq!((c.unanimous, c.contested), (0, 1));
+        let e = &c.profile.entries[0];
+        assert_eq!(e.generation, 2, "2-of-3 majority");
+        assert_eq!(e.confidence, 66, "split vote lowers trust: (200/300)*(200/2)");
+    }
+
+    #[test]
+    fn confidence_weights_can_outvote_a_headcount_majority() {
+        let mut agg = FleetAggregator::new();
+        agg.submit("a", profile(7, 3, &[("m::f", 0, 2, 10)]));
+        agg.submit("b", profile(7, 3, &[("m::f", 0, 2, 10)]));
+        agg.submit("c", profile(7, 3, &[("m::f", 0, 9, 100)]));
+        let c = agg.consensus();
+        assert_eq!(c.profile.entries[0].generation, 9, "100 outweighs 10+10");
+    }
+
+    #[test]
+    fn weight_ties_break_toward_the_younger_generation() {
+        let mut agg = FleetAggregator::new();
+        agg.submit("a", profile(7, 3, &[("m::f", 0, 9, 80)]));
+        agg.submit("b", profile(7, 3, &[("m::f", 0, 2, 80)]));
+        assert_eq!(agg.consensus().profile.entries[0].generation, 2, "under-tenuring is safer");
+    }
+
+    #[test]
+    fn consensus_is_arrival_order_independent_and_sorted() {
+        let entries_a = [("x.Y::z", 4u32, 5u8, 90u8), ("a.B::c", 1, 1, 70)];
+        let entries_b = [("a.B::c", 1u32, 1u8, 60u8), ("m.N::o", 2, 3, 80)];
+        let mut fwd = FleetAggregator::new();
+        fwd.submit("a", profile(7, 2, &entries_a));
+        fwd.submit("b", profile(7, 2, &entries_b));
+        let mut rev = FleetAggregator::new();
+        rev.submit("b", profile(7, 2, &entries_b));
+        rev.submit("a", profile(7, 2, &entries_a));
+        assert_eq!(fwd.consensus().profile, rev.consensus().profile);
+        let locs: Vec<_> =
+            fwd.consensus().profile.entries.iter().map(|e| (e.method.clone(), e.bci)).collect();
+        let mut sorted = locs.clone();
+        sorted.sort();
+        assert_eq!(locs, sorted, "entries come out location-sorted");
+    }
+
+    #[test]
+    fn call_sites_need_a_strict_majority() {
+        let cs = |caller: &str| CallSiteEntry { caller: caller.into(), callee: None };
+        let with_cs = |fp, names: &[&str]| {
+            let mut p = profile(fp, 1, &[]);
+            p.call_sites = names.iter().map(|&n| cs(n)).collect();
+            p
+        };
+        let mut agg = FleetAggregator::new();
+        agg.submit("a", with_cs(7, &["hot::path", "rare::path"]));
+        agg.submit("b", with_cs(7, &["hot::path"]));
+        agg.submit("c", with_cs(7, &["hot::path"]));
+        let sites = agg.consensus().profile.call_sites;
+        assert_eq!(sites.len(), 1, "1-of-3 freeze does not propagate");
+        assert_eq!(sites[0].caller, "hot::path");
+    }
+
+    #[test]
+    fn consensus_profile_round_trips_through_the_v1_format() {
+        let mut agg = FleetAggregator::new();
+        agg.submit("a", profile(7, 4, &[("m::f", 0, 2, 100), ("m::g", 3, 7, 80)]));
+        agg.submit("b", profile(7, 6, &[("m::f", 0, 2, 90)]));
+        let consensus = agg.consensus().profile;
+        let text = consensus.to_string();
+        let back: DecisionProfile = text.parse().expect("consensus parses as rolp-profile-v1");
+        assert_eq!(back, consensus);
+        assert_eq!(back.epochs, 6, "deepest evidence is reported");
+    }
+}

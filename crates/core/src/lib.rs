@@ -19,6 +19,11 @@
 //!   §7.6), sequential/exact backend.
 //! - [`shared_table`] — its concurrent twin with relaxed-atomic age-0
 //!   increments (§7.6's unsynchronized fast path, for real).
+//! - [`sharded_table`] — the horizontally partitioned backend: N locked
+//!   shards, parallel merge/inference fan-out, deterministic cross-shard
+//!   reduction.
+//! - [`fleet`] — multi-runtime profile aggregation: confidence-weighted
+//!   consensus over `rolp-profile-v1` exports.
 //! - [`concurrent`] — mutator/GC-worker thread harness, safepoint merge
 //!   protocol, measured-loss reconciliation (§5.2, §7.6).
 //! - [`inference`] — lifetime inference and conflict detection (§4).
@@ -72,6 +77,7 @@ pub mod concurrent;
 pub mod conflicts;
 pub mod context;
 pub mod filters;
+pub mod fleet;
 pub mod geometry;
 pub mod governor;
 pub mod inference;
@@ -81,6 +87,7 @@ pub mod old_table;
 pub mod profiler;
 pub mod report;
 pub mod runtime;
+pub mod sharded_table;
 pub mod shared_table;
 pub mod survivor;
 pub mod sync_compat;
@@ -90,6 +97,7 @@ pub use conflicts::{
     worst_case_resolution_time_ms, ConflictConfig, ConflictResolver, ConflictStats,
 };
 pub use filters::PackageFilters;
+pub use fleet::{FleetAggregator, FleetConsensus, SubmissionOutcome};
 pub use geometry::{LifetimeTable, TableGeometry, FULL_SCALE_ROWS};
 pub use governor::{
     CostSource, EpochCost, Governor, GovernorConfig, GovernorState, GovernorTransition,
@@ -102,9 +110,11 @@ pub use offline::{
 };
 pub use old_table::{merge_worker_tables, MergeSummary, OldTable, WorkerTable, AGE_COLUMNS};
 pub use profiler::{
-    backend_for_threads, ProfilingLevel, RolpConfig, RolpProfiler, RolpStats, TableBackend,
+    backend_for, backend_for_threads, ProfilingLevel, RolpConfig, RolpProfiler, RolpStats,
+    TableBackend,
 };
 pub use report::{render_decisions, render_summary, render_telemetry, stats_json};
 pub use runtime::{CollectorKind, JvmRuntime, RunReport, RuntimeConfig};
+pub use sharded_table::ShardedOldTable;
 pub use shared_table::SharedOldTable;
 pub use survivor::SurvivorTracking;

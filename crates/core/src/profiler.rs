@@ -53,7 +53,7 @@ use crate::context::pack;
 use crate::filters::PackageFilters;
 use crate::geometry::LifetimeTable;
 use crate::governor::{EpochCost, Governor, GovernorConfig, GovernorState};
-use crate::inference::{infer, InferenceOutcome};
+use crate::inference::InferenceOutcome;
 use crate::offline::ProfileValidation;
 use crate::old_table::{OldTable, WorkerTable};
 use crate::shared_table::SharedOldTable;
@@ -132,6 +132,11 @@ pub struct RolpConfig {
     /// Deterministic fault-injection plan (`None` = no injection). See
     /// [`rolp_faults`].
     pub fault_plan: Option<FaultPlan>,
+    /// Partition the OLD table into this many independently locked shards
+    /// (power of two; see [`crate::sharded_table`]). `None` keeps the
+    /// thread-count-selected unsharded backend — bit-compatible with
+    /// every prior release.
+    pub table_shards: Option<usize>,
 }
 
 impl Default for RolpConfig {
@@ -150,6 +155,7 @@ impl Default for RolpConfig {
             gc_workers: 4,
             governor: None,
             fault_plan: None,
+            table_shards: None,
         }
     }
 }
@@ -233,6 +239,9 @@ pub enum TableBackend {
     Sequential(OldTable),
     /// [`SharedOldTable`]: the §7.6 concurrent table.
     Concurrent(SharedOldTable),
+    /// [`crate::ShardedOldTable`]: N locked shards, parallel
+    /// merge/inference fan-out, deterministic cross-shard reduction.
+    Sharded(crate::sharded_table::ShardedOldTable),
 }
 
 macro_rules! backend_dispatch {
@@ -240,6 +249,7 @@ macro_rules! backend_dispatch {
         match $self {
             TableBackend::Sequential($t) => $body,
             TableBackend::Concurrent($t) => $body,
+            TableBackend::Sharded($t) => $body,
         }
     };
 }
@@ -287,6 +297,30 @@ impl LifetimeTable for TableBackend {
 
     fn clear_counts(&mut self) {
         backend_dispatch!(self, t => LifetimeTable::clear_counts(t))
+    }
+
+    fn merge_workers(
+        &mut self,
+        workers: &mut [WorkerTable],
+        parallelism: usize,
+    ) -> crate::old_table::MergeSummary {
+        backend_dispatch!(self, t => LifetimeTable::merge_workers(t, workers, parallelism))
+    }
+
+    fn run_inference_pass(&self, parallelism: usize) -> InferenceOutcome {
+        backend_dispatch!(self, t => LifetimeTable::run_inference_pass(t, parallelism))
+    }
+
+    fn table_shards(&self) -> Option<usize> {
+        backend_dispatch!(self, t => LifetimeTable::table_shards(t))
+    }
+
+    fn shard_lock_waits(&self) -> u64 {
+        backend_dispatch!(self, t => LifetimeTable::shard_lock_waits(t))
+    }
+
+    fn last_shard_merge_counts(&self) -> Option<Vec<u64>> {
+        backend_dispatch!(self, t => LifetimeTable::last_shard_merge_counts(t))
     }
 }
 
@@ -348,6 +382,9 @@ pub struct RolpProfiler<T: LifetimeTable = OldTable> {
     injected_records: u64,
     dropped_merge_records: u64,
     delayed_merges: u64,
+    /// Shard-lock contention total already bumped into telemetry (the
+    /// backend reports a cumulative count; the counter wants deltas).
+    shard_waits_seen: u64,
     // epoch bases for the governor's per-epoch cost deltas
     epoch_record_base: u64,
     epoch_invocation_base: u64,
@@ -430,6 +467,7 @@ impl<T: LifetimeTable> RolpProfiler<T> {
             injected_records: 0,
             dropped_merge_records: 0,
             delayed_merges: 0,
+            shard_waits_seen: 0,
             epoch_record_base: 0,
             epoch_invocation_base: 0,
             epoch_profiling_base: 0,
@@ -587,9 +625,11 @@ impl<T: LifetimeTable> RolpProfiler<T> {
         env.telemetry.registry().set_gauge(rolp_telemetry::GaugeId::GovernorState, encoded);
     }
 
-    /// Pipeline stage 3 (§4): classify every touched row.
+    /// Pipeline stage 3 (§4): classify every touched row. Partitioned
+    /// backends fan the classification out across shards; the outcome is
+    /// identical to the sequential [`infer`] either way.
     fn stage_infer(&self) -> InferenceOutcome {
-        infer(&self.old)
+        self.old.run_inference_pass(self.config.gc_workers.max(1))
     }
 
     /// Pipeline stage 4: grow the table for fresh conflicts (§7.5),
@@ -1143,8 +1183,29 @@ impl<T: LifetimeTable> GcHooks for RolpProfiler<T> {
             self.delayed_merges += 1;
             None
         } else {
-            Some(crate::old_table::merge_worker_tables(&mut self.workers, &mut self.old))
+            let parallelism = self.config.gc_workers.max(1);
+            Some(self.old.merge_workers(&mut self.workers, parallelism))
         };
+        // `shard_merge_ns` is the *modeled* critical path of the
+        // fanned-out apply — the busiest shard's records at the
+        // survivor-path price. Wall-clocking the fan-out would make
+        // repeat runs byte-different (the repo's determinism contract)
+        // and is unavailable under Miri anyway.
+        let mut shard_merge_ns = 0u64;
+        if self.old.table_shards().is_some() {
+            if merge.is_some() {
+                let critical = self
+                    .old
+                    .last_shard_merge_counts()
+                    .and_then(|per_shard| per_shard.iter().copied().max())
+                    .unwrap_or(0);
+                shard_merge_ns = critical * env.cost.profile_survivor_ns;
+            }
+            env.telemetry.bump(CounterId::ShardMergeNs, shard_merge_ns);
+            let waits = self.old.shard_lock_waits();
+            env.telemetry.bump(CounterId::ShardLockWaits, waits - self.shard_waits_seen);
+            self.shard_waits_seen = waits;
+        }
         if let Some(merge) = &merge {
             // Modeled merge cost: the safepoint-side fold is priced per
             // record like the survivor path that produced them.
@@ -1165,6 +1226,26 @@ impl<T: LifetimeTable> GcHooks for RolpProfiler<T> {
                         total_records: merge.total,
                     },
                 );
+                // Sharded backends additionally report how the apply
+                // fanned out across shards.
+                if let (Some(shards), Some(per_shard)) =
+                    (self.old.table_shards(), self.old.last_shard_merge_counts())
+                {
+                    let mut records = [0u64; 8];
+                    for (s, &n) in per_shard.iter().enumerate() {
+                        records[s.min(7)] += n;
+                    }
+                    env.trace.emit_global(
+                        env.clock.now(),
+                        rolp_trace::EventKind::ShardMerge {
+                            cycle: info.cycle,
+                            shards: shards as u32,
+                            records,
+                            total_records: merge.total,
+                            merge_ns: shard_merge_ns,
+                        },
+                    );
+                }
             }
         }
 
@@ -1208,10 +1289,18 @@ impl<T: LifetimeTable> GcHooks for RolpProfiler<T> {
 /// Builds the runtime backend for a thread count: one mutator thread gets
 /// the exact sequential table; real parallelism gets the concurrent one.
 pub fn backend_for_threads(threads: u32) -> TableBackend {
-    if threads > 1 {
-        TableBackend::Concurrent(SharedOldTable::new())
-    } else {
-        TableBackend::Sequential(OldTable::new())
+    backend_for(threads, None)
+}
+
+/// Builds the runtime backend from the thread count and an optional
+/// shard-count override. `None` keeps the historical thread-count
+/// selection bit for bit; `Some(n)` selects the sharded table with `n`
+/// shards (`n` must be a power of two — the CLI normalizes user input).
+pub fn backend_for(threads: u32, table_shards: Option<usize>) -> TableBackend {
+    match table_shards {
+        Some(shards) => TableBackend::Sharded(crate::sharded_table::ShardedOldTable::new(shards)),
+        None if threads > 1 => TableBackend::Concurrent(SharedOldTable::new()),
+        None => TableBackend::Sequential(OldTable::new()),
     }
 }
 

@@ -193,6 +193,14 @@ pub fn render_telemetry(snapshot: &rolp_telemetry::MetricsSnapshot) -> String {
         "  profiling overhead: {:.3}% of busy mutator time",
         snapshot.profiling_overhead() * 100.0
     );
+    let _ = writeln!(out, "  event counters:");
+    for c in rolp_telemetry::CounterId::ALL {
+        let n = snapshot.counter(c);
+        if n == 0 {
+            continue;
+        }
+        let _ = writeln!(out, "    {:<24} {n}", c.label());
+    }
     let _ = writeln!(out, "  live percentiles (ns):");
     for h in HistId::ALL {
         let hist = snapshot.histogram(h);

@@ -17,7 +17,7 @@ use rolp_vm::{
 
 use crate::geometry::LifetimeTable;
 use crate::profiler::{
-    backend_for_threads, ProfilingLevel, RolpConfig, RolpProfiler, RolpStats, TableBackend,
+    backend_for, ProfilingLevel, RolpConfig, RolpProfiler, RolpStats, TableBackend,
 };
 
 /// The five evaluated runtime configurations (paper §8).
@@ -208,7 +208,7 @@ impl JvmRuntime {
             CollectorKind::RolpNg2c => {
                 let mut prof = RolpProfiler::with_backend(
                     config.rolp.clone(),
-                    backend_for_threads(config.threads),
+                    backend_for(config.threads, config.rolp.table_shards),
                 );
                 prof.set_trace_logging(config.trace_enabled);
                 // One decision plane: the same Arc-swapped snapshot store

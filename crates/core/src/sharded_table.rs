@@ -1,0 +1,733 @@
+//! The sharded Object Lifetime Distribution table.
+//!
+//! [`ShardedOldTable`] is the horizontal-scale backend of the
+//! [`LifetimeTable`] family: the same §7.5 geometry as
+//! [`crate::OldTable`] / [`crate::SharedOldTable`], but with rows
+//! partitioned into `N` independently locked shards so per-thread
+//! recording contends only per shard and the epoch pipeline's merge and
+//! inference fan out across shards on the `rolp_gc` worker-pool idiom.
+//!
+//! # Partition function
+//!
+//! A context's shard is a pure function of its (masked) site row:
+//!
+//! ```text
+//! shard_of(context) = site_row(context) & (N - 1)        (N power of two)
+//! ```
+//!
+//! Keying by site row — never by stack state — means *every* context of
+//! an allocation site, and therefore the site's entire §7.5 expansion
+//! block, lives wholly inside one shard. Expansion state can then be
+//! shard-local, and per-shard work (merge apply, row classification)
+//! never needs to look across a shard boundary.
+//!
+//! # Deterministic cross-shard reduction
+//!
+//! Unlike [`crate::SharedOldTable`]'s unsynchronized increments, shard
+//! cells are updated under the shard's lock, so counting is **exact**:
+//! the §7.6 measured-loss reconciliation sees zero loss by construction
+//! and the observable state is bit-identical to the sequential reference
+//! for the same event stream (each shard stores its rows exactly like
+//! [`crate::OldTable`] does — base rows, expansion blocks that shadow
+//! them, a touched set). Cross-shard reads re-establish the trait's
+//! global ordering contracts by sorting the per-shard results
+//! (`touched_rows`, `expanded_sites`), and the parallel fan-outs preserve
+//! the global sorted apply order within each shard while rows in
+//! different shards never alias — so the merged table, the inference
+//! outcome, and ultimately the published `DecisionTable` snapshots are
+//! independent of both the shard count and the fan-out schedule.
+//!
+//! The per-shard lock is a hand-rolled spinlock on [`crate::sync_compat`]
+//! primitives (an `AtomicBool` CAS guarding a `loom`-instrumented
+//! `UnsafeCell`), so the `--features loom` model check genuinely verifies
+//! the mutual-exclusion claim rather than trusting `std::sync::Mutex`.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use crate::geometry::{LifetimeTable, TableGeometry};
+use crate::inference::{classify_row, InferenceOutcome, RowVerdict};
+use crate::old_table::{MergeSummary, WorkerTable, AGE_COLUMNS};
+use crate::sync_compat::{yield_now, AtomicBool, AtomicU64, Ordering, UnsafeCell};
+
+type Row = [u32; AGE_COLUMNS];
+
+/// Below this many merge records the safepoint apply stays inline: the
+/// fan-out's thread-scope setup would cost more than the work. The end
+/// state is identical either way.
+const PARALLEL_MERGE_MIN_RECORDS: usize = 1024;
+
+/// Below this many touched rows inference classifies inline.
+const PARALLEL_INFER_MIN_ROWS: usize = 64;
+
+/// One shard's slice of the table, stored exactly like the sequential
+/// reference so the observable semantics match bit for bit: sparse base
+/// rows, expansion blocks that *shadow* a site's base row once present
+/// (pre-expansion counts become unreachable, as in
+/// [`crate::OldTable::expand_site`]), and the touched row-key set.
+#[derive(Default)]
+struct Shard {
+    /// Masked site row → base histogram.
+    base: HashMap<u16, Row>,
+    /// Masked site row → (masked tss row → histogram). Block presence IS
+    /// the site's expansion state.
+    blocks: HashMap<u16, HashMap<u16, Row>>,
+    /// Row keys with recorded counts since the last clear.
+    touched: HashSet<u32>,
+}
+
+impl Shard {
+    fn row_mut(&mut self, geometry: &TableGeometry, context: u32) -> &mut Row {
+        let site = geometry.site_row(context) as u16;
+        match self.blocks.get_mut(&site) {
+            Some(block) => {
+                block.entry(geometry.tss_row(context) as u16).or_insert([0; AGE_COLUMNS])
+            }
+            None => self.base.entry(site).or_insert([0; AGE_COLUMNS]),
+        }
+    }
+
+    fn row(&self, geometry: &TableGeometry, context: u32) -> Row {
+        let site = geometry.site_row(context) as u16;
+        let row = match self.blocks.get(&site) {
+            Some(block) => block.get(&(geometry.tss_row(context) as u16)),
+            None => self.base.get(&site),
+        };
+        row.copied().unwrap_or([0; AGE_COLUMNS])
+    }
+
+    fn is_expanded(&self, geometry: &TableGeometry, context: u32) -> bool {
+        self.blocks.contains_key(&(geometry.site_row(context) as u16))
+    }
+
+    fn touch(&mut self, geometry: &TableGeometry, context: u32) {
+        let key = geometry.row_key(context, self.is_expanded(geometry, context));
+        self.touched.insert(key);
+    }
+}
+
+/// A spinlock-guarded shard. `contended` counts acquisitions that found
+/// the lock held — the `shard_lock_wait` telemetry signal.
+struct ShardLock {
+    locked: AtomicBool,
+    contended: AtomicU64,
+    shard: UnsafeCell<Shard>,
+}
+
+// SAFETY: `shard` is only ever accessed inside `ShardLock::lock`, which
+// establishes exclusive access via the `locked` CAS (verified by loom's
+// instrumented `UnsafeCell` under `--features loom`).
+unsafe impl Send for ShardLock {}
+unsafe impl Sync for ShardLock {}
+
+impl ShardLock {
+    fn new() -> Self {
+        ShardLock {
+            locked: AtomicBool::new(false),
+            contended: AtomicU64::new(0),
+            shard: UnsafeCell::new(Shard::default()),
+        }
+    }
+
+    /// Runs `f` with exclusive access to the shard.
+    fn lock<R>(&self, f: impl FnOnce(&mut Shard) -> R) -> R {
+        let mut contended = false;
+        while self
+            .locked
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            contended = true;
+            yield_now();
+        }
+        if contended {
+            self.contended.fetch_add(1, Ordering::Relaxed);
+        }
+        // SAFETY: the CAS above made this thread the unique lock holder;
+        // every other accessor spins on the same flag, so the access is
+        // exclusive until the release store below.
+        let result = self.shard.with_mut(|p| f(unsafe { &mut *p }));
+        self.locked.store(false, Ordering::Release);
+        result
+    }
+}
+
+/// The sharded Object Lifetime Distribution table (see the module docs
+/// for the partition function and determinism argument).
+pub struct ShardedOldTable {
+    geometry: TableGeometry,
+    shard_mask: usize,
+    shards: Box<[ShardLock]>,
+    /// Records the most recent safepoint merge applied per shard (set by
+    /// [`LifetimeTable::merge_workers`], safepoint-side).
+    last_merge_per_shard: Vec<u64>,
+}
+
+impl ShardedOldTable {
+    /// A full-scale table split into `shards` shards (power of two).
+    pub fn new(shards: usize) -> Self {
+        Self::with_geometry(TableGeometry::full_scale(), shards)
+    }
+
+    /// A table with explicit geometry and shard count. `shards` must be a
+    /// power of two no larger than the geometry's site-row count, so the
+    /// partition mask maps every shard onto a nonempty row subset.
+    pub fn with_geometry(geometry: TableGeometry, shards: usize) -> Self {
+        assert!(
+            shards.is_power_of_two() && shards <= geometry.site_rows(),
+            "shard count must be a power of two <= site rows"
+        );
+        ShardedOldTable {
+            geometry,
+            shard_mask: shards - 1,
+            shards: (0..shards).map(|_| ShardLock::new()).collect(),
+            last_merge_per_shard: Vec::new(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard a context's rows live in: a pure function of the masked
+    /// site row, so a site's base row and its whole expansion block share
+    /// one shard.
+    #[inline]
+    pub fn shard_of(&self, context: u32) -> usize {
+        self.geometry.site_row(context) & self.shard_mask
+    }
+
+    /// Cumulative contended lock acquisitions across all shards.
+    pub fn lock_contentions(&self) -> u64 {
+        self.shards.iter().map(|s| s.contended.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Application-thread path: exact, per-shard-locked age-0 increment.
+    /// Unlike [`crate::SharedOldTable::record_allocation`] this loses no
+    /// counts — the sharding trade is lock traffic on a 1/N subset
+    /// instead of §7.6 imprecision.
+    pub fn record_allocation(&self, context: u32) {
+        let g = self.geometry;
+        self.shards[self.shard_of(context)].lock(|s| {
+            s.touch(&g, context);
+            let row = s.row_mut(&g, context);
+            row[0] = row[0].saturating_add(1);
+        });
+    }
+
+    /// Survival move `age` → `age + 1` (same saturating semantics as the
+    /// sequential reference).
+    pub fn record_survival(&self, context: u32, age: u8) {
+        let g = self.geometry;
+        self.shards[self.shard_of(context)].lock(|s| {
+            s.touch(&g, context);
+            apply_survival(s.row_mut(&g, context), age);
+        });
+    }
+
+    /// Grows the owning shard with an expansion block for a conflicted
+    /// site (§7.5). Idempotent; counts already aggregated in the site's
+    /// base row become unreachable, exactly as in the other backends.
+    pub fn expand_site(&self, site: u16) {
+        let context = (site as u32) << 16;
+        let site_row = self.geometry.site_row(context) as u16;
+        self.shards[self.shard_of(context)].lock(|s| {
+            s.blocks.entry(site_row).or_default();
+        });
+    }
+
+    /// True if `site` has its own expansion block.
+    pub fn is_expanded(&self, site: u16) -> bool {
+        let context = (site as u32) << 16;
+        let g = self.geometry;
+        self.shards[self.shard_of(context)].lock(|s| s.is_expanded(&g, context))
+    }
+
+    /// Number of expansion blocks across all shards.
+    pub fn expansions(&self) -> usize {
+        self.shards.iter().map(|s| s.lock(|shard| shard.blocks.len())).sum()
+    }
+
+    /// The age histogram of a context's row.
+    pub fn histogram(&self, context: u32) -> Row {
+        let g = self.geometry;
+        self.shards[self.shard_of(context)].lock(|s| s.row(&g, context))
+    }
+
+    /// Sum of all age-0 cells (the reconciliation counter's observed
+    /// side; exact here).
+    pub fn age0_total(&self) -> u64 {
+        let g = self.geometry;
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock(|shard| {
+                    shard.touched.iter().map(|&k| shard.row(&g, k)[0] as u64).sum::<u64>()
+                })
+            })
+            .sum()
+    }
+
+    /// All touched rows with at least one nonzero cell, keyed like
+    /// [`LifetimeTable::row_key`] — the same shape as
+    /// [`crate::SharedOldTable::snapshot`] for the reconciliation
+    /// harness.
+    pub fn snapshot(&self) -> BTreeMap<u32, Row> {
+        let g = self.geometry;
+        let mut out = BTreeMap::new();
+        for shard in self.shards.iter() {
+            shard.lock(|s| {
+                for &key in &s.touched {
+                    let row = s.row(&g, key);
+                    if row.iter().any(|&c| c != 0) {
+                        out.insert(key, row);
+                    }
+                }
+            });
+        }
+        out
+    }
+
+    /// Clears all counts per the [`crate::geometry`] contract; expansion
+    /// blocks stay. Safepoint-only.
+    pub fn clear_counts(&self) {
+        for shard in self.shards.iter() {
+            shard.lock(|s| {
+                s.base.clear();
+                for block in s.blocks.values_mut() {
+                    block.clear();
+                }
+                s.touched.clear();
+            });
+        }
+    }
+
+    /// The deterministic safepoint merge, fanned out across shards:
+    /// records are drained from every worker, globally sorted by
+    /// `(context, age)` exactly like
+    /// [`crate::old_table::merge_worker_tables`], then partitioned by
+    /// shard (preserving the sorted order within each shard's group) and
+    /// applied with up to `parallelism` pool workers. Rows in different
+    /// shards never alias, so the result is bit-identical to the
+    /// sequential apply regardless of the fan-out schedule. Returns the
+    /// merge summary plus per-shard record counts.
+    pub fn merge_workers_sharded(
+        &self,
+        workers: &mut [WorkerTable],
+        parallelism: usize,
+    ) -> (MergeSummary, Vec<u64>) {
+        let mut summary = MergeSummary::default();
+        let mut records: Vec<(u32, u8)> = Vec::new();
+        for worker in workers.iter_mut() {
+            let entries = worker.drain_entries();
+            summary.per_worker.push(entries.len() as u64);
+            summary.total += entries.len() as u64;
+            records.extend(entries);
+        }
+        records.sort_unstable();
+        let mut groups: Vec<Vec<(u32, u8)>> = vec![Vec::new(); self.shards.len()];
+        for &(context, age) in &records {
+            groups[self.shard_of(context)].push((context, age));
+        }
+        let per_shard: Vec<u64> = groups.iter().map(|g| g.len() as u64).collect();
+        let work: Vec<(usize, Vec<(u32, u8)>)> =
+            groups.into_iter().enumerate().filter(|(_, g)| !g.is_empty()).collect();
+        if parallelism > 1 && work.len() > 1 && records.len() >= PARALLEL_MERGE_MIN_RECORDS {
+            rolp_gc::fan_out_indexed(&work, parallelism, |_, (shard, recs)| {
+                self.apply_survivals(*shard, recs);
+            });
+        } else {
+            for (shard, recs) in &work {
+                self.apply_survivals(*shard, recs);
+            }
+        }
+        (summary, per_shard)
+    }
+
+    /// Applies one shard's (pre-sorted) slice of a safepoint merge under
+    /// its lock.
+    fn apply_survivals(&self, shard: usize, records: &[(u32, u8)]) {
+        let g = self.geometry;
+        self.shards[shard].lock(|s| {
+            for &(context, age) in records {
+                s.touch(&g, context);
+                apply_survival(s.row_mut(&g, context), age);
+            }
+        });
+    }
+
+    /// The §4 inference pass, fanned out across shards: each shard's
+    /// touched rows are copied out under its lock (with their expansion
+    /// state), classified lock-free in parallel, and the partial outcomes
+    /// are reduced back into the sequential pass's global ordering
+    /// (decisions ascending by row key; conflict site lists ascending) —
+    /// identical to [`crate::inference::infer`] because every row
+    /// classifies independently and a site's rows never span shards.
+    pub fn infer_sharded(&self, parallelism: usize) -> InferenceOutcome {
+        let g = self.geometry;
+        let shard_rows: Vec<Vec<(u32, Row, bool)>> = self
+            .shards
+            .iter()
+            .map(|shard| {
+                shard.lock(|s| {
+                    let mut rows: Vec<(u32, Row, bool)> = s
+                        .touched
+                        .iter()
+                        .map(|&key| (key, s.row(&g, key), s.is_expanded(&g, key)))
+                        .collect();
+                    rows.sort_unstable_by_key(|&(key, _, _)| key);
+                    rows
+                })
+            })
+            .filter(|rows| !rows.is_empty())
+            .collect();
+        let total_rows: usize = shard_rows.iter().map(Vec::len).sum();
+        let partials: Vec<InferenceOutcome> =
+            if parallelism > 1 && shard_rows.len() > 1 && total_rows >= PARALLEL_INFER_MIN_ROWS {
+                rolp_gc::fan_out_indexed(&shard_rows, parallelism, |_, rows| classify_shard(rows))
+            } else {
+                shard_rows.iter().map(|rows| classify_shard(rows)).collect()
+            };
+        let mut out = InferenceOutcome::default();
+        for partial in partials {
+            out.decisions.extend(partial.decisions);
+            out.new_conflicts.extend(partial.new_conflicts);
+            out.unresolved_conflicts.extend(partial.unresolved_conflicts);
+            out.rows_examined += partial.rows_examined;
+        }
+        // Re-establish the sequential pass's global order: it walks row
+        // keys ascending, and a site's key range is contiguous, so
+        // sorting reproduces both the decision order and the
+        // first-encounter order of the conflict lists.
+        out.decisions.sort_unstable_by_key(|&(key, _)| key);
+        out.new_conflicts.sort_unstable();
+        out.new_conflicts.dedup();
+        out.unresolved_conflicts.sort_unstable();
+        out.unresolved_conflicts.dedup();
+        out
+    }
+}
+
+/// The saturating survival move shared by the record and merge paths
+/// (identical to the sequential reference's cell arithmetic).
+#[inline]
+fn apply_survival(row: &mut Row, age: u8) {
+    let age = (age as usize).min(AGE_COLUMNS - 1);
+    let next = (age + 1).min(AGE_COLUMNS - 1);
+    row[age] = row[age].saturating_sub(1);
+    row[next] = row[next].saturating_add(1);
+}
+
+/// Classifies one shard's sorted rows — the per-shard body of the §4
+/// pass, mirroring [`crate::inference::infer`]'s loop.
+fn classify_shard(rows: &[(u32, Row, bool)]) -> InferenceOutcome {
+    let mut out = InferenceOutcome::default();
+    for &(key, hist, expanded) in rows {
+        out.rows_examined += 1;
+        let site = crate::context::site_of(key);
+        match classify_row(&hist) {
+            RowVerdict::Insufficient => {}
+            RowVerdict::Lifetime(age) => out.decisions.push((key, age)),
+            RowVerdict::Conflict(_) => {
+                if expanded {
+                    if !out.unresolved_conflicts.contains(&site) {
+                        out.unresolved_conflicts.push(site);
+                    }
+                } else if !out.new_conflicts.contains(&site) {
+                    out.new_conflicts.push(site);
+                }
+            }
+        }
+    }
+    out
+}
+
+impl LifetimeTable for ShardedOldTable {
+    fn geometry(&self) -> &TableGeometry {
+        &self.geometry
+    }
+
+    fn record_allocation(&mut self, context: u32) {
+        ShardedOldTable::record_allocation(self, context);
+    }
+
+    fn record_survival(&mut self, context: u32, age: u8) {
+        ShardedOldTable::record_survival(self, context, age);
+    }
+
+    fn expand_site(&mut self, site: u16) {
+        ShardedOldTable::expand_site(self, site);
+    }
+
+    fn is_expanded(&self, site: u16) -> bool {
+        ShardedOldTable::is_expanded(self, site)
+    }
+
+    fn expansions(&self) -> usize {
+        ShardedOldTable::expansions(self)
+    }
+
+    fn expanded_sites(&self) -> Vec<u16> {
+        let mut sites: Vec<u16> = Vec::new();
+        for shard in self.shards.iter() {
+            shard.lock(|s| sites.extend(s.blocks.keys().copied()));
+        }
+        sites.sort_unstable();
+        sites
+    }
+
+    fn histogram(&self, context: u32) -> Row {
+        ShardedOldTable::histogram(self, context)
+    }
+
+    fn touched_rows(&self) -> Vec<u32> {
+        // Deterministic cross-shard reduction: per-shard key sets are
+        // disjoint; the global sort re-establishes the trait's ascending
+        // contract.
+        let mut keys: Vec<u32> = Vec::new();
+        for shard in self.shards.iter() {
+            shard.lock(|s| keys.extend(s.touched.iter().copied()));
+        }
+        keys.sort_unstable();
+        keys
+    }
+
+    fn age0_total(&self) -> u64 {
+        ShardedOldTable::age0_total(self)
+    }
+
+    fn clear_counts(&mut self) {
+        ShardedOldTable::clear_counts(self);
+    }
+
+    fn merge_workers(&mut self, workers: &mut [WorkerTable], parallelism: usize) -> MergeSummary {
+        let (summary, per_shard) = self.merge_workers_sharded(workers, parallelism);
+        self.last_merge_per_shard = per_shard;
+        summary
+    }
+
+    fn run_inference_pass(&self, parallelism: usize) -> InferenceOutcome {
+        self.infer_sharded(parallelism)
+    }
+
+    fn table_shards(&self) -> Option<usize> {
+        Some(self.shards.len())
+    }
+
+    fn shard_lock_waits(&self) -> u64 {
+        self.lock_contentions()
+    }
+
+    fn last_shard_merge_counts(&self) -> Option<Vec<u64>> {
+        Some(self.last_merge_per_shard.clone())
+    }
+}
+
+#[cfg(all(test, not(feature = "loom")))]
+mod tests {
+    use super::*;
+    use crate::context::pack;
+    use crate::inference::infer;
+    use crate::old_table::{merge_worker_tables, OldTable};
+
+    fn small(shards: usize) -> ShardedOldTable {
+        ShardedOldTable::with_geometry(TableGeometry::new(64, 16), shards)
+    }
+
+    /// Trait-qualified row key (the inherent methods shadow the trait's
+    /// provided ones).
+    fn key(t: &ShardedOldTable, c: u32) -> u32 {
+        LifetimeTable::row_key(t, c)
+    }
+
+    #[test]
+    fn allocations_land_in_age_zero_and_count_exactly() {
+        let t = small(4);
+        let c = pack(10, 0);
+        t.record_allocation(c);
+        t.record_allocation(c);
+        assert_eq!(t.histogram(c)[0], 2);
+        assert_eq!(t.age0_total(), 2);
+    }
+
+    #[test]
+    fn sites_partition_by_site_row_and_expansions_stay_shard_local() {
+        let t = small(4);
+        assert_eq!(t.shard_of(pack(0, 9)), 0);
+        assert_eq!(t.shard_of(pack(5, 0)), 1, "5 & 3");
+        assert_eq!(t.shard_of(pack(69, 7)), 1, "(69 & 63) & 3");
+        t.expand_site(5);
+        assert!(t.is_expanded(5));
+        assert!(LifetimeTable::is_expanded(&t, 69), "masked alias shares the block");
+        assert_eq!(t.expansions(), 1);
+        t.expand_site(5);
+        assert_eq!(t.expansions(), 1, "idempotent");
+        // Every context of the site stays in its shard after expansion.
+        assert_eq!(t.shard_of(pack(5, 0)), t.shard_of(pack(5, 15)));
+    }
+
+    #[test]
+    fn expansion_splits_stack_states_and_shadows_the_base_row() {
+        let t = small(4);
+        t.record_allocation(pack(5, 1));
+        t.expand_site(5);
+        assert_eq!(
+            t.histogram(pack(5, 1))[0],
+            0,
+            "pre-expansion base counts are shadowed, as in OldTable"
+        );
+        t.record_allocation(pack(5, 1));
+        t.record_allocation(pack(5, 2));
+        assert_eq!(t.histogram(pack(5, 1))[0], 1);
+        assert_eq!(t.histogram(pack(5, 2))[0], 1);
+        assert_ne!(key(&t, pack(5, 1)), key(&t, pack(5, 2)));
+    }
+
+    #[test]
+    fn survival_moves_between_age_columns_and_saturates() {
+        let t = small(2);
+        let c = pack(3, 0);
+        t.record_allocation(c);
+        t.record_survival(c, 0);
+        let h = t.histogram(c);
+        assert_eq!((h[0], h[1]), (0, 1));
+        for age in 1..40u8 {
+            t.record_survival(c, age.min(15));
+        }
+        assert_eq!(t.histogram(c)[15], 1);
+        // Underflow saturates instead of wrapping.
+        t.record_survival(pack(9, 0), 3);
+        assert_eq!(t.histogram(pack(9, 0))[3], 0);
+        assert_eq!(t.histogram(pack(9, 0))[4], 1);
+    }
+
+    #[test]
+    fn touched_rows_sorted_across_shards_and_clear_keeps_expansions() {
+        let t = small(8);
+        t.record_allocation(pack(9, 0));
+        t.record_allocation(pack(2, 0));
+        t.record_allocation(pack(5, 0));
+        assert_eq!(LifetimeTable::touched_rows(&t), vec![2 << 16, 5 << 16, 9 << 16]);
+        t.expand_site(4);
+        t.record_allocation(pack(4, 9));
+        t.clear_counts();
+        assert!(LifetimeTable::touched_rows(&t).is_empty());
+        assert_eq!(t.age0_total(), 0);
+        assert!(t.is_expanded(4));
+        assert_eq!(t.histogram(pack(4, 9))[0], 0);
+    }
+
+    #[test]
+    fn memory_accounting_matches_geometry() {
+        let t = small(4);
+        let base = (64 * AGE_COLUMNS * 4) as u64;
+        let block = (16 * AGE_COLUMNS * 4) as u64;
+        assert_eq!(t.memory_bytes(), base);
+        t.expand_site(1);
+        t.expand_site(2);
+        assert_eq!(t.memory_bytes(), base + 2 * block);
+    }
+
+    /// Replays one event stream through the sequential reference and a
+    /// sharded table, requiring identical observable state — the
+    /// bit-identity claim the module docs make, in miniature.
+    fn assert_matches_reference(shards: usize) {
+        let mut reference = OldTable::with_geometry(TableGeometry::new(64, 16));
+        let mut sharded = small(shards);
+        let events: Vec<(u32, u8)> = (0..600u32)
+            .map(|i| (pack((i * 7 % 64) as u16, (i * 13 % 16) as u16), (i % 6) as u8))
+            .collect();
+        for (i, &(c, age)) in events.iter().enumerate() {
+            if i == 200 {
+                LifetimeTable::expand_site(&mut reference, 5);
+                LifetimeTable::expand_site(&mut sharded, 5);
+            }
+            LifetimeTable::record_allocation(&mut reference, c);
+            LifetimeTable::record_allocation(&mut sharded, c);
+            if i % 3 == 0 {
+                LifetimeTable::record_survival(&mut reference, c, age);
+                LifetimeTable::record_survival(&mut sharded, c, age);
+            }
+        }
+        assert_eq!(LifetimeTable::touched_rows(&sharded), reference.touched_rows());
+        for &k in &reference.touched_rows() {
+            assert_eq!(LifetimeTable::histogram(&sharded, k), reference.histogram(k), "row {k:#x}");
+        }
+        assert_eq!(sharded.age0_total(), LifetimeTable::age0_total(&reference));
+        let seq_out = infer(&reference);
+        let sharded_out = sharded.infer_sharded(4);
+        assert_eq!(sharded_out.decisions, seq_out.decisions);
+        assert_eq!(sharded_out.new_conflicts, seq_out.new_conflicts);
+        assert_eq!(sharded_out.unresolved_conflicts, seq_out.unresolved_conflicts);
+        assert_eq!(sharded_out.rows_examined, seq_out.rows_examined);
+    }
+
+    #[test]
+    fn observable_state_is_bit_identical_to_the_sequential_reference() {
+        for shards in [1, 2, 4, 16, 64] {
+            assert_matches_reference(shards);
+        }
+    }
+
+    #[test]
+    fn sharded_merge_matches_the_sequential_sorted_merge() {
+        // The same worker records merged through `merge_worker_tables`
+        // (global sorted apply) and through the sharded fan-out must
+        // produce identical histograms — including saturating rows.
+        let records: Vec<(u32, u8)> =
+            (0..3000u32).map(|i| (pack((i % 64) as u16, (i % 16) as u16), (i % 5) as u8)).collect();
+        let mut reference = OldTable::with_geometry(TableGeometry::new(64, 16));
+        let sharded = small(8);
+        for c in 0..64u16 {
+            LifetimeTable::record_allocation(&mut reference, pack(c, 0));
+            sharded.record_allocation(pack(c, 0));
+        }
+        let mut workers_a = vec![WorkerTable::new(); 4];
+        let mut workers_b = vec![WorkerTable::new(); 4];
+        for (i, &(c, age)) in records.iter().enumerate() {
+            workers_a[i % 4].record_survival(c, age);
+            workers_b[(i * 31) % 4].record_survival(c, age);
+        }
+        let seq = merge_worker_tables(&mut workers_a, &mut reference);
+        let (par, per_shard) = sharded.merge_workers_sharded(&mut workers_b, 4);
+        assert_eq!(seq.total, par.total);
+        assert_eq!(per_shard.iter().sum::<u64>(), par.total);
+        assert_eq!(per_shard.len(), 8);
+        assert_eq!(LifetimeTable::touched_rows(&sharded), reference.touched_rows());
+        for &k in &reference.touched_rows() {
+            assert_eq!(LifetimeTable::histogram(&sharded, k), reference.histogram(k));
+        }
+    }
+
+    #[test]
+    fn concurrent_recording_is_exact_not_lossy() {
+        // Unlike the §7.6 relaxed table, locked shards cannot lose
+        // counts: 4 threads x 10k increments land exactly.
+        let t = std::sync::Arc::new(small(4));
+        let threads = 4u32;
+        let per = 10_000u32;
+        std::thread::scope(|s| {
+            for k in 0..threads {
+                let t = std::sync::Arc::clone(&t);
+                s.spawn(move || {
+                    for _ in 0..per {
+                        t.record_allocation(pack((k % 4) as u16 + 1, 0));
+                    }
+                });
+            }
+        });
+        assert_eq!(t.age0_total(), (threads * per) as u64, "locked counting is exact");
+    }
+
+    #[test]
+    fn snapshot_reports_nonzero_rows_with_row_keys() {
+        let t = small(4);
+        t.expand_site(7);
+        t.record_allocation(pack(7, 3));
+        t.record_allocation(pack(2, 9));
+        let snap = t.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[&pack(2, 0)][0], 1);
+        assert_eq!(snap[&pack(7, 3)][0], 1);
+    }
+}

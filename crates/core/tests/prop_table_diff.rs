@@ -1,13 +1,14 @@
-//! Differential property test for the two [`LifetimeTable`] backends.
+//! Differential property test for the three [`LifetimeTable`] backends.
 //!
 //! The trait's contract (see `rolp::geometry`) is *observational*: any
 //! event stream of allocations, survivals, and site expansions replayed
-//! single-threaded through [`OldTable`] (sequential/exact) and
-//! [`SharedOldTable`] (relaxed-atomic) must produce identical histograms,
-//! touched rows, row keys, expansion state, and §7.5 memory accounting —
-//! and after `clear_counts`, both must satisfy the documented clear
-//! contract. This test holds them to it with generated streams, and runs
-//! under Miri (the geometry is small and the vendored proptest RNG is
+//! single-threaded through [`OldTable`] (sequential/exact),
+//! [`SharedOldTable`] (relaxed-atomic), and [`ShardedOldTable`]
+//! (per-shard-locked) must produce identical histograms, touched rows,
+//! row keys, expansion state, and §7.5 memory accounting — and after
+//! `clear_counts`, all must satisfy the documented clear contract. This
+//! test holds them to it with generated streams, and runs under Miri
+//! (the geometry is small and the vendored proptest RNG is
 //! deterministic).
 //!
 //! One asymmetry is deliberate and excluded from the blanket comparison:
@@ -16,15 +17,17 @@
 //! backends document this). The sequential table's `age0_total` reads
 //! back through the keyed lookup — which an expansion redirects to the
 //! new block — while the shared table's safepoint scan still sees the
-//! stranded base cells. So `age0_total` equality is asserted only on
-//! streams where no expansion strands prior records, plus a dedicated
-//! expansions-first property below.
+//! stranded base cells. So shared-table `age0_total` equality is asserted
+//! only on streams where no expansion strands prior records, plus a
+//! dedicated expansions-first property below. The sharded table stores
+//! rows exactly like the sequential one, so its `age0_total` is held to
+//! the sequential semantics unconditionally.
 
 use std::collections::HashSet;
 
 use proptest::prelude::*;
 use rolp::context::pack;
-use rolp::{LifetimeTable, OldTable, SharedOldTable, TableGeometry};
+use rolp::{LifetimeTable, OldTable, ShardedOldTable, SharedOldTable, TableGeometry};
 
 /// Small geometry (64 site rows, 16 tss rows) so site ids ≥ 64 and stack
 /// states ≥ 16 exercise the masking/aliasing paths, and Miri stays fast.
@@ -107,26 +110,27 @@ fn strands_counts(events: &[Ev]) -> bool {
     false
 }
 
-/// The full observable surface both backends must agree on.
-fn assert_same_observable(seq: &OldTable, shared: &SharedOldTable, contexts: &[u32]) {
-    assert_eq!(seq.expansions(), shared.expansions());
+/// The full observable surface every backend must agree on with the
+/// sequential reference.
+fn assert_same_observable<T: LifetimeTable>(seq: &OldTable, other: &T, contexts: &[u32]) {
+    assert_eq!(seq.expansions(), LifetimeTable::expansions(other));
     assert_eq!(
         LifetimeTable::expanded_sites(seq),
-        LifetimeTable::expanded_sites(shared),
+        LifetimeTable::expanded_sites(other),
         "masked expansion rows, ascending"
     );
-    assert_eq!(seq.memory_bytes(), shared.memory_bytes(), "§7.5 accounting");
+    assert_eq!(seq.memory_bytes(), other.memory_bytes(), "§7.5 accounting");
     let touched = seq.touched_rows();
-    assert_eq!(touched, LifetimeTable::touched_rows(shared), "sorted row keys");
+    assert_eq!(touched, LifetimeTable::touched_rows(other), "sorted row keys");
     for &key in touched.iter().chain(contexts) {
         assert_eq!(
             seq.histogram(key),
-            SharedOldTable::histogram(shared, key),
+            LifetimeTable::histogram(other, key),
             "histogram for {key:#010x}"
         );
         assert_eq!(
             LifetimeTable::row_key(seq, key),
-            LifetimeTable::row_key(shared, key),
+            LifetimeTable::row_key(other, key),
             "row key for {key:#010x}"
         );
     }
@@ -144,25 +148,35 @@ proptest! {
     ) {
         let mut seq = OldTable::with_geometry(small_geometry());
         let mut shared = SharedOldTable::with_geometry(small_geometry());
+        let mut sharded = ShardedOldTable::with_geometry(small_geometry(), 4);
         let contexts = contexts_of(&events);
         for &ev in &events {
             apply(&mut seq, ev);
             apply(&mut shared, ev);
+            apply(&mut sharded, ev);
         }
         assert_same_observable(&seq, &shared, &contexts);
+        assert_same_observable(&seq, &sharded, &contexts);
         if !strands_counts(&events) {
             prop_assert_eq!(seq.age0_total(), SharedOldTable::age0_total(&shared));
         }
+        // The sharded backend resolves stranded keys through the current
+        // expansion state like the sequential table, so it agrees on
+        // every stream.
+        prop_assert_eq!(seq.age0_total(), ShardedOldTable::age0_total(&sharded));
 
         // Clear contract: histograms read zero, touched rows empty,
         // age-0 total zero, expansions and memory footprint retained.
         let (expansions, memory) = (seq.expansions(), seq.memory_bytes());
         LifetimeTable::clear_counts(&mut seq);
         LifetimeTable::clear_counts(&mut shared);
+        LifetimeTable::clear_counts(&mut sharded);
         assert_same_observable(&seq, &shared, &contexts);
+        assert_same_observable(&seq, &sharded, &contexts);
         prop_assert!(seq.touched_rows().is_empty());
         prop_assert_eq!(seq.age0_total(), 0);
         prop_assert_eq!(SharedOldTable::age0_total(&shared), 0);
+        prop_assert_eq!(ShardedOldTable::age0_total(&sharded), 0);
         for &c in &contexts {
             prop_assert_eq!(seq.histogram(c), [0u32; rolp::AGE_COLUMNS]);
         }
@@ -180,17 +194,22 @@ proptest! {
     ) {
         let mut seq = OldTable::with_geometry(small_geometry());
         let mut shared = SharedOldTable::with_geometry(small_geometry());
+        let mut sharded = ShardedOldTable::with_geometry(small_geometry(), 8);
         for &site in &expand {
             seq.expand_site(site);
             LifetimeTable::expand_site(&mut shared, site);
+            LifetimeTable::expand_site(&mut sharded, site);
         }
         let contexts = contexts_of(&events);
         for &ev in &events {
             apply(&mut seq, ev);
             apply(&mut shared, ev);
+            apply(&mut sharded, ev);
         }
         assert_same_observable(&seq, &shared, &contexts);
+        assert_same_observable(&seq, &sharded, &contexts);
         prop_assert_eq!(seq.age0_total(), SharedOldTable::age0_total(&shared));
+        prop_assert_eq!(seq.age0_total(), ShardedOldTable::age0_total(&sharded));
 
         // The exact age-0 total is also checkable against the stream:
         // allocations add one, survivals at age 0 remove at most one.

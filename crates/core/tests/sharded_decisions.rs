@@ -1,0 +1,84 @@
+//! End-to-end bit-identity check for the sharded OLD table: the same
+//! guest program driven through the full runtime (JIT, GC cycles, epoch
+//! pipeline, decision publication) with the sequential backend and with
+//! [`rolp::ShardedOldTable`] at several shard counts must publish
+//! **identical** [`rolp_vm::DecisionTable`] snapshots — same version,
+//! same `(row key, generation, canary)` set, same digest — because
+//! locked per-shard counting is exact and the cross-shard reductions are
+//! deterministic (see `rolp::sharded_table`).
+
+use rolp::runtime::{CollectorKind, JvmRuntime, RuntimeConfig};
+use rolp_vm::ThreadId;
+
+/// Drives a program with three allocation demographics (transient,
+/// middle-aged ring, factory conflict) long enough for several inference
+/// epochs, and returns the final published decision state.
+fn run_backend(table_shards: Option<usize>) -> (u64, u64, Vec<(u32, u8)>, u64) {
+    let mut b = rolp_vm::ProgramBuilder::new();
+    let main = b.method("app.Main::run", 100, false);
+    let worker = b.method("app.Worker::step", 80, false);
+    let maker = b.method("app.Factory::make", 60, false);
+    let call_worker = b.call_site(main, worker);
+    let call_maker = b.call_site(worker, maker);
+    let site_transient = b.alloc_site(worker, 1);
+    let site_ring = b.alloc_site(main, 2);
+    let site_factory = b.alloc_site(maker, 3);
+    let program = b.build();
+
+    let mut cfg = RuntimeConfig {
+        collector: CollectorKind::RolpNg2c,
+        heap: rolp_heap::HeapConfig { region_bytes: 4096, max_heap_bytes: 1 << 18 },
+        ..Default::default()
+    };
+    cfg.rolp.table_shards = table_shards;
+
+    let mut rt = JvmRuntime::new(cfg, program);
+    let class = rt.vm.env.heap.classes.register("app.Item");
+    let mut ring = std::collections::VecDeque::new();
+    let mut factory_held = std::collections::VecDeque::new();
+    for i in 0..50_000u64 {
+        let mut ctx = rt.ctx(ThreadId(0));
+        ctx.call(call_worker, |ctx| {
+            let h = ctx.alloc(site_transient, class, 0, 4);
+            ctx.release(h);
+            let held = ctx.alloc(site_ring, class, 0, 4);
+            ring.push_back(held);
+            if ring.len() > 96 {
+                ctx.release(ring.pop_front().unwrap());
+            }
+            // The factory site alternates between transient and held
+            // objects — the §7.5 conflict that forces an expansion.
+            ctx.call(call_maker, |ctx| {
+                let f = ctx.alloc(site_factory, class, 0, 4);
+                if i % 2 == 0 {
+                    ctx.release(f);
+                } else {
+                    factory_held.push_back(f);
+                    if factory_held.len() > 48 {
+                        ctx.release(factory_held.pop_front().unwrap());
+                    }
+                }
+            });
+            ctx.complete_ops(1);
+        });
+    }
+
+    let profiler = rt.profiler.as_ref().expect("rolp collector has a profiler");
+    let p = profiler.borrow();
+    let snapshot = p.decision_store().snapshot();
+    (snapshot.version(), snapshot.digest(), snapshot.iter().collect(), p.inferences())
+}
+
+#[test]
+fn sharded_backends_publish_bit_identical_decisions() {
+    let (ref_version, ref_digest, ref_decisions, ref_epochs) = run_backend(None);
+    assert!(ref_epochs > 0, "the workload must drive inference epochs");
+    assert!(!ref_decisions.is_empty(), "the workload must learn decisions");
+    for shards in [1usize, 4, 16] {
+        let (version, digest, decisions, epochs) = run_backend(Some(shards));
+        assert_eq!(epochs, ref_epochs, "{shards} shard(s): same epoch cadence");
+        assert_eq!(version, ref_version, "{shards} shard(s): same publication count");
+        assert_eq!(decisions, ref_decisions, "{shards} shard(s): same decisions");
+        assert_eq!(digest, ref_digest, "{shards} shard(s): same digest");
+    }
+}

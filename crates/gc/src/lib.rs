@@ -32,5 +32,7 @@ pub use concurrent::{ConcurrentCollector, ConcurrentConfig, ConcurrentStats};
 pub use evac::{evacuate, full_compact, rebuild_remsets, EvacOutcome, EvacStats};
 pub use mark::{mark_liveness, MarkResult};
 pub use observer::{GcCycleInfo, GcHooks, NullHooks};
-pub use parallel::{mark_liveness_parallel, prescan_remsets, MarkBitmap, RemsetPrescan};
+pub use parallel::{
+    fan_out_indexed, mark_liveness_parallel, prescan_remsets, MarkBitmap, RemsetPrescan,
+};
 pub use regional::{RegionalCollector, RegionalConfig, RegionalStats};

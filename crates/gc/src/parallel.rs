@@ -211,6 +211,43 @@ fn mark_worker(
     }
 }
 
+/// Fans `work` out over the indices of `items` on a shared-cursor worker
+/// pool, returning the results in input order.
+///
+/// This is the pool idiom the remembered-set prescan uses, extracted so
+/// other embarrassingly parallel index spaces (the sharded OLD table's
+/// per-shard merge and inference fan-outs) share it: workers claim
+/// indices from one atomic cursor, each result lands in its index's slot,
+/// and the output order matches `items` regardless of how the claim race
+/// resolves. `workers <= 1` (or a single item) runs inline on the caller
+/// — the deterministic reference the parallel path must match.
+pub fn fan_out_indexed<T, R, F>(items: &[T], workers: usize, work: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    if workers <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, t)| work(i, t)).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<R>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers.min(items.len()) {
+            let (cursor, results, work) = (&cursor, &results, &work);
+            s.spawn(move || loop {
+                let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(idx) else { break };
+                *results[idx].lock().unwrap() = Some(work(idx, item));
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("every index claimed exactly once"))
+        .collect()
+}
+
 /// A remembered-set slot that survived prescan validation: it still holds
 /// a reference into the collection set and must be forwarded.
 #[derive(Debug, Clone, Copy)]
@@ -275,26 +312,7 @@ pub fn prescan_remsets(
         valid
     };
 
-    let valid: Vec<Vec<ValidSlot>> = if workers <= 1 || cset.len() <= 1 {
-        cset.iter().map(validate_region).collect()
-    } else {
-        // Workers claim cset indices from a shared cursor; results land
-        // in per-index slots, so the output order matches `cset`.
-        let cursor = AtomicUsize::new(0);
-        let results: Vec<Mutex<Vec<ValidSlot>>> =
-            (0..cset.len()).map(|_| Mutex::new(Vec::new())).collect();
-        std::thread::scope(|s| {
-            for _ in 0..workers.min(cset.len()) {
-                let (cursor, results, validate_region) = (&cursor, &results, &validate_region);
-                s.spawn(move || loop {
-                    let idx = cursor.fetch_add(1, Ordering::Relaxed);
-                    let Some(region) = cset.get(idx) else { break };
-                    *results[idx].lock().unwrap() = validate_region(region);
-                });
-            }
-        });
-        results.into_iter().map(|m| m.into_inner().unwrap()).collect()
-    };
+    let valid: Vec<Vec<ValidSlot>> = fan_out_indexed(cset, workers, |_, r| validate_region(r));
 
     RemsetPrescan { valid, slots_examined: slots_examined.into_inner() }
 }
@@ -396,6 +414,17 @@ mod tests {
         build_graph(&mut h);
         let r = mark_liveness_parallel(&mut h, 1);
         assert!(r.live_objects > 0);
+    }
+
+    #[test]
+    fn fan_out_preserves_input_order_at_any_worker_count() {
+        let items: Vec<u32> = (0..37).collect();
+        let f = |i: usize, &v: &u32| (i as u32) * 1000 + v * 2;
+        let seq = fan_out_indexed(&items, 1, f);
+        for workers in [2, 4, 16, 64] {
+            assert_eq!(fan_out_indexed(&items, workers, f), seq);
+        }
+        assert!(fan_out_indexed(&Vec::<u32>::new(), 4, f).is_empty());
     }
 
     #[test]

@@ -133,11 +133,17 @@ pub enum CounterId {
     ProfileEntriesImported,
     /// Imported-row confidence halvings under the blend decay.
     ProfileBlendDecays,
+    /// Wall nanoseconds spent in sharded-backend safepoint merges
+    /// (cumulative; 0 on unsharded backends).
+    ShardMergeNs,
+    /// Contended shard-lock acquisitions in the sharded OLD table
+    /// (cumulative; 0 on unsharded backends).
+    ShardLockWaits,
 }
 
 impl CounterId {
     /// Number of counters.
-    pub const COUNT: usize = 7;
+    pub const COUNT: usize = 9;
 
     /// Every counter, in index order.
     pub const ALL: [CounterId; CounterId::COUNT] = [
@@ -148,6 +154,8 @@ impl CounterId {
         CounterId::EpochsInferred,
         CounterId::ProfileEntriesImported,
         CounterId::ProfileBlendDecays,
+        CounterId::ShardMergeNs,
+        CounterId::ShardLockWaits,
     ];
 
     /// Dense array index.
@@ -166,6 +174,8 @@ impl CounterId {
             CounterId::EpochsInferred => "epochs_inferred",
             CounterId::ProfileEntriesImported => "profile_entries_imported",
             CounterId::ProfileBlendDecays => "profile_blend_decays",
+            CounterId::ShardMergeNs => "shard_merge_ns",
+            CounterId::ShardLockWaits => "shard_lock_wait",
         }
     }
 }

@@ -130,6 +130,24 @@ pub fn event_to_json(event: &TraceEvent) -> String {
                 .u64("released", *released)
                 .u64("remaining", *remaining);
         }
+        EventKind::ShardMerge { cycle, shards, records, total_records, merge_ns } => {
+            obj.u64("cycle", *cycle)
+                .u64("shards", *shards as u64)
+                .u64_array("records", records)
+                .u64("total_records", *total_records)
+                .u64("merge_ns", *merge_ns);
+        }
+        EventKind::FleetSubmission { instance, epochs, entries, accepted } => {
+            obj.u64("instance", *instance as u64)
+                .u64("epochs", *epochs)
+                .u64("entries", *entries)
+                .bool("accepted", *accepted);
+        }
+        EventKind::FleetConsensus { instances, entries, contested } => {
+            obj.u64("instances", *instances as u64)
+                .u64("entries", *entries)
+                .u64("contested", *contested);
+        }
     }
     obj.finish()
 }
@@ -314,6 +332,32 @@ pub fn parse_jsonl(input: &str) -> Result<Vec<TraceEvent>, String> {
                     released: get_u64(&map, "released")?,
                     remaining: get_u64(&map, "remaining")?,
                 },
+                "shard_merge" => {
+                    let mut records = [0u64; 8];
+                    if let Some(JsonValue::UintArray(xs)) = map.get("records") {
+                        for (i, v) in xs.iter().take(8).enumerate() {
+                            records[i] = *v;
+                        }
+                    }
+                    EventKind::ShardMerge {
+                        cycle: get_u64(&map, "cycle")?,
+                        shards: get_u64(&map, "shards")? as u32,
+                        records,
+                        total_records: get_u64(&map, "total_records")?,
+                        merge_ns: get_u64(&map, "merge_ns")?,
+                    }
+                }
+                "fleet_submission" => EventKind::FleetSubmission {
+                    instance: get_u64(&map, "instance")? as u32,
+                    epochs: get_u64(&map, "epochs")?,
+                    entries: get_u64(&map, "entries")?,
+                    accepted: get_bool(&map, "accepted")?,
+                },
+                "fleet_consensus" => EventKind::FleetConsensus {
+                    instances: get_u64(&map, "instances")? as u32,
+                    entries: get_u64(&map, "entries")?,
+                    contested: get_u64(&map, "contested")?,
+                },
                 other => return Err(format!("unknown event type '{other}'")),
             })
         })()
@@ -392,6 +436,9 @@ pub fn to_chrome_trace(events: &[TraceEvent]) -> String {
                     EventKind::GovernorTransition { .. } => "governor transition",
                     EventKind::ProfileImport { .. } => "profile import",
                     EventKind::ProfileBlend { .. } => "profile blend",
+                    EventKind::ShardMerge { .. } => "shard merge",
+                    EventKind::FleetSubmission { .. } => "fleet submission",
+                    EventKind::FleetConsensus { .. } => "fleet consensus",
                     _ => unreachable!("pause and watermark handled above"),
                 };
                 // Strip the envelope fields the JSONL form carries; the
@@ -570,6 +617,35 @@ mod tests {
                 thread: GLOBAL_THREAD,
                 seq: 11,
                 kind: EventKind::ProfileBlend { epoch: 4, decayed: 3, released: 1, remaining: 9 },
+            },
+            TraceEvent {
+                ts: t(14_000),
+                thread: GLOBAL_THREAD,
+                seq: 12,
+                kind: EventKind::ShardMerge {
+                    cycle: 16,
+                    shards: 4,
+                    records: [20, 0, 14, 12, 0, 0, 0, 0],
+                    total_records: 46,
+                    merge_ns: 3_200,
+                },
+            },
+            TraceEvent {
+                ts: t(15_000),
+                thread: GLOBAL_THREAD,
+                seq: 13,
+                kind: EventKind::FleetSubmission {
+                    instance: 2,
+                    epochs: 6,
+                    entries: 11,
+                    accepted: true,
+                },
+            },
+            TraceEvent {
+                ts: t(16_000),
+                thread: GLOBAL_THREAD,
+                seq: 14,
+                kind: EventKind::FleetConsensus { instances: 3, entries: 12, contested: 1 },
             },
         ]
     }

@@ -208,6 +208,44 @@ pub enum EventKind {
         /// Imported rows still held after this epoch.
         remaining: u64,
     },
+    /// A sharded OLD table applied a safepoint merge across its shards
+    /// (the partitioned twin of [`EventKind::OldTableMerge`]).
+    ShardMerge {
+        /// GC cycle the merge closed.
+        cycle: u64,
+        /// Shards in the table.
+        shards: u32,
+        /// Records applied per shard; shards ≥ 8 fold into the last
+        /// slot (payloads are fixed-size `Copy`).
+        records: [u64; 8],
+        /// Total survival records merged.
+        total_records: u64,
+        /// Modeled critical path of the fanned-out apply: the busiest
+        /// shard's records at cost-model price. Deterministic — wall
+        /// time would break byte-identical repeat runs.
+        merge_ns: u64,
+    },
+    /// A fleet instance submitted (or refreshed) its profile to the
+    /// aggregator.
+    FleetSubmission {
+        /// Instance index within the simulated fleet.
+        instance: u32,
+        /// Inference epochs backing the submitted profile.
+        epochs: u64,
+        /// Decision entries in the submitted profile.
+        entries: u64,
+        /// The aggregator's fingerprint validation accepted it.
+        accepted: bool,
+    },
+    /// The fleet aggregator published a consensus profile.
+    FleetConsensus {
+        /// Instances that contributed.
+        instances: u32,
+        /// Decision entries in the consensus profile.
+        entries: u64,
+        /// Locations resolved by weighted majority (instances disagreed).
+        contested: u64,
+    },
 }
 
 impl EventKind {
@@ -228,6 +266,9 @@ impl EventKind {
             EventKind::GovernorTransition { .. } => "governor_transition",
             EventKind::ProfileImport { .. } => "profile_import",
             EventKind::ProfileBlend { .. } => "profile_blend",
+            EventKind::ShardMerge { .. } => "shard_merge",
+            EventKind::FleetSubmission { .. } => "fleet_submission",
+            EventKind::FleetConsensus { .. } => "fleet_consensus",
         }
     }
 }

@@ -282,6 +282,27 @@ impl DecisionTable {
         all.sort_unstable_by_key(|&(k, _)| k);
         all.into_iter()
     }
+
+    /// FNV-1a digest of the snapshot's observable decision state: every
+    /// `(row key, generation, canary)` triple in row-key order. Two
+    /// snapshots advise identically for every context iff their digests
+    /// match, so bit-identity claims across table backends (sequential vs.
+    /// sharded publication) reduce to one `u64` comparison.
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |byte: u8| {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        for (key, generation) in self.iter() {
+            for b in key.to_le_bytes() {
+                mix(b);
+            }
+            mix(generation);
+            mix(u8::from(self.is_canary(key)));
+        }
+        h
+    }
 }
 
 /// The publication point for [`DecisionTable`] snapshots.
@@ -393,6 +414,20 @@ mod tests {
         assert_eq!(t.version(), 0);
         assert!(t.is_empty());
         assert_eq!(t.advise(5 << 16), None);
+    }
+
+    #[test]
+    fn digest_tracks_observable_decisions_only() {
+        let prev = DecisionTable::empty_with_geometry(64, 16);
+        let a = DecisionTable::next_from(&prev, &rows(&[(5 << 16, 3), (9 << 16, 1)]), []);
+        let b = DecisionTable::next_from(&prev, &rows(&[(9 << 16, 1), (5 << 16, 3)]), []);
+        assert_eq!(a.digest(), b.digest(), "same decisions, same digest");
+        let c = DecisionTable::next_from(&prev, &rows(&[(5 << 16, 4), (9 << 16, 1)]), []);
+        assert_ne!(a.digest(), c.digest(), "a changed generation changes the digest");
+        let canary = DecisionTable::next_from_blended(&prev, &rows(&[(5 << 16, 3)]), [], |_| true);
+        let plain = DecisionTable::next_from(&prev, &rows(&[(5 << 16, 3)]), []);
+        assert_ne!(canary.digest(), plain.digest(), "canary status is observable");
+        assert_eq!(DecisionTable::empty().digest(), DecisionTable::empty().digest());
     }
 
     #[test]

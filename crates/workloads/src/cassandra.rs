@@ -181,6 +181,12 @@ impl CassandraWorkload {
         }
     }
 
+    /// The parameters this workload was built with (e.g. to derive a
+    /// seed-offset sibling instance for fleet simulation).
+    pub fn params(&self) -> &CassandraParams {
+        &self.params
+    }
+
     fn ids(&self) -> Ids {
         self.ids.expect("build_program not called")
     }

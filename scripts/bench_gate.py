@@ -8,9 +8,15 @@ than the allowed margin. The simulation is deterministic at a fixed
 scale, so the margin only needs to absorb intentional code-change drift,
 not machine noise.
 
+A current row with no baseline counterpart fails the gate by default —
+it usually means the baseline was not regenerated after adding a gate
+row. Pass `--allow-new-rows` to accept such rows (printed as `[new]`,
+not compared), e.g. when staging a new collector row ahead of its
+baseline refresh.
+
 Usage:
     scripts/bench_gate.py <current.json> [--baseline BENCH_baseline.json]
-                          [--max-regress 0.15]
+                          [--max-regress 0.15] [--allow-new-rows]
 
 Exit status: 0 = within bounds, 1 = regression, 2 = usage/format error.
 """
@@ -59,6 +65,10 @@ def main():
     ap.add_argument("--baseline", default="BENCH_baseline.json")
     ap.add_argument("--max-regress", type=float, default=0.15,
                     help="allowed fractional p99 increase (default 0.15)")
+    ap.add_argument("--allow-new-rows", action="store_true",
+                    help="accept current rows absent from the baseline "
+                         "instead of failing (use when staging a new gate "
+                         "row ahead of its baseline refresh)")
     args = ap.parse_args()
 
     cur = load(args.current)
@@ -71,6 +81,7 @@ def main():
 
     baseline_rows = {key(r, args.baseline): r for r in base["results"]}
     failures = []
+    new_rows = []
     compared = 0
     seen = set()
     for row in cur["results"]:
@@ -79,8 +90,11 @@ def main():
         ref = baseline_rows.get(k)
         cur_p99 = field(row, "p99_ms", args.current)
         if ref is None:
+            status = "skipped" if args.allow_new_rows else "no baseline row"
             print(f"  [new] {row['workload']} / {row['collector']}: "
-                  f"p99 {cur_p99:.2f} ms (no baseline, skipped)")
+                  f"p99 {cur_p99:.2f} ms ({status})")
+            if not args.allow_new_rows:
+                new_rows.append(k)
             continue
         compared += 1
         ref_p99 = field(ref, "p99_ms", args.baseline)
@@ -90,6 +104,10 @@ def main():
               f"p99 {cur_p99:.2f} ms vs baseline {ref_p99:.2f} ms "
               f"(limit {limit:.2f} ms)")
         if cur_p99 > limit:
+            print(f"bench_gate: {row['workload']} / {row['collector']}: p99 "
+                  f"{cur_p99:.2f} ms exceeds the {limit:.2f} ms tolerance "
+                  f"(baseline {ref_p99:.2f} ms + {args.max_regress:.0%})",
+                  file=sys.stderr)
             failures.append(k)
 
         # Warm-start fields: present on ROLP rows since the profile
@@ -105,6 +123,10 @@ def main():
                   f"warmup p99 {cur_w:.2f} ms vs baseline {ref_w:.2f} ms "
                   f"(limit {wlimit:.2f} ms)")
             if cur_w > wlimit:
+                print(f"bench_gate: {row['workload']} / {row['collector']}: "
+                      f"warmup p99 {cur_w:.2f} ms exceeds the {wlimit:.2f} ms "
+                      f"tolerance (baseline {ref_w:.2f} ms + "
+                      f"{args.max_regress:.0%})", file=sys.stderr)
                 failures.append((k[0], f"{k[1]} [warmup p99]"))
         if "epochs_to_stable" in ref:
             cur_e = field(row, "epochs_to_stable", args.current)
@@ -113,6 +135,9 @@ def main():
             print(f"  [{verdict}] {row['workload']} / {row['collector']}: "
                   f"stable at epoch {cur_e} vs baseline {ref_e}")
             if cur_e > ref_e:
+                print(f"bench_gate: {row['workload']} / {row['collector']}: "
+                      f"stable at epoch {cur_e} vs baseline {ref_e}",
+                      file=sys.stderr)
                 failures.append((k[0], f"{k[1]} [epochs to stable]"))
 
     # A baseline row with no current counterpart means coverage was
@@ -127,7 +152,7 @@ def main():
         print("bench_gate: no comparable rows between current and baseline",
               file=sys.stderr)
         sys.exit(2)
-    if failures or dropped:
+    if failures or dropped or new_rows:
         msgs = []
         if failures:
             names = ", ".join(f"{w}/{c}" for w, c in failures)
@@ -135,6 +160,11 @@ def main():
         if dropped:
             names = ", ".join(f"{w}/{c}" for w, c in dropped)
             msgs.append(f"baseline row(s) missing from current run: {names}")
+        if new_rows:
+            names = ", ".join(f"{w}/{c}" for w, c in new_rows)
+            msgs.append(f"row(s) without a baseline (regenerate "
+                        f"BENCH_baseline.json or pass --allow-new-rows): "
+                        f"{names}")
         print(f"bench_gate: {'; '.join(msgs)}", file=sys.stderr)
         sys.exit(1)
     print(f"bench_gate: {compared} run(s) within {args.max_regress:.0%} of baseline")

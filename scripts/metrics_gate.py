@@ -39,6 +39,7 @@ BUCKETS = [
 COUNTERS = [
     "profiled_allocs", "unprofiled_allocs", "jit_compiles", "gc_pauses",
     "epochs_inferred", "profile_entries_imported", "profile_blend_decays",
+    "shard_merge_ns", "shard_lock_wait",
 ]
 GAUGES = [
     "heap_used_bytes", "heap_committed_bytes", "decision_version",
