@@ -47,6 +47,11 @@ struct JsonRow {
     /// First epoch after which the published decision table stopped
     /// changing (0 = stable from the start, i.e. a fully-warm start).
     epochs_to_stable: Option<u64>,
+    /// Primary-SLO attainment of the service-mode rows (quick mode),
+    /// corrected for coordinated omission.
+    slo_attainment: Option<f64>,
+    /// Corrected p99 request latency of the service-mode rows, ms.
+    served_p99_ms: Option<f64>,
 }
 
 fn render_json(scale_divisor: u64, rows: &[JsonRow]) -> String {
@@ -68,6 +73,12 @@ fn render_json(scale_divisor: u64, rows: &[JsonRow]) -> String {
         }
         if let Some(e) = r.epochs_to_stable {
             s.push_str(&format!(", \"epochs_to_stable\": {e}"));
+        }
+        if let Some(a) = r.slo_attainment {
+            s.push_str(&format!(", \"slo_attainment\": {a:.6}"));
+        }
+        if let Some(p) = r.served_p99_ms {
+            s.push_str(&format!(", \"served_p99_ms\": {p:.3}"));
         }
         s.push_str(if i + 1 < rows.len() { "},\n" } else { "}\n" });
     }
@@ -237,6 +248,8 @@ fn main() {
                     .collect(),
                 warmup_p99_ms: warmup_p99,
                 epochs_to_stable: stable,
+                slo_attainment: None,
+                served_p99_ms: None,
             });
 
             let bounds_ns: Vec<u64> = FIG9_INTERVALS_MS.iter().map(|ms| ms * 1_000_000).collect();
@@ -330,6 +343,51 @@ fn main() {
             println!(
                 "shape check [{name}]: p99.9 CMS {cms:.1} ms, G1 {g1:.1} ms, NG2C {ng2c:.1} ms, \
                  ROLP {rolp:.1} ms -> ROLP reduces G1 tail by {reduction:.0}%\n"
+            );
+        }
+    }
+
+    // Service-mode rows (quick mode): the open-loop rolp-serve harness
+    // under ROLP and G1 on the same diurnal schedule, gated on primary
+    // SLO attainment and corrected p99 so service tail latency regresses
+    // as loudly as batch pause percentiles do.
+    if quick {
+        let served = rolp_bench::run_served(scale);
+        println!(
+            "--- service mode: open-loop SLO comparison (1/{} scale) ---",
+            scale.divisor() * 8
+        );
+        for row in &served {
+            println!(
+                "  [{}] {} requests, attainment {:.4} @ primary SLO, \
+                 corrected p99 {:.2} ms, pause p99 {:.2} ms",
+                row.collector,
+                row.requests,
+                row.slo_attainment,
+                row.served_p99_ms,
+                row.pause_p99_ms
+            );
+            json_rows.push(JsonRow {
+                workload: "Served mix".to_string(),
+                collector: row.collector,
+                pauses: row.pauses,
+                gc_cycles: row.gc_cycles,
+                ops: row.ops,
+                profiling_overhead: row.profiling_overhead,
+                percentiles_ms: vec![(99.0, row.pause_p99_ms)],
+                warmup_p99_ms: None,
+                epochs_to_stable: None,
+                slo_attainment: Some(row.slo_attainment),
+                served_p99_ms: Some(row.served_p99_ms),
+            });
+        }
+        let rolp_att = served.iter().find(|r| r.collector.starts_with("ROLP"));
+        let g1_att = served.iter().find(|r| r.collector.starts_with("G1"));
+        if let (Some(r), Some(g)) = (rolp_att, g1_att) {
+            println!(
+                "service shape check: ROLP attainment {:.4} vs G1 {:.4}, \
+                 served p99 {:.2} ms vs {:.2} ms\n",
+                r.slo_attainment, g.slo_attainment, r.served_p99_ms, g.served_p99_ms
             );
         }
     }

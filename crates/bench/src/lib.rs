@@ -222,6 +222,64 @@ pub fn warmup_p99_ms(out: &RunOutcome, window: SimTime) -> f64 {
     ms[idx.saturating_sub(1).min(ms.len() - 1)]
 }
 
+/// One service-mode gate row: SLO attainment and served tail latency
+/// from an open-loop `rolp-serve` run (quick-mode Fig. 8/9 only).
+pub struct ServedRow {
+    /// Gate label (`ROLP (served)` / `G1 (served)`).
+    pub collector: &'static str,
+    /// Requests completed by the schedule.
+    pub requests: u64,
+    /// GC pauses observed.
+    pub pauses: usize,
+    /// GC cycles completed.
+    pub gc_cycles: u64,
+    /// Guest operations completed.
+    pub ops: u64,
+    /// Self-measured profiling overhead.
+    pub profiling_overhead: f64,
+    /// Exact attainment of the primary (10 ms) SLO, corrected for
+    /// coordinated omission.
+    pub slo_attainment: f64,
+    /// Corrected p99 request latency, milliseconds.
+    pub served_p99_ms: f64,
+    /// GC-pause p99, milliseconds (the `p99_ms` gate column).
+    pub pause_p99_ms: f64,
+}
+
+/// Runs the service-mode comparison the `slo_gate.py` acceptance rests
+/// on — the same diurnal schedule under ROLP and G1 — and returns one
+/// gate row per collector. The serving harness runs 8x smaller than the
+/// batch rows: the open-loop schedule is the only load, so the heap has
+/// to churn within tens of simulated seconds.
+pub fn run_served(scale: SimScale) -> Vec<ServedRow> {
+    use rolp_serve::{default_tenants, parse_phases, serve, ServeConfig};
+    let serve_scale = SimScale::new(scale.divisor() * 8);
+    [CollectorKind::RolpNg2c, CollectorKind::G1]
+        .into_iter()
+        .map(|kind| {
+            let mut cfg = ServeConfig::new(kind, serve_scale);
+            cfg.phases = parse_phases("20s@1500x3/1;20s@1500x1/3").expect("schedule parses");
+            cfg.inference_period = Some(2);
+            let out = serve(&cfg, &mut default_tenants(serve_scale));
+            let (_, _, attainment) = out.latency.attainment()[0];
+            ServedRow {
+                collector: match kind {
+                    CollectorKind::RolpNg2c => "ROLP (served)",
+                    _ => "G1 (served)",
+                },
+                requests: out.requests,
+                pauses: out.pauses.count(),
+                gc_cycles: out.report.gc_cycles,
+                ops: out.report.ops,
+                profiling_overhead: out.report.profiling_overhead,
+                slo_attainment: attainment,
+                served_p99_ms: out.latency.corrected().percentile(99.0) as f64 / 1e6,
+                pause_p99_ms: out.pauses.percentile_ms(99.0),
+            }
+        })
+        .collect()
+}
+
 /// The Fig. 8 percentiles.
 pub const FIG8_PERCENTILES: [f64; 7] = [50.0, 75.0, 90.0, 95.0, 99.0, 99.9, 100.0];
 

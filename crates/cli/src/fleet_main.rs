@@ -5,10 +5,12 @@
 //! ordinary `--profile-in` canary-blend path and pretenures from its
 //! first allocation instead of re-learning from zero. See `--help`.
 
+mod output;
+
 use std::process::ExitCode;
 
 use rolp::runtime::RuntimeConfig;
-use rolp::{DecisionProfile, FleetAggregator};
+use rolp::{DecisionProfile, FleetAggregator, ProfileValidation};
 use rolp_metrics::{SimScale, SimTime};
 use rolp_trace::{EventKind, TraceEvent, GLOBAL_THREAD};
 use rolp_vm::CostModel;
@@ -92,7 +94,53 @@ OPTIONS:
     --trace-out <FILE>  write fleet submission/consensus events (Chrome
                         trace_event format; .jsonl for line JSON)
     --help              show this text
+
+EXIT CODES:
+    0   success
+    1   generic failure (bad flags, I/O errors, empty consensus, ...)
+    2   the consensus profile failed shape validation against the warm
+        joiner's program: it parsed fine but none of its decisions or
+        call sites matched, so the joiner started cold
 ";
+
+/// Why a fleet run failed — shape-validation failures get their own exit
+/// code so CI and operators can tell "the consensus is for a different
+/// program" apart from generic errors without parsing stderr.
+#[derive(Debug)]
+enum FleetError {
+    /// The consensus profile parsed but applied nothing against the warm
+    /// joiner's program (exit code 2).
+    Shape(String),
+    /// Anything else (exit code 1).
+    Other(String),
+}
+
+impl From<String> for FleetError {
+    fn from(msg: String) -> Self {
+        FleetError::Other(msg)
+    }
+}
+
+/// Renders a readable diagnosis of a consensus profile whose shape did
+/// not match the joiner's program.
+fn shape_failure_message(v: &ProfileValidation) -> String {
+    let fingerprint = if v.fingerprint_checked && !v.fingerprint_matched {
+        "its program fingerprint does not match (the fleet learned a different program build); "
+    } else {
+        ""
+    };
+    format!(
+        "consensus profile failed shape validation against the warm joiner: \
+         {fingerprint}0/{} decision entries and 0/{} call sites applied \
+         ({} entr{} and {} call site(s) rejected). The joiner ran cold. \
+         Re-run the fleet against the joiner's program, or drop --warm-stats.",
+        v.entries_total,
+        v.call_sites_total,
+        v.entries_rejected,
+        if v.entries_rejected == 1 { "y" } else { "ies" },
+        v.call_sites_rejected,
+    )
+}
 
 fn parse(argv: &[String]) -> Result<FleetArgs, String> {
     let mut args = FleetArgs::default();
@@ -193,13 +241,13 @@ fn run_instance(args: &FleetArgs, scale: SimScale, instance: usize, secs: u64) -
 }
 
 /// Runs the late joiner (a seed the fleet never saw) and writes its stats
-/// JSON; returns `(last_change_epoch, p99_ms)`.
+/// JSON; returns `(last_change_epoch, p99_ms, profile_import)`.
 fn run_joiner(
     args: &FleetArgs,
     scale: SimScale,
     profile: Option<DecisionProfile>,
     stats_path: &str,
-) -> Result<(u64, f64), String> {
+) -> Result<(u64, f64, Option<ProfileValidation>), String> {
     let mut workload = instance_workload(args, scale, args.instances);
     let mut config = instance_config(args, scale);
     config.rolp.offline_profile = profile;
@@ -210,14 +258,14 @@ fn run_joiner(
     };
     let out = rolp_workloads::execute_with(&mut workload, config, &budget, |_| {});
     let body = rolp::stats_json(&out.report, &out.pauses, out.trace_dropped);
-    let tmp = format!("{stats_path}.tmp");
-    std::fs::write(&tmp, body).map_err(|e| format!("cannot write {tmp}: {e}"))?;
-    std::fs::rename(&tmp, stats_path).map_err(|e| format!("cannot rename to {stats_path}: {e}"))?;
-    let last_change = out.report.rolp.as_ref().map(|r| r.last_change_epoch).unwrap_or(u64::MAX);
-    Ok((last_change, out.pauses.percentile_ms(99.0)))
+    output::write_atomic(stats_path, &body)?;
+    let rolp_stats = out.report.rolp.as_ref();
+    let last_change = rolp_stats.map(|r| r.last_change_epoch).unwrap_or(u64::MAX);
+    let import = rolp_stats.and_then(|r| r.profile_import);
+    Ok((last_change, out.pauses.percentile_ms(99.0), import))
 }
 
-fn run(args: FleetArgs) -> Result<(), String> {
+fn run(args: FleetArgs) -> Result<(), FleetError> {
     let scale = SimScale::new(args.scale);
     let mut aggregator = FleetAggregator::new();
     let mut trace: Vec<TraceEvent> = Vec::new();
@@ -288,7 +336,9 @@ fn run(args: FleetArgs) -> Result<(), String> {
         },
     );
     if consensus.profile.is_empty() {
-        return Err("fleet produced an empty consensus — nothing learned; raise --secs".into());
+        return Err(FleetError::Other(
+            "fleet produced an empty consensus — nothing learned; raise --secs".into(),
+        ));
     }
 
     if let Some(path) = &args.consensus_out {
@@ -298,17 +348,25 @@ fn run(args: FleetArgs) -> Result<(), String> {
     }
 
     if let Some(path) = &args.cold_stats {
-        let (epoch, p99) = run_joiner(&args, scale, None, path)?;
+        let (epoch, p99, _) = run_joiner(&args, scale, None, path)?;
         println!("late joiner (cold): stable at epoch {epoch}, p99 {p99:.2} ms -> {path}");
     }
     if let Some(path) = &args.warm_stats {
-        let (epoch, p99) = run_joiner(&args, scale, Some(consensus.profile.clone()), path)?;
+        let (epoch, p99, import) = run_joiner(&args, scale, Some(consensus.profile.clone()), path)?;
         println!("late joiner (warm): stable at epoch {epoch}, p99 {p99:.2} ms -> {path}");
+        // A consensus that applied nothing is a different failure from a
+        // slow warm start: the profile is for another program. Surface it
+        // with its own exit code (see EXIT CODES in --help).
+        if let Some(v) = import {
+            if v.nothing_applied() {
+                return Err(FleetError::Shape(shape_failure_message(&v)));
+            }
+        }
         if epoch != 0 {
-            return Err(format!(
+            return Err(FleetError::Other(format!(
                 "late joiner still changed decisions after epoch 0 (last change at {epoch}) — \
                  the consensus did not warm-start it"
-            ));
+            )));
         }
     }
 
@@ -324,13 +382,20 @@ fn run(args: FleetArgs) -> Result<(), String> {
     Ok(())
 }
 
+/// Exit code for shape-validation failures (see EXIT CODES in --help).
+const EXIT_SHAPE_MISMATCH: u8 = 2;
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match parse(&argv) {
         Ok(args) => match run(args) {
             Ok(()) => ExitCode::SUCCESS,
-            Err(e) => {
-                eprintln!("error: {e}");
+            Err(FleetError::Shape(msg)) => {
+                eprintln!("error: {msg}");
+                ExitCode::from(EXIT_SHAPE_MISMATCH)
+            }
+            Err(FleetError::Other(msg)) => {
+                eprintln!("error: {msg}");
                 ExitCode::FAILURE
             }
         },
@@ -366,6 +431,32 @@ mod tests {
         assert!(parse(&argv("--instances 0")).unwrap_err().contains("positive"));
         assert!(parse(&argv("--table-shards 3")).unwrap_err().contains("power of two"));
         assert!(parse(&argv("--frobnicate")).unwrap_err().contains("unknown option"));
+    }
+
+    #[test]
+    fn shape_failure_diagnosis_is_readable_and_distinct() {
+        let v = ProfileValidation {
+            fingerprint_checked: true,
+            fingerprint_matched: false,
+            entries_total: 7,
+            entries_applied: 0,
+            entries_rejected: 7,
+            call_sites_total: 3,
+            call_sites_applied: 0,
+            call_sites_rejected: 3,
+        };
+        assert!(v.nothing_applied());
+        let msg = shape_failure_message(&v);
+        assert!(msg.contains("fingerprint does not match"), "{msg}");
+        assert!(msg.contains("0/7 decision entries"), "{msg}");
+        assert!(msg.contains("0/3 call sites"), "{msg}");
+        // A partially-applied profile is NOT a shape failure.
+        let partial = ProfileValidation { entries_applied: 2, entries_rejected: 5, ..v };
+        assert!(!partial.nothing_applied());
+        // String errors coerce to the generic (exit 1) variant.
+        let generic: FleetError = String::from("disk full").into();
+        assert!(matches!(generic, FleetError::Other(_)));
+        assert_eq!(EXIT_SHAPE_MISMATCH, 2);
     }
 
     #[test]

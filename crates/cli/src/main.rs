@@ -3,6 +3,7 @@
 //! profiler's learned decisions. See `--help`.
 
 mod args;
+mod output;
 
 use std::process::ExitCode;
 
@@ -13,6 +14,7 @@ use rolp_vm::CostModel;
 use rolp_workloads::{execute_with, DacapoBench, RunBudget, Workload};
 
 use args::{Args, WorkloadChoice};
+use output::{metrics_jsonl, write_atomic, CrashGuard};
 
 fn build_workload(args: &Args, scale: SimScale) -> Box<dyn Workload> {
     use rolp_workloads::presets;
@@ -108,9 +110,9 @@ fn run(args: Args) -> Result<(), String> {
     if args.export_profile.is_some() || args.report {
         run_with_runtime(&args, &mut *workload, config, &budget)
     } else {
-        let mut guard: Option<StatsPanicGuard> = None;
+        let mut guard: Option<CrashGuard> = None;
         let out = execute_with(&mut *workload, config, &budget, |rt| {
-            guard = arm_stats_guard(&args, rt);
+            guard = arm_crash_guard(&args, rt);
         });
         print_outcome(&out);
         let result = write_outputs(
@@ -128,59 +130,15 @@ fn run(args: Args) -> Result<(), String> {
     }
 }
 
-/// Arms the crash-flush guard for `--stats-json` runs (see
-/// [`StatsPanicGuard`]).
-fn arm_stats_guard(args: &Args, rt: &rolp::runtime::JvmRuntime) -> Option<StatsPanicGuard> {
-    args.stats_json.as_ref().map(|path| StatsPanicGuard {
-        path: path.clone(),
-        registry: rt.vm.env.telemetry.registry().clone(),
-        armed: true,
-    })
-}
-
-/// Keeps `--stats-json` valid even when a run panics mid-way: on unwind
-/// it publishes whatever the telemetry cells hold and writes a small,
-/// well-formed partial document (schema `rolp-stats-partial-v1`) in
-/// place of the full summary. Writes go through [`write_atomic`], so a
-/// crash never leaves truncated JSON behind.
-struct StatsPanicGuard {
-    path: String,
-    registry: std::sync::Arc<rolp_telemetry::Registry>,
-    armed: bool,
-}
-
-impl StatsPanicGuard {
-    /// Stands the guard down once the real summary has been written.
-    fn disarm(&mut self) {
-        self.armed = false;
-    }
-}
-
-impl Drop for StatsPanicGuard {
-    fn drop(&mut self) {
-        if !self.armed || !std::thread::panicking() {
-            return;
-        }
-        // The simulated clock is out of reach mid-unwind; stamp the
-        // flush with the last published snapshot's timestamp.
-        let at_ns = self.registry.store().load().at_ns();
-        self.registry.publish(at_ns);
-        let snapshot = self.registry.store().snapshot();
-        let body = format!(
-            "{{\"schema\":\"rolp-stats-partial-v1\",\"panic\":true,\"telemetry\":{}}}",
-            snapshot.to_jsonl()
-        );
-        let _ = write_atomic(&self.path, &body);
-        eprintln!("stats: run panicked — partial telemetry snapshot written to {}", self.path);
-    }
-}
-
-/// Writes `contents` to `path` via a temp file + atomic rename, so
-/// readers never observe a half-written file.
-fn write_atomic(path: &str, contents: &str) -> Result<(), String> {
-    let tmp = format!("{path}.tmp");
-    std::fs::write(&tmp, contents).map_err(|e| format!("cannot write {tmp}: {e}"))?;
-    std::fs::rename(&tmp, path).map_err(|e| format!("cannot rename {tmp} to {path}: {e}"))
+/// Arms the crash-flush guard covering the `--stats-json` and
+/// `--metrics-out` sinks (see [`CrashGuard`]).
+fn arm_crash_guard(args: &Args, rt: &rolp::runtime::JvmRuntime) -> Option<CrashGuard> {
+    CrashGuard::arm(
+        args.stats_json.as_ref(),
+        args.metrics_out.as_ref(),
+        args.metrics_interval,
+        rt.vm.env.telemetry.registry(),
+    )
 }
 
 /// `--verify-determinism`: run racy multi-threaded mutators + parallel GC
@@ -285,7 +243,7 @@ fn write_outputs(
     if let Some(path) = &args.metrics_out {
         let body = metrics_jsonl(metrics, args.metrics_interval);
         let rows = body.lines().count();
-        std::fs::write(path, body).map_err(|e| format!("cannot write {path}: {e}"))?;
+        write_atomic(path, &body)?;
         println!("metrics: {rows} snapshot(s) streamed to {path}");
     }
     if let Some(path) = &args.metrics_prom {
@@ -294,32 +252,6 @@ fn write_outputs(
         println!("metrics: final snapshot exposed to {path} (Prometheus text format)");
     }
     Ok(())
-}
-
-/// Renders the snapshot history as a JSONL stream, downsampled so
-/// consecutive rows are at least `interval_secs` of simulated time
-/// apart. The empty version-0 snapshot is skipped and the final one is
-/// always kept.
-fn metrics_jsonl(
-    metrics: &[std::sync::Arc<rolp_telemetry::MetricsSnapshot>],
-    interval_secs: u64,
-) -> String {
-    let interval_ns = interval_secs.saturating_mul(1_000_000_000);
-    let mut out = String::new();
-    let mut next_at = 0u64;
-    let last = metrics.len().saturating_sub(1);
-    for (i, snap) in metrics.iter().enumerate() {
-        if snap.version() == 0 {
-            continue;
-        }
-        if snap.at_ns() < next_at && i != last {
-            continue;
-        }
-        next_at = snap.at_ns().saturating_add(interval_ns);
-        out.push_str(&snap.to_jsonl());
-        out.push('\n');
-    }
-    out
 }
 
 /// Variant that keeps the runtime alive for report/export.
@@ -336,7 +268,7 @@ fn run_with_runtime(
     workload.set_annotations(config.collector == CollectorKind::Ng2c);
     let mut rt = rolp::runtime::JvmRuntime::new(config, program);
     workload.setup(&mut rt);
-    let mut guard = arm_stats_guard(args, &rt);
+    let mut guard = arm_crash_guard(args, &rt);
 
     let mut tick_no = 0u64;
     let threads = args.mutator_threads.max(1) as u64;
@@ -458,87 +390,6 @@ fn main() -> ExitCode {
         Err(msg) => {
             eprintln!("{msg}");
             ExitCode::FAILURE
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn temp_path(name: &str) -> std::path::PathBuf {
-        let mut p = std::env::temp_dir();
-        p.push(format!("rolp-cli-test-{}-{name}", std::process::id()));
-        p
-    }
-
-    #[test]
-    fn write_atomic_replaces_and_leaves_no_temp() {
-        let path = temp_path("atomic.json");
-        let path_str = path.to_str().unwrap();
-        std::fs::write(&path, "old").unwrap();
-        write_atomic(path_str, "{\"new\":true}").unwrap();
-        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"new\":true}");
-        assert!(!std::path::Path::new(&format!("{path_str}.tmp")).exists());
-        std::fs::remove_file(&path).unwrap();
-    }
-
-    #[test]
-    fn panic_guard_flushes_a_valid_partial_snapshot() {
-        let path = temp_path("partial.json");
-        let path_str = path.to_str().unwrap().to_string();
-        let registry = std::sync::Arc::new(rolp_telemetry::Registry::new());
-        let cells = registry.register_thread();
-        cells.add_time(rolp_telemetry::Bucket::MutatorApp, 1_000);
-
-        let reg = registry.clone();
-        let result = std::panic::catch_unwind(move || {
-            let _guard = StatsPanicGuard { path: path_str, registry: reg, armed: true };
-            panic!("boom");
-        });
-        assert!(result.is_err());
-
-        let body = std::fs::read_to_string(&path).expect("partial snapshot written");
-        assert!(body.starts_with("{\"schema\":\"rolp-stats-partial-v1\",\"panic\":true"), "{body}");
-        assert!(body.contains("\"schema\":\"rolp-metrics-v1\""), "{body}");
-        assert!(body.contains("\"time_mutator_app_ns\":1000"), "{body}");
-        assert!(body.trim_end().ends_with('}'), "{body}");
-        std::fs::remove_file(&path).unwrap();
-    }
-
-    #[test]
-    fn disarmed_guard_writes_nothing() {
-        let path = temp_path("disarmed.json");
-        let path_str = path.to_str().unwrap().to_string();
-        let registry = std::sync::Arc::new(rolp_telemetry::Registry::new());
-        let result = std::panic::catch_unwind(move || {
-            let mut guard = StatsPanicGuard { path: path_str, registry, armed: true };
-            guard.disarm();
-            panic!("boom");
-        });
-        assert!(result.is_err());
-        assert!(!path.exists());
-    }
-
-    #[test]
-    fn metrics_jsonl_downsamples_and_keeps_the_final_row() {
-        let registry = rolp_telemetry::Registry::new();
-        let cells = registry.register_thread();
-        let mut history = vec![registry.store().snapshot()]; // version 0
-        for i in 1..=10u64 {
-            cells.add_time(rolp_telemetry::Bucket::MutatorApp, 100);
-            registry.publish(i * 1_000_000_000); // one per simulated second
-            history.push(registry.store().snapshot());
-        }
-        let body = metrics_jsonl(&history, 4);
-        let rows: Vec<&str> = body.lines().collect();
-        // t=1s, t=5s, t=9s, plus the forced final row at t=10s.
-        assert_eq!(rows.len(), 4, "{body}");
-        assert!(rows[0].contains("\"at_ns\":1000000000"), "{}", rows[0]);
-        assert!(rows.last().unwrap().contains("\"at_ns\":10000000000"));
-        for row in &rows {
-            assert!(row.starts_with('{') && row.ends_with('}'), "{row}");
-            assert!(row.contains("\"schema\":\"rolp-metrics-v1\""), "{row}");
         }
     }
 }

@@ -54,6 +54,28 @@ impl PackageFilters {
     pub fn is_unfiltered(&self) -> bool {
         self.include.is_empty() && self.exclude.is_empty()
     }
+
+    /// The union of two filters: a package profiled by either side is
+    /// profiled by the union (the multi-tenant service case — each
+    /// tenant contributes its own Table 1 filter).
+    ///
+    /// An unfiltered side absorbs the union (no restriction). Excludes
+    /// survive only when *both* sides carry them: one tenant's exclusion
+    /// must not mask packages another tenant asked to profile.
+    pub fn union(&self, other: &PackageFilters) -> PackageFilters {
+        let exclude: Vec<String> =
+            self.exclude.iter().filter(|p| other.exclude.contains(p)).cloned().collect();
+        if self.include.is_empty() || other.include.is_empty() {
+            return PackageFilters { include: Vec::new(), exclude };
+        }
+        let mut include = self.include.clone();
+        for p in &other.include {
+            if !include.contains(p) {
+                include.push(p.clone());
+            }
+        }
+        PackageFilters { include, exclude }
+    }
 }
 
 #[cfg(test)]
@@ -77,6 +99,28 @@ mod tests {
         assert!(!f.matches("cassandra.net"));
         assert!(!f.matches("cassandra.dbx"), "prefix must end at a dot");
         assert!(!f.matches("lucene.store"));
+    }
+
+    #[test]
+    fn union_merges_includes_and_intersects_excludes() {
+        let a = PackageFilters::include(&["cassandra.db", "cassandra.utils"]);
+        let b = PackageFilters::include(&["lucene.store", "cassandra.db"]);
+        let u = a.union(&b);
+        assert!(u.matches("cassandra.db.memtable"));
+        assert!(u.matches("cassandra.utils"));
+        assert!(u.matches("lucene.store"));
+        assert!(!u.matches("lucene.search"));
+
+        // An unfiltered side absorbs the union.
+        let u2 = a.union(&PackageFilters::all());
+        assert!(u2.is_unfiltered());
+
+        // Excludes survive only when both sides agree.
+        let c = PackageFilters::include(&["app"]).and_exclude("app.vendor");
+        let d = PackageFilters::include(&["app.vendor"]);
+        assert!(c.union(&d).matches("app.vendor"), "d profiles what c excluded");
+        let e = PackageFilters::include(&["web"]).and_exclude("app.vendor");
+        assert!(!c.union(&e).matches("app.vendor"), "both sides exclude it");
     }
 
     #[test]

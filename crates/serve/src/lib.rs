@@ -1,0 +1,37 @@
+//! `rolp-serve`: an open-loop request-serving harness for the ROLP
+//! reproduction.
+//!
+//! The paper's motivation is *latency-sensitive* big-data services, but
+//! batch drivers (`rolp-sim`, the bench suite) measure pause
+//! distributions, not what a request actually experiences. This crate
+//! closes that gap:
+//!
+//! - [`schedule`] — open-loop arrival schedules (Poisson or paced) with
+//!   multi-phase rate ramps and tenant-weight flips, the traffic events
+//!   the profiler must re-learn through.
+//! - [`tenant`] — multi-tenant request handlers composed into one guest
+//!   program with unioned profiling filters.
+//! - [`latency`] — coordinated-omission-corrected latency recording and
+//!   per-request service-time decomposition (app / GC / profiler / JIT)
+//!   from the telemetry plane's bucket deltas.
+//! - [`server`] — the serving loop: fires the schedule at a runtime,
+//!   tracks SLO attainment exactly, and keeps a decision-table digest
+//!   timeline to measure re-convergence after traffic shifts.
+//! - [`report`] — the `rolp-serve-v1` JSON summary consumed by
+//!   `scripts/slo_gate.py`.
+
+pub mod latency;
+pub mod report;
+pub mod schedule;
+pub mod server;
+pub mod tenant;
+
+pub use latency::{BucketSnapshot, Decomposition, LatencyRecorder};
+pub use report::render_report;
+pub use schedule::{
+    format_phases, parse_phases, Arrival, ArrivalProcess, ArrivalSchedule, PhaseSpec,
+};
+pub use server::{
+    serve, serve_with, DigestChange, PhaseShiftRecord, ServeConfig, ServeOutcome, ShiftConvergence,
+};
+pub use tenant::{default_tenants, TenantSet};

@@ -1,0 +1,169 @@
+//! The `rolp-serve-v1` run summary.
+//!
+//! One JSON document per serving run, consumed by `scripts/slo_gate.py`
+//! (CI's `serve-smoke` job) and by `bench_gate.py`'s service-mode rows.
+//! Rendered with the same hand-rolled writer as every other exporter in
+//! the repo; nested arrays are pre-rendered and spliced with
+//! [`JsonObject::raw`].
+
+use rolp_trace::json::JsonObject;
+
+use crate::schedule::format_phases;
+use crate::server::{ServeConfig, ServeOutcome};
+use crate::ArrivalProcess;
+
+fn ms(ns: u64) -> f64 {
+    ns as f64 / 1e6
+}
+
+/// Renders the `rolp-serve-v1` summary for one run.
+pub fn render_report(cfg: &ServeConfig, out: &ServeOutcome) -> String {
+    let mut obj = JsonObject::new();
+    obj.str("schema", "rolp-serve-v1")
+        .str("collector", out.report.collector)
+        .u64("scale", cfg.scale.divisor())
+        .u64("threads", cfg.threads as u64)
+        .u64("seed", cfg.seed)
+        .str(
+            "process",
+            match cfg.process {
+                ArrivalProcess::Paced => "paced",
+                ArrivalProcess::Poisson => "poisson",
+            },
+        )
+        .str("phases", &format_phases(&cfg.phases))
+        .u64("requests", out.requests)
+        .f64("elapsed_ms", out.elapsed.as_millis_f64())
+        .u64("ops", out.report.ops)
+        .f64("profiling_overhead", out.report.profiling_overhead);
+
+    // SLO ladder: exact per-threshold attainment.
+    let slo_rows: Vec<String> = out
+        .latency
+        .attainment()
+        .iter()
+        .map(|&(threshold_ns, hits, frac)| {
+            let mut row = JsonObject::new();
+            row.f64("threshold_ms", ms(threshold_ns)).u64("hits", hits).f64("attainment", frac);
+            row.finish()
+        })
+        .collect();
+    obj.raw("slo", &format!("[{}]", slo_rows.join(",")));
+
+    let mut lat = JsonObject::new();
+    let corr = out.latency.corrected();
+    lat.f64("corrected_p50_ms", ms(corr.percentile(50.0)))
+        .f64("corrected_p90_ms", ms(corr.percentile(90.0)))
+        .f64("corrected_p99_ms", ms(corr.percentile(99.0)))
+        .f64("corrected_p999_ms", ms(corr.percentile(99.9)))
+        .f64("corrected_max_ms", ms(corr.percentile(100.0)))
+        .f64("service_p99_ms", ms(out.latency.service().percentile(99.0)))
+        .f64("queue_p99_ms", ms(out.latency.queue().percentile(99.0)));
+    obj.raw("latency", &lat.finish());
+
+    // Decomposition: the per-request bucket deltas, summed over the run.
+    // `decomposed_ms` must equal `service_wall_ms` within the gate
+    // tolerance (the telemetry plane's partition invariant).
+    let d = out.latency.decomposed();
+    let wall = out.latency.service_wall_ns() as f64;
+    let decomposed = out.latency.decomposed_ns() as f64;
+    let rel_err = if wall > 0.0 { (wall - decomposed).abs() / wall } else { 0.0 };
+    let mut dec = JsonObject::new();
+    dec.f64("app_ms", ms(d.app_ns))
+        .f64("gc_ms", ms(d.gc_ns))
+        .f64("profiler_ms", ms(d.profiler_ns))
+        .f64("jit_ms", ms(d.jit_ns))
+        .f64("idle_ms", ms(d.idle_ns))
+        .f64("service_wall_ms", wall / 1e6)
+        .f64("decomposed_ms", decomposed / 1e6)
+        .f64("rel_error", rel_err);
+    obj.raw("decomposition", &dec.finish());
+
+    let shift_rows: Vec<String> = out
+        .shifts
+        .iter()
+        .map(|s| {
+            let mut row = JsonObject::new();
+            row.f64("at_ms", s.at.as_millis_f64())
+                .u64("phase", s.phase as u64)
+                .u64("rate_rps", s.rate_rps)
+                .u64("requests_before", s.requests_before)
+                .u64("epochs_at_shift", s.epochs_at_shift);
+            row.finish()
+        })
+        .collect();
+    obj.raw("shifts", &format!("[{}]", shift_rows.join(",")));
+
+    let conv_rows: Vec<String> = out
+        .reconvergence()
+        .iter()
+        .map(|c| {
+            let mut row = JsonObject::new();
+            row.u64("phase", c.phase as u64)
+                .u64("epochs_to_reconverge", c.epochs_to_reconverge)
+                .u64("changes", c.changes);
+            row.finish()
+        })
+        .collect();
+    obj.raw("reconvergence", &format!("[{}]", conv_rows.join(",")));
+
+    let mut decisions = JsonObject::new();
+    decisions
+        .u64("digest_changes", out.digest_changes.len() as u64)
+        .u64("final_version", out.digest_changes.last().map(|c| c.version).unwrap_or(0))
+        .u64("final_digest", out.digest_changes.last().map(|c| c.digest).unwrap_or(0))
+        .f64("stable_tail_ms", out.stable_tail().as_millis_f64());
+    obj.raw("decisions", &decisions.finish());
+
+    let tenant_rows: Vec<String> = out
+        .tenant_names
+        .iter()
+        .zip(&out.tenant_requests)
+        .map(|(name, &n)| {
+            let mut row = JsonObject::new();
+            row.str("name", name).u64("requests", n);
+            row.finish()
+        })
+        .collect();
+    obj.raw("tenants", &format!("[{}]", tenant_rows.join(",")));
+
+    let mut gc = JsonObject::new();
+    gc.u64("cycles", out.report.gc_cycles)
+        .u64("pauses", out.report.pauses as u64)
+        .f64("total_paused_ms", out.report.total_paused.as_millis_f64());
+    obj.raw("gc", &gc.finish());
+
+    obj.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::parse_phases;
+    use crate::server::serve;
+    use crate::tenant::default_tenants;
+    use rolp::runtime::CollectorKind;
+    use rolp_metrics::SimScale;
+
+    #[test]
+    fn report_is_valid_json_with_the_gate_fields() {
+        let scale = SimScale::new(4096);
+        let mut cfg = ServeConfig::new(CollectorKind::RolpNg2c, scale);
+        cfg.phases = parse_phases("1s@200;1s@400").expect("phases");
+        let out = serve(&cfg, &mut default_tenants(scale));
+        let json = render_report(&cfg, &out);
+        // Spot-check shape without a full JSON parser: the gate script
+        // (Python) does the structural validation in CI.
+        for key in [
+            "\"schema\":\"rolp-serve-v1\"",
+            "\"slo\":[{",
+            "\"decomposition\":{",
+            "\"reconvergence\":[",
+            "\"shifts\":[{",
+            "\"corrected_p99_ms\":",
+            "\"rel_error\":",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+}

@@ -1,0 +1,320 @@
+//! Open-loop arrival schedules.
+//!
+//! An open-loop load generator decides *when* each request arrives from a
+//! rate schedule alone — never from the server's completion times — so a
+//! stalled server accumulates a backlog instead of silently throttling
+//! the offered load. Each arrival carries its **intended start time**;
+//! the serving loop timestamps the **actual start** separately, and the
+//! latency recorder charges every request from its intended start
+//! (coordinated-omission correction, as in wrk2/HdrHistogram practice).
+//!
+//! A schedule is a sequence of [`PhaseSpec`]s: each phase offers a fixed
+//! arrival rate and a tenant-weight mix for a fixed duration. Changing
+//! rate or weights between phases is the diurnal-ramp / hot-tenant-
+//! migration mechanism the re-convergence acceptance criterion drives.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rolp_metrics::SimTime;
+
+/// How inter-arrival gaps are drawn within a phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrivalProcess {
+    /// Deterministic pacing: every gap is exactly the mean (1/rate).
+    Paced,
+    /// Poisson arrivals: exponentially distributed gaps with mean 1/rate,
+    /// drawn from a seeded deterministic generator.
+    Poisson,
+}
+
+/// One traffic phase: an offered rate and a tenant mix for a duration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseSpec {
+    /// Phase length in simulated time.
+    pub duration: SimTime,
+    /// Offered arrival rate, requests per simulated second.
+    pub rate_rps: u64,
+    /// Relative traffic weight per tenant (index-aligned with the tenant
+    /// set). Empty means "all tenants equally".
+    pub tenant_weights: Vec<u32>,
+}
+
+impl PhaseSpec {
+    /// Mean inter-arrival gap in nanoseconds (`>= 1`).
+    pub fn mean_gap_ns(&self) -> u64 {
+        (1_000_000_000 / self.rate_rps.max(1)).max(1)
+    }
+}
+
+/// Parses a phase schedule string: `;`-separated phases of the form
+/// `<secs>s@<rate>` with an optional `x<w0>/<w1>/...` tenant-weight
+/// suffix, e.g. `20s@6000x3/1;20s@12000x1/3`.
+pub fn parse_phases(spec: &str) -> Result<Vec<PhaseSpec>, String> {
+    let mut phases = Vec::new();
+    for (i, part) in spec.split(';').enumerate() {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let err = |what: &str| format!("phase {} ('{part}'): {what}", i + 1);
+        let (dur, rest) =
+            part.split_once('@').ok_or_else(|| err("expected '<secs>s@<rate>[x<w>/<w>...]'"))?;
+        let secs: u64 = dur
+            .strip_suffix('s')
+            .ok_or_else(|| err("duration must end in 's'"))?
+            .parse()
+            .map_err(|_| err("bad duration"))?;
+        if secs == 0 {
+            return Err(err("duration must be positive"));
+        }
+        let (rate_str, weights_str) = match rest.split_once('x') {
+            Some((r, w)) => (r, Some(w)),
+            None => (rest, None),
+        };
+        let rate_rps: u64 = rate_str.parse().map_err(|_| err("bad rate"))?;
+        if rate_rps == 0 {
+            return Err(err("rate must be positive"));
+        }
+        let tenant_weights = match weights_str {
+            Some(w) => {
+                let ws: Result<Vec<u32>, _> = w.split('/').map(str::parse).collect();
+                let ws = ws.map_err(|_| err("bad tenant weights"))?;
+                if ws.iter().all(|&x| x == 0) {
+                    return Err(err("tenant weights must not all be zero"));
+                }
+                ws
+            }
+            None => Vec::new(),
+        };
+        phases.push(PhaseSpec { duration: SimTime::from_secs(secs), rate_rps, tenant_weights });
+    }
+    if phases.is_empty() {
+        return Err("empty phase schedule".to_string());
+    }
+    Ok(phases)
+}
+
+/// Renders phases back into the CLI grammar accepted by
+/// [`parse_phases`] (durations are rounded down to whole seconds, which
+/// is lossless for parsed schedules).
+pub fn format_phases(phases: &[PhaseSpec]) -> String {
+    phases
+        .iter()
+        .map(|p| {
+            let mut s = format!("{}s@{}", p.duration.as_nanos() / 1_000_000_000, p.rate_rps);
+            if !p.tenant_weights.is_empty() {
+                let ws: Vec<String> = p.tenant_weights.iter().map(|w| w.to_string()).collect();
+                s.push('x');
+                s.push_str(&ws.join("/"));
+            }
+            s
+        })
+        .collect::<Vec<String>>()
+        .join(";")
+}
+
+/// One scheduled request arrival.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Arrival {
+    /// When the request was *supposed* to start (the open-loop schedule's
+    /// timestamp — the coordinated-omission baseline).
+    pub intended: SimTime,
+    /// Index of the phase this arrival belongs to.
+    pub phase: usize,
+}
+
+/// Iterator over the arrivals of a phase schedule.
+///
+/// Deterministic: the same phases, process, and seed yield the same
+/// arrival stream. Gaps accumulate in nanoseconds; a phase ends when the
+/// next intended arrival would cross its boundary, so phase boundaries
+/// never split a request.
+#[derive(Debug)]
+pub struct ArrivalSchedule {
+    phases: Vec<PhaseSpec>,
+    process: ArrivalProcess,
+    rng: StdRng,
+    /// Intended time of the next arrival.
+    cursor_ns: u64,
+    phase: usize,
+    /// Absolute end of the current phase.
+    phase_end_ns: u64,
+}
+
+impl ArrivalSchedule {
+    /// Creates the arrival stream for `phases`.
+    pub fn new(phases: Vec<PhaseSpec>, process: ArrivalProcess, seed: u64) -> Self {
+        assert!(!phases.is_empty(), "schedule needs at least one phase");
+        let phase_end_ns = phases[0].duration.as_nanos();
+        ArrivalSchedule {
+            phases,
+            process,
+            rng: StdRng::seed_from_u64(seed),
+            cursor_ns: 0,
+            phase: 0,
+            phase_end_ns,
+        }
+    }
+
+    /// The phase specs driving this schedule.
+    pub fn phases(&self) -> &[PhaseSpec] {
+        &self.phases
+    }
+
+    /// Total scheduled duration across all phases.
+    pub fn total_duration(&self) -> SimTime {
+        self.phases.iter().fold(SimTime::ZERO, |acc, p| acc + p.duration)
+    }
+
+    /// Expected request count (rate x duration summed over phases) —
+    /// exact for paced schedules, the mean for Poisson ones.
+    pub fn expected_requests(&self) -> u64 {
+        self.phases.iter().map(|p| p.rate_rps * p.duration.as_nanos() / 1_000_000_000).sum()
+    }
+
+    fn draw_gap(&mut self, mean_ns: u64) -> u64 {
+        match self.process {
+            ArrivalProcess::Paced => mean_ns,
+            ArrivalProcess::Poisson => {
+                // Inverse-CDF sample of Exp(1/mean): gap = -ln(1-U) * mean
+                // with U in [0,1), so the argument stays in (0,1].
+                let u: f64 = self.rng.gen();
+                let gap = -(1.0 - u).ln() * mean_ns as f64;
+                (gap as u64).max(1)
+            }
+        }
+    }
+}
+
+impl Iterator for ArrivalSchedule {
+    type Item = Arrival;
+
+    fn next(&mut self) -> Option<Arrival> {
+        // Advance to the phase containing the cursor (a long Poisson gap
+        // can overshoot an entire short phase).
+        while self.cursor_ns >= self.phase_end_ns {
+            if self.phase + 1 >= self.phases.len() {
+                return None;
+            }
+            self.phase += 1;
+            self.phase_end_ns += self.phases[self.phase].duration.as_nanos();
+        }
+        let arrival = Arrival { intended: SimTime::from_nanos(self.cursor_ns), phase: self.phase };
+        let mean = self.phases[self.phase].mean_gap_ns();
+        let gap = self.draw_gap(mean);
+        self.cursor_ns += gap;
+        Some(arrival)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn phase(secs: u64, rate: u64, weights: &[u32]) -> PhaseSpec {
+        PhaseSpec {
+            duration: SimTime::from_secs(secs),
+            rate_rps: rate,
+            tenant_weights: weights.to_vec(),
+        }
+    }
+
+    #[test]
+    fn paced_schedule_fires_exactly_rate_times_duration() {
+        let sched = ArrivalSchedule::new(vec![phase(2, 1_000, &[])], ArrivalProcess::Paced, 1);
+        let arrivals: Vec<Arrival> = sched.collect();
+        assert_eq!(arrivals.len(), 2_000);
+        // Exact mean spacing.
+        assert_eq!(arrivals[0].intended, SimTime::ZERO);
+        assert_eq!(arrivals[1].intended.as_nanos(), 1_000_000);
+        assert_eq!(arrivals[1_999].intended.as_nanos(), 1_999 * 1_000_000);
+    }
+
+    #[test]
+    fn phase_boundaries_switch_rate_and_index() {
+        let sched = ArrivalSchedule::new(
+            vec![phase(1, 100, &[3, 1]), phase(1, 400, &[1, 3])],
+            ArrivalProcess::Paced,
+            1,
+        );
+        let arrivals: Vec<Arrival> = sched.collect();
+        let p0: Vec<&Arrival> = arrivals.iter().filter(|a| a.phase == 0).collect();
+        let p1: Vec<&Arrival> = arrivals.iter().filter(|a| a.phase == 1).collect();
+        assert_eq!(p0.len(), 100);
+        assert_eq!(p1.len(), 400);
+        // Every phase-1 arrival is intended inside the second second.
+        assert!(p1.iter().all(|a| a.intended >= SimTime::from_secs(1)));
+        assert!(p1.iter().all(|a| a.intended < SimTime::from_secs(2)));
+    }
+
+    #[test]
+    fn poisson_schedule_is_deterministic_and_near_rate() {
+        let a: Vec<Arrival> =
+            ArrivalSchedule::new(vec![phase(5, 2_000, &[])], ArrivalProcess::Poisson, 42).collect();
+        let b: Vec<Arrival> =
+            ArrivalSchedule::new(vec![phase(5, 2_000, &[])], ArrivalProcess::Poisson, 42).collect();
+        assert_eq!(a, b, "same seed, same stream");
+        // Mean rate within 5% over 10k expected arrivals.
+        let expected = 10_000f64;
+        assert!(
+            (a.len() as f64 - expected).abs() / expected < 0.05,
+            "got {} arrivals, expected ~{expected}",
+            a.len()
+        );
+        let c: Vec<Arrival> =
+            ArrivalSchedule::new(vec![phase(5, 2_000, &[])], ArrivalProcess::Poisson, 43).collect();
+        assert_ne!(a, c, "different seed, different stream");
+    }
+
+    #[test]
+    fn arrivals_are_strictly_increasing() {
+        let arrivals: Vec<Arrival> = ArrivalSchedule::new(
+            vec![phase(1, 5_000, &[]), phase(1, 500, &[])],
+            ArrivalProcess::Poisson,
+            7,
+        )
+        .collect();
+        for w in arrivals.windows(2) {
+            assert!(w[1].intended > w[0].intended);
+        }
+    }
+
+    #[test]
+    fn parse_phases_round_trips_the_cli_grammar() {
+        let phases = parse_phases("20s@6000x3/1;20s@12000x1/3").unwrap();
+        assert_eq!(phases.len(), 2);
+        assert_eq!(phases[0].duration, SimTime::from_secs(20));
+        assert_eq!(phases[0].rate_rps, 6_000);
+        assert_eq!(phases[0].tenant_weights, vec![3, 1]);
+        assert_eq!(phases[1].tenant_weights, vec![1, 3]);
+        // Weights are optional.
+        let bare = parse_phases("5s@100").unwrap();
+        assert!(bare[0].tenant_weights.is_empty());
+    }
+
+    #[test]
+    fn format_phases_round_trips_through_parse() {
+        for spec in ["20s@6000x3/1;20s@12000x1/3", "5s@100", "1s@7x0/2/5"] {
+            let phases = parse_phases(spec).unwrap();
+            assert_eq!(format_phases(&phases), spec);
+        }
+    }
+
+    #[test]
+    fn parse_phases_rejects_malformed_specs() {
+        for bad in ["", "20@6000", "0s@100", "5s@0", "5s@100x0/0", "5s@abc"] {
+            assert!(parse_phases(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn expected_requests_sums_phases() {
+        let sched = ArrivalSchedule::new(
+            vec![phase(2, 1_000, &[]), phase(3, 2_000, &[])],
+            ArrivalProcess::Paced,
+            1,
+        );
+        assert_eq!(sched.expected_requests(), 2_000 + 6_000);
+        assert_eq!(sched.total_duration(), SimTime::from_secs(5));
+    }
+}

@@ -1,0 +1,169 @@
+//! Multi-tenant request handlers.
+//!
+//! The service harness co-hosts several tenant workloads in one runtime
+//! (the paper's motivating deployment: latency-sensitive big-data
+//! services sharing a JVM-like heap). Each tenant contributes its own
+//! guest program namespace to a shared [`ProgramBuilder`], its own
+//! Table 1 profiling filter (unioned across tenants for ROLP runs), and
+//! its own request handler; the arrival schedule's per-phase tenant
+//! weights steer traffic between them, so a weight flip mid-run is a
+//! hot-tenant migration the profiler must re-learn.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rolp::runtime::JvmRuntime;
+use rolp::PackageFilters;
+use rolp_metrics::SimScale;
+use rolp_vm::{MutatorCtx, Program, ProgramBuilder};
+use rolp_workloads::presets;
+use rolp_workloads::{CassandraMix, Workload};
+
+/// A set of co-hosted tenant workloads sharing one guest program.
+///
+/// Tenants must use distinct guest package namespaces (e.g. one
+/// Cassandra-preset tenant plus one Lucene-preset tenant) so their
+/// method declarations compose without colliding.
+pub struct TenantSet {
+    tenants: Vec<Box<dyn Workload>>,
+    rng: StdRng,
+}
+
+impl TenantSet {
+    /// Wraps `tenants`; `seed` drives the weighted tenant picker.
+    pub fn new(tenants: Vec<Box<dyn Workload>>, seed: u64) -> Self {
+        assert!(!tenants.is_empty(), "tenant set needs at least one tenant");
+        TenantSet { tenants, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Number of tenants.
+    pub fn len(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// Always false: construction rejects empty sets.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Tenant display names, index-aligned with the weight vectors.
+    pub fn names(&self) -> Vec<String> {
+        self.tenants.iter().map(|t| t.name()).collect()
+    }
+
+    /// Builds the composite guest program: every tenant declares its own
+    /// namespace into one builder.
+    pub fn build_program(&mut self) -> Program {
+        let mut b = ProgramBuilder::new();
+        for t in &mut self.tenants {
+            t.declare_program(&mut b);
+        }
+        b.build()
+    }
+
+    /// The union of every tenant's paper profiling filter: a package any
+    /// tenant asked to profile is profiled.
+    pub fn union_filters(&self) -> PackageFilters {
+        let mut iter = self.tenants.iter();
+        let first = iter.next().expect("non-empty").profiling_filters();
+        iter.fold(first, |acc, t| acc.union(&t.profiling_filters()))
+    }
+
+    /// Runs every tenant's setup against the shared runtime.
+    pub fn setup_all(&mut self, rt: &mut JvmRuntime) {
+        for t in &mut self.tenants {
+            t.setup(rt);
+        }
+    }
+
+    /// Picks a tenant index by the phase's weight vector. An empty (or
+    /// short) vector weights the unlisted tenants at 1; an all-zero
+    /// vector falls back to uniform.
+    pub fn pick(&mut self, weights: &[u32]) -> usize {
+        let w = |i: usize| -> u64 {
+            if weights.is_empty() {
+                1
+            } else {
+                weights.get(i).copied().unwrap_or(1) as u64
+            }
+        };
+        let total: u64 = (0..self.tenants.len()).map(w).sum();
+        if total == 0 {
+            return self.rng.gen_range(0..self.tenants.len());
+        }
+        let mut roll = self.rng.gen_range(0..total);
+        for i in 0..self.tenants.len() {
+            let wi = w(i);
+            if roll < wi {
+                return i;
+            }
+            roll -= wi;
+        }
+        self.tenants.len() - 1
+    }
+
+    /// Serves one request on tenant `idx`; returns completed operations.
+    pub fn tick(&mut self, idx: usize, ctx: &mut MutatorCtx<'_>) -> u64 {
+        self.tenants[idx].tick(ctx)
+    }
+}
+
+/// The default two-tenant serving mix: a write-intensive Cassandra
+/// tenant and a Lucene indexing tenant, both with internal op pacing
+/// disabled — in service mode the *arrival schedule* paces requests, so
+/// a handler sleeping on its own would double-count think time.
+pub fn default_tenants(scale: SimScale) -> TenantSet {
+    let mut cass = presets::cassandra(CassandraMix::WriteIntensive, scale);
+    cass.params_mut().op_pacing_ns = 0;
+    let mut luc = presets::lucene(scale);
+    luc.params_mut().op_pacing_ns = 0;
+    TenantSet::new(vec![Box::new(cass), Box::new(luc)], 0x5EC7)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rolp_metrics::SimScale;
+
+    fn small_set() -> TenantSet {
+        default_tenants(SimScale::new(1024))
+    }
+
+    #[test]
+    fn composite_program_holds_both_namespaces() {
+        let mut set = small_set();
+        let program = set.build_program();
+        let packages: Vec<&str> = program.methods().map(|m| program.method(m).package()).collect();
+        assert!(packages.iter().any(|p| p.starts_with("cassandra.")));
+        assert!(packages.iter().any(|p| p.starts_with("lucene.")));
+    }
+
+    #[test]
+    fn union_filter_covers_every_tenant() {
+        let set = small_set();
+        let f = set.union_filters();
+        assert!(f.matches("cassandra.db"));
+        assert!(f.matches("lucene.store"));
+        assert!(!f.matches("unrelated.pkg"));
+    }
+
+    #[test]
+    fn weighted_pick_follows_phase_weights() {
+        let mut set = small_set();
+        let mut counts = [0u64; 2];
+        for _ in 0..10_000 {
+            counts[set.pick(&[3, 1])] += 1;
+        }
+        let frac = counts[0] as f64 / 10_000.0;
+        assert!((0.70..0.80).contains(&frac), "tenant 0 got {frac} of traffic");
+        // A zero weight shuts a tenant off entirely.
+        for _ in 0..1_000 {
+            assert_eq!(set.pick(&[0, 1]), 1);
+        }
+        // Empty weights are uniform.
+        let mut uni = [0u64; 2];
+        for _ in 0..10_000 {
+            uni[set.pick(&[])] += 1;
+        }
+        assert!(uni[0] > 4_000 && uni[1] > 4_000);
+    }
+}

@@ -139,11 +139,16 @@ pub enum CounterId {
     /// Contended shard-lock acquisitions in the sharded OLD table
     /// (cumulative; 0 on unsharded backends).
     ShardLockWaits,
+    /// Requests completed by the open-loop service harness (`rolp-serve`).
+    ServeRequests,
+    /// Served requests whose coordinated-omission-corrected latency
+    /// missed the primary SLO threshold.
+    ServeSloMisses,
 }
 
 impl CounterId {
     /// Number of counters.
-    pub const COUNT: usize = 9;
+    pub const COUNT: usize = 11;
 
     /// Every counter, in index order.
     pub const ALL: [CounterId; CounterId::COUNT] = [
@@ -156,6 +161,8 @@ impl CounterId {
         CounterId::ProfileBlendDecays,
         CounterId::ShardMergeNs,
         CounterId::ShardLockWaits,
+        CounterId::ServeRequests,
+        CounterId::ServeSloMisses,
     ];
 
     /// Dense array index.
@@ -176,6 +183,8 @@ impl CounterId {
             CounterId::ProfileBlendDecays => "profile_blend_decays",
             CounterId::ShardMergeNs => "shard_merge_ns",
             CounterId::ShardLockWaits => "shard_lock_wait",
+            CounterId::ServeRequests => "serve_requests",
+            CounterId::ServeSloMisses => "serve_slo_misses",
         }
     }
 }
@@ -235,15 +244,26 @@ pub enum HistId {
     JitCompileNs,
     /// Modeled per-epoch profiler pipeline cost, nanoseconds.
     ProfilerEpochNs,
+    /// Coordinated-omission-corrected request latency (completion minus
+    /// *intended* arrival) in the open-loop service harness, nanoseconds.
+    ServeLatencyNs,
+    /// Queueing delay (actual start minus intended arrival) in the
+    /// open-loop service harness, nanoseconds.
+    ServeQueueNs,
 }
 
 impl HistId {
     /// Number of histogram series.
-    pub const COUNT: usize = 3;
+    pub const COUNT: usize = 5;
 
     /// Every histogram series, in index order.
-    pub const ALL: [HistId; HistId::COUNT] =
-        [HistId::GcPauseNs, HistId::JitCompileNs, HistId::ProfilerEpochNs];
+    pub const ALL: [HistId; HistId::COUNT] = [
+        HistId::GcPauseNs,
+        HistId::JitCompileNs,
+        HistId::ProfilerEpochNs,
+        HistId::ServeLatencyNs,
+        HistId::ServeQueueNs,
+    ];
 
     /// Dense array index.
     #[inline]
@@ -257,6 +277,8 @@ impl HistId {
             HistId::GcPauseNs => "gc_pause_ns",
             HistId::JitCompileNs => "jit_compile_ns",
             HistId::ProfilerEpochNs => "profiler_epoch_ns",
+            HistId::ServeLatencyNs => "serve_latency_ns",
+            HistId::ServeQueueNs => "serve_queue_ns",
         }
     }
 }

@@ -148,6 +148,11 @@ pub fn event_to_json(event: &TraceEvent) -> String {
                 .u64("entries", *entries)
                 .u64("contested", *contested);
         }
+        EventKind::ServePhaseShift { phase, rate_rps, requests_before } => {
+            obj.u64("phase", *phase as u64)
+                .u64("rate_rps", *rate_rps)
+                .u64("requests_before", *requests_before);
+        }
     }
     obj.finish()
 }
@@ -358,6 +363,11 @@ pub fn parse_jsonl(input: &str) -> Result<Vec<TraceEvent>, String> {
                     entries: get_u64(&map, "entries")?,
                     contested: get_u64(&map, "contested")?,
                 },
+                "serve_phase_shift" => EventKind::ServePhaseShift {
+                    phase: get_u64(&map, "phase")? as u32,
+                    rate_rps: get_u64(&map, "rate_rps")?,
+                    requests_before: get_u64(&map, "requests_before")?,
+                },
                 other => return Err(format!("unknown event type '{other}'")),
             })
         })()
@@ -439,6 +449,7 @@ pub fn to_chrome_trace(events: &[TraceEvent]) -> String {
                     EventKind::ShardMerge { .. } => "shard merge",
                     EventKind::FleetSubmission { .. } => "fleet submission",
                     EventKind::FleetConsensus { .. } => "fleet consensus",
+                    EventKind::ServePhaseShift { .. } => "serve phase shift",
                     _ => unreachable!("pause and watermark handled above"),
                 };
                 // Strip the envelope fields the JSONL form carries; the
@@ -646,6 +657,16 @@ mod tests {
                 thread: GLOBAL_THREAD,
                 seq: 14,
                 kind: EventKind::FleetConsensus { instances: 3, entries: 12, contested: 1 },
+            },
+            TraceEvent {
+                ts: t(17_000),
+                thread: GLOBAL_THREAD,
+                seq: 15,
+                kind: EventKind::ServePhaseShift {
+                    phase: 1,
+                    rate_rps: 12_000,
+                    requests_before: 240_000,
+                },
             },
         ]
     }

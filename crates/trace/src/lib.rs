@@ -246,6 +246,16 @@ pub enum EventKind {
         /// Locations resolved by weighted majority (instances disagreed).
         contested: u64,
     },
+    /// The open-loop service harness (`rolp-serve`) entered a new traffic
+    /// phase (diurnal rate ramp and/or hot-tenant migration).
+    ServePhaseShift {
+        /// Phase index (0-based) within the schedule.
+        phase: u32,
+        /// Offered arrival rate for the phase, requests per second.
+        rate_rps: u64,
+        /// Requests fired before the shift.
+        requests_before: u64,
+    },
 }
 
 impl EventKind {
@@ -269,6 +279,7 @@ impl EventKind {
             EventKind::ShardMerge { .. } => "shard_merge",
             EventKind::FleetSubmission { .. } => "fleet_submission",
             EventKind::FleetConsensus { .. } => "fleet_consensus",
+            EventKind::ServePhaseShift { .. } => "serve_phase_shift",
         }
     }
 }

@@ -23,7 +23,7 @@
 use rolp::runtime::JvmRuntime;
 use rolp::PackageFilters;
 use rolp_heap::{ClassId, Handle};
-use rolp_vm::{AllocSiteId, CallSiteId, MutatorCtx, Program, ProgramBuilder};
+use rolp_vm::{AllocSiteId, CallSiteId, MutatorCtx, ProgramBuilder};
 
 use crate::spec::Workload;
 use crate::ycsb::{Op, YcsbGenerator};
@@ -185,6 +185,15 @@ impl CassandraWorkload {
     /// seed-offset sibling instance for fleet simulation).
     pub fn params(&self) -> &CassandraParams {
         &self.params
+    }
+
+    /// Mutable parameter access for shape-only overrides after
+    /// construction (e.g. the service harness zeroes `op_pacing_ns`
+    /// because the arrival schedule paces requests). The generator
+    /// seed/mix/key-space are baked in at [`CassandraWorkload::new`];
+    /// changing them here has no effect.
+    pub fn params_mut(&mut self) -> &mut CassandraParams {
+        &mut self.params
     }
 
     fn ids(&self) -> Ids {
@@ -350,8 +359,7 @@ impl Workload for CassandraWorkload {
         self.annotate = on;
     }
 
-    fn build_program(&mut self) -> Program {
-        let mut b = ProgramBuilder::new();
+    fn declare_program(&mut self, b: &mut ProgramBuilder) {
         let handle = b.method("cassandra.net.RequestHandler::handle", 400, false);
         let parse = b.method("cassandra.net.RequestHandler::parse", 150, false);
         let put = b.method("cassandra.db.Table::put", 120, false);
@@ -381,7 +389,6 @@ impl Workload for CassandraWorkload {
             site_index: b.alloc_site(compact, 30),
         };
         self.ids = Some(ids);
-        b.build()
     }
 
     fn setup(&mut self, rt: &mut JvmRuntime) {

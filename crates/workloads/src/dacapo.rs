@@ -23,7 +23,7 @@ use rand::{Rng, SeedableRng};
 use rolp::runtime::JvmRuntime;
 use rolp_heap::{ClassId, Handle, HeapConfig};
 use rolp_metrics::SimScale;
-use rolp_vm::{AllocSiteId, CallSiteId, MutatorCtx, Program, ProgramBuilder};
+use rolp_vm::{AllocSiteId, CallSiteId, MutatorCtx, ProgramBuilder};
 
 use crate::spec::Workload;
 
@@ -193,8 +193,7 @@ impl Workload for DacapoBench {
         self.spec.name.to_string()
     }
 
-    fn build_program(&mut self) -> Program {
-        let mut b = ProgramBuilder::new();
+    fn declare_program(&mut self, b: &mut ProgramBuilder) {
         let name = self.spec.name;
         let harness = b.method(format!("dacapo.{name}.Harness::main"), 60, false);
         let root = b.method(format!("dacapo.{name}.Harness::iterate"), 300, false);
@@ -227,7 +226,6 @@ impl Workload for DacapoBench {
                 site: b.alloc_site(factory, 1),
             });
         }
-        b.build()
     }
 
     fn setup(&mut self, rt: &mut JvmRuntime) {

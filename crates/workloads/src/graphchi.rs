@@ -20,7 +20,7 @@ use rand::{Rng, SeedableRng};
 use rolp::runtime::JvmRuntime;
 use rolp::PackageFilters;
 use rolp_heap::{ClassId, Handle};
-use rolp_vm::{AllocSiteId, CallSiteId, MutatorCtx, Program, ProgramBuilder};
+use rolp_vm::{AllocSiteId, CallSiteId, MutatorCtx, ProgramBuilder};
 
 use crate::spec::Workload;
 
@@ -260,8 +260,7 @@ impl Workload for GraphChiWorkload {
         self.annotate = on;
     }
 
-    fn build_program(&mut self) -> Program {
-        let mut b = ProgramBuilder::new();
+    fn declare_program(&mut self, b: &mut ProgramBuilder) {
         let run = b.method("graphchi.engine.GraphChiEngine::run", 600, false);
         let load = b.method("graphchi.datablocks.BlockManager::loadBlock", 150, false);
         let update = b.method("graphchi.engine.VertexProcessor::update", 250, false);
@@ -280,7 +279,6 @@ impl Workload for GraphChiWorkload {
             site_scratch: b.alloc_site(scratch, 3),
         };
         self.ids = Some(ids);
-        b.build()
     }
 
     fn setup(&mut self, rt: &mut JvmRuntime) {

@@ -19,7 +19,7 @@ use rand::{Rng, SeedableRng};
 use rolp::runtime::JvmRuntime;
 use rolp::PackageFilters;
 use rolp_heap::{ClassId, Handle};
-use rolp_vm::{AllocSiteId, CallSiteId, MutatorCtx, Program, ProgramBuilder};
+use rolp_vm::{AllocSiteId, CallSiteId, MutatorCtx, ProgramBuilder};
 
 use crate::spec::Workload;
 use crate::ycsb::Zipfian;
@@ -133,6 +133,15 @@ impl LuceneWorkload {
             flushes: 0,
             merges: 0,
         }
+    }
+
+    /// Mutable parameter access for shape-only overrides after
+    /// construction (e.g. the service harness zeroes `op_pacing_ns`
+    /// because the arrival schedule paces requests). The term
+    /// distribution and RNG seed are baked in at [`LuceneWorkload::new`];
+    /// changing them here has no effect.
+    pub fn params_mut(&mut self) -> &mut LuceneParams {
+        &mut self.params
     }
 
     fn ids(&self) -> Ids {
@@ -280,8 +289,7 @@ impl Workload for LuceneWorkload {
         self.annotate = on;
     }
 
-    fn build_program(&mut self) -> Program {
-        let mut b = ProgramBuilder::new();
+    fn declare_program(&mut self, b: &mut ProgramBuilder) {
         let writer = b.method("lucene.index.IndexWriter::addDocument", 500, false);
         let analyze = b.method("lucene.analysis.Analyzer::tokenStream", 200, false);
         let index_doc = b.method("lucene.index.DocConsumer::processDocument", 300, false);
@@ -308,7 +316,6 @@ impl Workload for LuceneWorkload {
             site_hits: b.alloc_site(search, 7),
         };
         self.ids = Some(ids);
-        b.build()
     }
 
     fn setup(&mut self, rt: &mut JvmRuntime) {

@@ -11,7 +11,7 @@
 use rolp::runtime::{CollectorKind, JvmRuntime, RunReport, RuntimeConfig};
 use rolp::PackageFilters;
 use rolp_metrics::{PauseRecorder, SimTime};
-use rolp_vm::{MutatorCtx, Program, ThreadId};
+use rolp_vm::{MutatorCtx, Program, ProgramBuilder, ThreadId};
 
 /// A runnable workload.
 pub trait Workload {
@@ -29,8 +29,23 @@ pub trait Workload {
         0
     }
 
-    /// Declares the guest program. Called once, before [`Workload::setup`].
-    fn build_program(&mut self) -> Program;
+    /// Declares the guest program's methods, call sites and allocation
+    /// sites into `b`. Called once, before [`Workload::setup`].
+    ///
+    /// Declaring into a caller-supplied builder (rather than returning a
+    /// finished [`Program`]) lets a service harness compose several
+    /// tenant workloads into one guest program: each tenant declares its
+    /// own method namespace into the shared builder and the harness
+    /// builds once.
+    fn declare_program(&mut self, b: &mut ProgramBuilder);
+
+    /// Declares this workload alone into a fresh builder and builds it.
+    /// Single-tenant drivers ([`execute`] and friends) call this.
+    fn build_program(&mut self) -> Program {
+        let mut b = ProgramBuilder::new();
+        self.declare_program(&mut b);
+        b.build()
+    }
 
     /// Registers guest classes and builds initial long-lived structures.
     fn setup(&mut self, rt: &mut JvmRuntime);

@@ -128,6 +128,38 @@ def main():
                       f"tolerance (baseline {ref_w:.2f} ms + "
                       f"{args.max_regress:.0%})", file=sys.stderr)
                 failures.append((k[0], f"{k[1]} [warmup p99]"))
+        # Service-mode fields: present on the quick-mode `(served)` rows
+        # since the rolp-serve harness. Attainment is gated on an
+        # absolute drop (a fraction of requests, not a latency, so a
+        # relative margin would be meaningless near 1.0); served p99 uses
+        # the same relative margin as the pause percentiles.
+        if "slo_attainment" in ref:
+            cur_a = field(row, "slo_attainment", args.current)
+            ref_a = field(ref, "slo_attainment", args.baseline)
+            floor = ref_a - 0.02
+            verdict = "OK" if cur_a >= floor else "REGRESSED"
+            print(f"  [{verdict}] {row['workload']} / {row['collector']}: "
+                  f"SLO attainment {cur_a:.4f} vs baseline {ref_a:.4f} "
+                  f"(floor {floor:.4f})")
+            if cur_a < floor:
+                print(f"bench_gate: {row['workload']} / {row['collector']}: "
+                      f"SLO attainment {cur_a:.4f} fell more than 0.02 below "
+                      f"the baseline {ref_a:.4f}", file=sys.stderr)
+                failures.append((k[0], f"{k[1]} [slo attainment]"))
+        if "served_p99_ms" in ref:
+            cur_s = field(row, "served_p99_ms", args.current)
+            ref_s = field(ref, "served_p99_ms", args.baseline)
+            slimit = ref_s * (1.0 + args.max_regress)
+            verdict = "OK" if cur_s <= slimit else "REGRESSED"
+            print(f"  [{verdict}] {row['workload']} / {row['collector']}: "
+                  f"served p99 {cur_s:.2f} ms vs baseline {ref_s:.2f} ms "
+                  f"(limit {slimit:.2f} ms)")
+            if cur_s > slimit:
+                print(f"bench_gate: {row['workload']} / {row['collector']}: "
+                      f"served p99 {cur_s:.2f} ms exceeds the {slimit:.2f} ms "
+                      f"tolerance (baseline {ref_s:.2f} ms + "
+                      f"{args.max_regress:.0%})", file=sys.stderr)
+                failures.append((k[0], f"{k[1]} [served p99]"))
         if "epochs_to_stable" in ref:
             cur_e = field(row, "epochs_to_stable", args.current)
             ref_e = field(ref, "epochs_to_stable", args.baseline)

@@ -39,13 +39,17 @@ BUCKETS = [
 COUNTERS = [
     "profiled_allocs", "unprofiled_allocs", "jit_compiles", "gc_pauses",
     "epochs_inferred", "profile_entries_imported", "profile_blend_decays",
-    "shard_merge_ns", "shard_lock_wait",
+    "shard_merge_ns", "shard_lock_wait", "serve_requests",
+    "serve_slo_misses",
 ]
 GAUGES = [
     "heap_used_bytes", "heap_committed_bytes", "decision_version",
     "governor_state",
 ]
-HISTOGRAMS = ["gc_pause_ns", "jit_compile_ns", "profiler_epoch_ns"]
+HISTOGRAMS = [
+    "gc_pause_ns", "jit_compile_ns", "profiler_epoch_ns",
+    "serve_latency_ns", "serve_queue_ns",
+]
 HIST_SUFFIXES = ["count", "p50", "p90", "p99", "max"]
 
 # Keys that may only grow between consecutive snapshots (cumulative

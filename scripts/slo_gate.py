@@ -1,0 +1,193 @@
+#!/usr/bin/env python3
+"""Service-mode acceptance gate for the `serve-smoke` CI job.
+
+Reads two `rolp-serve-v1` summaries produced by `rolp-serve` for the SAME
+arrival schedule and seed — one under ROLP, one under the comparison
+collector (G1) — and enforces the three service-mode acceptance
+criteria:
+
+  (a) decomposition soundness: each run's per-request latency
+      decomposition (app + GC + profiler + JIT + idle, summed from the
+      telemetry plane's bucket deltas) equals its total service wall
+      time within --max-decomp-error;
+  (b) SLO attainment under ROLP is strictly better than under the
+      comparison collector at the primary (tightest) threshold, and
+      ROLP's corrected p99 is no higher;
+  (c) re-convergence: after every mid-run phase shift, the ROLP run's
+      decision table went quiet within --max-reconverge-epochs
+      inference epochs, and the final table then stayed stable to the
+      end of the run.
+
+Usage:
+    scripts/slo_gate.py <rolp.json> <baseline.json>
+                        [--max-decomp-error 0.01]
+                        [--max-reconverge-epochs 8]
+
+Exit status: 0 = all criteria hold, 1 = a criterion failed,
+2 = usage/format error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"slo_gate: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    if data.get("schema") != "rolp-serve-v1":
+        print(f"slo_gate: {path} is not a rolp-serve-v1 summary", file=sys.stderr)
+        sys.exit(2)
+    return data
+
+
+def field(doc, path, *keys):
+    """Walks nested keys, failing readably instead of with a KeyError."""
+    cur = doc
+    for k in keys:
+        try:
+            cur = cur[k]
+        except (KeyError, TypeError, IndexError):
+            dotted = ".".join(str(k) for k in keys)
+            print(f"slo_gate: {path} is missing '{dotted}' — regenerate it "
+                  f"with the current rolp-serve binary", file=sys.stderr)
+            sys.exit(2)
+    return cur
+
+
+def check_comparable(rolp, base, rolp_path, base_path):
+    """The comparison is only meaningful on the same offered load."""
+    for k in ("phases", "process", "seed", "scale", "threads"):
+        a, b = field(rolp, rolp_path, k), field(base, base_path, k)
+        if a != b:
+            print(f"slo_gate: {k} differs between runs ({a!r} vs {b!r}) — "
+                  f"the SLO comparison needs an identical arrival schedule",
+                  file=sys.stderr)
+            sys.exit(2)
+
+
+def check_decomposition(doc, path, max_err):
+    d = field(doc, path, "decomposition")
+    rel = field(doc, path, "decomposition", "rel_error")
+    ok = rel <= max_err
+    print(f"  [{'OK' if ok else 'FAILED'}] {path}: decomposition "
+          f"{d['decomposed_ms']:.1f} ms vs service wall "
+          f"{d['service_wall_ms']:.1f} ms (rel error {rel:.2e}, "
+          f"limit {max_err:.0e})")
+    if not ok:
+        print(f"slo_gate: {path}: decomposition does not sum to service "
+              f"wall time (rel error {rel:.2e} > {max_err:.0e}) — a bucket "
+              f"is leaking or double-charged", file=sys.stderr)
+    return ok
+
+
+def check_attainment(rolp, base, rolp_path, base_path):
+    r0 = field(rolp, rolp_path, "slo", 0)
+    b0 = field(base, base_path, "slo", 0)
+    if r0["threshold_ms"] != b0["threshold_ms"]:
+        print(f"slo_gate: primary SLO differs ({r0['threshold_ms']} ms vs "
+              f"{b0['threshold_ms']} ms)", file=sys.stderr)
+        sys.exit(2)
+    r_att, b_att = r0["attainment"], b0["attainment"]
+    r_p99 = field(rolp, rolp_path, "latency", "corrected_p99_ms")
+    b_p99 = field(base, base_path, "latency", "corrected_p99_ms")
+    rolp_name = field(rolp, rolp_path, "collector")
+    base_name = field(base, base_path, "collector")
+
+    att_ok = r_att > b_att
+    print(f"  [{'OK' if att_ok else 'FAILED'}] attainment at "
+          f"{r0['threshold_ms']:.1f} ms: {rolp_name} {r_att:.4f} vs "
+          f"{base_name} {b_att:.4f}")
+    if not att_ok:
+        print(f"slo_gate: {rolp_name} attainment {r_att:.4f} is not "
+              f"strictly better than {base_name}'s {b_att:.4f} at the "
+              f"primary SLO", file=sys.stderr)
+
+    p99_ok = r_p99 <= b_p99
+    print(f"  [{'OK' if p99_ok else 'FAILED'}] corrected p99: "
+          f"{rolp_name} {r_p99:.2f} ms vs {base_name} {b_p99:.2f} ms")
+    if not p99_ok:
+        print(f"slo_gate: {rolp_name} corrected p99 {r_p99:.2f} ms exceeds "
+              f"{base_name}'s {b_p99:.2f} ms", file=sys.stderr)
+    return att_ok and p99_ok
+
+
+def check_reconvergence(rolp, path, max_epochs):
+    shifts = field(rolp, path, "shifts")
+    conv = field(rolp, path, "reconvergence")
+    changes = field(rolp, path, "decisions", "digest_changes")
+    stable_ms = field(rolp, path, "decisions", "stable_tail_ms")
+    if not shifts:
+        print(f"slo_gate: {path} has no phase shifts — the schedule must "
+              f"ramp or flip tenants mid-run to exercise re-convergence",
+              file=sys.stderr)
+        sys.exit(2)
+    if changes == 0:
+        print(f"slo_gate: {path}: the decision table never published — "
+              f"no inference ran (raise the schedule length or lower "
+              f"--inference-period)", file=sys.stderr)
+        return False
+    ok = True
+    for c in conv:
+        e = c["epochs_to_reconverge"]
+        within = e <= max_epochs
+        print(f"  [{'OK' if within else 'FAILED'}] shift into phase "
+              f"{c['phase']}: {c['changes']} digest change(s), "
+              f"re-converged after {e} epoch(s) (limit {max_epochs})")
+        if not within:
+            print(f"slo_gate: decisions kept churning {e} epoch(s) after "
+                  f"the shift into phase {c['phase']} (limit {max_epochs})",
+                  file=sys.stderr)
+            ok = False
+    stable_ok = stable_ms > 0
+    print(f"  [{'OK' if stable_ok else 'FAILED'}] final table stable for "
+          f"{stable_ms:.0f} ms ({changes} publication(s) total)")
+    if not stable_ok:
+        print(f"slo_gate: the decision table was still changing at run end",
+              file=sys.stderr)
+    return ok and stable_ok
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("rolp", help="rolp-serve-v1 summary of the ROLP run")
+    ap.add_argument("baseline",
+                    help="rolp-serve-v1 summary of the comparison run "
+                         "(same schedule and seed)")
+    ap.add_argument("--max-decomp-error", type=float, default=0.01,
+                    help="allowed relative error between the summed "
+                         "decomposition and service wall time (default 0.01)")
+    ap.add_argument("--max-reconverge-epochs", type=int, default=8,
+                    help="inference epochs allowed between a phase shift "
+                         "and the last decision change (default 8)")
+    args = ap.parse_args()
+
+    rolp = load(args.rolp)
+    base = load(args.baseline)
+    check_comparable(rolp, base, args.rolp, args.baseline)
+
+    failures = []
+    print("decomposition soundness:")
+    if not check_decomposition(rolp, args.rolp, args.max_decomp_error):
+        failures.append("decomposition (rolp)")
+    if not check_decomposition(base, args.baseline, args.max_decomp_error):
+        failures.append("decomposition (baseline)")
+    print("SLO attainment:")
+    if not check_attainment(rolp, base, args.rolp, args.baseline):
+        failures.append("attainment")
+    print("re-convergence after phase shifts:")
+    if not check_reconvergence(rolp, args.rolp, args.max_reconverge_epochs):
+        failures.append("re-convergence")
+
+    if failures:
+        print(f"slo_gate: FAILED: {', '.join(failures)}", file=sys.stderr)
+        sys.exit(1)
+    print("slo_gate: all service-mode criteria hold")
+
+
+if __name__ == "__main__":
+    main()
