@@ -64,6 +64,11 @@ pub struct Args {
     /// single-threaded reference, asserting the merged histograms stay
     /// within the measured §7.6 loss bound.
     pub verify_determinism: bool,
+    /// TLAB chunk size in bytes; 0 disables the per-thread allocation
+    /// fast path (`--no-tlab`).
+    pub tlab_bytes: usize,
+    /// Per-thread decision micro-cache (disabled with `--no-microcache`).
+    pub microcache: bool,
 }
 
 impl Default for Args {
@@ -87,6 +92,8 @@ impl Default for Args {
             table_shards: None,
             fault_plan: None,
             verify_determinism: false,
+            tlab_bytes: rolp_heap::DEFAULT_TLAB_BYTES,
+            microcache: true,
         }
     }
 }
@@ -157,6 +164,16 @@ OPTIONS:
                         workers vs. the single-threaded reference; fails
                         unless the merged histograms stay within the
                         measured lost-increment bound (paper section 7.6)
+    --tlab-size <BYTES> per-thread allocation buffer (TLAB) chunk size;
+                        each mutator bump-allocates privately from a
+                        chunk of this size per space and refills under
+                        the shared lock only on exhaustion
+                        [default: 8192]
+    --no-tlab           disable TLABs: every allocation takes the shared
+                        slow path (equivalent to --tlab-size 0)
+    --no-microcache     disable the per-thread pretenuring-decision
+                        micro-cache; every allocation re-reads the
+                        shared decision table
     --help              show this text
 ";
 
@@ -236,6 +253,13 @@ pub fn parse(argv: &[String]) -> Result<Args, String> {
                 args.fault_plan = Some(v);
             }
             "--verify-determinism" => args.verify_determinism = true,
+            "--tlab-size" => {
+                let v = take("--tlab-size")?;
+                args.tlab_bytes =
+                    v.parse::<usize>().map_err(|_| "--tlab-size must be a byte count")?;
+            }
+            "--no-tlab" => args.tlab_bytes = 0,
+            "--no-microcache" => args.microcache = false,
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown option {other}\n\n{USAGE}")),
         }
@@ -396,6 +420,19 @@ mod tests {
         assert_eq!(b.export_profile.as_deref(), Some("out.prof"));
         assert_eq!(b.import_profile.as_deref(), Some("in.prof"));
         assert!(parse(&argv("--profile-in")).unwrap_err().contains("needs a value"));
+    }
+
+    #[test]
+    fn tlab_flags_parse() {
+        let d = parse(&[]).expect("defaults");
+        assert_eq!(d.tlab_bytes, rolp_heap::DEFAULT_TLAB_BYTES);
+        assert!(d.microcache);
+        let a = parse(&argv("--tlab-size 4096")).expect("parses");
+        assert_eq!(a.tlab_bytes, 4096);
+        let b = parse(&argv("--no-tlab --no-microcache")).expect("parses");
+        assert_eq!(b.tlab_bytes, 0);
+        assert!(!b.microcache);
+        assert!(parse(&argv("--tlab-size lots")).unwrap_err().contains("byte count"));
     }
 
     #[test]

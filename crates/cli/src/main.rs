@@ -53,6 +53,8 @@ fn run(args: Args) -> Result<(), String> {
         threads: args.mutator_threads,
         gc_workers: args.gc_workers,
         side_table_scale: scale.divisor(),
+        tlab_bytes: args.tlab_bytes,
+        microcache: args.microcache,
         ..Default::default()
     };
     config.rolp.table_shards = args.table_shards;

@@ -40,6 +40,7 @@ struct ServeArgs {
     metrics_interval: u64,
     metrics_prom: Option<String>,
     trace_out: Option<String>,
+    tlab_bytes: usize,
 }
 
 impl Default for ServeArgs {
@@ -65,6 +66,7 @@ impl Default for ServeArgs {
             metrics_interval: 1,
             metrics_prom: None,
             trace_out: None,
+            tlab_bytes: rolp_heap::DEFAULT_TLAB_BYTES,
         }
     }
 }
@@ -112,6 +114,11 @@ OPTIONS:
     --metrics-prom <FILE>  write the final snapshot in Prometheus text
     --trace-out <FILE>  flight-recorder trace (.jsonl for line JSON,
                         otherwise Chrome trace_event)
+    --tlab-size <BYTES> per-thread allocation buffer chunk size; refill
+                        stalls are charged to the GC bucket in the
+                        per-request decomposition       [default: 8192]
+    --no-tlab           disable TLABs (every allocation takes the
+                        shared slow path)
     --help              show this text
 ";
 
@@ -208,6 +215,12 @@ fn parse(argv: &[String]) -> Result<ServeArgs, String> {
             }
             "--metrics-prom" => args.metrics_prom = Some(take("--metrics-prom")?),
             "--trace-out" => args.trace_out = Some(take("--trace-out")?),
+            "--tlab-size" => {
+                args.tlab_bytes = take("--tlab-size")?
+                    .parse::<usize>()
+                    .map_err(|_| "--tlab-size must be a byte count")?
+            }
+            "--no-tlab" => args.tlab_bytes = 0,
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown option {other}\n\n{USAGE}")),
         }
@@ -233,6 +246,7 @@ fn build_config(args: &ServeArgs) -> Result<ServeConfig, String> {
     cfg.seed = args.seed;
     cfg.max_requests = args.max_requests;
     cfg.trace_enabled = args.trace_out.is_some();
+    cfg.tlab_bytes = args.tlab_bytes;
     if args.governor {
         cfg.governor = Some(GovernorConfig::default());
     }

@@ -138,6 +138,17 @@ pub trait LifetimeTable {
     /// One object allocated through `context`: age-0 increment.
     fn record_allocation(&mut self, context: u32);
 
+    /// `n` objects allocated through `context`: the batched age-0 ingest
+    /// behind the safepoint flush of the per-thread delta buffers. Must
+    /// be observationally identical to `n` calls of
+    /// [`LifetimeTable::record_allocation`]; backends override it to pay
+    /// the row lookup (and any lock) once instead of `n` times.
+    fn record_allocations(&mut self, context: u32, n: u32) {
+        for _ in 0..n {
+            self.record_allocation(context);
+        }
+    }
+
     /// One object allocated through `context` survived at `age`, moving
     /// to `age + 1` (both clamped to the last column).
     fn record_survival(&mut self, context: u32, age: u8);

@@ -100,6 +100,16 @@ impl LifetimeTable for OldTable {
         row[0] = row[0].saturating_add(1);
     }
 
+    /// Batched age-0 ingest: one row lookup for the whole run-length.
+    fn record_allocations(&mut self, context: u32, n: u32) {
+        if n == 0 {
+            return;
+        }
+        self.touch(context);
+        let row = self.row_mut(context);
+        row[0] = row[0].saturating_add(n);
+    }
+
     /// GC-side path (normally via a [`WorkerTable`]): one object allocated
     /// through `context` survived at `age`, moving to `age + 1`.
     fn record_survival(&mut self, context: u32, age: u8) {

@@ -137,6 +137,17 @@ pub struct RolpConfig {
     /// thread-count-selected unsharded backend — bit-compatible with
     /// every prior release.
     pub table_shards: Option<usize>,
+    /// Batch age-0 recording: [`VmProfiler::on_alloc`] appends the
+    /// context to a per-thread delta buffer instead of touching the
+    /// shared OLD table, and the buffers are flushed (sorted, run-length
+    /// encoded, applied via [`LifetimeTable::record_allocations`]) at the
+    /// safepoint opening every pause. Increments are commutative between
+    /// safepoints, so the table state at every read point (inference,
+    /// blend decay, reconciliation — all safepoint-side) is identical to
+    /// the per-allocation path; what changes is that the §7.6 racy
+    /// increment window disappears. `false` restores the per-allocation
+    /// reference path the differential suite compares against.
+    pub batch_age0: bool,
 }
 
 impl Default for RolpConfig {
@@ -156,6 +167,7 @@ impl Default for RolpConfig {
             governor: None,
             fault_plan: None,
             table_shards: None,
+            batch_age0: true,
         }
     }
 }
@@ -261,6 +273,10 @@ impl LifetimeTable for TableBackend {
 
     fn record_allocation(&mut self, context: u32) {
         backend_dispatch!(self, t => LifetimeTable::record_allocation(t, context))
+    }
+
+    fn record_allocations(&mut self, context: u32, n: u32) {
+        backend_dispatch!(self, t => LifetimeTable::record_allocations(t, context, n))
     }
 
     fn record_survival(&mut self, context: u32, age: u8) {
@@ -370,6 +386,10 @@ pub struct RolpProfiler<T: LifetimeTable = OldTable> {
     faults: Option<FaultInjector>,
     /// Sticky adversarial TSS forced by a `TssCollision` fault.
     fault_tss: Option<u16>,
+    /// Per-thread age-0 delta buffers (contexts recorded since the last
+    /// safepoint), indexed by thread id; grown on demand. Drained by
+    /// [`Self::flush_age0`] at the safepoint opening every pause.
+    pending_age0: Vec<Vec<u32>>,
     // Governor state effects, cached as flags for the hot hooks.
     /// `Reduced` and below: call-site profiling shed, resolver frozen.
     call_shed: bool,
@@ -460,6 +480,7 @@ impl<T: LifetimeTable> RolpProfiler<T> {
             governor,
             faults,
             fault_tss: None,
+            pending_age0: Vec::new(),
             call_shed: start != GovernorState::Full,
             strip_tss: matches!(start, GovernorState::SitesOnly | GovernorState::Off),
             profiling_off: start == GovernorState::Off,
@@ -984,6 +1005,42 @@ impl<T: LifetimeTable> RolpProfiler<T> {
         self.old.clear_counts();
         self.inferences += 1;
     }
+
+    /// Drains every thread's age-0 delta buffer into the OLD table:
+    /// contexts are sorted and run-length encoded, then applied through
+    /// [`LifetimeTable::record_allocations`] — one row lookup (and, on
+    /// the sharded backend, one lock acquisition) per distinct context
+    /// instead of one per allocation. Age-0 increments commute, so the
+    /// table state every safepoint-side reader sees is identical to the
+    /// per-allocation path regardless of how threads interleaved since
+    /// the last flush. Returns the number of records applied.
+    pub fn flush_age0(&mut self) -> u64 {
+        let mut batch: Vec<u32> = Vec::new();
+        for buf in &mut self.pending_age0 {
+            batch.append(buf);
+        }
+        if batch.is_empty() {
+            return 0;
+        }
+        batch.sort_unstable();
+        let total = batch.len() as u64;
+        let mut i = 0;
+        while i < batch.len() {
+            let ctx = batch[i];
+            let mut j = i + 1;
+            while j < batch.len() && batch[j] == ctx {
+                j += 1;
+            }
+            self.old.record_allocations(ctx, (j - i) as u32);
+            i = j;
+        }
+        total
+    }
+
+    /// Age-0 records buffered since the last safepoint flush.
+    pub fn pending_age0_records(&self) -> u64 {
+        self.pending_age0.iter().map(|b| b.len() as u64).sum()
+    }
 }
 
 impl<T: LifetimeTable> VmProfiler for RolpProfiler<T> {
@@ -1051,7 +1108,7 @@ impl<T: LifetimeTable> VmProfiler for RolpProfiler<T> {
         }
     }
 
-    fn on_alloc(&mut self, site_profile_id: u16, tss: u16, _thread: ThreadId) -> u32 {
+    fn on_alloc(&mut self, site_profile_id: u16, tss: u16, thread: ThreadId) -> u32 {
         // `SitesOnly` and below: stack-state hashing is off, contexts are
         // site-id-only. A `TssCollision` fault instead forces every
         // context into one adversarial TSS row.
@@ -1061,7 +1118,18 @@ impl<T: LifetimeTable> VmProfiler for RolpProfiler<T> {
         // profiling instructions out); direct-driven calls still must not
         // feed the table.
         if !self.profiling_off {
-            self.old.record_allocation(context);
+            if self.config.batch_age0 {
+                // Batched path: append to the thread's private delta
+                // buffer; the shared table is untouched until the next
+                // safepoint flush.
+                let t = thread.0 as usize;
+                if t >= self.pending_age0.len() {
+                    self.pending_age0.resize_with(t + 1, Vec::new);
+                }
+                self.pending_age0[t].push(context);
+            } else {
+                self.old.record_allocation(context);
+            }
             self.profiled_allocations += 1;
         }
         context
@@ -1119,6 +1187,12 @@ impl<T: LifetimeTable> GcHooks for RolpProfiler<T> {
     }
 
     fn on_gc_end(&mut self, env: &mut VmEnv, info: &GcCycleInfo) {
+        // Safepoint flush of the batched age-0 deltas — before anything
+        // this pause reads from or merges into the OLD table.
+        let flushed = self.flush_age0();
+        if flushed > 0 {
+            env.telemetry.bump(CounterId::Age0Flushed, flushed);
+        }
         // Flush the import note recorded at JIT-compile time (no trace or
         // telemetry handle exists inside `on_jit_compile`).
         if self.import_pending_note {

@@ -99,6 +99,13 @@ pub struct RuntimeConfig {
     pub trace_enabled: bool,
     /// Per-thread event ring capacity when tracing is on.
     pub trace_ring_capacity: usize,
+    /// Per-thread allocation-buffer (TLAB) size in bytes; `0` disables
+    /// the bump-pointer fast path entirely (every allocation takes the
+    /// collector slow path — the differential suite's reference arm).
+    pub tlab_bytes: usize,
+    /// Route decision reads through the per-thread micro-cache (on by
+    /// default; see [`rolp_vm::DecisionCache`]).
+    pub microcache: bool,
 }
 
 impl Default for RuntimeConfig {
@@ -116,6 +123,8 @@ impl Default for RuntimeConfig {
             side_table_scale: 1,
             trace_enabled: false,
             trace_ring_capacity: rolp_trace::DEFAULT_RING_CAPACITY,
+            tlab_bytes: rolp_heap::DEFAULT_TLAB_BYTES,
+            microcache: true,
         }
     }
 }
@@ -187,6 +196,8 @@ impl JvmRuntime {
 
         let mut env =
             VmEnv::new(heap, config.cost.clone(), program, config.jit.clone(), config.threads);
+        env.heap.set_tlab_bytes(config.tlab_bytes);
+        env.microcache_enabled = config.microcache;
         if config.trace_enabled {
             env.trace =
                 rolp_trace::TraceRecorder::enabled(config.threads, config.trace_ring_capacity);
@@ -306,6 +317,17 @@ impl JvmRuntime {
     /// Builds the end-of-run report (publishes a final metrics
     /// snapshot).
     pub fn report(&mut self) -> RunReport {
+        // End-of-run safepoint for the allocation fast path: retire every
+        // TLAB (frontiers exact before the final memory sample), drain
+        // the micro-cache counters, and land any still-buffered age-0
+        // deltas so the final stats see every record.
+        self.vm.env.safepoint_flush_alloc_path();
+        if let Some(p) = &self.profiler {
+            let flushed = p.borrow_mut().flush_age0();
+            if flushed > 0 {
+                self.vm.env.telemetry.bump(rolp_telemetry::CounterId::Age0Flushed, flushed);
+            }
+        }
         self.sample_side_tables();
         self.vm.env.sample_memory();
         let telemetry = self.publish_metrics();

@@ -215,6 +215,21 @@ impl ShardedOldTable {
         });
     }
 
+    /// Batched age-0 ingest: one lock acquisition and one row lookup for
+    /// the whole run-length — the sharding win compounds with batching
+    /// (lock traffic drops from per-allocation to per-safepoint).
+    pub fn record_allocations(&self, context: u32, n: u32) {
+        if n == 0 {
+            return;
+        }
+        let g = self.geometry;
+        self.shards[self.shard_of(context)].lock(|s| {
+            s.touch(&g, context);
+            let row = s.row_mut(&g, context);
+            row[0] = row[0].saturating_add(n);
+        });
+    }
+
     /// Survival move `age` → `age + 1` (same saturating semantics as the
     /// sequential reference).
     pub fn record_survival(&self, context: u32, age: u8) {
@@ -449,6 +464,10 @@ impl LifetimeTable for ShardedOldTable {
 
     fn record_allocation(&mut self, context: u32) {
         ShardedOldTable::record_allocation(self, context);
+    }
+
+    fn record_allocations(&mut self, context: u32, n: u32) {
+        ShardedOldTable::record_allocations(self, context, n);
     }
 
     fn record_survival(&mut self, context: u32, age: u8) {

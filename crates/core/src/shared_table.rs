@@ -101,6 +101,21 @@ impl SharedOldTable {
         self.cell(context, 0).fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Batched age-0 ingest: one load/store pair covers the whole
+    /// run-length. Flushed at safepoints (single thread, world stopped),
+    /// which is exactly how batching shrinks the §7.6 loss window — the
+    /// racy per-allocation increments this replaces could interleave and
+    /// lose counts; one safepoint-side read-modify-write per context
+    /// cannot.
+    pub fn record_allocations(&self, context: u32, n: u32) {
+        if n == 0 {
+            return;
+        }
+        let cell = self.cell(context, 0);
+        let v = cell.load(Ordering::Relaxed);
+        cell.store(v.saturating_add(n), Ordering::Relaxed);
+    }
+
     /// Safepoint-side survival move (`age` → `age + 1`). Called only by
     /// the single merger thread while the world is stopped (GC workers
     /// buffer into private [`crate::WorkerTable`]s instead of calling
@@ -217,6 +232,10 @@ impl LifetimeTable for SharedOldTable {
 
     fn record_allocation(&mut self, context: u32) {
         SharedOldTable::record_allocation(self, context);
+    }
+
+    fn record_allocations(&mut self, context: u32, n: u32) {
+        SharedOldTable::record_allocations(self, context, n);
     }
 
     fn record_survival(&mut self, context: u32, age: u8) {

@@ -121,8 +121,13 @@ proptest! {
 
 /// A deterministic synthetic workload through the full runtime: allocate
 /// through a profiled call path, hold a sliding window live so objects
-/// survive collections, release the rest.
+/// survive collections, release the rest. The heap is verified at the
+/// end-of-run safepoint before the report is taken.
 fn run_workload(config: rolp::runtime::RuntimeConfig) -> rolp::runtime::RunReport {
+    run_workload_n(config, 20_000)
+}
+
+fn run_workload_n(config: rolp::runtime::RuntimeConfig, iters: u64) -> rolp::runtime::RunReport {
     use rolp::runtime::JvmRuntime;
 
     let mut b = ProgramBuilder::new();
@@ -136,7 +141,7 @@ fn run_workload(config: rolp::runtime::RuntimeConfig) -> rolp::runtime::RunRepor
     let mut rt = JvmRuntime::new(config, program);
     let class = rt.vm.env.heap.classes.register("app.Item");
     let mut ring = std::collections::VecDeque::new();
-    for _ in 0..20_000u64 {
+    for _ in 0..iters {
         let mut ctx = rt.ctx(ThreadId(0));
         ctx.call(call, |ctx| {
             let h = ctx.alloc(site, class, 0, 4);
@@ -149,20 +154,27 @@ fn run_workload(config: rolp::runtime::RuntimeConfig) -> rolp::runtime::RunRepor
             ctx.complete_ops(1);
         });
     }
-    rt.report()
+    let report = rt.report();
+    let errors = rolp_heap::verify::verify_heap(&rt.vm.env.heap, false);
+    assert!(errors.is_empty(), "heap invalid at end of run: {:?}", errors.first());
+    report
 }
 
 /// Guarantee 2: a governor pinned in `Off` (zero budgets, `Off` start
 /// state) is indistinguishable from a profiler whose filters match
 /// nothing — identical clock, pauses, heap watermarks, and throughput.
-#[test]
-fn governor_off_is_bit_for_bit_the_disabled_profiler() {
+/// Checked in both allocation modes: the TLAB + micro-cache fast path
+/// (the default) and the shared slow path, since governor `Off` patches
+/// out profiling but must leave the allocation machinery untouched.
+fn assert_governor_off_is_disabled_profiler(tlab_bytes: usize, microcache: bool) {
     use rolp::runtime::{CollectorKind, RuntimeConfig};
     use rolp::PackageFilters;
 
     let base = || RuntimeConfig {
         collector: CollectorKind::RolpNg2c,
         heap: rolp_heap::HeapConfig { region_bytes: 4096, max_heap_bytes: 1 << 20 },
+        tlab_bytes,
+        microcache,
         ..Default::default()
     };
 
@@ -195,4 +207,45 @@ fn governor_off_is_bit_for_bit_the_disabled_profiler() {
     assert_eq!(governed.pauses, disabled.pauses);
     assert_eq!(governed.max_used_bytes, disabled.max_used_bytes);
     assert_eq!(governed.max_committed_bytes, disabled.max_committed_bytes);
+}
+
+#[test]
+fn governor_off_is_bit_for_bit_the_disabled_profiler() {
+    // Fast path on (the default configuration).
+    assert_governor_off_is_disabled_profiler(rolp_heap::DEFAULT_TLAB_BYTES, true);
+}
+
+#[test]
+fn governor_off_is_bit_for_bit_the_disabled_profiler_without_fast_path() {
+    assert_governor_off_is_disabled_profiler(0, false);
+}
+
+/// Canned fault plans with the allocation fast path enabled: the
+/// governed degradation ladder (`Full → … → Off → recover`) must never
+/// corrupt the heap or disturb TLAB/batched-flush bookkeeping. Mirrors
+/// the fault-matrix CI job, which drives the same canned plans through
+/// the CLI with TLABs both on and off.
+#[test]
+fn canned_fault_plans_survive_with_tlabs_enabled() {
+    for plan in ["pressure-spike", "merge-chaos"] {
+        let mut cfg = rolp::runtime::RuntimeConfig {
+            collector: rolp::runtime::CollectorKind::RolpNg2c,
+            heap: rolp_heap::HeapConfig { region_bytes: 4096, max_heap_bytes: 1 << 20 },
+            ..Default::default()
+        };
+        assert!(cfg.tlab_bytes > 0, "fast path must be on by default");
+        assert!(cfg.microcache);
+        cfg.rolp.fault_plan = Some(FaultPlan::parse(plan).expect("canned plan"));
+        cfg.rolp.governor = Some(GovernorConfig::default());
+
+        // Long enough to reach the plans' burst windows (cycles 16..64);
+        // the heap is verified at the end-of-run safepoint.
+        let report = run_workload_n(cfg, 60_000);
+        let stats = report.rolp.expect("rolp stats");
+        assert!(stats.governor_state.is_some(), "{plan}: governed run must report a final state");
+        assert!(report.gc_cycles > 0, "{plan}: the plan must exercise collections");
+        let fault_activity =
+            stats.injected_fault_events + stats.dropped_merge_records + stats.delayed_merges;
+        assert!(fault_activity > 0, "{plan}: faults must actually fire: {stats:?}");
+    }
 }

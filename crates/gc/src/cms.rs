@@ -12,11 +12,11 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use rolp_heap::{AllocFailure, ObjectRef, RegionId, RegionKind, SpaceKind};
+use rolp_heap::{AllocFailure, ObjectRef, RegionId, RegionKind, SpaceKind, TlabAlloc};
 use rolp_metrics::{PauseKind, SimTime};
 use rolp_vm::{AllocRequest, CollectorApi, VmEnv};
 
-use crate::evac::{evacuate, full_compact, trace_pause, EvacStats};
+use crate::evac::{charge_refill, evacuate, full_compact, trace_pause, EvacStats};
 use crate::observer::{GcCycleInfo, GcHooks};
 use crate::parallel::mark_liveness_parallel;
 
@@ -101,6 +101,7 @@ impl CmsCollector {
     }
 
     fn collect_young(&mut self, env: &mut VmEnv) -> bool {
+        env.safepoint_flush_alloc_path();
         let mut cset: Vec<RegionId> = env.heap.regions_of_kind(RegionKind::Eden);
         cset.extend(env.heap.regions_of_kind(RegionKind::Survivor));
 
@@ -157,6 +158,7 @@ impl CmsCollector {
     /// two short pauses; sweeping releases only fully dead old regions —
     /// no compaction, so fragmentation stays.
     fn concurrent_cycle(&mut self, env: &mut VmEnv) {
+        env.safepoint_flush_alloc_path();
         // Initial mark pause.
         let t0 = env.clock.now();
         let initial = SimTime::from_nanos(env.cost.safepoint_ns);
@@ -211,6 +213,7 @@ impl CmsCollector {
     }
 
     fn full_collect(&mut self, env: &mut VmEnv) {
+        env.safepoint_flush_alloc_path();
         let hooks = Rc::clone(&self.hooks);
         let mut hooks_ref = hooks.borrow_mut();
         let before = env.pauses.count();
@@ -253,6 +256,34 @@ impl CmsCollector {
 }
 
 impl CollectorApi for CmsCollector {
+    fn fast_alloc(
+        &mut self,
+        env: &mut VmEnv,
+        req: &AllocRequest,
+        thread: u32,
+    ) -> Option<ObjectRef> {
+        // Decline when the young trigger would fire so the slow path runs
+        // the collection at the identical allocation index.
+        if self.should_collect_young(env) {
+            return None;
+        }
+        match env.heap.tlab_alloc(
+            thread,
+            SpaceKind::Eden,
+            req.class,
+            req.ref_words,
+            req.data_words,
+            req.header,
+        ) {
+            TlabAlloc::Hit(obj) => Some(obj),
+            TlabAlloc::Refilled(obj) => {
+                charge_refill(env);
+                Some(obj)
+            }
+            TlabAlloc::Miss => None,
+        }
+    }
+
     fn allocate(&mut self, env: &mut VmEnv, req: AllocRequest) -> ObjectRef {
         if self.should_collect_young(env) {
             env.trace.set_gc_cause("eden-full");

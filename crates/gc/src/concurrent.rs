@@ -11,10 +11,10 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use rolp_heap::{AllocFailure, ObjectRef, RegionId, RegionKind, SpaceKind};
+use rolp_heap::{AllocFailure, ObjectRef, RegionId, RegionKind, SpaceKind, TlabAlloc};
 use rolp_vm::{AllocRequest, CollectorApi, VmEnv};
 
-use crate::evac::evacuate_concurrent;
+use crate::evac::{charge_refill, evacuate_concurrent};
 use crate::observer::GcHooks;
 use crate::parallel::mark_liveness_parallel;
 
@@ -92,6 +92,7 @@ impl ConcurrentCollector {
     }
 
     fn cycle(&mut self, env: &mut VmEnv) {
+        env.safepoint_flush_alloc_path();
         let mark = mark_liveness_parallel(&mut env.heap, env.cost.gc_workers.max(1) as usize);
         // Concurrent marking steals mutator cycles.
         let mark_ns = env.cost.copy_ns(mark.live_bytes) / 2;
@@ -167,6 +168,36 @@ impl ConcurrentCollector {
 }
 
 impl CollectorApi for ConcurrentCollector {
+    fn fast_alloc(
+        &mut self,
+        env: &mut VmEnv,
+        req: &AllocRequest,
+        thread: u32,
+    ) -> Option<ObjectRef> {
+        // Decline when the occupancy trigger would fire so the slow path
+        // runs the cycle at the identical allocation index.
+        if self.occupancy(env) > self.config.trigger_occupancy
+            || env.heap.free_regions() <= self.config.reserve_regions
+        {
+            return None;
+        }
+        match env.heap.tlab_alloc(
+            thread,
+            SpaceKind::Eden,
+            req.class,
+            req.ref_words,
+            req.data_words,
+            req.header,
+        ) {
+            TlabAlloc::Hit(obj) => Some(obj),
+            TlabAlloc::Refilled(obj) => {
+                charge_refill(env);
+                Some(obj)
+            }
+            TlabAlloc::Miss => None,
+        }
+    }
+
     fn allocate(&mut self, env: &mut VmEnv, req: AllocRequest) -> ObjectRef {
         if self.occupancy(env) > self.config.trigger_occupancy
             || env.heap.free_regions() <= self.config.reserve_regions
@@ -193,6 +224,7 @@ impl CollectorApi for ConcurrentCollector {
                     }
                     1 => {
                         env.trace.set_gc_cause("heap-full");
+                        env.safepoint_flush_alloc_path();
                         let hooks = Rc::clone(&self.hooks);
                         let mut hooks_ref = hooks.borrow_mut();
                         crate::evac::full_compact(env, &mut *hooks_ref);

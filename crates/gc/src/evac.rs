@@ -153,6 +153,18 @@ pub(crate) fn telemetry_pause(env: &VmEnv, pause: SimTime) {
     env.telemetry.record(HistId::GcPauseNs, pause.as_nanos());
 }
 
+/// Charges one TLAB refill stall. The time lands in the GC bucket
+/// ([`Bucket::GcOther`]), not application time: the mutator is stalled on
+/// heap machinery, and latency decomposition must blame the collector for
+/// it (see `rolp-serve`'s sum-to-wall-time invariant).
+pub(crate) fn charge_refill(env: &mut VmEnv) {
+    {
+        let _span = env.telemetry.span(Bucket::GcOther);
+        env.charge(env.cost.tlab_refill_ns);
+    }
+    env.telemetry.bump(CounterId::TlabRefills, 1);
+}
+
 struct Evacuator<'a> {
     heap: &'a mut Heap,
     dest: &'a mut dyn FnMut(RegionKind, u8, u32, Option<u32>) -> SpaceKind,
@@ -484,6 +496,11 @@ pub fn rebuild_remsets(heap: &mut Heap) {
 /// room (live data exceeds the heap).
 pub fn full_compact(env: &mut VmEnv, hooks: &mut dyn GcHooks) -> EvacStats {
     let start = env.clock.now();
+
+    // A full compaction is a stop-the-world safepoint in its own right:
+    // retire allocation buffers so every region is parsable, even when
+    // called directly rather than through a collector's pause entry.
+    env.safepoint_flush_alloc_path();
 
     // Phase 0: a failed evacuation may have left forwarding pointers.
     resolve_all_forwarding(&mut env.heap);

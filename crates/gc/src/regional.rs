@@ -22,11 +22,11 @@ use std::cell::RefCell;
 use std::rc::Rc;
 use std::sync::Arc;
 
-use rolp_heap::{AllocFailure, ObjectRef, RegionId, RegionKind, SpaceKind};
+use rolp_heap::{AllocFailure, ObjectRef, RegionId, RegionKind, SpaceKind, TlabAlloc};
 use rolp_metrics::{PauseKind, SimTime};
 use rolp_vm::{AllocRequest, CollectorApi, DecisionStore, VmEnv};
 
-use crate::evac::{evacuate, full_compact, EvacStats};
+use crate::evac::{charge_refill, evacuate, full_compact, EvacStats};
 use crate::observer::{GcCycleInfo, GcHooks};
 use crate::parallel::mark_liveness_parallel;
 
@@ -146,7 +146,10 @@ impl RegionalCollector {
         self.decisions = Some(store);
     }
 
-    fn choose_space(&mut self, req: &AllocRequest) -> SpaceKind {
+    /// The space an allocation request targets, without touching stats —
+    /// shared by the TLAB fast path and the slow path so both resolve a
+    /// request identically.
+    fn space_for(&self, req: &AllocRequest) -> SpaceKind {
         if !self.config.pretenuring {
             return SpaceKind::Eden;
         }
@@ -165,15 +168,17 @@ impl RegionalCollector {
         });
         match gen {
             None | Some(0) => SpaceKind::Eden,
-            Some(15) => {
-                self.stats.pretenured += 1;
-                SpaceKind::Old
-            }
-            Some(g) => {
-                self.stats.pretenured += 1;
-                SpaceKind::Dynamic(g.min(14))
-            }
+            Some(15) => SpaceKind::Old,
+            Some(g) => SpaceKind::Dynamic(g.min(14)),
         }
+    }
+
+    fn choose_space(&mut self, req: &AllocRequest) -> SpaceKind {
+        let space = self.space_for(req);
+        if !matches!(space, SpaceKind::Eden) {
+            self.stats.pretenured += 1;
+        }
+        space
     }
 
     fn eden_target(&self, env: &VmEnv) -> usize {
@@ -198,6 +203,7 @@ impl RegionalCollector {
     /// to mutator time, plus a short remark pause — matching G1's
     /// concurrent cycle shape.
     fn run_marking(&mut self, env: &mut VmEnv) {
+        env.safepoint_flush_alloc_path();
         let mark = mark_liveness_parallel(&mut env.heap, env.cost.gc_workers.max(1) as usize);
         self.hooks.borrow_mut().on_liveness(&mark.context_live);
         // Tracing is roughly bandwidth-bound like copying, but runs
@@ -261,6 +267,7 @@ impl RegionalCollector {
     /// Runs one young or mixed collection. Returns true on success; false
     /// means evacuation failed and a full compaction was performed.
     fn collect(&mut self, env: &mut VmEnv) -> bool {
+        env.safepoint_flush_alloc_path();
         let mut cset: Vec<RegionId> = env.heap.regions_of_kind(RegionKind::Eden);
         cset.extend(env.heap.regions_of_kind(RegionKind::Survivor));
 
@@ -336,6 +343,7 @@ impl RegionalCollector {
     }
 
     fn full_collect(&mut self, env: &mut VmEnv) {
+        env.safepoint_flush_alloc_path();
         let hooks = Rc::clone(&self.hooks);
         let mut hooks_ref = hooks.borrow_mut();
         let start_pauses = env.pauses.count();
@@ -420,6 +428,44 @@ impl RegionalCollector {
 }
 
 impl CollectorApi for RegionalCollector {
+    fn fast_alloc(
+        &mut self,
+        env: &mut VmEnv,
+        req: &AllocRequest,
+        thread: u32,
+    ) -> Option<ObjectRef> {
+        let space = self.space_for(req);
+        // Preserve the collection schedule: when the GC trigger would fire
+        // for this allocation, decline so the slow path runs the identical
+        // collect-then-allocate sequence at the identical allocation index.
+        if matches!(space, SpaceKind::Eden) && self.should_collect(env) {
+            return None;
+        }
+        match env.heap.tlab_alloc(
+            thread,
+            space,
+            req.class,
+            req.ref_words,
+            req.data_words,
+            req.header,
+        ) {
+            TlabAlloc::Hit(obj) => {
+                if !matches!(space, SpaceKind::Eden) {
+                    self.stats.pretenured += 1;
+                }
+                Some(obj)
+            }
+            TlabAlloc::Refilled(obj) => {
+                charge_refill(env);
+                if !matches!(space, SpaceKind::Eden) {
+                    self.stats.pretenured += 1;
+                }
+                Some(obj)
+            }
+            TlabAlloc::Miss => None,
+        }
+    }
+
     fn allocate(&mut self, env: &mut VmEnv, req: AllocRequest) -> ObjectRef {
         let space = self.choose_space(&req);
 

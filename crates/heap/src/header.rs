@@ -26,6 +26,11 @@ const FORWARDED: u64 = 0b11;
 const BIASED_BIT: u64 = 1 << 2;
 const AGE_SHIFT: u32 = 3;
 const AGE_MASK: u64 = 0xF << AGE_SHIFT;
+/// Marks a TLAB-retirement filler (dead space keeping regions parsable).
+/// Bit 7 is the one header bit no constructor ever sets, so a first word
+/// with it set — and without the forwarding encoding in the lock bits —
+/// can only be a filler.
+const FILLER_BIT: u64 = 1 << 7;
 const HASH_SHIFT: u32 = 8;
 const HASH_MASK: u64 = 0xFF_FFFF << HASH_SHIFT;
 const CONTEXT_SHIFT: u32 = 32;
@@ -163,6 +168,38 @@ impl ObjectHeader {
     pub fn allocation_context_unchecked(self) -> u32 {
         (self.0 >> CONTEXT_SHIFT) as u32
     }
+
+    // --- TLAB retirement fillers ---
+
+    /// A filler word covering `size_words` of dead space. Retiring a
+    /// TLAB whose region frontier has moved past it cannot give the
+    /// unused tail back, so the tail is stamped with one of these to
+    /// keep the region parsable for cursor walks (HotSpot does the same
+    /// with `int[]` fillers). The size lives in the upper 32 bits, so a
+    /// one-word gap is representable — a real object never is, since
+    /// every object carries a two-word header.
+    pub fn filler_word(size_words: usize) -> u64 {
+        debug_assert!(size_words >= 1, "filler must cover at least one word");
+        FILLER_BIT | ((size_words as u64) << CONTEXT_SHIFT)
+    }
+
+    /// True if `word`, read at an object start during a cursor walk, is a
+    /// filler rather than an object header. Forwarded headers can carry
+    /// any bit pattern above the lock bits, so the forwarding encoding is
+    /// explicitly excluded.
+    pub fn is_filler_word(word: u64) -> bool {
+        word & FILLER_BIT != 0 && word & LOCK_MASK != FORWARDED
+    }
+
+    /// The extent of a filler word, in words.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics if `word` is not a filler.
+    pub fn filler_size_words(word: u64) -> usize {
+        debug_assert!(Self::is_filler_word(word), "not a filler word");
+        (word >> CONTEXT_SHIFT) as usize
+    }
 }
 
 #[cfg(test)]
@@ -234,5 +271,24 @@ mod tests {
     #[should_panic(expected = "not forwarded")]
     fn forwardee_panics_on_normal_header() {
         ObjectHeader::new(1).forwardee();
+    }
+
+    #[test]
+    fn filler_words_roundtrip_and_are_distinguishable() {
+        for size in [1usize, 2, 64, 1 << 20] {
+            let w = ObjectHeader::filler_word(size);
+            assert!(ObjectHeader::is_filler_word(w));
+            assert_eq!(ObjectHeader::filler_size_words(w), size);
+        }
+        // No constructed header is ever mistaken for a filler: bit 7 is
+        // outside every field a constructor writes.
+        let h = ObjectHeader::new(0xFF_FFFF).with_age(15).with_allocation_context(u32::MAX);
+        assert!(!ObjectHeader::is_filler_word(h.raw()));
+        let b = ObjectHeader::new(1).with_bias(u32::MAX);
+        assert!(!ObjectHeader::is_filler_word(b.raw()));
+        // Forwarding encodings are excluded even though their payload may
+        // set bit 7.
+        let f = ObjectHeader::forward_to(ObjectRef::new(RegionId(0x20), 0));
+        assert!(!ObjectHeader::is_filler_word(f.raw()));
     }
 }

@@ -15,6 +15,11 @@ use crate::remset::{needs_barrier, SlotAddr};
 /// Words of per-object overhead (header word + info word).
 pub const OBJECT_HEADER_WORDS: u32 = 2;
 
+/// Default TLAB size in bytes (1024 words). Chunks are additionally
+/// capped at the current region's remaining space, so small-region test
+/// heaps work unchanged.
+pub const DEFAULT_TLAB_BYTES: usize = 8 * 1024;
+
 /// Heap sizing parameters.
 #[derive(Debug, Clone)]
 pub struct HeapConfig {
@@ -94,6 +99,39 @@ pub struct HeapStats {
     pub objects_copied: u64,
     /// Bytes copied by collectors.
     pub bytes_copied: u64,
+    /// TLAB refills (chunk carves) through [`Heap::tlab_alloc`].
+    pub tlab_refills: u64,
+    /// Filler objects stamped by TLAB retirement (dead space that could
+    /// not be returned to its region's frontier).
+    pub tlab_fillers: u64,
+}
+
+/// A thread-local allocation buffer: a private chunk carved from a
+/// region's frontier, bump-allocated without touching shared state.
+#[derive(Debug, Clone, Copy)]
+struct Tlab {
+    region: RegionId,
+    /// Next free word in the buffer.
+    cursor: u32,
+    /// One past the last word of the buffer.
+    limit: u32,
+}
+
+/// Outcome of a [`Heap::tlab_alloc`] attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TlabAlloc {
+    /// Satisfied from the thread's existing buffer (the fast path: one
+    /// private bump, no shared state touched).
+    Hit(ObjectRef),
+    /// Satisfied after carving a fresh chunk from the space's current
+    /// region (the "refill under a lock" path in a real VM — callers
+    /// charge this as a stall).
+    Refilled(ObjectRef),
+    /// Not TLAB-eligible (TLABs disabled, object larger than a chunk, or
+    /// humongous) or no chunk could be carved. The caller falls through
+    /// to [`Heap::alloc_in`]; any buffer the slow path would bump past
+    /// has already been retired, so placement matches the shared path.
+    Miss,
 }
 
 /// The managed heap.
@@ -113,6 +151,10 @@ pub struct Heap {
     hash_seed: u64,
     /// O(1) region counts per kind (see [`kind_slot`]).
     kind_counts: [u32; 20],
+    /// TLAB chunk size in words; 0 disables TLAB allocation.
+    tlab_words: usize,
+    /// Per-thread, per-space allocation buffers (grown on demand).
+    tlabs: Vec<[Option<Tlab>; 17]>,
 }
 
 /// Dense index for [`RegionKind`] used by the O(1) counters.
@@ -156,6 +198,8 @@ impl Heap {
                 c[0] = max_regions as u32;
                 c
             },
+            tlab_words: DEFAULT_TLAB_BYTES / 8,
+            tlabs: Vec::new(),
         }
     }
 
@@ -257,6 +301,15 @@ impl Heap {
                 *c = None;
             }
         }
+        // Invalidate any TLAB still carved from it (the backing words are
+        // being recycled; no filler needed for a freed region).
+        for set in &mut self.tlabs {
+            for tl in set.iter_mut() {
+                if tl.map(|t| t.region) == Some(id) {
+                    *tl = None;
+                }
+            }
+        }
         self.free.push(id);
     }
 
@@ -292,6 +345,170 @@ impl Heap {
     /// Detaches every current allocation region.
     pub fn retire_all_current(&mut self) {
         self.current = [None; 17];
+    }
+
+    // --- TLABs ---
+
+    /// Sets the TLAB chunk size in bytes (0 disables TLAB allocation).
+    /// Retires any live buffers so a mid-run change cannot strand carved
+    /// space.
+    pub fn set_tlab_bytes(&mut self, bytes: usize) {
+        self.retire_all_tlabs();
+        self.tlab_words = bytes / 8;
+    }
+
+    /// The configured TLAB chunk size in bytes (0 when disabled).
+    pub fn tlab_bytes(&self) -> usize {
+        self.tlab_words * 8
+    }
+
+    /// Allocates an object in `space` through `thread`'s allocation
+    /// buffer, if possible. See [`TlabAlloc`] for the outcomes; on
+    /// [`TlabAlloc::Miss`] the caller should fall through to
+    /// [`Heap::alloc_in`], which will then place the object exactly where
+    /// the shared bump path would have (a buffer the slow path would
+    /// have to bump past is retired before `Miss` is returned).
+    ///
+    /// With one mutator thread, placement is bit-identical to calling
+    /// [`Heap::alloc_in`] directly: chunks are carved from the current
+    /// region's frontier, capped at its remaining space (so no usable
+    /// word is skipped), and retirement rolls the frontier back when the
+    /// buffer is the last carve. With several threads interleaving carves,
+    /// retirement stamps [filler words] over dead space instead, keeping
+    /// every region parsable for cursor walks.
+    ///
+    /// [filler words]: ObjectHeader::filler_word
+    pub fn tlab_alloc(
+        &mut self,
+        thread: u32,
+        space: SpaceKind,
+        class: ClassId,
+        ref_words: u16,
+        data_words: u32,
+        header: ObjectHeader,
+    ) -> TlabAlloc {
+        let size_words = (OBJECT_HEADER_WORDS + ref_words as u32 + data_words) as usize;
+        let t = thread as usize;
+        let slot = space.slot();
+        if self.tlab_words == 0
+            || size_words > self.tlab_words
+            || size_words > self.region_words() / 2
+        {
+            // Humongous objects bypass TLABs entirely (they get dedicated
+            // regions; the buffer stays valid). An oversized-but-regular
+            // object will bump the shared frontier, so the buffer must be
+            // retired first to roll the frontier back to the reference
+            // position.
+            if size_words <= self.region_words() / 2 {
+                self.retire_tlab(t, slot);
+            }
+            return TlabAlloc::Miss;
+        }
+        if t >= self.tlabs.len() {
+            self.tlabs.resize(t + 1, [None; 17]);
+        }
+        // Fast path: private bump inside the buffer.
+        if let Some(tlab) = &mut self.tlabs[t][slot] {
+            if (tlab.cursor as usize) + size_words <= tlab.limit as usize {
+                let (region, offset) = (tlab.region, tlab.cursor);
+                tlab.cursor += size_words as u32;
+                return TlabAlloc::Hit(
+                    self.init_object(region, offset, class, ref_words, data_words, header),
+                );
+            }
+        }
+        // Refill: retire the exhausted buffer, carve a fresh chunk.
+        self.retire_tlab(t, slot);
+        if self.refill_tlab(t, slot, space, size_words) {
+            self.stats.tlab_refills += 1;
+            let tlab = self.tlabs[t][slot].as_mut().expect("refill installed a buffer");
+            let (region, offset) = (tlab.region, tlab.cursor);
+            tlab.cursor += size_words as u32;
+            TlabAlloc::Refilled(
+                self.init_object(region, offset, class, ref_words, data_words, header),
+            )
+        } else {
+            TlabAlloc::Miss
+        }
+    }
+
+    /// Carves a chunk able to hold `size_words` into a fresh buffer for
+    /// `(t, slot)`. Returns false if no region can provide one (the
+    /// caller's slow path will report [`AllocFailure::NeedsGc`]).
+    fn refill_tlab(&mut self, t: usize, slot: usize, space: SpaceKind, size_words: usize) -> bool {
+        let region_words = self.region_words();
+        // Carve from the space's current region. The chunk is capped at
+        // the region's remaining space, so the carve succeeds exactly
+        // when a shared bump of `size_words` would have.
+        if let Some(id) = self.current[slot] {
+            let r = &mut self.regions[id.0 as usize];
+            let chunk = self.tlab_words.min(r.capacity_words() - r.top());
+            if chunk >= size_words {
+                let at = r.bump(chunk).expect("capped carve fits");
+                self.tlabs[t][slot] =
+                    Some(Tlab { region: id, cursor: at, limit: at + chunk as u32 });
+                return true;
+            }
+        }
+        // Current region absent or too full: take a fresh one — again
+        // exactly when the shared path would.
+        let Some(id) = self.take_free_region(space.region_kind(), region_words) else {
+            return false;
+        };
+        self.current[slot] = Some(id);
+        let chunk = self.tlab_words.min(region_words);
+        debug_assert!(chunk >= size_words, "eligibility check bounds the object size");
+        let at = self.regions[id.0 as usize].bump(chunk).expect("fresh region fits the carve");
+        self.tlabs[t][slot] = Some(Tlab { region: id, cursor: at, limit: at + chunk as u32 });
+        true
+    }
+
+    /// Retires one buffer: returns the unused tail to the region when the
+    /// buffer is the last carve (restoring the exact shared-path
+    /// frontier), otherwise stamps a filler word over it.
+    fn retire_tlab(&mut self, t: usize, slot: usize) {
+        if t >= self.tlabs.len() {
+            return;
+        }
+        let Some(tlab) = self.tlabs[t][slot].take() else { return };
+        if tlab.cursor == tlab.limit {
+            return; // fully consumed, nothing to give back
+        }
+        let r = &mut self.regions[tlab.region.0 as usize];
+        if r.top() == tlab.limit as usize {
+            r.unbump(tlab.cursor);
+        } else {
+            let gap = (tlab.limit - tlab.cursor) as usize;
+            r.set_word(tlab.cursor, ObjectHeader::filler_word(gap));
+            self.stats.tlab_fillers += 1;
+        }
+    }
+
+    /// Retires every live allocation buffer. Collectors call this at
+    /// safepoint entry so regions are parsable (and, single-threaded,
+    /// frontier-exact) before marking, evacuation, or verification.
+    pub fn retire_all_tlabs(&mut self) {
+        for t in 0..self.tlabs.len() {
+            for slot in 0..17 {
+                self.retire_tlab(t, slot);
+            }
+        }
+    }
+
+    /// Live (un-retired) buffer gaps as `(region, cursor, limit)` spans.
+    /// The words inside a span are uninitialized until the owning thread
+    /// allocates over them, so heap walkers running between safepoints
+    /// must skip them just like retirement fillers.
+    pub fn live_tlab_gaps(&self) -> Vec<(RegionId, u32, u32)> {
+        let mut gaps = Vec::new();
+        for per_thread in &self.tlabs {
+            for tlab in per_thread.iter().flatten() {
+                if tlab.cursor < tlab.limit {
+                    gaps.push((tlab.region, tlab.cursor, tlab.limit));
+                }
+            }
+        }
+        gaps
     }
 
     /// Allocates an object in `space`.
@@ -561,14 +778,22 @@ impl Iterator for ObjectWalk<'_> {
 
     fn next(&mut self) -> Option<ObjectRef> {
         let r = self.heap.region(self.region);
-        if (self.cursor as usize) >= r.top() {
-            return None;
+        loop {
+            if (self.cursor as usize) >= r.top() {
+                return None;
+            }
+            // TLAB retirement fillers are dead space, not objects: skip.
+            let word = r.word(self.cursor);
+            if ObjectHeader::is_filler_word(word) {
+                self.cursor += ObjectHeader::filler_size_words(word) as u32;
+                continue;
+            }
+            let obj = ObjectRef::new(self.region, self.cursor);
+            let size = self.heap.size_words(obj);
+            debug_assert!(size >= OBJECT_HEADER_WORDS, "corrupt object info word");
+            self.cursor += size;
+            return Some(obj);
         }
-        let obj = ObjectRef::new(self.region, self.cursor);
-        let size = self.heap.size_words(obj);
-        debug_assert!(size >= OBJECT_HEADER_WORDS, "corrupt object info word");
-        self.cursor += size;
-        Some(obj)
     }
 }
 
@@ -732,5 +957,138 @@ mod tests {
         let a = h.next_identity_hash();
         let b = h.next_identity_hash();
         assert_ne!(a, b);
+    }
+
+    // --- TLABs ---
+
+    fn tlab_alloc(heap: &mut Heap, thread: u32, refs: u16, data: u32) -> TlabAlloc {
+        let hash = heap.next_identity_hash();
+        heap.tlab_alloc(thread, SpaceKind::Eden, ClassId(0), refs, data, ObjectHeader::new(hash))
+    }
+
+    #[test]
+    fn tlab_hits_after_one_refill() {
+        let mut h = heap_with_class();
+        let first = tlab_alloc(&mut h, 0, 0, 2);
+        assert!(matches!(first, TlabAlloc::Refilled(_)), "first allocation carves: {first:?}");
+        for _ in 0..10 {
+            assert!(matches!(tlab_alloc(&mut h, 0, 0, 2), TlabAlloc::Hit(_)));
+        }
+        assert_eq!(h.stats().tlab_refills, 1);
+    }
+
+    /// Single-thread TLAB placement is bit-identical to the shared bump
+    /// path — the core determinism contract of the fast path.
+    #[test]
+    fn single_thread_tlab_placement_matches_reference() {
+        let roomy = || {
+            let mut h = Heap::new(HeapConfig { region_bytes: 1024, max_heap_bytes: 1024 * 1024 });
+            h.classes.register("test.Obj");
+            h
+        };
+        let mut reference = roomy();
+        let mut tlabbed = roomy();
+        // Mixed sizes, including oversized (> tlab, > region/2 humongous)
+        // objects that force Miss paths and region spills.
+        let sizes: Vec<u32> =
+            (0..200).map(|i: u32| [1, 7, 30, 62, 100][(i % 5) as usize]).collect();
+        for &data in &sizes {
+            let hr = reference.next_identity_hash();
+            let a = reference
+                .alloc_in(SpaceKind::Eden, ClassId(0), 1, data, ObjectHeader::new(hr))
+                .unwrap();
+            let ht = tlabbed.next_identity_hash();
+            let b = match tlabbed.tlab_alloc(
+                0,
+                SpaceKind::Eden,
+                ClassId(0),
+                1,
+                data,
+                ObjectHeader::new(ht),
+            ) {
+                TlabAlloc::Hit(o) | TlabAlloc::Refilled(o) => o,
+                TlabAlloc::Miss => tlabbed
+                    .alloc_in(SpaceKind::Eden, ClassId(0), 1, data, ObjectHeader::new(ht))
+                    .unwrap(),
+            };
+            assert_eq!(a, b, "placement diverged at data={data}");
+        }
+        tlabbed.retire_all_tlabs();
+        // Identical region-by-region frontiers and word images.
+        for (id, r) in reference.regions() {
+            let rt = tlabbed.region(id);
+            assert_eq!(r.kind, rt.kind, "{id:?}");
+            assert_eq!(r.top(), rt.top(), "{id:?}");
+            for off in 0..r.top() as u32 {
+                assert_eq!(r.word(off), rt.word(off), "{id:?} word {off}");
+            }
+        }
+        assert_eq!(reference.used_bytes(), tlabbed.used_bytes());
+        assert_eq!(h_free(&reference), h_free(&tlabbed));
+        assert!(tlabbed.stats().tlab_refills > 0, "TLABs actually engaged");
+        assert_eq!(tlabbed.stats().tlab_fillers, 0, "one thread never needs fillers");
+    }
+
+    fn h_free(h: &Heap) -> usize {
+        h.free_regions()
+    }
+
+    #[test]
+    fn multi_thread_retirement_stamps_fillers_and_walk_skips_them() {
+        let mut h = heap_with_class();
+        // Shrink chunks below the region size so two threads can carve
+        // from the same eden region, then interleave them so the second
+        // carve moves the frontier past the first buffer.
+        h.set_tlab_bytes(256);
+        let a = match tlab_alloc(&mut h, 0, 0, 2) {
+            TlabAlloc::Refilled(o) => o,
+            other => panic!("expected refill, got {other:?}"),
+        };
+        let b = match tlab_alloc(&mut h, 1, 0, 2) {
+            TlabAlloc::Refilled(o) => o,
+            other => panic!("expected refill, got {other:?}"),
+        };
+        assert_eq!(a.region(), b.region(), "both carves from the shared eden region");
+        h.retire_all_tlabs();
+        assert!(h.stats().tlab_fillers >= 1, "thread 0's tail needed a filler");
+        // The region stays parsable: the walk yields exactly the two
+        // objects, skipping the filler between them.
+        let walked: Vec<ObjectRef> = h.objects_in_region(a.region()).collect();
+        assert_eq!(walked, vec![a, b]);
+    }
+
+    #[test]
+    fn disabled_tlabs_always_miss() {
+        let mut h = heap_with_class();
+        h.set_tlab_bytes(0);
+        assert_eq!(tlab_alloc(&mut h, 0, 0, 2), TlabAlloc::Miss);
+        assert_eq!(h.stats().tlab_refills, 0);
+    }
+
+    #[test]
+    fn released_region_invalidates_its_tlabs() {
+        let mut h = heap_with_class();
+        let o = match tlab_alloc(&mut h, 0, 0, 2) {
+            TlabAlloc::Refilled(o) => o,
+            other => panic!("expected refill, got {other:?}"),
+        };
+        h.retire_current(SpaceKind::Eden);
+        h.release_region(o.region());
+        // The next TLAB allocation must not write into the freed region
+        // through a stale buffer: it re-carves.
+        match tlab_alloc(&mut h, 0, 0, 2) {
+            TlabAlloc::Refilled(_) => {}
+            other => panic!("stale buffer survived release: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn humongous_objects_leave_the_tlab_intact() {
+        let mut h = heap_with_class();
+        assert!(matches!(tlab_alloc(&mut h, 0, 0, 2), TlabAlloc::Refilled(_)));
+        // 100 data words > 64 (region/2): humongous, bypasses the TLAB.
+        assert_eq!(tlab_alloc(&mut h, 0, 0, 100), TlabAlloc::Miss);
+        // The buffer is still live: next small allocation hits.
+        assert!(matches!(tlab_alloc(&mut h, 0, 0, 2), TlabAlloc::Hit(_)));
     }
 }

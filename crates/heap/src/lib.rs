@@ -35,7 +35,9 @@ pub use claim::{ChunkClaimer, RegionClaimer};
 pub use class::{ClassId, ClassTable};
 pub use handles::{Handle, HandleTable};
 pub use header::ObjectHeader;
-pub use heap::{AllocFailure, Heap, HeapConfig, HeapStats, SpaceKind};
+pub use heap::{
+    AllocFailure, Heap, HeapConfig, HeapStats, SpaceKind, TlabAlloc, DEFAULT_TLAB_BYTES,
+};
 pub use object::ObjectRef;
 pub use region::{Region, RegionId, RegionKind};
 pub use stats::{HeapUsage, SpaceUsage};

@@ -124,6 +124,19 @@ impl Region {
         self.top
     }
 
+    /// Rolls the allocation frontier back to `to`. Only valid for TLAB
+    /// retirement when the retiring buffer is the last carve in the
+    /// region (its limit *is* the frontier), so the unused tail can be
+    /// returned instead of stamped with a filler.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics if `to` is ahead of the current frontier.
+    pub fn unbump(&mut self, to: u32) {
+        debug_assert!((to as usize) <= self.top, "unbump past the frontier");
+        self.top = to as usize;
+    }
+
     /// Capacity in words (0 until first assignment).
     pub fn capacity_words(&self) -> usize {
         self.words.len()
@@ -190,6 +203,16 @@ mod tests {
         assert_eq!(r.kind, RegionKind::Free);
         assert_eq!(r.top(), 0);
         assert_eq!(r.capacity_words(), 16);
+    }
+
+    #[test]
+    fn unbump_returns_the_tail() {
+        let mut r = Region::new();
+        r.assign(RegionKind::Eden, 8, 1);
+        assert_eq!(r.bump(6), Some(0));
+        r.unbump(2);
+        assert_eq!(r.top(), 2);
+        assert_eq!(r.bump(6), Some(2));
     }
 
     #[test]

@@ -34,6 +34,15 @@ pub enum VerifyError {
 pub fn verify_heap(heap: &Heap, check_remsets: bool) -> Vec<VerifyError> {
     let mut errors = Vec::new();
 
+    // Live (un-retired) TLAB gaps contain uninitialized words; the walk
+    // skips them the same way it skips retirement fillers, so verification
+    // is valid between safepoints too.
+    let tlab_gaps: std::collections::HashMap<(crate::region::RegionId, u32), u32> = heap
+        .live_tlab_gaps()
+        .into_iter()
+        .map(|(region, cursor, limit)| ((region, cursor), limit))
+        .collect();
+
     // Pass 1: walk every region and record valid object start offsets.
     let mut valid: HashSet<ObjectRef> = HashSet::new();
     for (id, region) in heap.regions() {
@@ -42,6 +51,24 @@ pub fn verify_heap(heap: &Heap, check_remsets: bool) -> Vec<VerifyError> {
         }
         let mut cursor = 0u32;
         while (cursor as usize) < region.top() {
+            if let Some(&limit) = tlab_gaps.get(&(id, cursor)) {
+                cursor = limit;
+                continue;
+            }
+            // TLAB retirement fillers are dead space, not objects.
+            let word = region.word(cursor);
+            if crate::header::ObjectHeader::is_filler_word(word) {
+                let skip = crate::header::ObjectHeader::filler_size_words(word) as u32;
+                if skip == 0 || cursor as usize + skip as usize > region.top() {
+                    errors.push(VerifyError::CorruptLayout {
+                        obj: ObjectRef::new(id, cursor),
+                        detail: format!("filler of {skip} words at top {}", region.top()),
+                    });
+                    break;
+                }
+                cursor += skip;
+                continue;
+            }
             let obj = ObjectRef::new(id, cursor);
             let size = heap.size_words(obj);
             if size < OBJECT_HEADER_WORDS || cursor as usize + size as usize > region.top() {
@@ -167,6 +194,29 @@ mod tests {
         h.region_mut(region).rset.clear();
         let errs = verify_heap(&h, true);
         assert!(errs.iter().any(|e| matches!(e, VerifyError::MissingRemsetEntry { .. })));
+    }
+
+    #[test]
+    fn fillers_between_objects_verify_clean() {
+        use crate::heap::TlabAlloc;
+        let mut h = heap();
+        // Two threads carve from the same eden region (chunks shrunk below
+        // the region size); retiring thread 0's partially used buffer
+        // stamps a filler between the live objects.
+        h.set_tlab_bytes(256);
+        let a = match h.tlab_alloc(0, SpaceKind::Eden, ClassId(0), 1, 0, ObjectHeader::new(1)) {
+            TlabAlloc::Refilled(o) => o,
+            other => panic!("expected refill, got {other:?}"),
+        };
+        let b = match h.tlab_alloc(1, SpaceKind::Eden, ClassId(0), 1, 0, ObjectHeader::new(2)) {
+            TlabAlloc::Refilled(o) => o,
+            other => panic!("expected refill, got {other:?}"),
+        };
+        h.set_ref(a, 0, b);
+        h.handles.create(a);
+        h.retire_all_tlabs();
+        assert!(h.stats().tlab_fillers >= 1, "a filler was stamped");
+        assert_eq!(verify_heap(&h, true), vec![]);
     }
 
     #[test]

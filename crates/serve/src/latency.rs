@@ -308,4 +308,22 @@ mod tests {
         assert_eq!(d.profiler_ns, 7);
         assert_eq!(d.total_ns(), 77);
     }
+
+    #[test]
+    fn tlab_refill_stalls_decompose_into_gc_not_app() {
+        // The allocation fast path charges TLAB refill stalls to
+        // `Bucket::GcOther` (see `rolp-gc`'s refill charging): a
+        // per-request decomposition spanning a refill must report the
+        // stall under `gc_ns`, never `app_ns`, while the sum-to-wall
+        // partition stays exact.
+        use rolp_telemetry::Telemetry;
+        let tel = Telemetry::new();
+        let snap = BucketSnapshot::capture(tel.cells());
+        tel.add(Bucket::MutatorApp, 500);
+        tel.add(Bucket::GcOther, 160); // a mid-request refill stall
+        let d = snap.delta(tel.cells());
+        assert_eq!(d.app_ns, 500, "app time excludes the refill stall");
+        assert_eq!(d.gc_ns, 160, "the refill stall is GC/profiler overhead");
+        assert_eq!(d.total_ns(), 660, "partition stays exact");
+    }
 }

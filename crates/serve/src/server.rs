@@ -62,6 +62,8 @@ pub struct ServeConfig {
     pub seed: u64,
     /// Record a flight-recorder trace.
     pub trace_enabled: bool,
+    /// TLAB chunk size in bytes; 0 disables the allocation fast path.
+    pub tlab_bytes: usize,
     /// Hard cap on requests (safety valve; `u64::MAX` = schedule-bound).
     pub max_requests: u64,
 }
@@ -87,6 +89,7 @@ impl ServeConfig {
             slo_ms: vec![10.0, 25.0, 50.0],
             seed: 42,
             trace_enabled: false,
+            tlab_bytes: rolp_heap::DEFAULT_TLAB_BYTES,
             max_requests: u64::MAX,
         }
     }
@@ -224,6 +227,7 @@ pub fn serve_with(
         seed: cfg.seed,
         side_table_scale: cfg.scale.divisor(),
         trace_enabled: cfg.trace_enabled,
+        tlab_bytes: cfg.tlab_bytes,
         ..Default::default()
     };
     config.rolp.table_shards = cfg.table_shards;
@@ -392,6 +396,45 @@ mod tests {
         assert!(out.tenant_requests.iter().all(|&n| n > 0));
         assert_eq!(out.shifts.len(), 1, "one phase shift");
         assert!(out.shifts[0].requests_before > 0);
+    }
+
+    #[test]
+    fn tlab_refill_stalls_are_charged_to_gc_not_app() {
+        // With the allocation fast path on (the default), requests stall
+        // on TLAB refills mid-service. Those stalls are GC/runtime
+        // overhead, not application work: they must land in the `gc_ns`
+        // bucket of the latency decomposition, and the sum-to-wall
+        // partition must stay exact with the fast path enabled.
+        let cfg = tiny_config(CollectorKind::RolpNg2c);
+        assert!(cfg.tlab_bytes > 0, "fast path must default on");
+        let out = serve(&cfg, &mut default_tenants(cfg.scale));
+        let wall = out.latency.service_wall_ns() as f64;
+        let decomp = out.latency.decomposed_ns() as f64;
+        let rel = (wall - decomp).abs() / wall;
+        assert!(rel < 1e-6, "decomposition off by {rel} with TLABs on");
+
+        let refills =
+            out.metrics.last().expect("at least one snapshot").counter(CounterId::TlabRefills);
+        assert!(refills > 0, "workload must exercise refills");
+        // Every refill charged its stall to the GC side of the split.
+        let d = out.latency.decomposed();
+        let refill_ns = refills * rolp_vm::CostModel::default().tlab_refill_ns;
+        assert!(
+            d.gc_ns >= refill_ns,
+            "gc bucket ({}) must absorb all refill stalls ({refill_ns})",
+            d.gc_ns
+        );
+
+        // Reference run: fast path off. The invariant holds either way,
+        // and without TLABs no refill is ever charged.
+        let mut slow = tiny_config(CollectorKind::RolpNg2c);
+        slow.tlab_bytes = 0;
+        let out = serve(&slow, &mut default_tenants(slow.scale));
+        let wall = out.latency.service_wall_ns() as f64;
+        let decomp = out.latency.decomposed_ns() as f64;
+        assert!((wall - decomp).abs() / wall < 1e-6, "invariant holds without TLABs");
+        let refills = out.metrics.last().expect("snapshot").counter(CounterId::TlabRefills);
+        assert_eq!(refills, 0, "no fast path, no refills");
     }
 
     #[test]

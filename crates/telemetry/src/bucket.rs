@@ -144,11 +144,24 @@ pub enum CounterId {
     /// Served requests whose coordinated-omission-corrected latency
     /// missed the primary SLO threshold.
     ServeSloMisses,
+    /// TLAB refills (chunk carves from region frontiers) on the
+    /// allocation fast path.
+    TlabRefills,
+    /// Decision micro-cache hits (repeat-site allocations that skipped
+    /// the decision-table load). Flushed from per-thread caches at
+    /// safepoints.
+    MicrocacheHits,
+    /// Decision micro-cache misses (first-touch or version-invalidated
+    /// lookups that fell back to the table load).
+    MicrocacheMisses,
+    /// Age-0 OLD-table records flushed from per-thread batch buffers at
+    /// safepoints (batched counterpart of per-alloc increments).
+    Age0Flushed,
 }
 
 impl CounterId {
     /// Number of counters.
-    pub const COUNT: usize = 11;
+    pub const COUNT: usize = 15;
 
     /// Every counter, in index order.
     pub const ALL: [CounterId; CounterId::COUNT] = [
@@ -163,6 +176,10 @@ impl CounterId {
         CounterId::ShardLockWaits,
         CounterId::ServeRequests,
         CounterId::ServeSloMisses,
+        CounterId::TlabRefills,
+        CounterId::MicrocacheHits,
+        CounterId::MicrocacheMisses,
+        CounterId::Age0Flushed,
     ];
 
     /// Dense array index.
@@ -185,6 +202,10 @@ impl CounterId {
             CounterId::ShardLockWaits => "shard_lock_wait",
             CounterId::ServeRequests => "serve_requests",
             CounterId::ServeSloMisses => "serve_slo_misses",
+            CounterId::TlabRefills => "tlab_refills",
+            CounterId::MicrocacheHits => "microcache_hits",
+            CounterId::MicrocacheMisses => "microcache_misses",
+            CounterId::Age0Flushed => "age0_flushed",
         }
     }
 }

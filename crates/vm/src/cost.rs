@@ -31,6 +31,10 @@ pub struct CostModel {
     pub interpreted_call_ns: u64,
     /// Allocation fast path (TLAB bump + header store).
     pub alloc_ns: u64,
+    /// TLAB refill stall: carving a fresh chunk from a region frontier
+    /// under the heap lock. Charged to the GC bucket, not application
+    /// time — the stall is heap machinery, exactly like a pause.
+    pub tlab_refill_ns: u64,
     /// Extra allocation cost when the allocating method is interpreted.
     pub interpreted_alloc_extra_ns: u64,
     /// Zeroing/initialization per word allocated.
@@ -97,6 +101,7 @@ impl Default for CostModel {
             call_ns: 3,
             interpreted_call_ns: 35,
             alloc_ns: 14,
+            tlab_refill_ns: 160,
             interpreted_alloc_extra_ns: 40,
             alloc_init_word_ns: 1,
             field_load_ns: 2,

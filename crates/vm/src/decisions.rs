@@ -29,9 +29,9 @@ use std::fmt;
 use std::sync::{Arc, Mutex};
 
 #[cfg(feature = "loom")]
-use loom::sync::atomic::{AtomicPtr, Ordering};
+use loom::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
 #[cfg(not(feature = "loom"))]
-use std::sync::atomic::{AtomicPtr, Ordering};
+use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
 
 /// Slot value meaning "no decision for this site".
 const NO_DECISION: u8 = 0;
@@ -203,18 +203,35 @@ impl DecisionTable {
     /// imported prior by.
     #[inline]
     pub fn advise_for_alloc(&self, context: u32, tick: u32) -> Option<u8> {
+        Self::decode_slot(self.resolve_slot(context), tick)
+    }
+
+    /// The raw encoded slot byte for `context` ([`NO_DECISION`] when the
+    /// table holds nothing for it) — the context-dependent, cacheable
+    /// half of [`advise_for_alloc`](Self::advise_for_alloc). The byte is
+    /// what a [`DecisionCache`] stores, so canary rows keep their flag
+    /// and sample per allocation even when served from the cache.
+    #[inline]
+    pub fn resolve_slot(&self, context: u32) -> u8 {
         let site = ((context >> 16) as u16) & self.site_mask;
-        let encoded = match self.site_slots[site as usize] {
-            NO_DECISION => return None,
-            EXPANDED => {
-                let block = self.expanded.get(&site)?;
-                match block[((context & 0xFFFF) as u16 & self.tss_mask) as usize] {
-                    NO_DECISION => return None,
-                    e => e,
-                }
-            }
+        match self.site_slots[site as usize] {
+            EXPANDED => match self.expanded.get(&site) {
+                Some(block) => block[((context & 0xFFFF) as u16 & self.tss_mask) as usize],
+                None => NO_DECISION,
+            },
             e => e,
-        };
+        }
+    }
+
+    /// Decodes an encoded slot byte against the allocation's
+    /// identity-hash draw `tick` — the per-allocation half of
+    /// [`advise_for_alloc`](Self::advise_for_alloc), shared by the direct
+    /// and micro-cached paths so both sample canaries bit-identically.
+    #[inline]
+    pub fn decode_slot(encoded: u8, tick: u32) -> Option<u8> {
+        if encoded == NO_DECISION {
+            return None;
+        }
         if encoded & CANARY_FLAG != 0 && tick.is_multiple_of(CANARY_STRIDE) {
             return None;
         }
@@ -313,6 +330,14 @@ impl DecisionTable {
 /// earlier pointers stay dereferenceable for the store's lifetime.
 pub struct DecisionStore {
     current: AtomicPtr<DecisionTable>,
+    /// The latest published version, stored *after* the pointer swap.
+    /// Per-thread [`DecisionCache`]s validate entries against this one
+    /// word instead of dereferencing the table: because the hint trails
+    /// the pointer, a hint equal to a cached entry's version proves the
+    /// entry came from the current table or its immediate predecessor
+    /// mid-publish — never anything older (the micro-cache's staleness
+    /// bound, model-checked in `tests/loom_microcache.rs`).
+    version_hint: AtomicU64,
     /// Every published snapshot, oldest first. One entry per inference
     /// epoch — bounded by run length, and what makes `load`'s borrowed
     /// return sound.
@@ -327,9 +352,14 @@ impl DecisionStore {
 
     /// A store seeded with a specific initial table (scaled geometries).
     pub fn with_initial(table: DecisionTable) -> Self {
+        let version = table.version();
         let initial = Arc::new(table);
         let ptr = Arc::as_ptr(&initial) as *mut DecisionTable;
-        DecisionStore { current: AtomicPtr::new(ptr), history: Mutex::new(vec![initial]) }
+        DecisionStore {
+            current: AtomicPtr::new(ptr),
+            version_hint: AtomicU64::new(version),
+            history: Mutex::new(vec![initial]),
+        }
     }
 
     /// The current snapshot — the lock-free read side.
@@ -366,7 +396,19 @@ impl DecisionStore {
         // backing allocation is not yet anchored in the history.
         self.history.lock().expect("decision history poisoned").push(arc);
         self.current.store(ptr, Ordering::Release);
+        // The hint trails the pointer: a cache hit validated against it
+        // can therefore never be newer than the current table, and never
+        // older than its immediate predecessor.
+        self.version_hint.store(version, Ordering::Release);
         version
+    }
+
+    /// The micro-cache validation word (see the field docs). Cheaper than
+    /// `load().version()`: no pointer dereference, so the common repeat-
+    /// site allocation touches exactly one shared cache line.
+    #[inline]
+    pub fn version_hint(&self) -> u64 {
+        self.version_hint.load(Ordering::Acquire)
     }
 
     /// The current snapshot's version.
@@ -399,6 +441,99 @@ impl fmt::Debug for DecisionStore {
 // mutex guard all shared mutation.
 unsafe impl Send for DecisionStore {}
 unsafe impl Sync for DecisionStore {}
+
+/// Slots in a [`DecisionCache`] (direct-mapped, power of two).
+const MICRO_CACHE_SLOTS: usize = 64;
+
+#[derive(Debug, Clone, Copy)]
+struct CacheEntry {
+    context: u32,
+    /// Version of the table the byte was resolved from. Initialized to
+    /// `u64::MAX`, which no published table ever carries, so empty slots
+    /// can never validate.
+    version: u64,
+    encoded: u8,
+}
+
+/// A per-thread decision micro-cache: the repeat-site allocation fast
+/// path. A hit costs one `Acquire` load of the store's version hint and
+/// one private array index — it skips the table-pointer dereference and
+/// the site/expanded-block walk entirely. Entries are validated against
+/// the hint, so a snapshot publish invalidates the whole cache implicitly
+/// (the hint moves) without the publisher knowing any thread's cache
+/// exists.
+///
+/// The cached byte is the *encoded* slot ([`DecisionTable::resolve_slot`]);
+/// decoding (canary sampling included) runs per allocation through the
+/// same [`DecisionTable::decode_slot`] as the uncached path, which is
+/// what makes hit and miss answers bit-identical for the same
+/// `(table, context, tick)`.
+#[derive(Debug, Clone)]
+pub struct DecisionCache {
+    entries: [CacheEntry; MICRO_CACHE_SLOTS],
+    hits: u64,
+    misses: u64,
+}
+
+impl DecisionCache {
+    /// An empty cache (every slot invalid).
+    pub fn new() -> Self {
+        DecisionCache {
+            entries: [CacheEntry { context: 0, version: u64::MAX, encoded: 0 }; MICRO_CACHE_SLOTS],
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    #[inline]
+    fn slot_of(context: u32) -> usize {
+        // Fold the site id onto the stack state so neither alone decides
+        // the slot (hot sites differ in their high half, hot stacks in
+        // their low half).
+        ((context >> 16) ^ context) as usize & (MICRO_CACHE_SLOTS - 1)
+    }
+
+    /// [`DecisionTable::advise_for_alloc`] through the cache: identical
+    /// answers, one shared `Acquire` load instead of two on a hit.
+    #[inline]
+    pub fn advise_for_alloc(
+        &mut self,
+        store: &DecisionStore,
+        context: u32,
+        tick: u32,
+    ) -> Option<u8> {
+        let hint = store.version_hint();
+        let entry = &mut self.entries[Self::slot_of(context)];
+        if entry.context == context && entry.version == hint {
+            self.hits += 1;
+            return DecisionTable::decode_slot(entry.encoded, tick);
+        }
+        self.misses += 1;
+        let table = store.load();
+        let encoded = table.resolve_slot(context);
+        // Tag with the version the byte actually came from. If a publish
+        // raced between the hint read and the load, this is newer than
+        // `hint` and the entry stays dormant until the hint catches up —
+        // it can never validate against an *older* hint, because the hint
+        // never goes backwards.
+        *entry = CacheEntry { context, version: table.version(), encoded };
+        DecisionTable::decode_slot(encoded, tick)
+    }
+
+    /// Drains the hit/miss counters (flushed to telemetry at safepoints).
+    pub fn take_counters(&mut self) -> (u64, u64) {
+        let c = (self.hits, self.misses);
+        self.hits = 0;
+        self.misses = 0;
+        c
+    }
+}
+
+impl Default for DecisionCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
 
 #[cfg(all(test, not(feature = "loom")))]
 mod tests {
@@ -520,6 +655,71 @@ mod tests {
         assert_eq!(t.advise_for_alloc(key, 0), None);
         assert_eq!(t.advise_for_alloc(key, 3), Some(7));
         assert_eq!(t.advise_for_alloc((5 << 16) | 3, 0), None, "sibling tss undecided");
+    }
+
+    #[test]
+    fn resolve_and_decode_compose_to_advise_for_alloc() {
+        let prev = DecisionTable::empty_with_geometry(64, 16);
+        let t = DecisionTable::next_from_blended(
+            &prev,
+            &rows(&[(5 << 16, 3), ((7 << 16) | 2, 9)]),
+            [7u16],
+            |key| key == 5 << 16,
+        );
+        for context in [5 << 16, (5 << 16) | 1, (7 << 16) | 2, (7 << 16) | 3, 6 << 16] {
+            for tick in [0, 1, CANARY_STRIDE - 1, CANARY_STRIDE, 12345] {
+                assert_eq!(
+                    DecisionTable::decode_slot(t.resolve_slot(context), tick),
+                    t.advise_for_alloc(context, tick),
+                    "context {context:#x} tick {tick}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn micro_cache_answers_match_the_direct_path() {
+        let store = DecisionStore::with_initial(DecisionTable::empty_with_geometry(64, 16));
+        let v1 = DecisionTable::next_from_blended(
+            store.load(),
+            &rows(&[(5 << 16, 3), (9 << 16, 1)]),
+            [],
+            |key| key == 5 << 16,
+        );
+        store.publish(v1);
+        let mut cache = DecisionCache::new();
+        // Repeat sites: first read misses, repeats hit, answers identical
+        // — including canary ticks served from the cache.
+        for tick in 0..200u32 {
+            for context in [5 << 16, 9 << 16, 3 << 16] {
+                assert_eq!(
+                    cache.advise_for_alloc(&store, context, tick),
+                    store.load().advise_for_alloc(context, tick),
+                    "context {context:#x} tick {tick}"
+                );
+            }
+        }
+        let (hits, misses) = cache.take_counters();
+        assert_eq!(hits + misses, 600);
+        assert_eq!(misses, 3, "one compulsory miss per distinct context");
+        assert_eq!(cache.take_counters(), (0, 0), "counters drained");
+    }
+
+    #[test]
+    fn publish_invalidates_micro_cache_entries() {
+        let store = DecisionStore::with_initial(DecisionTable::empty_with_geometry(64, 16));
+        let mut cache = DecisionCache::new();
+        let context = 4 << 16;
+        assert_eq!(cache.advise_for_alloc(&store, context, 1), None);
+        let v1 = DecisionTable::next_from(store.load(), &rows(&[(context, 11)]), []);
+        store.publish(v1);
+        // The stale entry must not answer: the hint moved.
+        assert_eq!(cache.advise_for_alloc(&store, context, 1), Some(11));
+        let (hits, misses) = cache.take_counters();
+        assert_eq!((hits, misses), (0, 2), "both reads crossed a version");
+        // And after the reload the new version is served from the cache.
+        assert_eq!(cache.advise_for_alloc(&store, context, 1), Some(11));
+        assert_eq!(cache.take_counters(), (1, 0));
     }
 
     #[test]

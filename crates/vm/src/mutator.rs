@@ -70,6 +70,24 @@ pub trait CollectorApi {
     /// collection (guest `OutOfMemoryError`).
     fn allocate(&mut self, env: &mut VmEnv, req: AllocRequest) -> ObjectRef;
 
+    /// TLAB fast path: satisfies `req` from `thread`'s allocation buffer
+    /// when possible, without collecting. `None` falls through to
+    /// [`CollectorApi::allocate`] unchanged, so collectors that do not
+    /// implement this (the default) behave exactly as before.
+    ///
+    /// Implementations must preserve the collection schedule: if the
+    /// collector's GC-trigger predicate would fire for this allocation,
+    /// they return `None` *without* allocating, so the trigger fires in
+    /// the slow path at the identical allocation index.
+    fn fast_alloc(
+        &mut self,
+        _env: &mut VmEnv,
+        _req: &AllocRequest,
+        _thread: u32,
+    ) -> Option<ObjectRef> {
+        None
+    }
+
     /// Human-readable collector name (for reports).
     fn name(&self) -> &'static str;
 
@@ -474,18 +492,34 @@ impl MutatorCtx<'_> {
             }
         }
 
-        // Pretenuring fast path: one atomic snapshot load plus one
-        // bounds-checked table index — never a profiler borrow. The
-        // identity-hash draw doubles as the canary-sampling tick for
-        // imported-profile rows (deterministic, uniform).
-        let advised_gen = match (context, self.vm.env.decisions.as_deref()) {
-            (Some(ctx), Some(store)) => store.load().advise_for_alloc(ctx, hash),
+        // Pretenuring fast path. With the micro-cache on (the default), a
+        // repeat site costs one `Acquire` load of the store's version
+        // hint plus a private array index; a miss — first touch or a
+        // fresh snapshot — falls back to the reference path: one atomic
+        // snapshot load plus one bounds-checked table index, never a
+        // profiler borrow. The identity-hash draw doubles as the
+        // canary-sampling tick for imported-profile rows (deterministic,
+        // uniform, and identical on both paths).
+        let VmEnv { decisions, threads, microcache_enabled, .. } = &mut self.vm.env;
+        let advised_gen = match (context, decisions.as_deref()) {
+            (Some(ctx), Some(store)) => {
+                if *microcache_enabled {
+                    threads[self.thread.0 as usize]
+                        .decision_cache
+                        .advise_for_alloc(store, ctx, hash)
+                } else {
+                    store.load().advise_for_alloc(ctx, hash)
+                }
+            }
             _ => None,
         };
 
         let req =
             AllocRequest { class, ref_words, data_words, header, context, manual_gen, advised_gen };
-        let obj = self.vm.collector.allocate(&mut self.vm.env, req);
+        let obj = match self.vm.collector.fast_alloc(&mut self.vm.env, &req, self.thread.0) {
+            Some(obj) => obj,
+            None => self.vm.collector.allocate(&mut self.vm.env, req),
+        };
         self.vm.env.heap.handles.create(obj)
     }
 

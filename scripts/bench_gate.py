@@ -14,9 +14,24 @@ row. Pass `--allow-new-rows` to accept such rows (printed as `[new]`,
 not compared), e.g. when staging a new collector row ahead of its
 baseline refresh.
 
+Micro rows (from the `alloc_micro` bench) carry `ns_per_op` /
+`speedup_vs_reference` instead of pause percentiles. Absolute ns/op is
+machine-dependent and only printed; the gated value is the within-run
+speedup, floored at `--min-speedup` (default 1.0): the fast path must
+not lose to the reference path it replaced, on whatever machine the
+gate runs.
+
+Multiple current files are merged before comparison (e.g. the fig8/9
+stats plus the alloc-micro stats), so the dropped-coverage check spans
+the union. A single-bench invocation (e.g. the `alloc-micro` CI job)
+passes `--partial` to scope that check to the workloads its file
+actually covers.
+
 Usage:
-    scripts/bench_gate.py <current.json> [--baseline BENCH_baseline.json]
-                          [--max-regress 0.15] [--allow-new-rows]
+    scripts/bench_gate.py <current.json> [more.json ...]
+                          [--baseline BENCH_baseline.json]
+                          [--max-regress 0.15] [--min-speedup 1.0]
+                          [--allow-new-rows] [--partial]
 
 Exit status: 0 = within bounds, 1 = regression, 2 = usage/format error.
 """
@@ -61,20 +76,49 @@ def key(row, path):
 
 def main():
     ap = argparse.ArgumentParser()
-    ap.add_argument("current", help="stats JSON written by ROLP_BENCH_JSON")
+    ap.add_argument("current", nargs="+",
+                    help="stats JSON file(s) written by ROLP_BENCH_JSON; "
+                         "several files are merged before comparison")
     ap.add_argument("--baseline", default="BENCH_baseline.json")
     ap.add_argument("--max-regress", type=float, default=0.15,
                     help="allowed fractional p99 increase (default 0.15)")
+    ap.add_argument("--min-speedup", type=float, default=1.0,
+                    help="floor on micro rows' within-run "
+                         "speedup_vs_reference (default 1.0)")
     ap.add_argument("--allow-new-rows", action="store_true",
                     help="accept current rows absent from the baseline "
                          "instead of failing (use when staging a new gate "
                          "row ahead of its baseline refresh)")
+    ap.add_argument("--partial", action="store_true",
+                    help="current file(s) cover a subset of the benches: "
+                         "restrict the dropped-coverage check to the "
+                         "workloads they mention")
     args = ap.parse_args()
 
-    cur = load(args.current)
+    # Merge the current files; a (workload, collector) pair appearing in
+    # two files is a harness bug, not something to silently last-wins.
+    cur_rows = []
+    cur_scale = None
+    for path in args.current:
+        cur = load(path)
+        if cur_scale is None:
+            cur_scale = cur["scale"]
+        elif cur["scale"] != cur_scale:
+            print(f"bench_gate: scale mismatch between current files "
+                  f"(1/{cur_scale} vs 1/{cur['scale']} in {path})",
+                  file=sys.stderr)
+            sys.exit(2)
+        for row in cur["results"]:
+            k = key(row, path)
+            if any(key(r, p) == k for r, p in cur_rows):
+                print(f"bench_gate: duplicate row {k[0]} / {k[1]} in "
+                      f"{path}", file=sys.stderr)
+                sys.exit(2)
+            cur_rows.append((row, path))
+
     base = load(args.baseline)
-    if cur["scale"] != base["scale"]:
-        print(f"bench_gate: scale mismatch (current 1/{cur['scale']}, "
+    if cur_scale != base["scale"]:
+        print(f"bench_gate: scale mismatch (current 1/{cur_scale}, "
               f"baseline 1/{base['scale']}) — numbers are not comparable",
               file=sys.stderr)
         sys.exit(2)
@@ -84,38 +128,60 @@ def main():
     new_rows = []
     compared = 0
     seen = set()
-    for row in cur["results"]:
-        k = key(row, args.current)
+    for row, path in cur_rows:
+        k = key(row, path)
         seen.add(k)
         ref = baseline_rows.get(k)
-        cur_p99 = field(row, "p99_ms", args.current)
         if ref is None:
             status = "skipped" if args.allow_new_rows else "no baseline row"
+            p99 = row.get("p99_ms")
+            shown = f"p99 {p99:.2f} ms" if p99 is not None else "no p99"
             print(f"  [new] {row['workload']} / {row['collector']}: "
-                  f"p99 {cur_p99:.2f} ms ({status})")
+                  f"{shown} ({status})")
             if not args.allow_new_rows:
                 new_rows.append(k)
             continue
         compared += 1
-        ref_p99 = field(ref, "p99_ms", args.baseline)
-        limit = ref_p99 * (1.0 + args.max_regress)
-        verdict = "OK" if cur_p99 <= limit else "REGRESSED"
-        print(f"  [{verdict}] {row['workload']} / {row['collector']}: "
-              f"p99 {cur_p99:.2f} ms vs baseline {ref_p99:.2f} ms "
-              f"(limit {limit:.2f} ms)")
-        if cur_p99 > limit:
-            print(f"bench_gate: {row['workload']} / {row['collector']}: p99 "
-                  f"{cur_p99:.2f} ms exceeds the {limit:.2f} ms tolerance "
-                  f"(baseline {ref_p99:.2f} ms + {args.max_regress:.0%})",
-                  file=sys.stderr)
-            failures.append(k)
+        if "p99_ms" in ref:
+            cur_p99 = field(row, "p99_ms", path)
+            ref_p99 = field(ref, "p99_ms", args.baseline)
+            limit = ref_p99 * (1.0 + args.max_regress)
+            verdict = "OK" if cur_p99 <= limit else "REGRESSED"
+            print(f"  [{verdict}] {row['workload']} / {row['collector']}: "
+                  f"p99 {cur_p99:.2f} ms vs baseline {ref_p99:.2f} ms "
+                  f"(limit {limit:.2f} ms)")
+            if cur_p99 > limit:
+                print(f"bench_gate: {row['workload']} / {row['collector']}: "
+                      f"p99 {cur_p99:.2f} ms exceeds the {limit:.2f} ms "
+                      f"tolerance (baseline {ref_p99:.2f} ms + "
+                      f"{args.max_regress:.0%})", file=sys.stderr)
+                failures.append(k)
+
+        # Micro rows: ns/op is machine-dependent (printed for trend
+        # reading only); the gated value is the within-run speedup of
+        # the fast path over the reference path it replaced.
+        if "speedup_vs_reference" in ref:
+            cur_s = field(row, "speedup_vs_reference", path)
+            cur_ns = field(row, "ns_per_op", path)
+            ref_ns = field(row, "ns_per_op_reference", path)
+            verdict = "OK" if cur_s >= args.min_speedup else "REGRESSED"
+            print(f"  [{verdict}] {row['workload']} / {row['collector']}: "
+                  f"{cur_ns:.2f} ns/op vs reference {ref_ns:.2f} ns/op "
+                  f"(speedup {cur_s:.2f}x, floor {args.min_speedup:.2f}x)")
+            if cur_s < args.min_speedup:
+                print(f"bench_gate: {row['workload']} / {row['collector']}: "
+                      f"fast path speedup {cur_s:.2f}x fell below the "
+                      f"{args.min_speedup:.2f}x floor — the fast path "
+                      f"lost to the reference path it replaced",
+                      file=sys.stderr)
+                failures.append((k[0], f"{k[1]} [speedup]"))
 
         # Warm-start fields: present on ROLP rows since the profile
         # persistence work. A baseline row carrying them obliges the
         # current row to carry them too (field() fails readably if the
         # harness stopped emitting them).
         if "warmup_p99_ms" in ref:
-            cur_w = field(row, "warmup_p99_ms", args.current)
+            cur_w = field(row, "warmup_p99_ms", path)
             ref_w = field(ref, "warmup_p99_ms", args.baseline)
             wlimit = ref_w * (1.0 + args.max_regress)
             verdict = "OK" if cur_w <= wlimit else "REGRESSED"
@@ -134,7 +200,7 @@ def main():
         # relative margin would be meaningless near 1.0); served p99 uses
         # the same relative margin as the pause percentiles.
         if "slo_attainment" in ref:
-            cur_a = field(row, "slo_attainment", args.current)
+            cur_a = field(row, "slo_attainment", path)
             ref_a = field(ref, "slo_attainment", args.baseline)
             floor = ref_a - 0.02
             verdict = "OK" if cur_a >= floor else "REGRESSED"
@@ -147,7 +213,7 @@ def main():
                       f"the baseline {ref_a:.4f}", file=sys.stderr)
                 failures.append((k[0], f"{k[1]} [slo attainment]"))
         if "served_p99_ms" in ref:
-            cur_s = field(row, "served_p99_ms", args.current)
+            cur_s = field(row, "served_p99_ms", path)
             ref_s = field(ref, "served_p99_ms", args.baseline)
             slimit = ref_s * (1.0 + args.max_regress)
             verdict = "OK" if cur_s <= slimit else "REGRESSED"
@@ -161,7 +227,7 @@ def main():
                       f"{args.max_regress:.0%})", file=sys.stderr)
                 failures.append((k[0], f"{k[1]} [served p99]"))
         if "epochs_to_stable" in ref:
-            cur_e = field(row, "epochs_to_stable", args.current)
+            cur_e = field(row, "epochs_to_stable", path)
             ref_e = field(ref, "epochs_to_stable", args.baseline)
             verdict = "OK" if cur_e <= ref_e else "REGRESSED"
             print(f"  [{verdict}] {row['workload']} / {row['collector']}: "
@@ -174,11 +240,16 @@ def main():
 
     # A baseline row with no current counterpart means coverage was
     # silently dropped (a workload or collector stopped being benched) —
-    # that must fail as loudly as a regression would.
+    # that must fail as loudly as a regression would. Under --partial
+    # the check is scoped to the workloads the current file(s) mention,
+    # so a single-bench job doesn't trip over the other benches' rows.
     dropped = sorted(set(baseline_rows) - seen)
+    if args.partial:
+        covered = {w for w, _ in seen}
+        dropped = [(w, c) for w, c in dropped if w in covered]
     for w, c in dropped:
         print(f"  [MISSING] {w} / {c}: in {args.baseline} but absent "
-              f"from {args.current}")
+              f"from {', '.join(args.current)}")
 
     if compared == 0:
         print("bench_gate: no comparable rows between current and baseline",

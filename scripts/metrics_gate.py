@@ -40,7 +40,8 @@ COUNTERS = [
     "profiled_allocs", "unprofiled_allocs", "jit_compiles", "gc_pauses",
     "epochs_inferred", "profile_entries_imported", "profile_blend_decays",
     "shard_merge_ns", "shard_lock_wait", "serve_requests",
-    "serve_slo_misses",
+    "serve_slo_misses", "tlab_refills", "microcache_hits",
+    "microcache_misses", "age0_flushed",
 ]
 GAUGES = [
     "heap_used_bytes", "heap_committed_bytes", "decision_version",
